@@ -1,0 +1,49 @@
+//! Criterion bench for Figure 5: each SPEC-INT-like kernel under the
+//! Execution Layer vs native Itanium. The measured quantity is host
+//! time of the simulation; the *reported* figure (printed once per
+//! kernel) is the simulated-cycle ratio, which is what the paper plots.
+
+use bench::run_el;
+use btgeneric::engine::Config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::harness::run_native;
+
+fn cfg() -> Config {
+    Config {
+        heat_threshold: 256,
+        hot_candidates: 2,
+        ..Config::default()
+    }
+}
+
+fn fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    println!(
+        "NOTE: bench scales are 1/50th of the canonical runs; translation \
+         overhead dominates at this length. Use `figures fig5` for the \
+         full-scale Figure 5 numbers."
+    );
+    for w in workloads::spec_int() {
+        let scale = (w.scale / 50).max(256);
+        let el = run_el(&w, scale, cfg());
+        let native = run_native(&w, scale, cfg().timing);
+        println!(
+            "fig5 {}: relative = {:.1}% (EL {} cy, native {} cy)",
+            w.name,
+            native.cycles as f64 * 100.0 / el.cycles as f64,
+            el.cycles,
+            native.cycles
+        );
+        group.bench_function(format!("el/{}", w.name), |b| {
+            b.iter(|| run_el(&w, scale, cfg()).cycles)
+        });
+        group.bench_function(format!("native/{}", w.name), |b| {
+            b.iter(|| run_native(&w, scale, cfg().timing).cycles)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

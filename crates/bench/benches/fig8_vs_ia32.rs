@@ -1,0 +1,46 @@
+//! Criterion bench for Figure 8: the Execution Layer on the Itanium
+//! model vs the same binaries on the IA-32 ("Xeon") model, for the INT,
+//! FP, and Sysmark composites.
+
+use bench::run_el;
+use btgeneric::engine::Config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::harness::run_ia32_hw;
+
+fn cfg() -> Config {
+    let mut c = Config {
+        heat_threshold: 256,
+        hot_candidates: 2,
+        ..Config::default()
+    };
+    c.timing.clock_mhz = 1500;
+    c
+}
+
+fn fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    let ia32_t = ia32::timing::Timing {
+        clock_mhz: 1600,
+        ..ia32::timing::Timing::default()
+    };
+    let suites = [
+        ("int", workloads::spec_int()),
+        ("fp", workloads::spec_fp()),
+        ("sysmark", vec![workloads::sysmark()]),
+    ];
+    for (name, suite) in suites {
+        let w = &suite[0];
+        let scale = (w.scale / 50).max(256);
+        group.bench_function(format!("el/{name}"), |b| {
+            b.iter(|| run_el(w, scale, cfg()).cycles)
+        });
+        group.bench_function(format!("ia32/{name}"), |b| {
+            b.iter(|| run_ia32_hw(w, scale, ia32_t).cycles)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for the in-text misalignment experiment (1236 s ->
+//! 133 s): the misalignment-heavy workload with avoidance off vs on.
+
+use bench::run_el;
+use btgeneric::engine::Config;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn misalign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("misalign");
+    group.sample_size(10);
+    println!(
+        "NOTE: short-scale run (1/50th); see `figures misalign` for the \
+         canonical speedup."
+    );
+    let w = workloads::misalign_heavy();
+    let scale = (w.scale / 50).max(256);
+    let mut off = Config::default();
+    off.enable_misalign_avoidance = false;
+    let without = run_el(&w, scale, off).cycles;
+    let with = run_el(&w, scale, Config::default()).cycles;
+    println!(
+        "misalign avoidance speedup: {:.2}x ({} -> {} cycles; paper ~9.3x)",
+        without as f64 / with as f64,
+        without,
+        with
+    );
+    group.bench_function("avoidance_off", |b| {
+        b.iter(|| run_el(&w, scale, off).cycles)
+    });
+    group.bench_function("avoidance_on", |b| {
+        b.iter(|| run_el(&w, scale, Config::default()).cycles)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, misalign);
+criterion_main!(benches);

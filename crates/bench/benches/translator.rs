@@ -1,0 +1,61 @@
+//! Translator micro-benchmarks and ablations: cold translation
+//! throughput, hot promotion cost, and the EFlags-liveness / fusion /
+//! FP-speculation ablation knobs DESIGN.md calls out.
+
+use bench::run_el;
+use btgeneric::engine::Config;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn base_cfg() -> Config {
+    Config {
+        heat_threshold: 256,
+        hot_candidates: 2,
+        ..Config::default()
+    }
+}
+
+fn ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    println!(
+        "NOTE: at bench scale (1/50th) one-time translation overhead \
+         dominates, so `no_hot` can beat the baseline here; the full-scale \
+         `figures` runs show the steady-state ordering."
+    );
+    let w = &workloads::spec_int()[0]; // gzip
+    let scale = (w.scale / 50).max(512);
+
+    let knobs: [(&str, fn(&mut Config)); 5] = [
+        ("baseline", |_| {}),
+        ("no_flag_liveness", |c| c.enable_flag_liveness = false),
+        ("no_fusion", |c| c.enable_fusion = false),
+        ("no_hot", |c| c.enable_hot = false),
+        ("no_fp_spec", |c| c.enable_fp_spec = false),
+    ];
+    for (name, tweak) in knobs {
+        let mut cfg = base_cfg();
+        tweak(&mut cfg);
+        let cycles = run_el(w, scale, cfg).cycles;
+        println!("ablation {name}: {cycles} simulated cycles");
+        group.bench_function(name, |b| b.iter(|| run_el(w, scale, cfg).cycles));
+    }
+    group.finish();
+}
+
+fn fp_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fp_ablations");
+    group.sample_size(10);
+    let w = &workloads::spec_fp()[1]; // poly: fxch-heavy
+    let scale = (w.scale / 50).max(512);
+    for (name, spec) in [("fp_spec_on", true), ("fp_spec_off", false)] {
+        let mut cfg = base_cfg();
+        cfg.enable_fp_spec = spec;
+        let cycles = run_el(w, scale, cfg).cycles;
+        println!("fp ablation {name}: {cycles} simulated cycles");
+        group.bench_function(name, |b| b.iter(|| run_el(w, scale, cfg).cycles));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablations, fp_ablation);
+criterion_main!(benches);

@@ -1,0 +1,292 @@
+//! # Benchmark harness
+//!
+//! Runs the dual-backend workloads three ways — under the IA-32
+//! Execution Layer, natively on the Itanium model, and on the IA-32
+//! ("Xeon") model — and regenerates every table and figure of the
+//! paper's evaluation (§6). The `figures` binary prints them.
+
+use btgeneric::engine::{Config, Outcome};
+use btgeneric::stats::{Stats, TimeDistribution};
+use btlib::{Process, SimOs};
+use workloads::harness::{build_image, run_ia32_hw, run_native};
+use workloads::{Workload, RESULT};
+
+/// Result of running a workload under the Execution Layer.
+#[derive(Clone, Debug)]
+pub struct ElRun {
+    /// Total simulated Itanium cycles (including overhead categories).
+    pub cycles: u64,
+    /// Cycle breakdown by category.
+    pub dist: TimeDistribution,
+    /// Translator statistics.
+    pub stats: Stats,
+    /// Workload checksum (must match the other backends).
+    pub result: u64,
+}
+
+/// Runs `w` under the Execution Layer.
+///
+/// # Panics
+///
+/// Panics if the workload does not halt cleanly.
+pub fn run_el(w: &Workload, scale: u32, cfg: Config) -> ElRun {
+    let img = build_image(w, scale);
+    let mut p = Process::launch_with(&img, SimOs::new(), cfg).expect("launch");
+    match p.run(u64::MAX / 2) {
+        Outcome::Halted(_) => {}
+        other => panic!("EL {} did not halt: {other:?}", w.name),
+    }
+    p.engine.collect_hot_exit_stats();
+    let mut dist = TimeDistribution::from_region_cycles(&p.engine.machine.region_cycles);
+    // Sysmark-model kernel/driver (native) and idle time: fractions of
+    // the total wall time, added on top of the translated time.
+    let t = dist.total() as f64;
+    let translated_frac = 1.0 - w.native_fraction - w.idle_fraction;
+    if translated_frac < 1.0 {
+        dist.native = (t * w.native_fraction / translated_frac) as u64;
+        dist.idle = (t * w.idle_fraction / translated_frac) as u64;
+    }
+    ElRun {
+        cycles: dist.total(),
+        dist,
+        stats: p.engine.stats.clone(),
+        result: p.engine.mem.read(RESULT as u64, 8).unwrap_or(0),
+    }
+}
+
+/// A Figure-5-style row: EL score relative to native Itanium.
+#[derive(Clone, Debug)]
+pub struct Fig5Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// EL cycles.
+    pub el_cycles: u64,
+    /// Native cycles.
+    pub native_cycles: u64,
+    /// Relative score in percent (native = 100, higher is better).
+    pub relative: f64,
+}
+
+/// Generates Figure 5 (SPEC INT relative scores, EL vs native Itanium).
+pub fn figure5(cfg: Config, scale_div: u32) -> (Vec<Fig5Row>, f64) {
+    let mut rows = Vec::new();
+    for w in workloads::spec_int() {
+        let scale = (w.scale / scale_div).max(256);
+        let el = run_el(&w, scale, cfg);
+        let native = run_native(&w, scale, cfg.timing);
+        rows.push(Fig5Row {
+            name: w.name,
+            el_cycles: el.cycles,
+            native_cycles: native.cycles,
+            relative: native.cycles as f64 * 100.0 / el.cycles as f64,
+        });
+    }
+    let geomean = (rows.iter().map(|r| r.relative.ln()).sum::<f64>() / rows.len() as f64).exp();
+    (rows, geomean)
+}
+
+/// Generates Figure 6 (SPEC time distribution under EL).
+pub fn figure6(cfg: Config, scale_div: u32) -> TimeDistribution {
+    let mut agg = TimeDistribution::default();
+    for w in workloads::spec_int() {
+        let scale = (w.scale / scale_div).max(256);
+        let el = run_el(&w, scale, cfg);
+        agg.hot += el.dist.hot;
+        agg.cold += el.dist.cold;
+        agg.overhead += el.dist.overhead;
+        agg.other += el.dist.other;
+        agg.native += el.dist.native;
+        agg.idle += el.dist.idle;
+    }
+    agg
+}
+
+/// Generates Figure 7 (Sysmark time distribution under EL).
+pub fn figure7(cfg: Config, scale_div: u32) -> TimeDistribution {
+    let w = workloads::sysmark();
+    let scale = (w.scale / scale_div).max(256);
+    run_el(&w, scale, cfg).dist
+}
+
+/// A Figure-8 row: EL on Itanium (1.5 GHz) vs IA-32 hardware (1.6 GHz).
+#[derive(Clone, Debug)]
+pub struct Fig8Row {
+    /// Suite name.
+    pub name: &'static str,
+    /// EL wall time in seconds.
+    pub el_seconds: f64,
+    /// IA-32 hardware wall time in seconds.
+    pub ia32_seconds: f64,
+    /// EL performance relative to IA-32 hardware in percent.
+    pub relative: f64,
+}
+
+/// Generates Figure 8 for the INT composite, FP composite, and Sysmark.
+pub fn figure8(cfg: Config, scale_div: u32) -> Vec<Fig8Row> {
+    // 1.5 GHz Itanium 2 vs 1.6 GHz Xeon, as in the paper.
+    let mut el_cfg = cfg;
+    el_cfg.timing.clock_mhz = 1500;
+    let ia32_timing = ia32::timing::Timing {
+        clock_mhz: 1600,
+        ..ia32::timing::Timing::default()
+    };
+    let suites: [(&'static str, Vec<Workload>); 3] = [
+        ("CPU2000 INT", workloads::spec_int()),
+        ("CPU2000 FP", workloads::spec_fp()),
+        ("Sysmark 2002", vec![workloads::sysmark()]),
+    ];
+    let mut rows = Vec::new();
+    for (name, suite) in suites {
+        let mut el_s = 0.0;
+        let mut hw_s = 0.0;
+        for w in &suite {
+            let scale = (w.scale / scale_div).max(256);
+            let el = run_el(w, scale, el_cfg);
+            let hw = run_ia32_hw(w, scale, ia32_timing);
+            el_s += el.cycles as f64 / (el_cfg.timing.clock_mhz as f64 * 1e6);
+            // Kernel and idle time exist on the IA-32 side too.
+            let frac = 1.0 - w.native_fraction - w.idle_fraction;
+            hw_s += hw.cycles as f64 / (ia32_timing.clock_mhz as f64 * 1e6) / frac;
+        }
+        rows.push(Fig8Row {
+            name,
+            el_seconds: el_s,
+            ia32_seconds: hw_s,
+            relative: hw_s * 100.0 / el_s,
+        });
+    }
+    rows
+}
+
+/// In-text experiment: steady-state hot-code vs cold-code performance
+/// (paper: "hot code performance is 3X better than cold code").
+pub fn hot_vs_cold(scale_div: u32) -> f64 {
+    let w = &workloads::spec_int()[0]; // gzip: tight and hot-friendly
+    let scale = (w.scale / scale_div).max(2048);
+    let mut cold_cfg = Config::default();
+    cold_cfg.enable_hot = false;
+    let hot_cfg = Config {
+        heat_threshold: 64,
+        hot_candidates: 1,
+        ..Config::default()
+    };
+    let cold = run_el(w, scale, cold_cfg);
+    let hot = run_el(w, scale, hot_cfg);
+    // Compare time spent in translated code only (exclude one-time
+    // translation overhead, which scales away on long runs).
+    let cold_exec = cold.dist.cold.max(1);
+    let hot_exec = (hot.dist.hot + hot.dist.cold).max(1);
+    cold_exec as f64 / hot_exec as f64
+}
+
+/// In-text experiment: the misalignment-avoidance speedup (paper: one
+/// workload went from 1236 s to 133 s, ~9.3x).
+pub fn misalign_speedup(scale_div: u32) -> (u64, u64, f64) {
+    let w = workloads::misalign_heavy();
+    let scale = (w.scale / scale_div).max(512);
+    let mut off = Config::default();
+    off.enable_misalign_avoidance = false;
+    let without = run_el(&w, scale, off).cycles;
+    let with = run_el(&w, scale, Config::default()).cycles;
+    (without, with, without as f64 / with as f64)
+}
+
+/// The paper's in-text statistics, measured over the INT suite.
+#[derive(Clone, Debug, Default)]
+pub struct PaperStats {
+    /// Fraction of cold blocks that reached the heating threshold
+    /// (paper: 5-10%).
+    pub heated_fraction: f64,
+    /// Average IA-32 instructions per cold block (paper: 4-5).
+    pub cold_block_insts: f64,
+    /// Average IA-32 instructions per hot trace (paper: ~20).
+    pub hot_trace_insts: f64,
+    /// Native instructions per commit point in hot code (paper: ~10).
+    pub insts_per_commit: f64,
+    /// Speculation fix events (TOS+tag+mode+format) per thousand block
+    /// entries — the paper reports 99-100% success.
+    pub spec_fix_per_kilo_entry: f64,
+    /// Cold translation overhead per IA-32 instruction, in native
+    /// instructions emitted.
+    pub cold_expansion: f64,
+    /// Hot side exits taken per thousand hot-trace completions-ish
+    /// (paper: ~6% of hot blocks suffer a premature exit).
+    pub side_exits: u64,
+}
+
+/// Measures the in-text statistics.
+pub fn paper_stats(scale_div: u32) -> PaperStats {
+    let cfg = Config {
+        heat_threshold: 256,
+        hot_candidates: 2,
+        ..Config::default()
+    };
+    let mut agg = PaperStats::default();
+    let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    for w in workloads::spec_int() {
+        let scale = (w.scale / scale_div).max(512);
+        let el = run_el(&w, scale, cfg);
+        totals.0 += el.stats.cold_blocks;
+        totals.1 += el.stats.hot_traces;
+        totals.2 += el.stats.cold_ia32_insts;
+        totals.3 += el.stats.hot_ia32_insts;
+        totals.4 += el.stats.hot_native_insts;
+        totals.5 += el.stats.hot_commit_points;
+        totals.6 += el.stats.tos_fixes
+            + el.stats.tag_fixes
+            + el.stats.mmx_fixes
+            + el.stats.xmm_fixes;
+        totals.7 += el.stats.cold_native_insts;
+        totals.8 += el.stats.hot_side_exits;
+    }
+    agg.heated_fraction = totals.1 as f64 / totals.0.max(1) as f64;
+    agg.cold_block_insts = totals.2 as f64 / totals.0.max(1) as f64;
+    agg.hot_trace_insts = totals.3 as f64 / totals.1.max(1) as f64;
+    agg.insts_per_commit = totals.4 as f64 / totals.5.max(1) as f64;
+    agg.spec_fix_per_kilo_entry = totals.6 as f64; // rare in INT suite
+    agg.cold_expansion = totals.7 as f64 / totals.2.max(1) as f64;
+    agg.side_exits = totals.8;
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every workload must compute the same checksum under the EL as on
+    /// the IA-32 hardware model (end-to-end correctness at scale).
+    #[test]
+    fn el_matches_ia32_hw_checksums() {
+        let mut all = workloads::spec_int();
+        all.extend(workloads::spec_fp());
+        all.push(workloads::sysmark());
+        all.push(workloads::misalign_heavy());
+        let cfg = Config {
+            heat_threshold: 64,
+            hot_candidates: 1,
+            ..Config::default()
+        };
+        for w in &all {
+            let scale = (w.scale / 100).max(300);
+            let el = run_el(w, scale, cfg);
+            let hw = run_ia32_hw(w, scale, ia32::timing::Timing::default());
+            assert_eq!(
+                el.result, hw.result,
+                "{}: EL and IA-32 hardware disagree",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn hot_beats_cold() {
+        let ratio = hot_vs_cold(40);
+        assert!(ratio > 1.2, "hot code must beat cold code, got {ratio:.2}x");
+    }
+
+    #[test]
+    fn misalignment_avoidance_pays() {
+        let (_, _, speedup) = misalign_speedup(40);
+        assert!(speedup > 2.0, "avoidance speedup too small: {speedup:.2}x");
+    }
+}

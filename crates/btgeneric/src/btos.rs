@@ -1,0 +1,214 @@
+//! The BTOS API — the binary-level interface between the OS-independent
+//! translator (BTGeneric, this crate) and the thin OS abstraction layer
+//! (BTLib, the `btlib` crate), per §3 of the paper.
+//!
+//! The protocol is bidirectional: BTGeneric calls *down* for system
+//! services (memory, syscalls, logging); BTLib calls *down into*
+//! BTGeneric for translation and for IA-32 state reconstruction when the
+//! OS delivers an exception. Versioning is negotiated at load time
+//! (paper: "IA-32 EL uses its proprietary protocol to ensure that BTLib
+//! and BTGeneric versions match each other").
+
+use ia32::cpu::Cpu;
+use ia32::mem::GuestMem;
+
+/// BTGeneric's BTOS API major version. Major versions must match
+/// exactly.
+pub const BTOS_MAJOR: u16 = 2;
+/// BTGeneric's BTOS API minor version. BTLib may be newer (backward
+/// compatible) but not older than the translator requires.
+pub const BTOS_MINOR: u16 = 1;
+/// The oldest BTLib minor version this BTGeneric can work with.
+pub const BTOS_MIN_COMPAT_MINOR: u16 = 0;
+
+/// A component's advertised version.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Version {
+    /// Major (breaking) version.
+    pub major: u16,
+    /// Minor (additive) version.
+    pub minor: u16,
+}
+
+impl std::fmt::Display for Version {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.major, self.minor)
+    }
+}
+
+/// Errors from the version handshake.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HandshakeError {
+    /// Major versions differ.
+    MajorMismatch {
+        /// BTGeneric's version.
+        btgeneric: Version,
+        /// BTLib's version.
+        btlib: Version,
+    },
+    /// BTLib is older than the minimum compatible minor.
+    BtlibTooOld {
+        /// BTLib's version.
+        btlib: Version,
+        /// Minimum required minor.
+        required_minor: u16,
+    },
+}
+
+impl std::fmt::Display for HandshakeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandshakeError::MajorMismatch { btgeneric, btlib } => write!(
+                f,
+                "BTOS major version mismatch: BTGeneric {btgeneric}, BTLib {btlib}"
+            ),
+            HandshakeError::BtlibTooOld {
+                btlib,
+                required_minor,
+            } => write!(
+                f,
+                "BTLib {btlib} older than required minor {required_minor}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HandshakeError {}
+
+/// Performs the BTGeneric-side version check of the handshake.
+///
+/// # Errors
+///
+/// [`HandshakeError`] when the BTLib version is incompatible.
+pub fn negotiate(btlib: Version) -> Result<Version, HandshakeError> {
+    let ours = Version {
+        major: BTOS_MAJOR,
+        minor: BTOS_MINOR,
+    };
+    if btlib.major != ours.major {
+        return Err(HandshakeError::MajorMismatch {
+            btgeneric: ours,
+            btlib,
+        });
+    }
+    if btlib.minor < BTOS_MIN_COMPAT_MINOR {
+        return Err(HandshakeError::BtlibTooOld {
+            btlib,
+            required_minor: BTOS_MIN_COMPAT_MINOR,
+        });
+    }
+    // The effective protocol version is the lower of the two minors.
+    Ok(Version {
+        major: ours.major,
+        minor: ours.minor.min(btlib.minor),
+    })
+}
+
+/// What the OS layer decided after a system call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SyscallOutcome {
+    /// Continue executing (result already written to guest state).
+    Continue,
+    /// The application exited with this status.
+    Exit(i32),
+}
+
+/// What the OS layer decided after an application-visible exception.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExceptionOutcome {
+    /// Deliver to the registered IA-32 handler at this EIP: the engine
+    /// builds the guest exception frame and redirects execution.
+    DeliverTo(u32),
+    /// No handler: terminate the process (what the paper's "escalate to
+    /// the OS default action" amounts to for our workloads).
+    Terminate,
+}
+
+/// An IA-32 exception as presented to the OS layer, already converted
+/// from the Itanium-side fault (paper §4: "exception code may be
+/// modified by the handler to match the exception that should have
+/// occurred in the IA-32 code").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GuestException {
+    /// `#PF` — page fault at the given linear address.
+    PageFault {
+        /// Faulting linear address.
+        addr: u32,
+        /// True for writes.
+        write: bool,
+    },
+    /// `#DE` — divide error.
+    DivideError,
+    /// `#UD` — invalid opcode.
+    InvalidOpcode,
+    /// `#MF` — x87 FP error (stack fault).
+    FpStackFault,
+}
+
+/// The BTOS API: everything BTGeneric needs from the OS.
+///
+/// One implementation per supported OS personality lives in `btlib`.
+pub trait BtOs {
+    /// The OS layer's advertised BTOS version.
+    fn version(&self) -> Version;
+
+    /// Handles an IA-32 system call (`int 0x80` in the Linux-like
+    /// personality). Guest registers carry arguments per the OS ABI;
+    /// results are written back into `cpu` (and guest memory).
+    fn syscall(&mut self, cpu: &mut Cpu, mem: &mut GuestMem) -> SyscallOutcome;
+
+    /// Asks the OS layer what to do with an application exception.
+    /// `cpu` is the precise reconstructed IA-32 state.
+    fn exception(&mut self, exc: GuestException, cpu: &Cpu) -> ExceptionOutcome;
+
+    /// Diagnostic logging channel.
+    fn log(&mut self, msg: &str) {
+        let _ = msg;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handshake_accepts_matching() {
+        let v = negotiate(Version {
+            major: BTOS_MAJOR,
+            minor: BTOS_MINOR,
+        })
+        .unwrap();
+        assert_eq!(v.major, BTOS_MAJOR);
+        assert_eq!(v.minor, BTOS_MINOR);
+    }
+
+    #[test]
+    fn handshake_negotiates_older_minor() {
+        let v = negotiate(Version {
+            major: BTOS_MAJOR,
+            minor: BTOS_MIN_COMPAT_MINOR,
+        })
+        .unwrap();
+        assert_eq!(v.minor, BTOS_MIN_COMPAT_MINOR);
+    }
+
+    #[test]
+    fn handshake_accepts_newer_btlib_minor() {
+        let v = negotiate(Version {
+            major: BTOS_MAJOR,
+            minor: BTOS_MINOR + 5,
+        })
+        .unwrap();
+        assert_eq!(v.minor, BTOS_MINOR, "effective version capped at ours");
+    }
+
+    #[test]
+    fn handshake_rejects_major_mismatch() {
+        let e = negotiate(Version {
+            major: BTOS_MAJOR + 1,
+            minor: 0,
+        })
+        .unwrap_err();
+        assert!(matches!(e, HandshakeError::MajorMismatch { .. }));
+    }
+}

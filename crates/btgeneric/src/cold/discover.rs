@@ -1,0 +1,249 @@
+//! Local code discovery (paper §2, Figure 1): starting from the current
+//! IP, decode and build a flow graph over 1-20 neighbouring basic
+//! blocks. The analysis feeds EFlags liveness and FP-stack tracking;
+//! only the requested block is generated ("unexecuted blocks are never
+//! generated").
+
+use ia32::decode::decode;
+use ia32::inst::Inst;
+use ia32::mem::GuestMem;
+use std::collections::HashMap;
+
+/// Default discovery limits (the paper: 1-20 basic blocks).
+pub const MAX_BLOCKS: usize = 20;
+/// Instruction budget across the region.
+pub const MAX_INSTS: usize = 160;
+/// Instruction budget per block (cold blocks average 4-5 IA-32 insts).
+pub const MAX_BLOCK_INSTS: usize = 32;
+
+/// How a discovered block ends.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BlockEnd {
+    /// Falls through into the next instruction (block-size limit hit).
+    FallThrough,
+    /// Direct jump.
+    Jump,
+    /// Conditional branch (two direct successors).
+    Cond,
+    /// Call (successor = target; return address pushed).
+    Call,
+    /// Indirect transfer / return: successors unknown.
+    Indirect,
+    /// Halt, syscall, UD, or undecodable: no translated successor.
+    Stop,
+}
+
+/// One discovered basic block.
+#[derive(Clone, Debug)]
+pub struct DiscBlock {
+    /// Start address.
+    pub start: u32,
+    /// Decoded instructions: `(ip, inst, length)`.
+    pub insts: Vec<(u32, Inst, u8)>,
+    /// Terminator class.
+    pub end: BlockEnd,
+    /// Direct successor EIPs (for analysis only).
+    pub succs: Vec<u32>,
+    /// True if some successor is unknown (indirect/stop): flag analysis
+    /// must assume everything live.
+    pub unknown_succ: bool,
+}
+
+impl DiscBlock {
+    /// The address one past the last instruction.
+    pub fn end_ip(&self) -> u32 {
+        self.insts
+            .last()
+            .map(|(ip, _, len)| ip + *len as u32)
+            .unwrap_or(self.start)
+    }
+}
+
+/// A discovered region: blocks keyed by start address.
+#[derive(Clone, Debug, Default)]
+pub struct Region {
+    /// Blocks in discovery order.
+    pub blocks: Vec<DiscBlock>,
+    /// Map from start EIP to index in `blocks`.
+    pub by_start: HashMap<u32, usize>,
+}
+
+impl Region {
+    /// The block starting at `eip`, if discovered.
+    pub fn block_at(&self, eip: u32) -> Option<&DiscBlock> {
+        self.by_start.get(&eip).map(|&i| &self.blocks[i])
+    }
+}
+
+/// Discovers the region reachable from `entry` through direct edges.
+pub fn discover(mem: &GuestMem, entry: u32) -> Region {
+    let mut region = Region::default();
+    let mut work = vec![entry];
+    let mut total = 0usize;
+    while let Some(start) = work.pop() {
+        if region.by_start.contains_key(&start)
+            || region.blocks.len() >= MAX_BLOCKS
+            || total >= MAX_INSTS
+        {
+            continue;
+        }
+        let mut blk = DiscBlock {
+            start,
+            insts: Vec::new(),
+            end: BlockEnd::Stop,
+            succs: Vec::new(),
+            unknown_succ: false,
+        };
+        let mut ip = start;
+        loop {
+            if blk.insts.len() >= MAX_BLOCK_INSTS || total >= MAX_INSTS {
+                blk.end = BlockEnd::FallThrough;
+                blk.succs.push(ip);
+                break;
+            }
+            let bytes = match mem.fetch(ip as u64, 16) {
+                Ok(b) => b,
+                Err(_) => {
+                    blk.end = BlockEnd::Stop;
+                    blk.unknown_succ = true;
+                    break;
+                }
+            };
+            let (inst, len) = match decode(&bytes, ip) {
+                Ok(v) => v,
+                Err(_) => {
+                    // Undecodable: the generator emits a #UD exit here.
+                    blk.end = BlockEnd::Stop;
+                    blk.unknown_succ = true;
+                    break;
+                }
+            };
+            let next = ip.wrapping_add(len as u32);
+            blk.insts.push((ip, inst, len as u8));
+            total += 1;
+            if inst.ends_block() {
+                match inst {
+                    Inst::Jmp { target } => {
+                        blk.end = BlockEnd::Jump;
+                        blk.succs.push(target);
+                    }
+                    Inst::Jcc { target, .. } => {
+                        blk.end = BlockEnd::Cond;
+                        blk.succs.push(target);
+                        blk.succs.push(next);
+                    }
+                    Inst::Call { target } => {
+                        blk.end = BlockEnd::Call;
+                        blk.succs.push(target);
+                        // The return path is reached via RET (indirect).
+                        blk.unknown_succ = true;
+                    }
+                    Inst::JmpInd { .. } | Inst::CallInd { .. } | Inst::Ret { .. } => {
+                        blk.end = BlockEnd::Indirect;
+                        blk.unknown_succ = true;
+                    }
+                    _ => {
+                        blk.end = BlockEnd::Stop;
+                        blk.unknown_succ = true;
+                    }
+                }
+                break;
+            }
+            // A known block boundary splits here.
+            if region.by_start.contains_key(&next) {
+                blk.end = BlockEnd::FallThrough;
+                blk.succs.push(next);
+                break;
+            }
+            ip = next;
+        }
+        for s in &blk.succs {
+            work.push(*s);
+        }
+        region.by_start.insert(start, region.blocks.len());
+        region.blocks.push(blk);
+    }
+    region
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia32::asm::Asm;
+    use ia32::inst::AluOp;
+    use ia32::mem::Prot;
+    use ia32::regs::{EAX, ECX};
+
+    fn setup(f: impl FnOnce(&mut Asm)) -> GuestMem {
+        let mut a = Asm::new(0x1000);
+        f(&mut a);
+        let code = a.assemble();
+        let mut mem = GuestMem::new();
+        mem.map(0x1000, code.len().max(1) as u64, Prot::rx());
+        mem.write_forced(0x1000, &code);
+        mem
+    }
+
+    #[test]
+    fn discovers_loop_structure() {
+        let mem = setup(|a| {
+            a.mov_ri(EAX, 0);
+            a.mov_ri(ECX, 10);
+            let top = a.label();
+            a.bind(top);
+            a.alu_rr(AluOp::Add, EAX, ECX);
+            a.dec(ECX);
+            a.jcc(ia32::Cond::Ne, top);
+            a.hlt();
+        });
+        let r = discover(&mem, 0x1000);
+        // Entry block ends at the jcc; successors: loop head + hlt block.
+        assert!(r.blocks.len() >= 2);
+        let entry = r.block_at(0x1000).unwrap();
+        assert_eq!(entry.end, BlockEnd::Cond);
+        assert_eq!(entry.succs.len(), 2);
+        assert!(!entry.unknown_succ);
+    }
+
+    #[test]
+    fn stops_at_indirect() {
+        let mem = setup(|a| {
+            a.mov_ri(EAX, 0x2000);
+            a.jmp_r(EAX);
+        });
+        let r = discover(&mem, 0x1000);
+        let b = r.block_at(0x1000).unwrap();
+        assert_eq!(b.end, BlockEnd::Indirect);
+        assert!(b.unknown_succ);
+    }
+
+    #[test]
+    fn block_limit_respected() {
+        let mem = setup(|a| {
+            // Long chain of tiny blocks via jumps.
+            let mut labels: Vec<_> = (0..40).map(|_| a.label()).collect();
+            for i in 0..40 {
+                a.bind(labels[i]);
+                a.inc(EAX);
+                if i + 1 < 40 {
+                    a.jmp(labels[i + 1]);
+                }
+            }
+            a.hlt();
+            labels.clear();
+        });
+        let r = discover(&mem, 0x1000);
+        assert!(r.blocks.len() <= MAX_BLOCKS);
+    }
+
+    #[test]
+    fn undecodable_is_stop() {
+        let mut mem = GuestMem::new();
+        mem.map(0x1000, 0x100, Prot::rx());
+        mem.write_forced(0x1000, &[0xCC]); // int3: unsupported
+        let r = discover(&mem, 0x1000);
+        let b = r.block_at(0x1000).unwrap();
+        assert_eq!(b.end, BlockEnd::Stop);
+        assert!(b.insts.is_empty());
+    }
+}

@@ -1,0 +1,740 @@
+//! Cold-code generation (paper §2, Figure 1): basic-block granularity,
+//! template-driven, with instrumentation for later hot translation —
+//! a use counter with a heating check, edge counters on conditional
+//! branches, misalignment probes, speculation head-checks, and the
+//! IA-32 state register updates that make cold exceptions precise.
+
+use super::discover::{BlockEnd, DiscBlock, Region};
+use super::liveness::Liveness;
+use super::lower::{lower, LowerError};
+use crate::layout::StubKind;
+use crate::state::{GR_PAYLOAD0, GR_STATE};
+use crate::templates::{
+    self, emit_spec_checks, AlignCache, EmitCtx, FpCtx, MisalignPlan, Sink, Term, XmmCtx,
+};
+use ia32::inst::Inst as I32;
+use ipf::asm::CodeBuilder;
+use ipf::bundle::Bundle;
+use ipf::inst::{CmpRel, Op, Target};
+use ipf::regs::{Br, R0};
+
+/// Runtime speculation seeds, sampled by the engine at translation time
+/// (the block is about to be entered, so "speculate what is true right
+/// now").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SpecSeed {
+    /// Current x87 TOS.
+    pub tos: u8,
+    /// Current FP/MMX mode.
+    pub mmx_mode: bool,
+    /// Current XMM format word.
+    pub xmm_fmt: u8,
+}
+
+/// Inputs to cold generation of one block.
+pub struct ColdGenInput<'a> {
+    /// The discovered region containing the block.
+    pub region: &'a Region,
+    /// Flag liveness over the region.
+    pub liveness: &'a Liveness,
+    /// The block to generate.
+    pub entry: u32,
+    /// Block id (payload for instrumentation exits).
+    pub block_id: u32,
+    /// Address of this block's 8-byte use counter.
+    pub counter_addr: u64,
+    /// Addresses of the taken/fallthrough edge counters.
+    pub edge_counters: (u64, u64),
+    /// Heating threshold (power of two; 0 disables the check).
+    pub heat_threshold: u64,
+    /// Misalignment strategy for this version of the block.
+    pub misalign: MisalignPlan,
+    /// Speculation seeds.
+    pub spec: SpecSeed,
+    /// Enable EFlags liveness (off = materialize everything).
+    pub flag_liveness: bool,
+    /// Enable compare+branch fusion.
+    pub fuse: bool,
+    /// Emit inline (per-access) FP tag checks — the post-TagFix variant.
+    pub inline_fp_checks: bool,
+    /// Self-modifying-code prologue: compare 8 code bytes at `addr`
+    /// against `expected`.
+    pub smc_check: Option<(u64, u64)>,
+    /// Address the block will be assembled at.
+    pub base: u64,
+}
+
+/// A generated cold block.
+#[derive(Debug)]
+pub struct ColdBlock {
+    /// The code.
+    pub bundles: Vec<Bundle>,
+    /// Untranslated-target exits: `(target_eip, trampoline_addr)`. The
+    /// trampoline's branch slot is patched once the target exists.
+    pub exits: Vec<(u32, u64)>,
+    /// IA-32 instructions translated.
+    pub ia32_insts: usize,
+    /// Guest memory accesses indexed (for misalignment profiling).
+    pub accesses: u16,
+    /// Speculated entry TOS (for engine-side TosFix).
+    pub spec: SpecSeed,
+    /// Speculated FP/MMX entry mode (engine-side MmxFix target).
+    pub entry_mmx: bool,
+    /// Native instructions emitted (pre-bundling count).
+    pub native_insts: usize,
+}
+
+/// Generation failure.
+#[derive(Debug)]
+pub enum ColdGenError {
+    /// The entry block was not in the region (discovery failed).
+    NoBlock,
+    /// Scratch exhaustion during lowering.
+    Lower(LowerError),
+}
+
+impl std::fmt::Display for ColdGenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColdGenError::NoBlock => write!(f, "entry block not discovered"),
+            ColdGenError::Lower(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ColdGenError {}
+
+/// Pre-scan: does the block touch x87 / MMX, and what mode does its
+/// first FP-class instruction need?
+fn prescan_fp(blk: &DiscBlock) -> (bool, bool, bool) {
+    let mut uses_fp = false;
+    let mut uses_mmx = false;
+    let mut first_mmx: Option<bool> = None;
+    for (_, inst, _) in &blk.insts {
+        let is_mmx = matches!(
+            inst,
+            I32::Movd { .. } | I32::Movq { .. } | I32::PAlu { .. } | I32::Emms
+        );
+        let is_fp = matches!(
+            inst,
+            I32::Fld { .. }
+                | I32::Fst { .. }
+                | I32::Fild { .. }
+                | I32::Fistp { .. }
+                | I32::Farith { .. }
+                | I32::Fchs
+                | I32::Fabs
+                | I32::Fsqrt
+                | I32::Fxch { .. }
+                | I32::Fld1
+                | I32::Fldz
+                | I32::Fcomi { .. }
+        );
+        if is_mmx {
+            uses_mmx = true;
+            first_mmx.get_or_insert(true);
+        }
+        if is_fp {
+            uses_fp = true;
+            first_mmx.get_or_insert(false);
+        }
+    }
+    (uses_fp, uses_mmx, first_mmx.unwrap_or(false))
+}
+
+/// Emits a counter increment `[addr] += 1`, optionally under `qp`,
+/// returning the incremented value's register.
+fn emit_counter_inc(
+    sink: &mut Sink,
+    qp: Option<ipf::regs::Pr>,
+    addr: u64,
+) -> ipf::regs::Gr {
+    let qp = qp.unwrap_or(ipf::regs::P0);
+    let a = sink.vg();
+    sink.emit_pred(qp, Op::Movl { d: a, imm: addr });
+    let c = sink.vg();
+    sink.emit_pred(
+        qp,
+        Op::Ld {
+            sz: 8,
+            d: c,
+            addr: a,
+            spec: false,
+        },
+    );
+    sink.emit_pred(qp, Op::AddImm { d: c, imm: 1, a: c });
+    sink.emit_pred(
+        qp,
+        Op::St {
+            sz: 8,
+            addr: a,
+            val: c,
+        },
+    );
+    c
+}
+
+/// Generates the cold translation of one basic block.
+///
+/// # Errors
+///
+/// [`ColdGenError`] when the block is undiscoverable or lowering runs
+/// out of scratch registers (the engine falls back to single-stepping).
+pub fn generate(input: &ColdGenInput<'_>) -> Result<ColdBlock, ColdGenError> {
+    let blk = input
+        .region
+        .block_at(input.entry)
+        .ok_or(ColdGenError::NoBlock)?;
+
+    let (uses_fp, uses_mmx, entry_mmx) = prescan_fp(blk);
+    let mut fp = FpCtx::new(input.spec.tos, false);
+    fp.entry_mmx = entry_mmx;
+    fp.cur_mmx = entry_mmx;
+    fp.inline_checks = input.inline_fp_checks;
+    let mut xmm = XmmCtx::new(input.spec.xmm_fmt);
+    let mut align = AlignCache::default();
+
+    let mut body = Sink::new();
+    let mut term: Option<Term> = None;
+    let mut term_ip = input.entry;
+    let mut term_inst_ip = input.entry;
+    let mut interp_bail: Option<u32> = None;
+    let mut last_state_ip: Option<u32> = None;
+    let mut ia32_count = 0usize;
+
+    let mut i = 0;
+    while i < blk.insts.len() {
+        let (ip, inst, len) = blk.insts[i];
+        let next_ip = ip + len as u32;
+        term_ip = next_ip;
+        let live_flags = if input.flag_liveness {
+            input.liveness.live_after(blk.start, i)
+        } else {
+            ia32::flags::STATUS | ia32::flags::DF
+        };
+
+        // Update the IA-32 state register before faulting instructions.
+        if inst.can_fault() {
+            match last_state_ip {
+                None => body.emit(Op::Movl {
+                    d: GR_STATE,
+                    imm: ip as u64,
+                }),
+                Some(prev) if prev != ip => body.emit(Op::AddImm {
+                    d: GR_STATE,
+                    imm: ip as i64 - prev as i64,
+                    a: GR_STATE,
+                }),
+                _ => {}
+            }
+            last_state_ip = Some(ip);
+        }
+
+        // Compare+branch fusion (paper: EFlags elimination).
+        if input.fuse && i + 1 < blk.insts.len() {
+            if let (_, I32::Jcc { cond, target }, jlen) = blk.insts[i + 1] {
+                let reads = cond.flags_read();
+                if inst.flags_written() & reads == reads {
+                    let jcc_ip = blk.insts[i + 1].0;
+                    let j_next = jcc_ip + jlen as u32;
+                    let live_after_jcc = if input.flag_liveness {
+                        input.liveness.live_after(blk.start, i + 1)
+                    } else {
+                        ia32::flags::STATUS | ia32::flags::DF
+                    };
+                    let mut ctx = EmitCtx {
+                        ip,
+                        next_ip,
+                        live_flags: live_after_jcc,
+                        fp: &mut fp,
+                        xmm: &mut xmm,
+                        misalign: &input.misalign,
+                        align: &mut align,
+                    };
+                    if let Some(pt) =
+                        templates::emit_fused_cmp_jcc(&mut body, &inst, cond, &mut ctx)
+                    {
+                        ia32_count += 2;
+                        term = Some(Term::CondJump {
+                            taken_pred: pt,
+                            taken: target,
+                            fallthrough: j_next,
+                        });
+                        term_ip = j_next;
+                        break;
+                    }
+                }
+            }
+        }
+
+        let mut ctx = EmitCtx {
+            ip,
+            next_ip,
+            live_flags,
+            fp: &mut fp,
+            xmm: &mut xmm,
+            misalign: &input.misalign,
+            align: &mut align,
+        };
+        match templates::emit(&mut body, &inst, &mut ctx) {
+            Ok(t) => {
+                ia32_count += 1;
+                if let Some(t) = t {
+                    term = Some(t);
+                    term_inst_ip = ip;
+                    break;
+                }
+            }
+            Err(_) => {
+                // Fall back to single-step interpretation of this
+                // instruction; the block ends here.
+                interp_bail = Some(ip);
+                break;
+            }
+        }
+        i += 1;
+    }
+
+    // Head: SMC check, speculation checks, instrumentation.
+    let mut head = Sink::new();
+    head.set_ip(input.entry);
+    if let Some((addr, expected)) = input.smc_check {
+        let a = head.vg();
+        head.emit(Op::Movl { d: a, imm: addr });
+        let cur = head.vg();
+        head.emit(Op::Ld {
+            sz: 8,
+            d: cur,
+            addr: a,
+            spec: false,
+        });
+        let exp = head.vg();
+        head.emit(Op::Movl {
+            d: exp,
+            imm: expected,
+        });
+        let (pne, _pe) = (head.vp(), head.vp());
+        head.emit(Op::Cmp {
+            rel: CmpRel::Ne,
+            pt: pne,
+            pf: _pe,
+            a: cur,
+            b: exp,
+        });
+        head.mov_imm(GR_PAYLOAD0, input.block_id as u64);
+        head.emit_pred(
+            pne,
+            Op::Br {
+                target: Target::Abs(StubKind::SmcFail.addr()),
+            },
+        );
+    }
+    let _ = (uses_fp, uses_mmx);
+    emit_spec_checks(&mut head, &fp, &xmm, input.block_id);
+    // Use counter + heating trigger at every multiple of the threshold
+    // (gives the paper's "registered twice" signal for free).
+    if input.heat_threshold > 0 {
+        let c = emit_counter_inc(&mut head, None, input.counter_addr);
+        let masked = head.vg();
+        head.emit(Op::AndImm {
+            d: masked,
+            imm: (input.heat_threshold - 1) as i64,
+            a: c,
+        });
+        let (p_hot, _pc) = (head.vp(), head.vp());
+        head.emit(Op::CmpImm {
+            rel: CmpRel::Eq,
+            pt: p_hot,
+            pf: _pc,
+            imm: 0,
+            b: masked,
+        });
+        head.emit_pred(
+            p_hot,
+            Op::AddImm {
+                d: GR_PAYLOAD0,
+                imm: input.block_id as i64,
+                a: R0,
+            },
+        );
+        head.emit_pred(
+            p_hot,
+            Op::Br {
+                target: Target::Abs(StubKind::Heat.addr()),
+            },
+        );
+    }
+
+    let accesses = body.access_count();
+    // Tail: FP epilogue + terminator. Emitted into the SAME sink as the
+    // body: terminator payloads (indirect-target registers, branch
+    // predicates) are virtual registers from the body and must be
+    // allocated in the same lowering pass.
+    let mut tail = body;
+    tail.set_ip(term_ip);
+    templates::emit_fp_epilogue(&mut tail, &fp, &xmm);
+    // Trampolines for untranslated targets, emitted after the main exit.
+    let mut tramp_reqs: Vec<(u32, u32)> = Vec::new(); // (eip, local label)
+    let branch_to = |tail: &mut Sink, eip: u32, tramp_reqs: &mut Vec<(u32, u32)>| {
+        let l = tail.local_label();
+        tramp_reqs.push((eip, l));
+        Target::Label(l)
+    };
+    match (term, interp_bail) {
+        (_, Some(ip)) => {
+            // Single-step escape: state register points at the
+            // instruction; the engine interprets it and re-dispatches.
+            match last_state_ip {
+                None => tail.emit(Op::Movl {
+                    d: GR_STATE,
+                    imm: ip as u64,
+                }),
+                Some(prev) if prev != ip => tail.emit(Op::AddImm {
+                    d: GR_STATE,
+                    imm: ip as i64 - prev as i64,
+                    a: GR_STATE,
+                }),
+                _ => {}
+            }
+            tail.emit(Op::Br {
+                target: Target::Abs(StubKind::InterpStep.addr()),
+            });
+        }
+        (Some(Term::Jump { target }), _) => {
+            let t = branch_to(&mut tail, target, &mut tramp_reqs);
+            tail.emit(Op::Br { target: t });
+        }
+        (Some(Term::CondJump {
+            taken_pred,
+            taken,
+            fallthrough,
+        }), _) => {
+            // Edge counters (paper: "an edge counter for blocks ending
+            // with conditional or indirect branches").
+            emit_counter_inc(&mut tail, Some(taken_pred), input.edge_counters.0);
+            let tt = branch_to(&mut tail, taken, &mut tramp_reqs);
+            tail.emit_pred(taken_pred, Op::Br { target: tt });
+            emit_counter_inc(&mut tail, None, input.edge_counters.1);
+            let ft = branch_to(&mut tail, fallthrough, &mut tramp_reqs);
+            tail.emit(Op::Br { target: ft });
+        }
+        (Some(Term::Indirect { eip }), _) => {
+            // Inline lookup table (paper: "blocks ending with indirect
+            // branches ... use a fast lookup table").
+            let base = tail.vg();
+            tail.emit(Op::Movl {
+                d: base,
+                imm: crate::layout::LOOKUP_BASE,
+            });
+            let h = tail.vg();
+            tail.emit(Op::Extr {
+                d: h,
+                a: eip,
+                pos: 2,
+                len: 12,
+                signed: false,
+            });
+            let off = tail.vg();
+            tail.emit(Op::ShlImm {
+                d: off,
+                a: h,
+                count: 4,
+            });
+            let slot = tail.vg();
+            tail.emit(Op::Add {
+                d: slot,
+                a: base,
+                b: off,
+            });
+            let key = tail.vg();
+            tail.emit(Op::Ld {
+                sz: 8,
+                d: key,
+                addr: slot,
+                spec: false,
+            });
+            let (p_hit, p_miss) = (tail.vp(), tail.vp());
+            tail.emit(Op::Cmp {
+                rel: CmpRel::Eq,
+                pt: p_hit,
+                pf: p_miss,
+                a: key,
+                b: eip,
+            });
+            let slot2 = tail.vg();
+            tail.emit_pred(
+                p_hit,
+                Op::AddImm {
+                    d: slot2,
+                    imm: 8,
+                    a: slot,
+                },
+            );
+            let tgt = tail.vg();
+            tail.emit_pred(
+                p_hit,
+                Op::Ld {
+                    sz: 8,
+                    d: tgt,
+                    addr: slot2,
+                    spec: false,
+                },
+            );
+            tail.emit_pred(p_hit, Op::MovToBr { b: Br(1), r: tgt });
+            tail.emit_pred(p_hit, Op::BrRet { b: Br(1) });
+            tail.emit(Op::AddImm {
+                d: GR_PAYLOAD0,
+                imm: 0,
+                a: eip,
+            });
+            tail.emit(Op::Br {
+                target: Target::Abs(StubKind::IndirectMiss.addr()),
+            });
+        }
+        (Some(Term::Halt), _) => {
+            tail.emit(Op::Br {
+                target: Target::Abs(StubKind::Exit.addr()),
+            });
+        }
+        (Some(Term::Syscall { vector }), _) => {
+            // State register := EIP after the INT (where execution
+            // resumes); payload := vector.
+            tail.emit(Op::Movl {
+                d: GR_STATE,
+                imm: term_ip as u64,
+            });
+            tail.mov_imm(GR_PAYLOAD0, vector as u64);
+            tail.emit(Op::Br {
+                target: Target::Abs(StubKind::Syscall.addr()),
+            });
+        }
+        (Some(Term::InvalidOp), _) | (None, None) => {
+            // UD2, undecodable tail, or a fallthrough block: for
+            // fallthrough jump to the next address, otherwise raise #UD.
+            if matches!(blk.end, BlockEnd::FallThrough) {
+                let t = branch_to(&mut tail, blk.end_ip(), &mut tramp_reqs);
+                tail.emit(Op::Br { target: t });
+            } else if term == Some(Term::InvalidOp) || blk.end == BlockEnd::Stop {
+                // #UD reports the invalid instruction's own address.
+                let ud_ip = if term == Some(Term::InvalidOp) {
+                    term_inst_ip
+                } else {
+                    term_ip
+                };
+                tail.emit(Op::Movl {
+                    d: GR_STATE,
+                    imm: ud_ip as u64,
+                });
+                tail.emit(Op::Br {
+                    target: Target::Abs(StubKind::InvalidOp.addr()),
+                });
+            } else {
+                let t = branch_to(&mut tail, term_ip, &mut tramp_reqs);
+                tail.emit(Op::Br { target: t });
+            }
+        }
+    }
+    // Trampolines.
+    let mut tramp_labels: Vec<(u32, u32)> = Vec::new();
+    for (eip, l) in &tramp_reqs {
+        tail.bind(*l);
+        tail.emit(Op::Movl {
+            d: GR_PAYLOAD0,
+            imm: *eip as u64,
+        });
+        tail.emit(Op::Br {
+            target: Target::Abs(StubKind::Untranslated.addr()),
+        });
+        tramp_labels.push((*eip, *l));
+    }
+
+    // Stitch head + (body + tail). Local labels are per-sink, so lower
+    // each sink into the same CodeBuilder in order; the trampoline
+    // labels come from the combined body/tail lowering.
+    let mut cb = CodeBuilder::new();
+    lower(&head, &mut cb).map_err(ColdGenError::Lower)?;
+    let tail_labels = lower(&tail, &mut cb).map_err(ColdGenError::Lower)?;
+    let native_insts = cb.len();
+    let (bundles, label_addrs) = cb.assemble(input.base);
+    let exits = tramp_labels
+        .iter()
+        .map(|(eip, l)| (*eip, label_addrs[&tail_labels[*l as usize]]))
+        .collect();
+
+    Ok(ColdBlock {
+        bundles,
+        exits,
+        ia32_insts: ia32_count,
+        accesses,
+        spec: input.spec,
+        entry_mmx,
+        native_insts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::discover::discover;
+    use super::super::liveness::analyze;
+    use super::*;
+    use crate::templates::AccessMode;
+    use ia32::asm::Asm;
+    use ia32::inst::AluOp;
+    use ia32::mem::{GuestMem, Prot};
+    use ia32::regs::{EAX, ECX};
+
+    fn gen_block(f: impl FnOnce(&mut Asm)) -> ColdBlock {
+        let mut a = Asm::new(0x1000);
+        f(&mut a);
+        let code = a.assemble();
+        let mut mem = GuestMem::new();
+        mem.map(0x1000, code.len().max(1) as u64, Prot::rx());
+        mem.write_forced(0x1000, &code);
+        let region = discover(&mem, 0x1000);
+        let liveness = analyze(&region);
+        let input = ColdGenInput {
+            region: &region,
+            liveness: &liveness,
+            entry: 0x1000,
+            block_id: 1,
+            counter_addr: crate::layout::COUNTERS_BASE,
+            edge_counters: (
+                crate::layout::COUNTERS_BASE + 8,
+                crate::layout::COUNTERS_BASE + 16,
+            ),
+            heat_threshold: 1024,
+            misalign: MisalignPlan::uniform(AccessMode::Probe, 1),
+            spec: SpecSeed::default(),
+            flag_liveness: true,
+            fuse: true,
+            inline_fp_checks: false,
+            smc_check: None,
+            base: crate::layout::TC_BASE,
+        };
+        generate(&input).expect("generates")
+    }
+
+    #[test]
+    fn simple_block_generates() {
+        let b = gen_block(|a| {
+            a.mov_ri(EAX, 5);
+            a.alu_ri(AluOp::Add, EAX, 7);
+            a.hlt();
+        });
+        assert_eq!(b.ia32_insts, 3);
+        assert!(!b.bundles.is_empty());
+        assert!(b.exits.is_empty(), "halt needs no trampoline");
+    }
+
+    #[test]
+    fn cond_branch_has_two_exits() {
+        let b = gen_block(|a| {
+            let l = a.label();
+            a.cmp_ri(EAX, 3);
+            a.jcc(ia32::Cond::E, l);
+            a.bind(l);
+            a.hlt();
+        });
+        assert_eq!(b.exits.len(), 2, "taken + fallthrough trampolines");
+        let eips: Vec<u32> = b.exits.iter().map(|(e, _)| *e).collect();
+        assert!(eips.contains(&0x1009));
+    }
+
+    #[test]
+    fn fused_cmp_jcc_has_no_flag_code() {
+        let fused = gen_block(|a| {
+            let l = a.label();
+            a.cmp_ri(ECX, 3);
+            a.jcc(ia32::Cond::L, l);
+            a.bind(l);
+            a.hlt();
+        });
+        // The same block without fusion materializes flags.
+        let mut a = Asm::new(0x1000);
+        let l = a.label();
+        a.cmp_ri(ECX, 3);
+        a.jcc(ia32::Cond::L, l);
+        a.bind(l);
+        a.hlt();
+        let code = a.assemble();
+        let mut mem = GuestMem::new();
+        mem.map(0x1000, code.len() as u64, Prot::rx());
+        mem.write_forced(0x1000, &code);
+        let region = discover(&mem, 0x1000);
+        let liveness = analyze(&region);
+        let input = ColdGenInput {
+            region: &region,
+            liveness: &liveness,
+            entry: 0x1000,
+            block_id: 1,
+            counter_addr: crate::layout::COUNTERS_BASE,
+            edge_counters: (
+                crate::layout::COUNTERS_BASE + 8,
+                crate::layout::COUNTERS_BASE + 16,
+            ),
+            heat_threshold: 1024,
+            misalign: MisalignPlan::uniform(AccessMode::Probe, 1),
+            spec: SpecSeed::default(),
+            flag_liveness: true,
+            fuse: false,
+            inline_fp_checks: false,
+            smc_check: None,
+            base: crate::layout::TC_BASE,
+        };
+        let unfused = generate(&input).unwrap();
+        assert!(
+            fused.native_insts < unfused.native_insts,
+            "fusion saves instructions: {} vs {}",
+            fused.native_insts,
+            unfused.native_insts
+        );
+    }
+
+    #[test]
+    fn indirect_emits_lookup() {
+        let b = gen_block(|a| {
+            a.mov_ri(EAX, 0x2000);
+            a.jmp_r(EAX);
+        });
+        // Lookup sequence present: a load from the lookup region plus
+        // an indirect branch.
+        let has_brret = b
+            .bundles
+            .iter()
+            .flat_map(|bu| bu.slots.iter())
+            .any(|s| matches!(s.op, Op::BrRet { .. }));
+        assert!(has_brret);
+    }
+
+    #[test]
+    fn smc_prologue_emitted() {
+        let mut a = Asm::new(0x1000);
+        a.mov_ri(EAX, 1);
+        a.hlt();
+        let code = a.assemble();
+        let mut mem = GuestMem::new();
+        mem.map(0x1000, code.len() as u64, Prot::rx());
+        mem.write_forced(0x1000, &code);
+        let region = discover(&mem, 0x1000);
+        let liveness = analyze(&region);
+        let mk = |smc: Option<(u64, u64)>| ColdGenInput {
+            region: &region,
+            liveness: &liveness,
+            entry: 0x1000,
+            block_id: 1,
+            counter_addr: crate::layout::COUNTERS_BASE,
+            edge_counters: (0, 0),
+            heat_threshold: 0,
+            misalign: MisalignPlan::uniform(AccessMode::Fast, 1),
+            spec: SpecSeed::default(),
+            flag_liveness: true,
+            fuse: true,
+            inline_fp_checks: false,
+            smc_check: smc,
+            base: crate::layout::TC_BASE,
+        };
+        let plain = generate(&mk(None)).unwrap();
+        let checked = generate(&mk(Some((0x1000, 0xDEAD)))).unwrap();
+        assert!(checked.native_insts > plain.native_insts);
+    }
+}

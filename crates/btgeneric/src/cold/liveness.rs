@@ -1,0 +1,165 @@
+//! EFlags liveness over a discovered region (paper §2: "computing the
+//! liveness of IA-32 EFlags bits ... enables the translator to eliminate
+//! redundant IA-32 EFlags updates").
+//!
+//! Backward dataflow: a flag is live at a point if some path reaches a
+//! reader before a writer. Unknown successors (indirect branches,
+//! syscalls, region exits) conservatively treat all status flags as
+//! live.
+
+use super::discover::Region;
+use ia32::flags::{DF, STATUS};
+use std::collections::HashMap;
+
+/// All bits treated as conservatively live at unknown edges.
+const ALL: u32 = STATUS | DF;
+
+/// Per-block, per-instruction live-out flag masks.
+#[derive(Clone, Debug, Default)]
+pub struct Liveness {
+    /// `live[block_start][i]` = flags live *after* instruction `i`.
+    live: HashMap<u32, Vec<u32>>,
+}
+
+impl Liveness {
+    /// Flags live immediately after instruction `i` of the block at
+    /// `start` (i.e. the bits instruction `i` must materialize).
+    pub fn live_after(&self, start: u32, i: usize) -> u32 {
+        self.live
+            .get(&start)
+            .and_then(|v| v.get(i))
+            .copied()
+            .unwrap_or(ALL)
+    }
+}
+
+/// Computes flag liveness for every instruction in the region.
+pub fn analyze(region: &Region) -> Liveness {
+    // live-in per block, iterated to a fixpoint.
+    let mut live_in: HashMap<u32, u32> = HashMap::new();
+    for b in &region.blocks {
+        live_in.insert(b.start, ALL);
+    }
+    // Backward transfer through one block given live-out.
+    let transfer = |b: &super::discover::DiscBlock, live_out: u32| -> u32 {
+        let mut live = live_out;
+        for (_, inst, _) in b.insts.iter().rev() {
+            live = (live & !inst.flags_written()) | inst.flags_read();
+        }
+        live
+    };
+    // Fixpoint (region is tiny; a few iterations suffice).
+    for _ in 0..region.blocks.len() + 2 {
+        let mut changed = false;
+        for b in region.blocks.iter().rev() {
+            let mut out = if b.unknown_succ { ALL } else { 0 };
+            for s in &b.succs {
+                out |= live_in.get(s).copied().unwrap_or(ALL);
+            }
+            let inn = transfer(b, out);
+            let slot = live_in.get_mut(&b.start).expect("pre-seeded");
+            if *slot != inn {
+                *slot = inn;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Record live-after per instruction.
+    let mut result = Liveness::default();
+    for b in &region.blocks {
+        let mut out = if b.unknown_succ { ALL } else { 0 };
+        for s in &b.succs {
+            out |= live_in.get(s).copied().unwrap_or(ALL);
+        }
+        let mut after = vec![0u32; b.insts.len()];
+        let mut live = out;
+        for (i, (_, inst, _)) in b.insts.iter().enumerate().rev() {
+            after[i] = live;
+            live = (live & !inst.flags_written()) | inst.flags_read();
+        }
+        result.live.insert(b.start, after);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::discover::discover;
+    use super::*;
+    use ia32::asm::Asm;
+    use ia32::flags;
+    use ia32::inst::AluOp;
+    use ia32::mem::{GuestMem, Prot};
+    use ia32::regs::{EAX, EBX, ECX};
+
+    fn region_of(f: impl FnOnce(&mut Asm)) -> Region {
+        let mut a = Asm::new(0x1000);
+        f(&mut a);
+        let code = a.assemble();
+        let mut mem = GuestMem::new();
+        mem.map(0x1000, code.len().max(1) as u64, Prot::rx());
+        mem.write_forced(0x1000, &code);
+        discover(&mem, 0x1000)
+    }
+
+    #[test]
+    fn dead_flags_between_writers() {
+        // add; add; hlt — the first add's flags are overwritten by the
+        // second and never read before the hlt... but hlt is an unknown
+        // edge so the *second* add's flags stay live.
+        let r = region_of(|a| {
+            a.alu_rr(AluOp::Add, EAX, EBX);
+            a.alu_rr(AluOp::Add, EAX, ECX);
+            a.hlt();
+        });
+        let l = analyze(&r);
+        assert_eq!(
+            l.live_after(0x1000, 0) & flags::STATUS,
+            0,
+            "first add's flags are dead"
+        );
+        assert_eq!(
+            l.live_after(0x1000, 1) & flags::STATUS,
+            flags::STATUS,
+            "second add's flags reach the unknown edge"
+        );
+    }
+
+    #[test]
+    fn branch_keeps_only_read_bits_live_on_loop() {
+        // Loop: add / dec / jne back — inside the loop, add's flags are
+        // always clobbered by dec before any read, so they are dead;
+        // dec's ZF is read by jne.
+        let r = region_of(|a| {
+            let top = a.label();
+            a.bind(top);
+            a.alu_rr(AluOp::Add, EAX, ECX);
+            a.dec(ECX);
+            a.jcc(ia32::Cond::Ne, top);
+            a.hlt();
+        });
+        let l = analyze(&r);
+        // After `add` (idx 0): dec writes everything except CF; jne
+        // reads ZF. CF survives from add only if something reads it: the
+        // hlt edge is unknown-live, so CF is live-out of the jcc and
+        // flows back.
+        let after_add = l.live_after(0x1000, 0);
+        assert_eq!(
+            after_add & (flags::ZF | flags::SF | flags::OF | flags::PF | flags::AF),
+            0,
+            "bits rewritten by dec are dead after add"
+        );
+        assert_ne!(after_add & flags::CF, 0, "CF escapes through the exit");
+        let after_dec = l.live_after(0x1000, 1);
+        assert_ne!(after_dec & flags::ZF, 0);
+    }
+
+    #[test]
+    fn unknown_block_defaults_to_all() {
+        let l = Liveness::default();
+        assert_eq!(l.live_after(0x9999, 0), ALL);
+    }
+}

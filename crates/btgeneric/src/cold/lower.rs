@@ -1,0 +1,315 @@
+//! The cold backend: lowers template IL to machine code immediately —
+//! a linear-scan allocation of virtual registers onto the template
+//! scratch banks, dependence-driven stop bits, and bundling. This is
+//! the "fast, with minimal optimizations" phase of the paper.
+
+use crate::state;
+use crate::templates::{IlItem, Sink};
+use ipf::asm::{CodeBuilder, Label};
+use ipf::inst::{Reg, Target};
+use ipf::regs::{Br, Fr, Gr, Pr, VIRT_BASE};
+use std::collections::HashMap;
+
+/// Lowering failure (template exceeded a scratch bank — falls back to
+/// single-step interpretation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LowerError(pub &'static str);
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cold lowering failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+struct Bank {
+    free: Vec<u16>,
+    map: HashMap<u16, u16>, // virtual -> physical
+}
+
+impl Bank {
+    fn new(base: u16, count: u16) -> Bank {
+        Bank {
+            free: (base..base + count).collect(),
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, v: u16, what: &'static str) -> Result<u16, LowerError> {
+        if let Some(&p) = self.map.get(&v) {
+            return Ok(p);
+        }
+        if self.free.is_empty() {
+            return Err(LowerError(what));
+        }
+        // FIFO reuse: recently-freed registers go to the back so fresh
+        // allocations avoid false WAW dependences (fewer stop bits).
+        let p = self.free.remove(0);
+        self.map.insert(v, p);
+        Ok(p)
+    }
+
+    fn release(&mut self, v: u16) {
+        if let Some(p) = self.map.remove(&v) {
+            self.free.push(p);
+        }
+    }
+}
+
+/// Lowers the sink's items into `cb`, mapping template-local labels to
+/// fresh `CodeBuilder` labels (returned so callers can reference them).
+///
+/// # Errors
+///
+/// [`LowerError`] if a template needs more live virtual registers than a
+/// scratch bank holds.
+pub fn lower(sink: &Sink, cb: &mut CodeBuilder) -> Result<Vec<Label>, LowerError> {
+    // Pre-create labels for template-local control flow.
+    let labels: Vec<Label> = (0..sink.label_count()).map(|_| cb.label()).collect();
+
+    // Last reference index of every virtual register.
+    let mut last_ref: HashMap<(u8, u16), usize> = HashMap::new();
+    for (idx, item) in sink.items.iter().enumerate() {
+        if let IlItem::Inst(e) = item {
+            let mut note = |reg: Reg| {
+                let key = match reg {
+                    Reg::G(r) if r.is_virtual() => (0u8, r.0),
+                    Reg::F(r) if r.is_virtual() => (1, r.0),
+                    Reg::P(r) if r.is_virtual() => (2, r.0),
+                    _ => return,
+                };
+                last_ref.insert(key, idx);
+            };
+            if e.inst.qp.is_virtual() {
+                note(Reg::P(e.inst.qp));
+            }
+            e.inst.op.visit_regs(&mut |r, _| note(r));
+        }
+    }
+
+    let mut grs = Bank::new(state::GR_SCRATCH, state::NUM_SCRATCH);
+    let mut frs = Bank::new(state::FR_SCRATCH, state::NUM_FR_SCRATCH);
+    let mut prs = Bank::new(state::PR_SCRATCH, state::NUM_PR_SCRATCH);
+
+    // Registers defined since the last stop (for dependence stops).
+    let mut group_defs: Vec<Reg> = Vec::new();
+
+    for (idx, item) in sink.items.iter().enumerate() {
+        match item {
+            IlItem::Bind(l) => {
+                cb.bind(labels[*l as usize]);
+                group_defs.clear();
+            }
+            IlItem::Inst(e) => {
+                let mut inst = e.inst;
+                // Allocate virtuals.
+                let mut err: Option<LowerError> = None;
+                if inst.qp.is_virtual() {
+                    match prs.get(inst.qp.0, "predicate scratch exhausted") {
+                        Ok(p) => inst.qp = Pr(p),
+                        Err(e) => err = Some(e),
+                    }
+                }
+                inst.op.map_regs(&mut |r, _is_def| match r {
+                    Reg::G(g) if g.is_virtual() => {
+                        match grs.get(g.0, "GR scratch exhausted") {
+                            Ok(p) => Reg::G(Gr(p)),
+                            Err(e) => {
+                                err = Some(e);
+                                Reg::G(Gr(state::GR_SCRATCH))
+                            }
+                        }
+                    }
+                    Reg::F(f) if f.is_virtual() => {
+                        match frs.get(f.0, "FR scratch exhausted") {
+                            Ok(p) => Reg::F(Fr(p)),
+                            Err(e) => {
+                                err = Some(e);
+                                Reg::F(Fr(state::FR_SCRATCH))
+                            }
+                        }
+                    }
+                    Reg::P(p) if p.is_virtual() => {
+                        match prs.get(p.0, "predicate scratch exhausted") {
+                            Ok(ph) => Reg::P(Pr(ph)),
+                            Err(e) => {
+                                err = Some(e);
+                                Reg::P(Pr(state::PR_SCRATCH))
+                            }
+                        }
+                    }
+                    other => other,
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+                // Remap template-local label targets.
+                if let Some(Target::Label(l)) = inst.op.target() {
+                    inst.op
+                        .set_target(Target::Label(labels[l as usize].0));
+                }
+
+                // Stop-bit decision: this instruction conflicts with the
+                // current group if it reads or writes a register defined
+                // in the group.
+                let mut conflict = false;
+                let qp = inst.qp;
+                inst.op.visit_regs(&mut |r, _| {
+                    if group_defs.contains(&r) {
+                        conflict = true;
+                    }
+                });
+                if group_defs.contains(&Reg::P(qp)) {
+                    conflict = true;
+                }
+                if conflict {
+                    cb.stop();
+                    group_defs.clear();
+                }
+                // Branches end the group (targets start fresh).
+                let is_branch = inst.op.is_branch();
+                inst.op.visit_regs(&mut |r, is_def| {
+                    if is_def {
+                        group_defs.push(r);
+                    }
+                });
+                let _ = Br(0);
+                cb.push_inst(inst);
+                if is_branch {
+                    cb.stop();
+                    group_defs.clear();
+                }
+
+                // Release virtuals whose last reference this was.
+                let original = e.inst;
+                let mut dead: Vec<(u8, u16)> = Vec::new();
+                let mut note = |r: Reg| {
+                    let key = match r {
+                        Reg::G(g) if g.is_virtual() => (0u8, g.0),
+                        Reg::F(f) if f.is_virtual() => (1, f.0),
+                        Reg::P(p) if p.is_virtual() => (2, p.0),
+                        _ => return,
+                    };
+                    if last_ref.get(&key) == Some(&idx) {
+                        dead.push(key);
+                    }
+                };
+                if original.qp.is_virtual() {
+                    note(Reg::P(original.qp));
+                }
+                original.op.visit_regs(&mut |r, _| note(r));
+                for (kind, v) in dead {
+                    match kind {
+                        0 => grs.release(v),
+                        1 => frs.release(v),
+                        _ => prs.release(v),
+                    }
+                }
+            }
+        }
+    }
+    let _ = VIRT_BASE;
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::Sink;
+    use ipf::inst::{CmpRel, Op};
+    use ipf::regs::R0;
+
+    #[test]
+    fn lowers_and_reuses_scratch() {
+        let mut sink = Sink::new();
+        // Create more virtuals than the scratch bank, but with short
+        // lifetimes so reuse covers them.
+        for i in 0..40 {
+            let v = sink.vg();
+            sink.emit(Op::AddImm {
+                d: v,
+                imm: i,
+                a: R0,
+            });
+            sink.emit(Op::AddImm {
+                d: state::guest_gpr(0),
+                imm: 0,
+                a: v,
+            });
+        }
+        let mut cb = CodeBuilder::new();
+        lower(&sink, &mut cb).expect("fits");
+        assert!(cb.len() >= 80);
+    }
+
+    #[test]
+    fn stop_inserted_on_dependence() {
+        let mut sink = Sink::new();
+        let v = sink.vg();
+        sink.emit(Op::AddImm { d: v, imm: 1, a: R0 });
+        sink.emit(Op::AddImm {
+            d: state::guest_gpr(0),
+            imm: 0,
+            a: v,
+        });
+        let mut cb = CodeBuilder::new();
+        lower(&sink, &mut cb).unwrap();
+        let (bundles, _) = cb.assemble(0);
+        let stops: usize = bundles
+            .iter()
+            .map(|b| b.stops.iter().filter(|s| **s).count())
+            .sum();
+        assert!(stops >= 1, "dependence requires a stop");
+    }
+
+    #[test]
+    fn predicate_pairs_release() {
+        let mut sink = Sink::new();
+        // Many compares; each pair dies immediately.
+        for _ in 0..40 {
+            let (pt, pf) = (sink.vp(), sink.vp());
+            sink.emit(Op::CmpImm {
+                rel: CmpRel::Eq,
+                pt,
+                pf,
+                imm: 0,
+                b: R0,
+            });
+            sink.emit_pred(
+                pt,
+                Op::AddImm {
+                    d: state::guest_gpr(0),
+                    imm: 1,
+                    a: R0,
+                },
+            );
+        }
+        let mut cb = CodeBuilder::new();
+        lower(&sink, &mut cb).expect("predicates recycle");
+    }
+
+    #[test]
+    fn local_labels_map() {
+        let mut sink = Sink::new();
+        let l = sink.local_label();
+        sink.bind(l);
+        sink.emit(Op::AddImm {
+            d: state::guest_gpr(0),
+            imm: 1,
+            a: R0,
+        });
+        sink.emit(Op::Br {
+            target: Target::Label(l),
+        });
+        let mut cb = CodeBuilder::new();
+        lower(&sink, &mut cb).unwrap();
+        let (bundles, _) = cb.assemble(0x1000);
+        // The backward branch resolves inside the emitted code.
+        let target = bundles
+            .iter()
+            .flat_map(|b| b.slots.iter())
+            .find_map(|s| s.op.target());
+        assert_eq!(target, Some(Target::Abs(0x1000)));
+    }
+}

@@ -1,0 +1,8 @@
+//! Cold-code translation (paper §2, Figure 1): fast template-based
+//! generation at basic-block granularity with local (1-20 block)
+//! analysis and instrumentation in the translated code.
+
+pub mod discover;
+pub mod gen;
+pub mod liveness;
+pub mod lower;

@@ -1,0 +1,1201 @@
+//! The translation engine: the dispatch loop tying the translation
+//! cache, the Itanium machine, the OS layer, and the two translation
+//! phases together (paper Figure 2).
+
+use crate::btos::{BtOs, ExceptionOutcome, GuestException, SyscallOutcome};
+use crate::cold::discover::discover;
+use crate::cold::gen::{generate, ColdGenInput, SpecSeed};
+use crate::cold::liveness::analyze;
+use crate::layout::{self, region, StubKind};
+use crate::state::{self, GR_PAYLOAD0, GR_STATE};
+use crate::stats::Stats;
+use crate::templates::{AccessMode, MisalignPlan};
+use ia32::cpu::Cpu;
+use ia32::interp::{Event, Interp};
+use ia32::mem::{GuestMem, MemFaultKind, Prot};
+use ipf::inst::{FFmt, FXfer, Op, Target};
+use ipf::machine::{Bus, BusError, CodeArena, MachFault, Machine, StopReason};
+use std::collections::HashMap;
+
+/// Engine configuration — the knobs the benchmarks and ablations turn.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Heating threshold (power of two). 0 disables hot translation.
+    pub heat_threshold: u64,
+    /// Optimization session trigger: this many registered candidates
+    /// (or one block registering twice) starts hot translation.
+    pub hot_candidates: usize,
+    /// Master switch for the hot phase.
+    pub enable_hot: bool,
+    /// EFlags liveness analysis (ablation knob).
+    pub enable_flag_liveness: bool,
+    /// Compare+branch fusion (ablation knob).
+    pub enable_fusion: bool,
+    /// Misalignment detection and avoidance (ablation knob; off = every
+    /// misaligned access takes the OS-handled fault).
+    pub enable_misalign_avoidance: bool,
+    /// FP TOS/tag/mode/format speculation (off = inline checks).
+    pub enable_fp_spec: bool,
+    /// Synthetic translation cost charged per IA-32 instruction of cold
+    /// translation (simulated cycles).
+    pub cold_xlate_cycles: u64,
+    /// Hot translation costs this factor more per instruction (paper:
+    /// "about 20 times more").
+    pub hot_xlate_factor: u64,
+    /// Engine dispatch round-trip cost (simulated cycles).
+    pub dispatch_cycles: u64,
+    /// OS-handled misalignment fault cost (paper: "on the order of
+    /// several thousand cycles").
+    pub misalign_fault_cycles: u64,
+    /// Engine-side speculation fix-up cost.
+    pub fix_cycles: u64,
+    /// Cost of single-stepping one instruction in the engine.
+    pub interp_step_cycles: u64,
+    /// Machine timing parameters.
+    pub timing: ipf::Timing,
+    /// Maximum IA-32 instructions in a hot trace (paper: ~20).
+    pub max_trace_insts: usize,
+    /// Misalignment faults tolerated in a hot block before it is
+    /// discarded and regenerated with avoidance.
+    pub hot_misalign_tolerance: u32,
+    /// Translation-cache capacity in bundles; exceeding it triggers a
+    /// full flush (the paper's block recycling / garbage collection,
+    /// FX!32-style). 0 = unbounded.
+    pub max_cache_bundles: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            heat_threshold: 1024,
+            hot_candidates: 4,
+            enable_hot: true,
+            enable_flag_liveness: true,
+            enable_fusion: true,
+            enable_misalign_avoidance: true,
+            enable_fp_spec: true,
+            cold_xlate_cycles: 120,
+            hot_xlate_factor: 20,
+            dispatch_cycles: 60,
+            misalign_fault_cycles: 2500,
+            fix_cycles: 120,
+            interp_step_cycles: 150,
+            timing: ipf::Timing::default(),
+            max_trace_insts: 24,
+            hot_misalign_tolerance: 8,
+            max_cache_bundles: 0,
+        }
+    }
+}
+
+/// Why the engine returned.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// Guest executed `HLT`.
+    Halted(Box<Cpu>),
+    /// Guest exited via a syscall.
+    Exited(i32),
+    /// An unhandled guest exception terminated the process.
+    Terminated {
+        /// The exception.
+        exc: GuestException,
+        /// Precise IA-32 state at the exception.
+        cpu: Box<Cpu>,
+    },
+    /// The guest-instruction budget ran out.
+    InstLimit,
+}
+
+/// Block translation phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BlockKind {
+    /// Cold, misalignment stage 1 (probes).
+    ColdV1,
+    /// Cold, misalignment stage 2 (detect + avoid + record).
+    ColdV2,
+    /// Hot trace.
+    Hot,
+}
+
+/// Per-block bookkeeping.
+#[derive(Debug)]
+pub struct BlockInfo {
+    /// Block id (index).
+    pub id: u32,
+    /// Guest entry address.
+    pub eip: u32,
+    /// Current entry in the translation cache.
+    pub entry: u64,
+    /// Arena range `[start, end)` of the *latest* version.
+    pub range: (u64, u64),
+    /// Kind/stage.
+    pub kind: BlockKind,
+    /// Profile slots.
+    pub counter_addr: u64,
+    /// Taken/fallthrough edge counters.
+    pub edge_counters: (u64, u64),
+    /// Per-access misalignment-info slots.
+    pub misinfo_base: u64,
+    /// Number of indexed accesses.
+    pub accesses: u16,
+    /// Speculation seeds used at translation time.
+    pub spec: SpecSeed,
+    /// Speculated FP/MMX entry mode.
+    pub entry_mmx: bool,
+    /// Inline FP checks variant (post-TagFix).
+    pub inline_fp: bool,
+    /// IA-32 instructions covered.
+    pub ia32_insts: usize,
+    /// Learned per-access misalignment modes.
+    pub misalign_overrides: HashMap<u16, AccessMode>,
+    /// Misalignment faults taken inside this block since (re)generation.
+    pub misalign_faults: u32,
+    /// Heat registrations (for the "registered twice" trigger).
+    pub registrations: u32,
+    /// Hot recovery data (commit maps), if this is a hot block.
+    pub hot: Option<crate::hot::HotData>,
+}
+
+/// Adapts [`GuestMem`] to the machine's bus.
+pub struct MemBus<'a>(pub &'a mut GuestMem);
+
+impl Bus for MemBus<'_> {
+    fn read(&mut self, addr: u64, size: u32) -> Result<u64, BusError> {
+        self.0.read(addr, size).map_err(|f| match f.kind {
+            MemFaultKind::Unmapped => BusError::Unmapped,
+            MemFaultKind::NoRead | MemFaultKind::NoExec => BusError::NoRead,
+            MemFaultKind::NoWrite => BusError::NoWrite,
+            MemFaultKind::SmcWrite => BusError::Smc,
+        })
+    }
+
+    fn write(&mut self, addr: u64, size: u32, val: u64) -> Result<(), BusError> {
+        self.0.write(addr, size, val).map_err(|f| match f.kind {
+            MemFaultKind::SmcWrite => BusError::Smc,
+            MemFaultKind::Unmapped => BusError::Unmapped,
+            MemFaultKind::NoWrite => BusError::NoWrite,
+            _ => BusError::NoRead,
+        })
+    }
+}
+
+/// The IA-32 Execution Layer engine.
+pub struct Engine {
+    /// Guest memory (application + translator data).
+    pub mem: GuestMem,
+    /// The Itanium machine (owns the translation cache arena).
+    pub machine: Machine,
+    /// Configuration.
+    pub cfg: Config,
+    /// Execution statistics.
+    pub stats: Stats,
+    blocks: Vec<BlockInfo>,
+    by_eip: HashMap<u32, u32>,
+    profile_cursor: u64,
+    candidates: Vec<u32>,
+    blocks_by_page: HashMap<u32, Vec<u32>>,
+    smc_pages: HashMap<u32, ()>,
+    /// Pages holding translated code (write-protected until SMC fires).
+    protected_pages: Vec<u32>,
+}
+
+const PROFILE_STRIDE: u64 = 24 + 64 * 8;
+
+impl Engine {
+    /// Creates an engine over the given guest memory.
+    pub fn new(mut mem: GuestMem, cfg: Config) -> Engine {
+        mem.map(layout::PROFILE_BASE, layout::PROFILE_SIZE, Prot::rw());
+        let arena = CodeArena::new(layout::TC_BASE);
+        let machine = Machine::new(arena, cfg.timing);
+        Engine {
+            mem,
+            machine,
+            cfg,
+            stats: Stats::default(),
+            blocks: Vec::new(),
+            by_eip: HashMap::new(),
+            profile_cursor: layout::COUNTERS_BASE,
+            candidates: Vec::new(),
+            blocks_by_page: HashMap::new(),
+            smc_pages: HashMap::new(),
+            protected_pages: Vec::new(),
+        }
+    }
+
+    /// Block info by id.
+    pub fn block(&self, id: u32) -> &BlockInfo {
+        &self.blocks[id as usize]
+    }
+
+    /// All blocks (stats/tests).
+    pub fn blocks(&self) -> &[BlockInfo] {
+        &self.blocks
+    }
+
+    fn current_spec(&self) -> SpecSeed {
+        SpecSeed {
+            tos: (self.machine.gr[state::GR_FPTOP.0 as usize] & 7) as u8,
+            mmx_mode: self.machine.gr[state::GR_FPMODE.0 as usize] & 1 != 0,
+            xmm_fmt: self.machine.gr[state::GR_XMMFMT.0 as usize] as u8,
+        }
+    }
+
+    fn alloc_profile(&mut self) -> u64 {
+        let p = self.profile_cursor;
+        self.profile_cursor += PROFILE_STRIDE;
+        assert!(
+            self.profile_cursor < layout::PROFILE_BASE + layout::PROFILE_SIZE,
+            "profile region exhausted"
+        );
+        p
+    }
+
+    /// Renders the translated code of a block as annotated assembly
+    /// (bundles, stop bits, and templates) — the debugging view a
+    /// translator developer lives in.
+    pub fn disassemble_block(&self, id: u32) -> String {
+        use std::fmt::Write;
+        let Some(b) = self.blocks.get(id as usize) else {
+            return String::from("<no such block>");
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "block {} @ guest {:#x} ({:?}, {} IA-32 insts)",
+            b.id, b.eip, b.kind, b.ia32_insts
+        );
+        let mut addr = b.range.0;
+        while addr < b.range.1 {
+            if let Some(bundle) = self.machine.arena.bundle_at(addr) {
+                let _ = writeln!(out, "  {addr:#x}: {bundle}");
+            }
+            addr += ipf::Bundle::SIZE;
+        }
+        out
+    }
+
+    /// Flushes the entire translation cache (the paper's garbage
+    /// collection: "cold blocks may be recycled due to
+    /// garbage-collection"): every block is discarded, the lookup table
+    /// cleared, and code pages un-protected; translation restarts on
+    /// demand. Profile counters persist, so re-heated blocks promote
+    /// quickly.
+    pub fn flush_cache(&mut self) {
+        self.stats.cache_flushes += 1;
+        self.machine.arena.truncate(layout::TC_BASE);
+        self.blocks.clear();
+        self.by_eip.clear();
+        self.candidates.clear();
+        self.blocks_by_page.clear();
+        for page in self.protected_pages.drain(..) {
+            self.mem.set_code_protect((page as u64) << 12, false);
+        }
+        // Clear the indirect-branch lookup table.
+        for i in 0..layout::LOOKUP_ENTRIES {
+            let _ = self.mem.write(
+                layout::LOOKUP_BASE + i * layout::LOOKUP_ENTRY_SIZE,
+                8,
+                u64::MAX,
+            );
+        }
+    }
+
+    /// Harvests the hot side-exit counters into the statistics (call
+    /// after a run; the counters live in translator memory).
+    pub fn collect_hot_exit_stats(&mut self) {
+        let mut side = 0;
+        for b in &self.blocks {
+            if b.kind == BlockKind::Hot {
+                side += self.mem.read(b.edge_counters.0, 8).unwrap_or(0);
+            }
+        }
+        self.stats.hot_side_exits = side;
+    }
+
+    /// Entry address for `eip` if already translated (no translation).
+    pub fn entry_of_existing(&self, eip: u32) -> Option<u64> {
+        self.by_eip
+            .get(&eip)
+            .map(|&id| self.blocks[id as usize].entry)
+    }
+
+    /// Installs a hot trace as the new version of `block_id` (forwarding
+    /// the cold entry to it).
+    pub(crate) fn install_hot(
+        &mut self,
+        block_id: u32,
+        entry: u64,
+        range: (u64, u64),
+        hot: crate::hot::HotData,
+        ia32_insts: usize,
+    ) {
+        let prev = self.blocks[block_id as usize].entry;
+        self.forward(prev, entry);
+        let b = &mut self.blocks[block_id as usize];
+        b.entry = entry;
+        b.range = range;
+        b.kind = BlockKind::Hot;
+        b.hot = Some(hot);
+        b.ia32_insts = ia32_insts;
+        b.misalign_faults = 0;
+        // Refresh the indirect-branch lookup entry if it pointed at the
+        // old version (the forward keeps it correct, but direct is
+        // faster).
+        let eip = b.eip;
+        let slot = layout::lookup_slot(eip);
+        if self.mem.read(slot, 8) == Ok(eip as u64) {
+            let _ = self.mem.write(slot + 8, 8, entry);
+        }
+    }
+
+    /// Returns the entry address for `eip`, translating a cold block if
+    /// necessary.
+    pub fn entry_of(&mut self, eip: u32) -> Result<u64, GuestException> {
+        if let Some(&id) = self.by_eip.get(&eip) {
+            return Ok(self.blocks[id as usize].entry);
+        }
+        if self.cfg.max_cache_bundles > 0
+            && self.machine.arena.len() >= self.cfg.max_cache_bundles
+        {
+            self.flush_cache();
+        }
+        self.translate_cold(eip, BlockKind::ColdV1, false, HashMap::new())
+    }
+
+    /// Cold-translates the block at `eip` (a specific version), updating
+    /// the registry and patching pending links via the forwarding rule.
+    fn translate_cold(
+        &mut self,
+        eip: u32,
+        kind: BlockKind,
+        inline_fp: bool,
+        overrides: HashMap<u16, AccessMode>,
+    ) -> Result<u64, GuestException> {
+        let region_g = discover(&self.mem, eip);
+        if region_g.block_at(eip).is_none() {
+            return Err(GuestException::PageFault {
+                addr: eip,
+                write: false,
+            });
+        }
+        let liveness = analyze(&region_g);
+        let (id, profile, prev_entry) = match self.by_eip.get(&eip) {
+            Some(&id) => {
+                let b = &self.blocks[id as usize];
+                (id, b.counter_addr, Some(b.entry))
+            }
+            None => {
+                let id = self.blocks.len() as u32;
+                (id, self.alloc_profile(), None)
+            }
+        };
+        let spec = if self.cfg.enable_fp_spec {
+            self.current_spec()
+        } else {
+            SpecSeed::default()
+        };
+        let default_mode = match kind {
+            BlockKind::ColdV1 if self.cfg.enable_misalign_avoidance => AccessMode::Probe,
+            BlockKind::ColdV2 => AccessMode::DetectAvoid,
+            _ => AccessMode::Fast,
+        };
+        let misalign = MisalignPlan {
+            default: default_mode,
+            overrides: overrides.clone(),
+            info_base: profile + 24,
+            block_id: id,
+        };
+        // SMC-aware prologue for pages that have already modified code.
+        let page = eip >> 12;
+        let smc_check = if self.smc_pages.contains_key(&page) {
+            let snapshot = self.mem.read(eip as u64, 8).unwrap_or(0);
+            Some((eip as u64, snapshot))
+        } else {
+            None
+        };
+        let input = ColdGenInput {
+            region: &region_g,
+            liveness: &liveness,
+            entry: eip,
+            block_id: id,
+            counter_addr: profile,
+            edge_counters: (profile + 8, profile + 16),
+            heat_threshold: if self.cfg.enable_hot {
+                self.cfg.heat_threshold
+            } else {
+                0
+            },
+            misalign,
+            spec,
+            flag_liveness: self.cfg.enable_flag_liveness,
+            fuse: self.cfg.enable_fusion,
+            inline_fp_checks: inline_fp || !self.cfg.enable_fp_spec,
+            smc_check,
+            base: self.machine.arena.end(),
+        };
+        let gen = match generate(&input) {
+            Ok(g) => g,
+            Err(_) => {
+                // Unlowerable block: a stub that single-steps from here.
+                return Ok(self.emit_interp_stub(eip));
+            }
+        };
+        // Charge translation overhead.
+        self.machine.charge(
+            region::OVERHEAD,
+            gen.ia32_insts.max(1) as u64 * self.cfg.cold_xlate_cycles,
+        );
+        self.stats.cold_blocks += 1;
+        self.stats.cold_ia32_insts += gen.ia32_insts as u64;
+        self.stats.cold_native_insts += gen.native_insts as u64;
+        let n_bundles = gen.bundles.len() as u64;
+        let entry = self.machine.arena.append(gen.bundles, region::COLD);
+        let range = (entry, entry + n_bundles * ipf::Bundle::SIZE);
+
+        // Write-protect the source page for SMC detection (unless it is
+        // already in explicit-check mode).
+        if self.mem.prot_of(eip as u64).map(|p| p.write) == Some(true)
+            && !self.smc_pages.contains_key(&page)
+        {
+            self.mem.set_code_protect(eip as u64, true);
+            self.protected_pages.push(page);
+        }
+        self.blocks_by_page.entry(page).or_default().push(id);
+
+        let info = BlockInfo {
+            id,
+            eip,
+            entry,
+            range,
+            kind,
+            counter_addr: profile,
+            edge_counters: (profile + 8, profile + 16),
+            misinfo_base: profile + 24,
+            accesses: gen.accesses,
+            spec,
+            entry_mmx: gen.entry_mmx,
+            inline_fp,
+            ia32_insts: gen.ia32_insts,
+            misalign_overrides: overrides,
+            misalign_faults: 0,
+            registrations: 0,
+            hot: None,
+        };
+        if let Some(prev) = prev_entry {
+            // Forward the old entry to the new version.
+            self.forward(prev, entry);
+            self.blocks[id as usize] = info;
+        } else {
+            self.blocks.push(info);
+            self.by_eip.insert(eip, id);
+        }
+        // Patch any trampolines waiting for this EIP… handled lazily:
+        // trampolines branch to the Untranslated stub and are patched on
+        // first use (see handle_untranslated).
+        // Record this block's own exits for later patching on demand.
+        let _ = &gen.exits;
+        Ok(entry)
+    }
+
+    /// Emits a tiny stub that single-steps the instruction at `eip`.
+    fn emit_interp_stub(&mut self, eip: u32) -> u64 {
+        let mut cb = ipf::asm::CodeBuilder::new();
+        cb.push(Op::Movl {
+            d: GR_STATE,
+            imm: eip as u64,
+        });
+        cb.stop();
+        cb.push(Op::Br {
+            target: Target::Abs(StubKind::InterpStep.addr()),
+        });
+        let (bundles, _) = cb.assemble(self.machine.arena.end());
+        self.machine.arena.append(bundles, region::OTHER)
+    }
+
+    /// Patches the entry bundle of an old block version to branch to the
+    /// new version ("block forwarding").
+    fn forward(&mut self, old_entry: u64, new_entry: u64) {
+        let mut cb = ipf::asm::CodeBuilder::new();
+        cb.push(Op::Br {
+            target: Target::Abs(new_entry),
+        });
+        let (bundles, _) = cb.assemble(old_entry);
+        let b = bundles.into_iter().next().expect("one bundle");
+        if let Some(idx) = self.machine.arena.index_of(old_entry) {
+            let _ = idx;
+            // Replace all three slots.
+            for (slot, inst) in b.slots.iter().enumerate() {
+                self.machine.arena.patch_slot(old_entry, slot, inst.op);
+            }
+        }
+    }
+
+    /// Maps an arena address back to the owning block.
+    fn block_at_addr(&self, addr: u64) -> Option<u32> {
+        self.blocks
+            .iter()
+            .find(|b| addr >= b.range.0 && addr < b.range.1)
+            .map(|b| b.id)
+    }
+
+    /// Reconstructs the precise IA-32 state at a fault (paper §4).
+    pub fn reconstruct(&self, ip: u64, slot: u8) -> Cpu {
+        if let Some(id) = self.block_at_addr(ip) {
+            let b = &self.blocks[id as usize];
+            if let Some(hot) = &b.hot {
+                if let Some(cpu) = hot.reconstruct(&self.machine, ip, slot) {
+                    return cpu;
+                }
+            }
+        }
+        // Cold code: the IA-32 state register holds the faulting EIP and
+        // all state is in its canonical home.
+        let eip = self.machine.gr[GR_STATE.0 as usize] as u32;
+        state::machine_to_cpu(&self.machine, eip)
+    }
+
+    /// Runs the guest from `cpu` until exit/trap/limit.
+    pub fn run(&mut self, os: &mut dyn BtOs, cpu: Cpu, max_slots: u64) -> Outcome {
+        state::cpu_to_machine(&cpu, &mut self.machine);
+        let mut eip = cpu.eip;
+        let mut remaining = max_slots;
+        'dispatch: loop {
+            self.machine.charge(region::OTHER, self.cfg.dispatch_cycles);
+            let entry = match self.entry_of(eip) {
+                Ok(e) => e,
+                Err(exc) => match self.deliver(os, exc, None) {
+                    Ok(new_eip) => {
+                        eip = new_eip;
+                        continue 'dispatch;
+                    }
+                    Err(out) => return out,
+                },
+            };
+            self.machine.set_ip(entry, 0);
+            loop {
+                let before = self.machine.inst_count;
+                let stop = {
+                    let mut bus = MemBus(&mut self.mem);
+                    self.machine.run(&mut bus, remaining)
+                };
+                let used = self.machine.inst_count - before;
+                remaining = remaining.saturating_sub(used);
+                if remaining == 0 {
+                    if let StopReason::InstLimit = stop {
+                        return Outcome::InstLimit;
+                    }
+                }
+                match stop {
+                    StopReason::InstLimit => return Outcome::InstLimit,
+                    StopReason::ExternalBranch { target, from } => {
+                        match self.handle_exit(os, target, from) {
+                            ExitAction::Continue(addr) => {
+                                self.machine.set_ip(addr, 0);
+                            }
+                            ExitAction::Dispatch(new_eip) => {
+                                eip = new_eip;
+                                continue 'dispatch;
+                            }
+                            ExitAction::Done(out) => return out,
+                        }
+                    }
+                    StopReason::Fault { fault, ip, slot } => {
+                        match self.handle_fault(os, fault, ip, slot) {
+                            ExitAction::Continue(_) => { /* resumed in place */ }
+                            ExitAction::Dispatch(new_eip) => {
+                                eip = new_eip;
+                                continue 'dispatch;
+                            }
+                            ExitAction::Done(out) => return out,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_exit(&mut self, os: &mut dyn BtOs, target: u64, from: u64) -> ExitAction {
+        let Some(kind) = StubKind::from_addr(target) else {
+            // A branch left the arena to a non-stub address — this is an
+            // engine bug, not guest behaviour.
+            panic!("translated code branched to {target:#x} (not a stub)");
+        };
+        let payload = self.machine.gr[GR_PAYLOAD0.0 as usize];
+        match kind {
+            StubKind::Exit => {
+                let eip = self.machine.gr[GR_STATE.0 as usize] as u32;
+                ExitAction::Done(Outcome::Halted(Box::new(state::machine_to_cpu(
+                    &self.machine,
+                    eip,
+                ))))
+            }
+            StubKind::Syscall => {
+                let next_eip = self.machine.gr[GR_STATE.0 as usize] as u32;
+                let vector = payload as u8;
+                let mut cpu = state::machine_to_cpu(&self.machine, next_eip);
+                if vector != 0x80 {
+                    return self.deliver_action(os, GuestException::InvalidOpcode, cpu);
+                }
+                self.stats.syscalls += 1;
+                match os.syscall(&mut cpu, &mut self.mem) {
+                    SyscallOutcome::Continue => {
+                        state::cpu_to_machine(&cpu, &mut self.machine);
+                        ExitAction::Dispatch(cpu.eip)
+                    }
+                    SyscallOutcome::Exit(code) => ExitAction::Done(Outcome::Exited(code)),
+                }
+            }
+            StubKind::Untranslated => {
+                let eip = payload as u32;
+                match self.entry_of(eip) {
+                    Ok(entry) => {
+                        // Patch the trampoline's branch (the bundle that
+                        // exited) to go straight to the new block.
+                        self.patch_branch(from, StubKind::Untranslated.addr(), entry);
+                        ExitAction::Continue(entry)
+                    }
+                    Err(exc) => {
+                        let cpu = state::machine_to_cpu(&self.machine, eip);
+                        self.deliver_action(os, exc, cpu)
+                    }
+                }
+            }
+            StubKind::IndirectMiss => {
+                let eip = payload as u32;
+                self.stats.indirect_misses += 1;
+                match self.entry_of(eip) {
+                    Ok(entry) => {
+                        // Fill the lookup table.
+                        let slot = layout::lookup_slot(eip);
+                        let _ = self.mem.write(slot, 8, eip as u64);
+                        let _ = self.mem.write(slot + 8, 8, entry);
+                        ExitAction::Continue(entry)
+                    }
+                    Err(exc) => {
+                        let cpu = state::machine_to_cpu(&self.machine, eip);
+                        self.deliver_action(os, exc, cpu)
+                    }
+                }
+            }
+            StubKind::Heat => {
+                let id = payload as u32;
+                self.stats.heat_events += 1;
+                let b = &mut self.blocks[id as usize];
+                b.registrations += 1;
+                let twice = b.registrations >= 2;
+                let eip = b.eip;
+                if !self.candidates.contains(&id) {
+                    self.candidates.push(id);
+                }
+                if self.candidates.len() >= self.cfg.hot_candidates || twice {
+                    self.run_hot_session(os);
+                }
+                ExitAction::Dispatch(eip)
+            }
+            StubKind::MisalignRetrain => {
+                let id = payload as u32;
+                self.stats.misalign_retrains += 1;
+                let eip = self.blocks[id as usize].eip;
+                let overrides = self.blocks[id as usize].misalign_overrides.clone();
+                let _ = self.translate_cold(eip, BlockKind::ColdV2, false, overrides);
+                // Continue at the interrupted instruction.
+                let cur = self.machine.gr[GR_STATE.0 as usize] as u32;
+                ExitAction::Dispatch(cur)
+            }
+            StubKind::SmcFail => {
+                let id = payload as u32;
+                self.stats.smc_events += 1;
+                let eip = self.blocks[id as usize].eip;
+                let _ = self.translate_cold(eip, BlockKind::ColdV1, false, HashMap::new());
+                ExitAction::Dispatch(eip)
+            }
+            StubKind::TosFix => {
+                let id = payload as u32;
+                self.stats.tos_fixes += 1;
+                self.machine.charge(region::OTHER, self.cfg.fix_cycles);
+                self.fix_tos(id);
+                ExitAction::Continue(self.blocks[id as usize].entry)
+            }
+            StubKind::TagFix => {
+                let id = payload as u32;
+                self.stats.tag_fixes += 1;
+                self.machine.charge(region::OTHER, self.cfg.fix_cycles);
+                // Rebuild the "special block" with inline checks.
+                let eip = self.blocks[id as usize].eip;
+                let overrides = self.blocks[id as usize].misalign_overrides.clone();
+                let kind = self.blocks[id as usize].kind;
+                let _ = self.translate_cold(eip, kind, true, overrides);
+                ExitAction::Dispatch(eip)
+            }
+            StubKind::MmxFix => {
+                let id = payload as u32;
+                self.stats.mmx_fixes += 1;
+                self.machine.charge(region::OTHER, self.cfg.fix_cycles);
+                self.fix_mmx_mode(self.blocks[id as usize].entry_mmx);
+                ExitAction::Continue(self.blocks[id as usize].entry)
+            }
+            StubKind::XmmFix => {
+                let id = payload as u32;
+                self.stats.xmm_fixes += 1;
+                self.machine.charge(region::OTHER, self.cfg.fix_cycles);
+                self.fix_xmm_formats(id);
+                ExitAction::Continue(self.blocks[id as usize].entry)
+            }
+            StubKind::DivZero => {
+                let eip = self.machine.gr[GR_STATE.0 as usize] as u32;
+                let cpu = state::machine_to_cpu(&self.machine, eip);
+                self.deliver_action(os, GuestException::DivideError, cpu)
+            }
+            StubKind::FpStackFault => {
+                let eip = self.machine.gr[GR_STATE.0 as usize] as u32;
+                let mut cpu = state::machine_to_cpu(&self.machine, eip);
+                // Set the stack-fault status bits like the oracle does.
+                cpu.fpu.status |= ia32::fpu::status::SF | ia32::fpu::status::IE;
+                self.deliver_action(os, GuestException::FpStackFault, cpu)
+            }
+            StubKind::Deopt => {
+                let id = payload as u32;
+                let rec = self.machine.gr[state::GR_PAYLOAD1.0 as usize] as u32;
+                self.stats.deopts += 1;
+                let cpu = match &self.blocks[id as usize].hot {
+                    Some(h) => h.reconstruct_at(&self.machine, rec),
+                    None => None,
+                };
+                match cpu {
+                    Some(c) => {
+                        state::cpu_to_machine(&c, &mut self.machine);
+                        ExitAction::Dispatch(c.eip)
+                    }
+                    None => {
+                        let eip = self.machine.gr[GR_STATE.0 as usize] as u32;
+                        ExitAction::Dispatch(eip)
+                    }
+                }
+            }
+            StubKind::InterpStep => {
+                let eip = self.machine.gr[GR_STATE.0 as usize] as u32;
+                self.interp_one(os, eip)
+            }
+            StubKind::Reenter => {
+                match self.block_at_addr(from) {
+                    Some(id) => ExitAction::Dispatch(self.blocks[id as usize].eip),
+                    None => {
+                        let eip = self.machine.gr[GR_STATE.0 as usize] as u32;
+                        ExitAction::Dispatch(eip)
+                    }
+                }
+            }
+            StubKind::InvalidOp => {
+                let eip = self.machine.gr[GR_STATE.0 as usize] as u32;
+                let cpu = state::machine_to_cpu(&self.machine, eip);
+                self.deliver_action(os, GuestException::InvalidOpcode, cpu)
+            }
+        }
+    }
+
+    /// Single-steps one instruction with the reference interpreter (the
+    /// rare-case escape hatch: 64/32-bit divides, pop-to-memory, …).
+    fn interp_one(&mut self, os: &mut dyn BtOs, eip: u32) -> ExitAction {
+        self.stats.interp_steps += 1;
+        self.machine
+            .charge(region::OTHER, self.cfg.interp_step_cycles);
+        let cpu = state::machine_to_cpu(&self.machine, eip);
+        let mut interp = Interp::new();
+        interp.cpu = cpu;
+        match interp.step(&mut self.mem) {
+            Ok(Event::Continue) => {
+                state::cpu_to_machine(&interp.cpu, &mut self.machine);
+                ExitAction::Dispatch(interp.cpu.eip)
+            }
+            Ok(Event::Halt) => {
+                ExitAction::Done(Outcome::Halted(Box::new(interp.cpu)))
+            }
+            Ok(Event::Syscall { vector }) => {
+                let mut cpu = interp.cpu;
+                if vector != 0x80 {
+                    return self.deliver_action(os, GuestException::InvalidOpcode, cpu);
+                }
+                match os.syscall(&mut cpu, &mut self.mem) {
+                    SyscallOutcome::Continue => {
+                        state::cpu_to_machine(&cpu, &mut self.machine);
+                        ExitAction::Dispatch(cpu.eip)
+                    }
+                    SyscallOutcome::Exit(code) => ExitAction::Done(Outcome::Exited(code)),
+                }
+            }
+            Err(trap) => {
+                let exc = match trap.fault {
+                    ia32::Fault::Mem(m) => GuestException::PageFault {
+                        addr: m.addr as u32,
+                        write: m.write,
+                    },
+                    ia32::Fault::Divide => GuestException::DivideError,
+                    ia32::Fault::FpStack(_) => GuestException::FpStackFault,
+                    ia32::Fault::InvalidOpcode => GuestException::InvalidOpcode,
+                };
+                self.deliver_action(os, exc, interp.cpu)
+            }
+        }
+    }
+
+    fn handle_fault(
+        &mut self,
+        os: &mut dyn BtOs,
+        fault: MachFault,
+        ip: u64,
+        slot: u8,
+    ) -> ExitAction {
+        match fault {
+            MachFault::Misalign { .. } => {
+                self.stats.misalign_faults += 1;
+                self.machine
+                    .charge(region::OTHER, self.cfg.misalign_fault_cycles);
+                if let Some(id) = self.block_at_addr(ip) {
+                    let b = &mut self.blocks[id as usize];
+                    b.misalign_faults += 1;
+                    if b.kind == BlockKind::Hot
+                        && b.misalign_faults > self.cfg.hot_misalign_tolerance
+                    {
+                        // Discard the hot block; regenerate everything
+                        // with detection and avoidance (paper §5 stage 3
+                        // final paragraph).
+                        let eip = b.eip;
+                        let overrides = b.misalign_overrides.clone();
+                        let cpu = self.reconstruct(ip, slot);
+                        let _ = self.translate_cold(
+                            eip,
+                            BlockKind::ColdV2,
+                            false,
+                            overrides,
+                        );
+                        state::cpu_to_machine(&cpu, &mut self.machine);
+                        return ExitAction::Dispatch(cpu.eip);
+                    }
+                }
+                match self.emulate_misaligned(ip, slot) {
+                    Ok(()) => {
+                        self.machine.skip_slot();
+                        ExitAction::Continue(self.machine.ip)
+                    }
+                    Err(exc) => {
+                        let cpu = self.reconstruct(ip, slot);
+                        self.deliver_action(os, exc, cpu)
+                    }
+                }
+            }
+            MachFault::Bus { err, addr, write } => match err {
+                BusError::Smc => self.handle_smc_store(os, ip, slot, addr),
+                _ => {
+                    let cpu = self.reconstruct(ip, slot);
+                    // A split-store probe reads before writing; report
+                    // the fault with the IA-32 instruction's intent.
+                    let write = write || self.inst_writes_mem(cpu.eip);
+                    let exc = GuestException::PageFault {
+                        addr: addr as u32,
+                        write,
+                    };
+                    self.deliver_action(os, exc, cpu)
+                }
+            },
+            MachFault::NatConsumption => {
+                panic!("NaT consumption at {ip:#x}.{slot}: translator bug");
+            }
+        }
+    }
+
+    fn inst_writes_mem(&self, eip: u32) -> bool {
+        let Ok(bytes) = self.mem.fetch(eip as u64, 16) else {
+            return false;
+        };
+        let Ok((inst, _)) = ia32::decode::decode(&bytes, eip) else {
+            return false;
+        };
+        use ia32::inst::Inst as I;
+        matches!(
+            inst,
+            I::Mov { dst: ia32::inst::Rm::Mem(_), .. }
+                | I::Alu { dst: ia32::inst::Rm::Mem(_), .. }
+                | I::Push { .. }
+                | I::Call { .. }
+                | I::CallInd { .. }
+                | I::Movs { .. }
+                | I::Stos { .. }
+                | I::Fst { .. }
+                | I::Fistp { .. }
+                | I::IncDec { dst: ia32::inst::Rm::Mem(_), .. }
+                | I::Neg { dst: ia32::inst::Rm::Mem(_), .. }
+                | I::Not { dst: ia32::inst::Rm::Mem(_), .. }
+                | I::Shift { dst: ia32::inst::Rm::Mem(_), .. }
+                | I::Setcc { dst: ia32::inst::Rm::Mem(_), .. }
+                | I::Xchg { rm: ia32::inst::Rm::Mem(_), .. }
+        )
+    }
+
+    /// Emulates a misaligned access in parts (the "OS handler" path).
+    fn emulate_misaligned(&mut self, ip: u64, slot: u8) -> Result<(), GuestException> {
+        let bundle = self
+            .machine
+            .arena
+            .bundle_at(ip)
+            .expect("fault inside arena");
+        let op = bundle.slots[slot as usize].op;
+        let read_parts = |mem: &GuestMem, addr: u64, size: u32| -> Result<u64, GuestException> {
+            let mut v = 0u64;
+            for i in 0..size as u64 {
+                let b = mem.read(addr + i, 1).map_err(|f| GuestException::PageFault {
+                    addr: f.addr as u32,
+                    write: false,
+                })?;
+                v |= b << (i * 8);
+            }
+            Ok(v)
+        };
+        match op {
+            Op::Ld { sz, d, addr, .. } => {
+                let a = self.machine.gr[addr.phys()];
+                let v = read_parts(&self.mem, a, sz as u32)?;
+                if d.phys() != 0 {
+                    self.machine.gr[d.phys()] = v;
+                    self.machine.gr_nat[d.phys()] = false;
+                }
+            }
+            Op::St { sz, addr, val } => {
+                let a = self.machine.gr[addr.phys()];
+                let v = self.machine.gr[val.phys()];
+                for i in 0..sz as u64 {
+                    self.mem
+                        .write(a + i, 1, (v >> (i * 8)) & 0xFF)
+                        .map_err(|f| GuestException::PageFault {
+                            addr: f.addr as u32,
+                            write: true,
+                        })?;
+                }
+            }
+            Op::Ldf { fmt, f, addr, .. } => {
+                let a = self.machine.gr[addr.phys()];
+                let raw = read_parts(&self.mem, a, fmt.bytes())?;
+                let bits = match fmt {
+                    FFmt::S => (f32::from_bits(raw as u32) as f64).to_bits(),
+                    _ => raw,
+                };
+                self.machine.fr[f.phys()] = bits;
+            }
+            Op::Stf { fmt, f, addr } => {
+                let a = self.machine.gr[addr.phys()];
+                let raw = self.machine.fr[f.phys()];
+                let (v, n) = match fmt {
+                    FFmt::S => ((f64::from_bits(raw) as f32).to_bits() as u64, 4),
+                    _ => (raw, 8),
+                };
+                for i in 0..n {
+                    self.mem
+                        .write(a + i, 1, (v >> (i * 8)) & 0xFF)
+                        .map_err(|f| GuestException::PageFault {
+                            addr: f.addr as u32,
+                            write: true,
+                        })?;
+                }
+            }
+            other => panic!("misalignment fault on non-memory op {other:?}"),
+        }
+        let _ = FXfer::Sig;
+        Ok(())
+    }
+
+    /// A store hit a write-protected translated-code page. The store has
+    /// NOT executed. Reconstruct the precise state at the storing
+    /// instruction, invalidate the page's translations (the current
+    /// block may be one of them), single-step the storing instruction in
+    /// the reference interpreter with protection lifted (full IA-32
+    /// semantics, e.g. for `xchg`/`push`), restore protection, and
+    /// re-dispatch — the next entry retranslates from the fresh bytes.
+    fn handle_smc_store(
+        &mut self,
+        os: &mut dyn BtOs,
+        ip: u64,
+        slot: u8,
+        addr: u64,
+    ) -> ExitAction {
+        self.stats.smc_events += 1;
+        let cpu = self.reconstruct(ip, slot);
+        let page = (addr >> 12) as u32;
+        let ids = self.blocks_by_page.remove(&page).unwrap_or_default();
+        for id in ids {
+            let entry = self.blocks[id as usize].entry;
+            self.forward(entry, StubKind::Reenter.addr());
+            let eip = self.blocks[id as usize].eip;
+            self.by_eip.remove(&eip);
+            // Purge the lookup-table entry.
+            let slot_addr = layout::lookup_slot(eip);
+            let _ = self.mem.write(slot_addr, 8, u64::MAX);
+        }
+        self.mem.set_code_protect(addr, false);
+        state::cpu_to_machine(&cpu, &mut self.machine);
+        let act = self.interp_one(os, cpu.eip);
+        self.mem.set_code_protect(addr, true);
+        act
+    }
+
+    fn fix_tos(&mut self, id: u32) {
+        let b = &self.blocks[id as usize];
+        let want = b.spec.tos;
+        let cur = (self.machine.gr[state::GR_FPTOP.0 as usize] & 7) as u8;
+        if want == cur {
+            return;
+        }
+        // Rotate values so the block's static ST(k) -> FR mapping holds.
+        let tags = self.machine.gr[state::GR_FPTAG.0 as usize] as u8;
+        let mut new_fr = [0u64; 8];
+        let mut new_tags = 0u8;
+        for p in 0..8u8 {
+            // Value at logical position k = (p - cur) mod 8 moves to
+            // physical (want + k) mod 8.
+            let k = p.wrapping_sub(cur) & 7;
+            let np = (want + k) & 7;
+            new_fr[np as usize] = self.machine.fr[(state::FR_X87 + p as u16) as usize];
+            if tags & (1 << p) != 0 {
+                new_tags |= 1 << np;
+            }
+        }
+        for p in 0..8u8 {
+            self.machine.fr[(state::FR_X87 + p as u16) as usize] = new_fr[p as usize];
+        }
+        self.machine.gr[state::GR_FPTAG.0 as usize] = new_tags as u64;
+        self.machine.gr[state::GR_FPTOP.0 as usize] = want as u64;
+    }
+
+    fn fix_mmx_mode(&mut self, want_mmx: bool) {
+        let cur = self.machine.gr[state::GR_FPMODE.0 as usize] & 1 != 0;
+        if cur == want_mmx {
+            return;
+        }
+        if want_mmx {
+            for i in 0..8u16 {
+                self.machine.gr[(state::GR_MMX + i) as usize] =
+                    self.machine.fr[(state::FR_X87 + i) as usize];
+            }
+            self.machine.gr[state::GR_FPTOP.0 as usize] = 0;
+            self.machine.gr[state::GR_FPMODE.0 as usize] = 1;
+        } else {
+            for i in 0..8u16 {
+                // MMX values are invisible to FP reads (NaN view).
+                self.machine.fr[(state::FR_X87 + i) as usize] = f64::NAN.to_bits();
+            }
+            self.machine.gr[state::GR_FPMODE.0 as usize] = 0;
+        }
+    }
+
+    fn fix_xmm_formats(&mut self, id: u32) {
+        let want = self.blocks[id as usize].spec.xmm_fmt;
+        let cur = self.machine.gr[state::GR_XMMFMT.0 as usize] as u8;
+        for n in 0..8u8 {
+            let w = want & (1 << n) != 0;
+            let c = cur & (1 << n) != 0;
+            if w == c {
+                continue;
+            }
+            self.stats.xmm_conversions += 1;
+            if w {
+                // packed -> scalar
+                let lo = self.machine.fr[state::xmm_lo_fr(n).0 as usize];
+                let lane0 = f32::from_bits(lo as u32) as f64;
+                self.machine.fr[state::xmm_scalar_fr(n).0 as usize] = lane0.to_bits();
+            } else {
+                // scalar -> packed
+                let sc = f64::from_bits(self.machine.fr[state::xmm_scalar_fr(n).0 as usize]);
+                let lane0 = (sc as f32).to_bits() as u64;
+                let lo = self.machine.fr[state::xmm_lo_fr(n).0 as usize];
+                self.machine.fr[state::xmm_lo_fr(n).0 as usize] =
+                    (lo & !0xFFFF_FFFF) | lane0;
+            }
+        }
+        self.machine.gr[state::GR_XMMFMT.0 as usize] = want as u64;
+    }
+
+    fn patch_branch(&mut self, bundle_addr: u64, old_target: u64, new_target: u64) {
+        if let Some(b) = self.machine.arena.bundle_at(bundle_addr) {
+            let mut patches = Vec::new();
+            for (i, s) in b.slots.iter().enumerate() {
+                if s.op.target() == Some(Target::Abs(old_target)) {
+                    patches.push(i);
+                }
+            }
+            for i in patches {
+                self.machine.arena.patch_slot(
+                    bundle_addr,
+                    i,
+                    Op::Br {
+                        target: Target::Abs(new_target),
+                    },
+                );
+            }
+        }
+    }
+
+    fn run_hot_session(&mut self, _os: &mut dyn BtOs) {
+        let candidates = std::mem::take(&mut self.candidates);
+        for id in candidates {
+            crate::hot::promote(self, id);
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        os: &mut dyn BtOs,
+        exc: GuestException,
+        cpu: Option<Cpu>,
+    ) -> Result<u32, Outcome> {
+        let eip = self.machine.gr[GR_STATE.0 as usize] as u32;
+        let cpu = cpu.unwrap_or_else(|| state::machine_to_cpu(&self.machine, eip));
+        match self.deliver_action(os, exc, cpu) {
+            ExitAction::Dispatch(e) => Ok(e),
+            ExitAction::Done(o) => Err(o),
+            ExitAction::Continue(_) => unreachable!("deliver never resumes in place"),
+        }
+    }
+
+    /// Converts the Itanium-side condition into an IA-32 exception and
+    /// lets the OS layer decide (paper Figure 3 D).
+    fn deliver_action(
+        &mut self,
+        os: &mut dyn BtOs,
+        exc: GuestException,
+        mut cpu: Cpu,
+    ) -> ExitAction {
+        self.stats.exceptions += 1;
+        match os.exception(exc, &cpu) {
+            ExceptionOutcome::DeliverTo(handler) => {
+                // SimOs signal ABI: push the faulting EIP like a call,
+                // then enter the handler.
+                let new_esp = cpu.esp().wrapping_sub(4);
+                if self
+                    .mem
+                    .write(new_esp as u64, 4, cpu.eip as u64)
+                    .is_err()
+                {
+                    return ExitAction::Done(Outcome::Terminated {
+                        exc,
+                        cpu: Box::new(cpu),
+                    });
+                }
+                cpu.set_esp(new_esp);
+                cpu.eip = handler;
+                state::cpu_to_machine(&cpu, &mut self.machine);
+                ExitAction::Dispatch(handler)
+            }
+            ExceptionOutcome::Terminate => ExitAction::Done(Outcome::Terminated {
+                exc,
+                cpu: Box::new(cpu),
+            }),
+        }
+    }
+}
+
+enum ExitAction {
+    /// Resume the machine at this arena address.
+    Continue(u64),
+    /// Re-dispatch at this guest EIP.
+    Dispatch(u32),
+    /// Return to the caller.
+    Done(Outcome),
+}

@@ -1,0 +1,20 @@
+//! Hot-code translation (paper §2, Figure 2 right side): trace
+//! selection over the profile counters, IL generation from the shared
+//! templates, IA-32-specific optimizations, dependency-graph scheduling
+//! with renaming and commit points, and recovery maps for precise
+//! exceptions.
+
+mod commit;
+mod opt;
+mod sched;
+mod trace;
+
+pub use commit::HotData;
+
+use crate::engine::Engine;
+
+/// Promotes a heated block into a hot trace. On any internal limitation
+/// the block simply stays cold (correctness is never at stake).
+pub fn promote(engine: &mut Engine, block_id: u32) {
+    trace::promote(engine, block_id);
+}

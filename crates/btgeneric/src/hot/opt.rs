@@ -1,0 +1,403 @@
+//! Hot IL optimizations (paper §2 hot-phase list): local value
+//! numbering (covering compound-address CSE, register-value tracking,
+//! copy propagation, and redundant-load elimination) and dead-code
+//! elimination.
+
+use super::trace::HotIl;
+use ipf::inst::{Op, Reg, Target};
+use ipf::regs::{Gr, P0};
+use std::collections::HashMap;
+
+fn is_state_reg(r: Reg) -> bool {
+    match r {
+        Reg::G(g) => !g.is_virtual() && g.0 != 0,
+        Reg::F(f) => !f.is_virtual() && f.0 > 1,
+        Reg::P(p) => !p.is_virtual() && p.0 != 0,
+        Reg::B(_) => true,
+    }
+}
+
+/// Local value numbering over the trace. Pure integer ops (and loads,
+/// versioned by the store count) with identical canonicalized operands
+/// are deduplicated; uses are rewritten through a substitution map.
+pub(super) fn lvn(ils: &mut Vec<HotIl>) {
+    // Only virtuals with a single definition participate (deleting one
+    // of several defs, or replacing uses with a later-redefined holder,
+    // would be wrong).
+    let mut def_count: HashMap<u16, u32> = HashMap::new();
+    for il in ils.iter() {
+        il.inst.op.visit_regs(&mut |r, is_def| {
+            if is_def {
+                if let Reg::G(g) = r {
+                    if g.is_virtual() {
+                        *def_count.entry(g.0).or_default() += 1;
+                    }
+                }
+            }
+        });
+    }
+    let mut subst: HashMap<u16, Gr> = HashMap::new(); // virtual -> replacement
+    // Copy propagation: virtual v is a copy of physical p taken at
+    // version n; uses of v read p directly while p is unmodified.
+    let mut copy_of: HashMap<u16, (u16, u64)> = HashMap::new();
+    let mut versions: HashMap<(u8, u16), u64> = HashMap::new();
+    let mut mem_version: u64 = 0;
+    let mut table: HashMap<String, Gr> = HashMap::new();
+    let mut keep: Vec<bool> = vec![true; ils.len()];
+
+    for (i, il) in ils.iter_mut().enumerate() {
+        // Rewrite uses through the substitution and copy maps.
+        il.inst.op.map_regs(&mut |r, is_def| match r {
+            Reg::G(g) if !is_def && g.is_virtual() => {
+                if let Some(&h) = subst.get(&g.0) {
+                    return Reg::G(h);
+                }
+                if let Some(&(p, ver)) = copy_of.get(&g.0) {
+                    if versions.get(&(0, p)).copied().unwrap_or(0) == ver {
+                        return Reg::G(Gr(p));
+                    }
+                }
+                Reg::G(g)
+            }
+            other => other,
+        });
+
+        let op = il.inst.op;
+        if op.is_store() {
+            mem_version += 1;
+        }
+        if op.is_branch() {
+            // Conservatively cut value numbering at control flow.
+            table.clear();
+            continue;
+        }
+        // Bump versions of defined non-virtual registers.
+        op.visit_regs(&mut |r, is_def| {
+            if is_def {
+                let key = match r {
+                    Reg::G(g) if !g.is_virtual() => Some((0u8, g.0)),
+                    Reg::F(f) if !f.is_virtual() => Some((1, f.0)),
+                    Reg::P(p) if !p.is_virtual() => Some((2, p.0)),
+                    _ => None,
+                };
+                if let Some(k) = key {
+                    *versions.entry(k).or_default() += 1;
+                }
+            }
+        });
+
+        if il.inst.qp != P0 {
+            continue; // predicated ops are not LVN candidates
+        }
+        let (lvn_ok, dest) = lvn_candidate(&op);
+        let Some(dest) = dest else { continue };
+        if !lvn_ok
+            || !dest.is_virtual()
+            || def_count.get(&dest.0).copied().unwrap_or(0) != 1
+        {
+            continue;
+        }
+        // Build the canonical key: the op with its destination zeroed
+        // and physical operands tagged with their version.
+        let mut key_op = op;
+        key_op.map_regs(&mut |r, is_def| {
+            if is_def {
+                return match r {
+                    Reg::G(_) => Reg::G(Gr(0)),
+                    other => other,
+                };
+            }
+            r
+        });
+        let mut key = format!("{key_op:?}");
+        op.visit_regs(&mut |r, is_def| {
+            if !is_def {
+                let vkey = match r {
+                    Reg::G(g) if !g.is_virtual() => Some((0u8, g.0)),
+                    Reg::F(f) if !f.is_virtual() => Some((1, f.0)),
+                    Reg::P(p) if !p.is_virtual() => Some((2, p.0)),
+                    _ => None,
+                };
+                if let Some(k) = vkey {
+                    key.push_str(&format!(
+                        "|v{}:{}",
+                        k.1,
+                        versions.get(&k).copied().unwrap_or(0)
+                    ));
+                }
+            }
+        });
+        if matches!(op, Op::Ld { .. }) {
+            key.push_str(&format!("|mem{mem_version}"));
+        }
+        match table.get(&key) {
+            Some(&holder) => {
+                subst.insert(dest.0, holder);
+                keep[i] = false;
+            }
+            None => {
+                table.insert(key, dest);
+                // Record pure copies of physical registers for
+                // copy propagation (the op stays; DCE removes it once
+                // every use has been redirected).
+                if let Op::AddImm { d, imm: 0, a } = op {
+                    if d.is_virtual() && !a.is_virtual() && a.0 != 0 {
+                        let ver = versions.get(&(0, a.0)).copied().unwrap_or(0);
+                        copy_of.insert(d.0, (a.0, ver));
+                    }
+                }
+            }
+        }
+    }
+    let mut idx = 0;
+    ils.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+}
+
+/// Whether an op is a pure, deduplicable computation; returns its single
+/// GR destination.
+fn lvn_candidate(op: &Op) -> (bool, Option<Gr>) {
+    use Op::*;
+    match *op {
+        Add { d, .. } | Sub { d, .. } | AddImm { d, .. } | SubImm { d, .. } | And { d, .. }
+        | Or { d, .. } | Xor { d, .. } | AndCm { d, .. } | AndImm { d, .. } | OrImm { d, .. }
+        | XorImm { d, .. } | Shladd { d, .. } | ShlImm { d, .. } | ShlVar { d, .. }
+        | ShrImm { d, .. } | ShrVar { d, .. } | Extr { d, .. } | Dep { d, .. }
+        | DepZ { d, .. } | Sxt { d, .. } | Zxt { d, .. } | Popcnt { d, .. }
+        | Movl { d, .. } => (true, Some(d)),
+        // Non-speculative loads are value-numbered against the store
+        // counter (redundant-load elimination).
+        Ld { d, spec: false, .. } => (true, Some(d)),
+        _ => (false, None),
+    }
+}
+
+/// Dead-code elimination: drops ops whose only effects are writes to
+/// virtual registers that nothing reads.
+pub(super) fn dce(ils: &mut Vec<HotIl>) {
+    let n = ils.len();
+    let mut keep = vec![false; n];
+    let mut live: std::collections::HashSet<(u8, u16)> = std::collections::HashSet::new();
+    for i in (0..n).rev() {
+        let il = &ils[i];
+        let op = &il.inst.op;
+        let mut side_effect = op.is_store()
+            || op.is_branch()
+            || op.can_fault()
+            || il.inst.qp != P0
+            || matches!(op, Op::Mf | Op::MovToBr { .. });
+        // Writes to non-virtual (architectural) registers are effects.
+        let mut defines_live_virtual = false;
+        op.visit_regs(&mut |r, is_def| {
+            if is_def {
+                if is_state_reg(r) {
+                    side_effect = true;
+                }
+                let key = reg_key(r);
+                if let Some(k) = key {
+                    if live.contains(&k) {
+                        defines_live_virtual = true;
+                    }
+                }
+            }
+        });
+        if side_effect || defines_live_virtual {
+            keep[i] = true;
+            // Defs are satisfied; kill them (only unconditional defs
+            // fully cover the register), then mark uses live.
+            if il.inst.qp == P0 {
+                op.visit_regs(&mut |r, is_def| {
+                    if is_def {
+                        if let Some(k) = reg_key(r) {
+                            live.remove(&k);
+                        }
+                    }
+                });
+            }
+            if let Some(k) = reg_key(Reg::P(il.inst.qp)) {
+                live.insert(k);
+            }
+            op.visit_regs(&mut |r, is_def| {
+                if !is_def {
+                    if let Some(k) = reg_key(r) {
+                        live.insert(k);
+                    }
+                }
+            });
+        }
+    }
+    let mut idx = 0;
+    ils.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+    // Labels in targets are unaffected.
+    let _ = Target::Abs(0);
+}
+
+fn reg_key(r: Reg) -> Option<(u8, u16)> {
+    match r {
+        Reg::G(g) if g.is_virtual() => Some((0, g.0)),
+        Reg::F(f) if f.is_virtual() => Some((1, f.0)),
+        Reg::P(p) if p.is_virtual() => Some((2, p.0)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::Sink;
+    use ipf::regs::R0;
+
+    fn il(inst: ipf::Inst) -> HotIl {
+        HotIl {
+            inst,
+            ia32_ip: 0,
+            rec: None,
+        }
+    }
+
+    #[test]
+    fn lvn_dedups_identical_computation() {
+        let mut s = Sink::new();
+        let (v1, v2) = (s.vg(), s.vg());
+        let g = crate::state::guest_gpr(0);
+        let mut ils = vec![
+            il(ipf::Inst::new(Op::AddImm { d: v1, imm: 8, a: g })),
+            il(ipf::Inst::new(Op::AddImm { d: v2, imm: 8, a: g })),
+            il(ipf::Inst::new(Op::St {
+                sz: 4,
+                addr: v1,
+                val: v2,
+            })),
+        ];
+        lvn(&mut ils);
+        assert_eq!(ils.len(), 2, "duplicate EA computation removed");
+        // The store now uses v1 twice.
+        if let Op::St { addr, val, .. } = ils[1].inst.op {
+            assert_eq!(addr, val);
+        } else {
+            panic!("store expected");
+        }
+    }
+
+    #[test]
+    fn lvn_respects_guest_register_versions() {
+        let mut s = Sink::new();
+        let (v1, v2) = (s.vg(), s.vg());
+        let g = crate::state::guest_gpr(0);
+        let mut ils = vec![
+            il(ipf::Inst::new(Op::AddImm { d: v1, imm: 8, a: g })),
+            il(ipf::Inst::new(Op::AddImm { d: g, imm: 1, a: g })), // g changes
+            il(ipf::Inst::new(Op::AddImm { d: v2, imm: 8, a: g })),
+            il(ipf::Inst::new(Op::St {
+                sz: 4,
+                addr: v1,
+                val: v2,
+            })),
+        ];
+        lvn(&mut ils);
+        assert_eq!(ils.len(), 4, "not redundant after the write");
+    }
+
+    #[test]
+    fn lvn_load_killed_by_store() {
+        let mut s = Sink::new();
+        let (v1, v2, v3) = (s.vg(), s.vg(), s.vg());
+        let g = crate::state::guest_gpr(0);
+        let mut ils = vec![
+            il(ipf::Inst::new(Op::Ld {
+                sz: 4,
+                d: v1,
+                addr: g,
+                spec: false,
+            })),
+            il(ipf::Inst::new(Op::St {
+                sz: 4,
+                addr: g,
+                val: v1,
+            })),
+            il(ipf::Inst::new(Op::Ld {
+                sz: 4,
+                d: v2,
+                addr: g,
+                spec: false,
+            })),
+            il(ipf::Inst::new(Op::Add { d: v3, a: v1, b: v2 })),
+            il(ipf::Inst::new(Op::St {
+                sz: 4,
+                addr: g,
+                val: v3,
+            })),
+        ];
+        let before = ils.len();
+        lvn(&mut ils);
+        assert_eq!(ils.len(), before, "load after store must reload");
+    }
+
+    #[test]
+    fn lvn_redundant_load_removed() {
+        let mut s = Sink::new();
+        let (v1, v2, v3) = (s.vg(), s.vg(), s.vg());
+        let g = crate::state::guest_gpr(0);
+        let mut ils = vec![
+            il(ipf::Inst::new(Op::Ld {
+                sz: 4,
+                d: v1,
+                addr: g,
+                spec: false,
+            })),
+            il(ipf::Inst::new(Op::Ld {
+                sz: 4,
+                d: v2,
+                addr: g,
+                spec: false,
+            })),
+            il(ipf::Inst::new(Op::Add { d: v3, a: v1, b: v2 })),
+            il(ipf::Inst::new(Op::St {
+                sz: 4,
+                addr: g,
+                val: v3,
+            })),
+        ];
+        lvn(&mut ils);
+        assert_eq!(ils.len(), 3, "second load deduplicated");
+    }
+
+    #[test]
+    fn dce_removes_unused_virtuals() {
+        let mut s = Sink::new();
+        let (v1, v2) = (s.vg(), s.vg());
+        let g = crate::state::guest_gpr(0);
+        let mut ils = vec![
+            il(ipf::Inst::new(Op::AddImm { d: v1, imm: 1, a: R0 })),
+            il(ipf::Inst::new(Op::AddImm { d: v2, imm: 2, a: R0 })), // dead
+            il(ipf::Inst::new(Op::AddImm { d: g, imm: 0, a: v1 })),
+        ];
+        dce(&mut ils);
+        assert_eq!(ils.len(), 2);
+    }
+
+    #[test]
+    fn dce_keeps_stores_and_guest_writes() {
+        let mut s = Sink::new();
+        let v1 = s.vg();
+        let g = crate::state::guest_gpr(3);
+        let mut ils = vec![
+            il(ipf::Inst::new(Op::AddImm { d: v1, imm: 1, a: R0 })),
+            il(ipf::Inst::new(Op::St {
+                sz: 4,
+                addr: v1,
+                val: g,
+            })),
+            il(ipf::Inst::new(Op::AddImm { d: g, imm: 5, a: R0 })),
+        ];
+        dce(&mut ils);
+        assert_eq!(ils.len(), 3);
+    }
+}

@@ -1,0 +1,559 @@
+//! The hot-code scheduler (paper §2: "builds a data-dependency graph
+//! ... the scheduler reorders the instructions in the hot block. ILs
+//! are ordered and bundled according to architectural and
+//! microarchitectural limitations"), plus the post-scheduling register
+//! allocator for the renaming pool.
+//!
+//! Commit-point discipline (§4): faulty micro-ops and branches act as
+//! barriers for architectural-state writes — state defined before a
+//! barrier stays before it, state defined after stays after — so the
+//! recovery maps stay valid under arbitrary reordering of the pure
+//! computation in between.
+
+use super::trace::HotIl;
+use crate::state;
+use ipf::inst::{Op, Reg, Unit};
+use ipf::regs::{Fr, Gr, Pr, P0};
+use std::collections::HashMap;
+
+fn reg_slot(r: Reg) -> (u8, u16) {
+    match r {
+        Reg::G(g) => (0, g.0),
+        Reg::F(f) => (1, f.0),
+        Reg::P(p) => (2, p.0),
+        Reg::B(b) => (3, b.0 as u16),
+    }
+}
+
+fn is_arch_state_def(r: Reg) -> bool {
+    match r {
+        Reg::G(g) => !g.is_virtual() && g.0 != 0,
+        Reg::F(f) => !f.is_virtual() && f.0 > 1,
+        Reg::P(p) => !p.is_virtual() && p.0 != 0,
+        Reg::B(_) => true,
+    }
+}
+
+fn latency(op: &Op) -> u32 {
+    match op {
+        Op::Ld { .. } => 2,
+        Op::Ldf { .. } => 6,
+        Op::Setf { .. } | Op::Getf { .. } => 5,
+        Op::Fma { .. }
+        | Op::Fms { .. }
+        | Op::Fnma { .. }
+        | Op::Fmin { .. }
+        | Op::Fmax { .. }
+        | Op::FcvtFx { .. }
+        | Op::FcvtXf { .. }
+        | Op::FmergeS { .. }
+        | Op::FmergeNs { .. }
+        | Op::Frcpa { .. }
+        | Op::Frsqrta { .. }
+        | Op::Fsqrt { .. }
+        | Op::FnormS { .. }
+        | Op::Fpma { .. }
+        | Op::Fpms { .. }
+        | Op::Fpmin { .. }
+        | Op::Fpmax { .. }
+        | Op::Fpdiv { .. }
+        | Op::Xma { .. } => 4,
+        _ => 1,
+    }
+}
+
+/// Computes a schedule: a permutation of IL indices respecting
+/// dependences, with priorities by critical-path height.
+pub(super) fn schedule(ils: &[HotIl]) -> Vec<usize> {
+    let n = ils.len();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut npreds: Vec<u32> = vec![0; n];
+    let edge = |from: usize, to: usize, succs: &mut Vec<Vec<usize>>, npreds: &mut Vec<u32>| {
+        if from != to && !succs[from].contains(&to) {
+            succs[from].push(to);
+            npreds[to] += 1;
+        }
+    };
+
+    let mut last_def: HashMap<(u8, u16), usize> = HashMap::new();
+    let mut uses_since_def: HashMap<(u8, u16), Vec<usize>> = HashMap::new();
+    let mut last_store: Option<usize> = None;
+    let mut loads_since_store: Vec<usize> = Vec::new();
+    let mut last_barrier: Option<usize> = None;
+    let mut state_writes_since: Vec<usize> = Vec::new();
+
+    for i in 0..n {
+        let il = &ils[i];
+        let op = &il.inst.op;
+        // Register dependences (including the qualifying predicate).
+        let mut reads: Vec<Reg> = op.uses();
+        if il.inst.qp != P0 {
+            reads.push(Reg::P(il.inst.qp));
+        }
+        for r in &reads {
+            let k = reg_slot(*r);
+            if let Some(&d) = last_def.get(&k) {
+                edge(d, i, &mut succs, &mut npreds);
+            }
+            uses_since_def.entry(k).or_default().push(i);
+        }
+        // Predicated ops merge into their destination: treat their defs
+        // as read-modify-write so the prior value orders first.
+        if il.inst.qp != P0 {
+            for r in op.defs() {
+                let k = reg_slot(r);
+                if let Some(&d) = last_def.get(&k) {
+                    edge(d, i, &mut succs, &mut npreds);
+                }
+            }
+        }
+        for r in op.defs() {
+            let k = reg_slot(r);
+            if let Some(&d) = last_def.get(&k) {
+                edge(d, i, &mut succs, &mut npreds); // WAW
+            }
+            if let Some(us) = uses_since_def.get(&k) {
+                for &u in us {
+                    edge(u, i, &mut succs, &mut npreds); // WAR
+                }
+            }
+            last_def.insert(k, i);
+            uses_since_def.insert(k, Vec::new());
+        }
+        // Memory ordering (no alias analysis: stores are ordered, loads
+        // ordered against stores both ways).
+        if op.is_mem() {
+            if op.is_store() {
+                if let Some(s) = last_store {
+                    edge(s, i, &mut succs, &mut npreds);
+                }
+                for &l in &loads_since_store {
+                    edge(l, i, &mut succs, &mut npreds);
+                }
+                loads_since_store.clear();
+                last_store = Some(i);
+            } else {
+                if let Some(s) = last_store {
+                    edge(s, i, &mut succs, &mut npreds);
+                }
+                loads_since_store.push(i);
+            }
+        }
+        // Commit barriers: faulty ops and branches pin architectural
+        // state around them.
+        let is_barrier = op.can_fault() || op.is_branch();
+        if is_barrier {
+            for &w in &state_writes_since {
+                edge(w, i, &mut succs, &mut npreds);
+            }
+            if let Some(b) = last_barrier {
+                edge(b, i, &mut succs, &mut npreds);
+            }
+            last_barrier = Some(i);
+            state_writes_since.clear();
+        }
+        let writes_state = op.defs().iter().any(|r| is_arch_state_def(*r));
+        if writes_state {
+            if let Some(b) = last_barrier {
+                edge(b, i, &mut succs, &mut npreds);
+            }
+            state_writes_since.push(i);
+        }
+    }
+    // Everything sinks before the final instruction if it is a branch.
+    if n > 0 && ils[n - 1].inst.op.is_branch() {
+        for i in 0..n - 1 {
+            if succs[i].is_empty() {
+                edge(i, n - 1, &mut succs, &mut npreds);
+            }
+        }
+    }
+
+    // Heights (critical path weights, paper: "computes weights ... to
+    // signify the relative importance of scheduling them early").
+    let mut height = vec![0u32; n];
+    for i in (0..n).rev() {
+        let lat = latency(&ils[i].inst.op);
+        for &s in &succs[i] {
+            height[i] = height[i].max(height[s] + lat);
+        }
+    }
+
+    // Cycle-driven list scheduling with rough port limits.
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut cycle_of = vec![0u64; n];
+    let mut preds_left = npreds;
+    let mut earliest = vec![0u64; n];
+    let mut ready: Vec<usize> = (0..n).filter(|&i| preds_left[i] == 0).collect();
+    let mut cycle: u64 = 0;
+    while order.len() < n {
+        // Pick ops for this cycle.
+        let (mut m, mut iu, mut f, mut b, mut total) = (0u32, 0u32, 0u32, 0u32, 0u32);
+        let mut picked_any = false;
+        loop {
+            // Highest-height eligible op whose earliest cycle has come.
+            let mut best: Option<(usize, usize)> = None; // (ready idx, il idx)
+            for (ri, &i) in ready.iter().enumerate() {
+                if earliest[i] > cycle {
+                    continue;
+                }
+                let unit = ils[i].inst.op.unit();
+                let fits = match unit {
+                    Unit::M => m < 2,
+                    Unit::I => iu < 2,
+                    Unit::A => m < 2 || iu < 2,
+                    Unit::F => f < 2,
+                    Unit::B => b < 3,
+                    Unit::L => iu < 2 && total < 5,
+                };
+                if !fits || total >= 6 {
+                    continue;
+                }
+                // Branches schedule only after all non-branch ready work
+                // of this cycle (they end the group).
+                if best.is_none() || height[i] > height[best.unwrap().1] {
+                    best = Some((ri, i));
+                }
+            }
+            let Some((ri, i)) = best else { break };
+            ready.swap_remove(ri);
+            order.push(i);
+            cycle_of[i] = cycle;
+            picked_any = true;
+            match ils[i].inst.op.unit() {
+                Unit::M => m += 1,
+                Unit::I | Unit::L => iu += 1,
+                Unit::A => {
+                    if m <= iu {
+                        m += 1;
+                    } else {
+                        iu += 1;
+                    }
+                }
+                Unit::F => f += 1,
+                Unit::B => b += 1,
+            }
+            total += 1;
+            for si in 0..succs[i].len() {
+                let s = succs[i][si];
+                preds_left[s] -= 1;
+                earliest[s] = earliest[s].max(cycle + 1);
+                if preds_left[s] == 0 {
+                    ready.push(s);
+                }
+            }
+            // A scheduled branch ends the cycle (taken branches skip the
+            // rest of the group).
+            if ils[i].inst.op.is_branch() {
+                break;
+            }
+        }
+        let _ = picked_any;
+        cycle += 1;
+    }
+
+    // Within each cycle, branches must come last; the order vector is
+    // built per cycle so this already holds except when a branch was
+    // picked mid-cycle — we ended the cycle there, so it holds.
+    order
+}
+
+/// Allocates virtual registers of the scheduled ILs onto the hot pools,
+/// returning the final instructions with stop bits at cycle boundaries.
+/// Returns `None` when a pool is exhausted (the trace stays cold).
+pub(super) fn allocate(ils: &[HotIl], order: &[usize]) -> Option<Vec<(ipf::Inst, bool)>> {
+    // Last use position per virtual, in scheduled order.
+    let mut last_ref: HashMap<(u8, u16), usize> = HashMap::new();
+    for (pos, &i) in order.iter().enumerate() {
+        let il = &ils[i];
+        let mut note = |r: Reg| {
+            let (c, n) = reg_slot(r);
+            let virt = match r {
+                Reg::G(g) => g.is_virtual(),
+                Reg::F(f) => f.is_virtual(),
+                Reg::P(p) => p.is_virtual(),
+                Reg::B(_) => false,
+            };
+            if virt {
+                last_ref.insert((c, n), pos);
+            }
+        };
+        if il.inst.qp.is_virtual() {
+            note(Reg::P(il.inst.qp));
+        }
+        il.inst.op.visit_regs(&mut |r, _| note(r));
+    }
+
+    // Pools: scratch + renaming banks; f63 is reserved for exit blocks.
+    // FIFO pools: recently-freed registers are reused last, which
+    // avoids false WAW dependences between unrelated computations.
+    let mut gr_free: Vec<u16> =
+        (state::GR_SCRATCH..state::GR_POOL + state::NUM_POOL).collect();
+    let mut fr_free: Vec<u16> =
+        (state::FR_SCRATCH..state::FR_SCRATCH + state::NUM_FR_SCRATCH - 1).collect();
+    let mut pr_free: Vec<u16> =
+        (state::PR_POOL..state::PR_POOL + state::NUM_PR_POOL).collect();
+    let mut map: HashMap<(u8, u16), u16> = HashMap::new();
+
+    // Recompute cycle boundaries by replaying the schedule function's
+    // grouping: a stop is needed between dependent instructions; we put
+    // one wherever the scheduler advanced the cycle, which it encoded in
+    // the order (we re-derive by checking dependences greedily).
+    // Simpler and always-correct: insert a stop when the next
+    // instruction reads or writes a register defined since the last
+    // stop (same rule as the cold backend).
+    let mut out: Vec<(ipf::Inst, bool)> = Vec::with_capacity(order.len());
+    let mut group_defs: Vec<(u8, u16)> = Vec::new();
+    for (pos, &i) in order.iter().enumerate() {
+        let mut inst = ils[i].inst;
+        let mut failed = false;
+        if inst.qp.is_virtual() {
+            let k = (2u8, inst.qp.0);
+            let p = match map.get(&k) {
+                Some(&p) => p,
+                None => {
+                    if pr_free.is_empty() {
+                        return None;
+                    }
+                    let p = pr_free.remove(0);
+                    map.insert(k, p);
+                    p
+                }
+            };
+            inst.qp = Pr(p);
+        }
+        inst.op.map_regs(&mut |r, _| {
+            let (c, n) = reg_slot(r);
+            let virt = match r {
+                Reg::G(g) => g.is_virtual(),
+                Reg::F(f) => f.is_virtual(),
+                Reg::P(p) => p.is_virtual(),
+                Reg::B(_) => false,
+            };
+            if !virt {
+                return r;
+            }
+            let k = (c, n);
+            let p = match map.get(&k) {
+                Some(&p) => p,
+                None => {
+                    let pool = match c {
+                        0 => &mut gr_free,
+                        1 => &mut fr_free,
+                        _ => &mut pr_free,
+                    };
+                    if pool.is_empty() {
+                        failed = true;
+                        0
+                    } else {
+                        let p = pool.remove(0);
+                        map.insert(k, p);
+                        p
+                    }
+                }
+            };
+            match r {
+                Reg::G(_) => Reg::G(Gr(p)),
+                Reg::F(_) => Reg::F(Fr(p)),
+                Reg::P(_) => Reg::P(Pr(p)),
+                Reg::B(b) => Reg::B(b),
+            }
+        });
+        if failed {
+            return None;
+        }
+        // Stop-bit insertion (dependence-driven, on physical numbers).
+        let mut conflict = false;
+        let mut regs: Vec<(u8, u16)> = Vec::new();
+        inst.op.visit_regs(&mut |r, _| regs.push(reg_slot(r)));
+        regs.push(reg_slot(Reg::P(inst.qp)));
+        for k in &regs {
+            if group_defs.contains(k) {
+                conflict = true;
+            }
+        }
+        if conflict {
+            if let Some(prev) = out.last_mut() {
+                prev.1 = true;
+            }
+            group_defs.clear();
+        }
+        inst.op.visit_regs(&mut |r, is_def| {
+            if is_def {
+                group_defs.push(reg_slot(r));
+            }
+        });
+        let is_branch = inst.op.is_branch();
+        out.push((inst, false));
+        if is_branch {
+            out.last_mut().expect("pushed").1 = true;
+            group_defs.clear();
+        }
+        // Release virtuals whose last (scheduled) reference this was.
+        let original = &ils[i].inst;
+        let mut release = |r: Reg| {
+            let (c, n) = reg_slot(r);
+            let virt = match r {
+                Reg::G(g) => g.is_virtual(),
+                Reg::F(f) => f.is_virtual(),
+                Reg::P(p) => p.is_virtual(),
+                Reg::B(_) => false,
+            };
+            if virt && last_ref.get(&(c, n)) == Some(&pos) {
+                if let Some(p) = map.remove(&(c, n)) {
+                    match c {
+                        0 => gr_free.push(p),
+                        1 => fr_free.push(p),
+                        _ => pr_free.push(p),
+                    }
+                }
+            }
+        };
+        if original.qp.is_virtual() {
+            release(Reg::P(original.qp));
+        }
+        original.op.visit_regs(&mut |r, _| release(r));
+    }
+    // Terminate the final group.
+    if let Some(last) = out.last_mut() {
+        last.1 = true;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::Sink;
+    use ipf::regs::R0;
+
+    fn il(inst: ipf::Inst) -> HotIl {
+        HotIl {
+            inst,
+            ia32_ip: 0,
+            rec: None,
+        }
+    }
+
+    #[test]
+    fn schedule_respects_raw() {
+        let mut s = Sink::new();
+        let v1 = s.vg();
+        let g = crate::state::guest_gpr(0);
+        let ils = vec![
+            il(ipf::Inst::new(Op::AddImm { d: v1, imm: 1, a: R0 })),
+            il(ipf::Inst::new(Op::AddImm { d: g, imm: 0, a: v1 })),
+        ];
+        let order = schedule(&ils);
+        let p0 = order.iter().position(|&i| i == 0).unwrap();
+        let p1 = order.iter().position(|&i| i == 1).unwrap();
+        assert!(p0 < p1);
+    }
+
+    #[test]
+    fn schedule_interleaves_independent_chains() {
+        // Two independent load-use chains should interleave rather than
+        // run back-to-back.
+        let mut s = Sink::new();
+        let (a1, a2) = (s.vg(), s.vg());
+        let (v1, v2) = (s.vg(), s.vg());
+        let (g0, g1) = (crate::state::guest_gpr(0), crate::state::guest_gpr(1));
+        let ils = vec![
+            il(ipf::Inst::new(Op::AddImm { d: a1, imm: 16, a: g0 })),
+            il(ipf::Inst::new(Op::Ld {
+                sz: 4,
+                d: v1,
+                addr: a1,
+                spec: false,
+            })),
+            il(ipf::Inst::new(Op::AddImm { d: g0, imm: 0, a: v1 })),
+            il(ipf::Inst::new(Op::AddImm { d: a2, imm: 32, a: g1 })),
+            il(ipf::Inst::new(Op::Ld {
+                sz: 4,
+                d: v2,
+                addr: a2,
+                spec: false,
+            })),
+            il(ipf::Inst::new(Op::AddImm { d: g1, imm: 0, a: v2 })),
+        ];
+        let order = schedule(&ils);
+        // The second chain's address computation should be scheduled
+        // before the first chain's final use (cycle overlap).
+        let pos_a2 = order.iter().position(|&i| i == 3).unwrap();
+        let pos_use1 = order.iter().position(|&i| i == 2).unwrap();
+        assert!(
+            pos_a2 < pos_use1,
+            "independent work hoisted into the stall: {order:?}"
+        );
+    }
+
+    #[test]
+    fn stores_stay_ordered() {
+        let mut s = Sink::new();
+        let _ = s.vg();
+        let g = crate::state::guest_gpr(0);
+        let h = crate::state::guest_gpr(1);
+        let ils = vec![
+            il(ipf::Inst::new(Op::St {
+                sz: 4,
+                addr: g,
+                val: h,
+            })),
+            il(ipf::Inst::new(Op::St {
+                sz: 4,
+                addr: h,
+                val: g,
+            })),
+        ];
+        let order = schedule(&ils);
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn state_write_pinned_after_faulty_op() {
+        // A guest-register write that follows a store (program order)
+        // must not be scheduled before it (commit-point rule).
+        let mut s = Sink::new();
+        let _ = s.vg();
+        let g = crate::state::guest_gpr(0);
+        let h = crate::state::guest_gpr(1);
+        let ils = vec![
+            il(ipf::Inst::new(Op::St {
+                sz: 4,
+                addr: g,
+                val: h,
+            })),
+            il(ipf::Inst::new(Op::AddImm { d: g, imm: 1, a: g })),
+        ];
+        let order = schedule(&ils);
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn allocate_maps_virtuals_and_emits_stops() {
+        let mut s = Sink::new();
+        let v1 = s.vg();
+        let g = crate::state::guest_gpr(0);
+        let ils = vec![
+            il(ipf::Inst::new(Op::AddImm { d: v1, imm: 1, a: R0 })),
+            il(ipf::Inst::new(Op::AddImm { d: g, imm: 0, a: v1 })),
+        ];
+        let order = schedule(&ils);
+        let out = allocate(&ils, &order).unwrap();
+        assert_eq!(out.len(), 2);
+        // No virtual registers remain.
+        for (inst, _) in &out {
+            inst.op.visit_regs(&mut |r, _| {
+                let virt = match r {
+                    Reg::G(g) => g.is_virtual(),
+                    Reg::F(f) => f.is_virtual(),
+                    Reg::P(p) => p.is_virtual(),
+                    Reg::B(_) => false,
+                };
+                assert!(!virt);
+            });
+        }
+        // Dependent pair carries a stop.
+        assert!(out[0].1);
+    }
+}

@@ -1,0 +1,837 @@
+//! Hot trace selection and promotion (paper §2: "select a trace of
+//! IA-32 basic blocks that compose a hyper block — single entry,
+//! multiple exits ... based on the use and edge counter information
+//! collected during the cold code run").
+
+use super::commit::{HotData, RecEntry};
+use super::opt;
+use super::sched;
+use crate::cold::discover::{discover, BlockEnd};
+use crate::cold::liveness::{analyze, Liveness};
+use crate::engine::Engine;
+use crate::layout::{region, StubKind};
+use crate::state::{GR_PAYLOAD0, GR_STATE, GR_XMMFMT};
+use crate::templates::{
+    self, AccessMode, AlignCache, EmitCtx, FpCtx, IlItem, MisalignPlan, Sink, XmmCtx,
+};
+use ia32::inst::Inst as I32;
+use ipf::inst::{Op, Target};
+use std::collections::{HashMap, HashSet};
+
+/// One step of a selected trace.
+#[derive(Clone, Debug)]
+pub(super) enum Step {
+    /// A straight-line instruction.
+    Inst {
+        /// Instruction address.
+        ip: u32,
+        /// The instruction.
+        inst: I32,
+        /// Encoded length.
+        len: u8,
+        /// Start of the containing basic block (liveness lookup).
+        block: u32,
+        /// Index within the block (liveness lookup).
+        idx: usize,
+        /// Executes under the preceding [`Step::Guard`]'s predicate.
+        guarded: bool,
+    },
+    /// An if-converted hammock guard: the following `guarded` steps
+    /// execute only when `cond` is false (paper: "Predication can be
+    /// used to include both sides of if...then... structures").
+    Guard {
+        /// Condition under which the hammock body is SKIPPED.
+        cond: ia32::Cond,
+        /// Address of the Jcc.
+        ip: u32,
+    },
+    /// A conditional branch leaving the trace when `cond` holds.
+    SideExit {
+        /// Condition under which execution leaves the trace.
+        cond: ia32::Cond,
+        /// Off-trace target.
+        target: u32,
+        /// Containing block (liveness).
+        block: u32,
+        /// Index of the Jcc within its block.
+        idx: usize,
+        /// Address of the Jcc.
+        ip: u32,
+    },
+}
+
+/// A selected trace.
+pub(super) struct Trace {
+    /// Selected steps.
+    pub steps: Vec<Step>,
+    /// Where execution continues after the last step.
+    pub main_exit: u32,
+    /// Cold blocks the trace covers, in order (misalignment data).
+    pub blocks: Vec<u32>,
+    /// Whether a loop back to the head was unrolled once.
+    pub unrolled: bool,
+}
+
+/// Instructions we refuse to put on a trace (internal control flow or
+/// interpreter bail-outs).
+fn trace_hostile(inst: &I32) -> bool {
+    matches!(
+        inst,
+        I32::Movs { .. }
+            | I32::Stos { .. }
+            | I32::Ud2
+            | I32::Hlt
+            | I32::Int { .. }
+            | I32::Pop {
+                dst: ia32::inst::Rm::Mem(_)
+            }
+    ) || matches!(
+        inst,
+        I32::MulDiv { size, .. } if *size != ia32::Size::D
+    )
+}
+
+/// Instructions safe to if-convert: their templates never emit
+/// predicated micro-ops of their own, so the guard predicate can be
+/// applied wholesale.
+fn if_convertible(inst: &I32) -> bool {
+    matches!(
+        inst,
+        I32::Alu { .. }
+            | I32::AluRM { .. }
+            | I32::Mov { .. }
+            | I32::MovLoad { .. }
+            | I32::Movzx { .. }
+            | I32::Movsx { .. }
+            | I32::Lea { .. }
+            | I32::IncDec { .. }
+            | I32::Not { .. }
+            | I32::ImulRm { .. }
+            | I32::ImulRmImm { .. }
+            | I32::Nop
+    )
+}
+
+/// Decodes the straight-line hammock between `from` and the join point
+/// `join`; `None` unless it is short, simple, and lands exactly on the
+/// join.
+fn decode_hammock(
+    mem: &ia32::GuestMem,
+    from: u32,
+    join: u32,
+) -> Option<Vec<(u32, I32, u8)>> {
+    if join <= from || join - from > 64 {
+        return None;
+    }
+    let mut out = Vec::new();
+    let mut ip = from;
+    while ip < join {
+        let bytes = mem.fetch(ip as u64, 16).ok()?;
+        let (inst, len) = ia32::decode::decode(&bytes, ip).ok()?;
+        if !if_convertible(&inst) || out.len() >= 4 {
+            return None;
+        }
+        out.push((ip, inst, len as u8));
+        ip += len as u32;
+    }
+    (ip == join).then_some(out)
+}
+
+/// Selects a trace starting at `block_id`'s EIP.
+pub(super) fn select(engine: &Engine, block_id: u32) -> Option<Trace> {
+    let start = engine.block(block_id).eip;
+    let budget = engine.cfg.max_trace_insts;
+    let mut steps = Vec::new();
+    let mut blocks = Vec::new();
+    let mut visited = HashSet::new();
+    let mut cur = start;
+    let mut total = 0usize;
+    let main_exit;
+    'outer: loop {
+        if visited.contains(&cur) || total >= budget {
+            main_exit = cur;
+            break;
+        }
+        visited.insert(cur);
+        // The block must have run cold (we need its counters).
+        let Some(info) = engine.blocks().iter().find(|b| b.eip == cur) else {
+            main_exit = cur;
+            break;
+        };
+        let region_g = discover(&engine.mem, cur);
+        let Some(blk) = region_g.block_at(cur) else {
+            main_exit = cur;
+            break;
+        };
+        blocks.push(info.id);
+        let n = blk.insts.len();
+        for (i, (ip, inst, len)) in blk.insts.iter().enumerate() {
+            if total >= budget || trace_hostile(inst) {
+                main_exit = *ip;
+                break 'outer;
+            }
+            let is_term = i == n - 1 && inst.ends_block();
+            if is_term {
+                match inst {
+                    I32::Jmp { target } => {
+                        cur = *target;
+                        continue 'outer;
+                    }
+                    I32::Jcc { cond, target } => {
+                        let taken = engine.mem.read(info.edge_counters.0, 8).unwrap_or(0);
+                        let fall = engine.mem.read(info.edge_counters.1, 8).unwrap_or(0);
+                        let next = ip + *len as u32;
+                        if taken >= 2 * fall + 8 {
+                            steps.push(Step::SideExit {
+                                cond: cond.negate(),
+                                target: next,
+                                block: blk.start,
+                                idx: i,
+                                ip: *ip,
+                            });
+                            total += 1;
+                            cur = *target;
+                            continue 'outer;
+                        } else if fall >= 2 * taken + 8 {
+                            steps.push(Step::SideExit {
+                                cond: *cond,
+                                target: *target,
+                                block: blk.start,
+                                idx: i,
+                                ip: *ip,
+                            });
+                            total += 1;
+                            cur = next;
+                            continue 'outer;
+                        }
+                        // No clear winner: try if-conversion of the
+                        // forward hammock `jcc skip; <short block>; skip:`
+                        // (paper: predication for if...then... shapes).
+                        if let Some(hammock) =
+                            decode_hammock(&engine.mem, next, *target)
+                        {
+                            if total + hammock.len() + 1 <= budget {
+                                steps.push(Step::Guard {
+                                    cond: *cond,
+                                    ip: *ip,
+                                });
+                                total += 1;
+                                for (j, (gip, ginst, glen)) in
+                                    hammock.iter().enumerate()
+                                {
+                                    steps.push(Step::Inst {
+                                        ip: *gip,
+                                        inst: *ginst,
+                                        len: *glen,
+                                        block: next,
+                                        idx: j,
+                                        guarded: true,
+                                    });
+                                    total += 1;
+                                }
+                                cur = *target;
+                                continue 'outer;
+                            }
+                        }
+                        // Not convertible. A trace must not die on its
+                        // very first instruction (a block starting at an
+                        // indecisive Jcc would stay cold forever), so in
+                        // that case follow the busier side regardless.
+                        if total == 0 {
+                            let (cond_away, on_trace) = if taken >= fall {
+                                (cond.negate(), *target)
+                            } else {
+                                (*cond, next)
+                            };
+                            let away = if on_trace == *target { next } else { *target };
+                            steps.push(Step::SideExit {
+                                cond: cond_away,
+                                target: away,
+                                block: blk.start,
+                                idx: i,
+                                ip: *ip,
+                            });
+                            total += 1;
+                            cur = on_trace;
+                            continue 'outer;
+                        }
+                        // End the trace at this Jcc.
+                        main_exit = *ip;
+                        break 'outer;
+                    }
+                    // Calls/returns/indirects end the trace before the
+                    // terminator (a cold block starting there runs it).
+                    _ => {
+                        main_exit = *ip;
+                        break 'outer;
+                    }
+                }
+            }
+            steps.push(Step::Inst {
+                ip: *ip,
+                inst: *inst,
+                len: *len,
+                block: blk.start,
+                idx: i,
+                guarded: false,
+            });
+            total += 1;
+        }
+        match blk.end {
+            BlockEnd::FallThrough => cur = blk.end_ip(),
+            _ => {
+                main_exit = blk.end_ip();
+                break;
+            }
+        }
+    }
+    if total < 2 {
+        if std::env::var_os("EL_DEBUG_HOT").is_some() {
+            eprintln!(
+                "select {}: too short ({} steps, stopped at {:#x})",
+                block_id, total, main_exit
+            );
+        }
+        return None;
+    }
+    // Loop unrolling (paper: "If a loop is identified, it may be
+    // unrolled").
+    let mut unrolled = false;
+    if main_exit == start && total * 2 <= budget + 4 {
+        let copy = steps.clone();
+        let bcopy = blocks.clone();
+        steps.extend(copy);
+        blocks.extend(bcopy);
+        unrolled = true;
+    }
+    Some(Trace {
+        steps,
+        main_exit,
+        blocks,
+        unrolled,
+    })
+}
+
+/// Builds the misalignment plan from the cold blocks' recorded data
+/// (stage 3: "the information from cold code is examined for each of
+/// the cold blocks that make up the hot block").
+fn misalign_overrides(engine: &Engine, trace: &Trace) -> HashMap<u16, AccessMode> {
+    let mut overrides = HashMap::new();
+    let mut running: u16 = 0;
+    for &bid in &trace.blocks {
+        let b = engine.block(bid);
+        for j in 0..b.accesses {
+            let slot = b.misinfo_base + j as u64 * 8;
+            let info = engine.mem.read(slot, 8).unwrap_or(0);
+            if info & 0x100 != 0 {
+                let low = info & 0xFF;
+                let gran = if low & 1 != 0 {
+                    1
+                } else if low & 2 != 0 {
+                    2
+                } else {
+                    4
+                };
+                overrides.insert(running + j, AccessMode::AvoidKnown { gran });
+            }
+        }
+        running += b.accesses;
+    }
+    overrides
+}
+
+/// A hot IL: an instruction plus provenance for recovery.
+#[derive(Clone, Debug)]
+pub(super) struct HotIl {
+    /// The micro-op (virtual registers allowed).
+    pub inst: ipf::Inst,
+    /// Originating IA-32 instruction.
+    pub ia32_ip: u32,
+    /// Recovery index (assigned to faulty micro-ops).
+    pub rec: Option<u32>,
+}
+
+struct ExitInfo {
+    label: u32,
+    target: u32,
+    perm: [u8; 8],
+    xmm_fmt: u8,
+}
+
+/// Promotes `block_id` into a hot trace; on any limitation the block
+/// simply stays cold.
+pub fn promote(engine: &mut Engine, block_id: u32) {
+    let Some(trace) = select(engine, block_id) else {
+        if std::env::var_os("EL_DEBUG_HOT").is_some() {
+            eprintln!("promote {}: selection failed", block_id);
+        }
+        return;
+    };
+    if build_and_install(engine, block_id, &trace).is_none()
+        && std::env::var_os("EL_DEBUG_HOT").is_some()
+    {
+        eprintln!(
+            "promote {}: build failed ({} steps, exit {:#x})",
+            block_id,
+            trace.steps.len(),
+            trace.main_exit
+        );
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Option<()> {
+    let spec = engine.block(block_id).spec;
+    let mut live_cache: HashMap<u32, Liveness> = HashMap::new();
+
+    // FP context: pre-scan the trace for the entry mode.
+    let mut entry_mmx = None;
+    for s in &trace.steps {
+        if let Step::Inst { inst, .. } = s {
+            let is_mmx = matches!(
+                inst,
+                I32::Movd { .. } | I32::Movq { .. } | I32::PAlu { .. } | I32::Emms
+            );
+            let is_fp = matches!(
+                inst,
+                I32::Fld { .. }
+                    | I32::Fst { .. }
+                    | I32::Fild { .. }
+                    | I32::Fistp { .. }
+                    | I32::Farith { .. }
+                    | I32::Fchs
+                    | I32::Fabs
+                    | I32::Fsqrt
+                    | I32::Fxch { .. }
+                    | I32::Fld1
+                    | I32::Fldz
+                    | I32::Fcomi { .. }
+            );
+            if is_mmx || is_fp {
+                entry_mmx.get_or_insert(is_mmx);
+            }
+        }
+    }
+    let mut fp = FpCtx::new(spec.tos, true);
+    fp.entry_mmx = entry_mmx.unwrap_or(false);
+    fp.cur_mmx = fp.entry_mmx;
+    let mut xmm = XmmCtx::new(spec.xmm_fmt);
+    let mut align = AlignCache::default();
+    let plan = MisalignPlan {
+        default: AccessMode::Fast,
+        overrides: misalign_overrides(engine, trace),
+        info_base: engine.block(block_id).misinfo_base,
+        block_id,
+    };
+
+    let mut body = Sink::new();
+    let mut exits: Vec<ExitInfo> = Vec::new();
+    let mut perm_by_ip: HashMap<u32, [u8; 8]> = HashMap::new();
+    let mut ia32_count = 0u64;
+
+    let mut i = 0usize;
+    let mut guard: Option<ipf::regs::Pr> = None;
+    while i < trace.steps.len() {
+        match &trace.steps[i] {
+            Step::Guard { cond, ip, .. } => {
+                // The guard predicate: the hammock body runs when the
+                // branch condition is FALSE.
+                body.set_ip(*ip);
+                perm_by_ip.insert(*ip, fp.perm);
+                let (_, pf) = templates::emit_cond_pred(&mut body, *cond);
+                guard = Some(pf);
+                ia32_count += 1;
+                i += 1;
+            }
+            Step::Inst {
+                ip,
+                inst,
+                len,
+                block,
+                idx,
+                guarded,
+            } => {
+                if !*guarded {
+                    guard = None;
+                }
+                perm_by_ip.insert(*ip, fp.perm);
+                // Try fusing with a following side exit.
+                if let Some(Step::SideExit {
+                    cond,
+                    target,
+                    block: jb,
+                    idx: jidx,
+                    ip: jip,
+                    ..
+                }) = trace.steps.get(i + 1)
+                {
+                    let reads = cond.flags_read();
+                    if !*guarded && inst.flags_written() & reads == reads {
+                        let live = live_cache
+                            .entry(*jb)
+                            .or_insert_with(|| analyze(&discover(&engine.mem, *jb)))
+                            .live_after(*jb, *jidx);
+                        let mut ctx = EmitCtx {
+                            ip: *ip,
+                            next_ip: ip + *len as u32,
+                            live_flags: live,
+                            fp: &mut fp,
+                            xmm: &mut xmm,
+                            misalign: &plan,
+                            align: &mut align,
+                        };
+                        if let Some(pt) =
+                            templates::emit_fused_cmp_jcc(&mut body, inst, *cond, &mut ctx)
+                        {
+                            let label = body.local_label();
+                            body.emit_pred(
+                                pt,
+                                Op::Br {
+                                    target: Target::Label(label),
+                                },
+                            );
+                            exits.push(ExitInfo {
+                                label,
+                                target: *target,
+                                perm: fp.perm,
+                                xmm_fmt: xmm.fmt,
+                            });
+                            perm_by_ip.insert(*jip, fp.perm);
+                            ia32_count += 2;
+                            i += 2;
+                            continue;
+                        }
+                    }
+                }
+                let live = live_cache
+                    .entry(*block)
+                    .or_insert_with(|| analyze(&discover(&engine.mem, *block)))
+                    .live_after(*block, *idx);
+                let mut ctx = EmitCtx {
+                    ip: *ip,
+                    next_ip: ip + *len as u32,
+                    live_flags: live,
+                    fp: &mut fp,
+                    xmm: &mut xmm,
+                    misalign: &plan,
+                    align: &mut align,
+                };
+                let before = body.items.len();
+                match templates::emit(&mut body, inst, &mut ctx) {
+                    Ok(None) => {}
+                    // Terminators are excluded by selection.
+                    Ok(Some(_)) | Err(_) => return None,
+                }
+                if *guarded {
+                    let Some(g) = guard else { return None };
+                    // Predicate the whole expansion; templates that emit
+                    // their own predicates cannot be if-converted.
+                    for item in &mut body.items[before..] {
+                        if let IlItem::Inst(e) = item {
+                            if e.inst.qp != ipf::regs::P0 {
+                                return None;
+                            }
+                            e.inst.qp = g;
+                        }
+                    }
+                }
+                ia32_count += 1;
+                i += 1;
+            }
+            Step::SideExit { cond, target, ip, .. } => {
+                guard = None;
+                // Unfused side exit: read the materialized flags.
+                body.set_ip(*ip);
+                perm_by_ip.insert(*ip, fp.perm);
+                let (pt, _) = templates::emit_cond_pred(&mut body, *cond);
+                let label = body.local_label();
+                body.emit_pred(
+                    pt,
+                    Op::Br {
+                        target: Target::Label(label),
+                    },
+                );
+                exits.push(ExitInfo {
+                    label,
+                    target: *target,
+                    perm: fp.perm,
+                    xmm_fmt: xmm.fmt,
+                });
+                ia32_count += 1;
+                i += 1;
+            }
+        }
+    }
+
+    // Collect ILs; the scheduler cannot handle in-body labels (templates
+    // with loops are excluded from traces, so Bind never appears).
+    let exit_label_ids: HashSet<u32> = exits.iter().map(|e| e.label).collect();
+    let mut ils: Vec<HotIl> = Vec::new();
+    for item in &body.items {
+        match item {
+            IlItem::Bind(_) => return None,
+            IlItem::Inst(e) => {
+                if let Some(Target::Label(l)) = e.inst.op.target() {
+                    if !exit_label_ids.contains(&l) {
+                        return None;
+                    }
+                }
+                ils.push(HotIl {
+                    inst: e.inst,
+                    ia32_ip: e.meta.ia32_ip,
+                    rec: None,
+                });
+            }
+        }
+    }
+
+    // Fault-raising stub branches need the state register set.
+    let fault_stubs = [
+        StubKind::DivZero.addr(),
+        StubKind::FpStackFault.addr(),
+        StubKind::InterpStep.addr(),
+    ];
+    let mut with_state: Vec<HotIl> = Vec::with_capacity(ils.len() + 4);
+    for il in ils {
+        if let Op::Br {
+            target: Target::Abs(t),
+        } = il.inst.op
+        {
+            if fault_stubs.contains(&t) {
+                with_state.push(HotIl {
+                    inst: ipf::Inst::pred(
+                        il.inst.qp,
+                        Op::Movl {
+                            d: GR_STATE,
+                            imm: il.ia32_ip as u64,
+                        },
+                    ),
+                    ia32_ip: il.ia32_ip,
+                    rec: None,
+                });
+            }
+        }
+        with_state.push(il);
+    }
+    let mut ils = with_state;
+
+    // Optimization passes (paper: value tracking, address CSE,
+    // dead-code elimination).
+    opt::lvn(&mut ils);
+    opt::dce(&mut ils);
+
+    // Recovery entries for faulty micro-ops (commit points).
+    let mut recovery: Vec<RecEntry> = Vec::new();
+    let mut rec_index: HashMap<u32, u32> = HashMap::new();
+    for il in &mut ils {
+        if il.inst.op.can_fault() {
+            let idx = *rec_index.entry(il.ia32_ip).or_insert_with(|| {
+                let idx = recovery.len() as u32;
+                recovery.push(RecEntry {
+                    ia32_ip: il.ia32_ip,
+                    perm: perm_by_ip
+                        .get(&il.ia32_ip)
+                        .copied()
+                        .unwrap_or([0, 1, 2, 3, 4, 5, 6, 7]),
+                });
+                idx
+            });
+            il.rec = Some(idx);
+        }
+    }
+
+    // Schedule (reorder + stop bits) and allocate registers.
+    let order = sched::schedule(&ils);
+    let scheduled = sched::allocate(&ils, &order)?;
+
+    // Head: speculation checks.
+    let mut head = Sink::new();
+    templates::emit_spec_checks(&mut head, &fp, &xmm, block_id);
+    let mut cb = ipf::asm::CodeBuilder::new();
+    crate::cold::lower::lower(&head, &mut cb).ok()?;
+    let head_len = cb.len();
+
+    // Body. A trace that loops back to its own head with unchanged FP
+    // speculation state branches straight to the body (no exit block,
+    // no re-check) — the common tight-loop case.
+    let self_eip = engine.block(block_id).eip;
+    let body_start = cb.label();
+    cb.bind(body_start);
+    let direct_loop = trace.main_exit == self_eip
+        && fp.tos() == fp.entry_tos
+        && fp.perm == [0, 1, 2, 3, 4, 5, 6, 7]
+        && xmm.fmt == xmm.entry_fmt;
+    let exit_labels: HashMap<u32, ipf::asm::Label> =
+        exits.iter().map(|e| (e.label, cb.label())).collect();
+    for (inst, stop) in &scheduled {
+        let mut inst = *inst;
+        if let Some(Target::Label(l)) = inst.op.target() {
+            inst.op.set_target(Target::Label(exit_labels[&l].0));
+        }
+        cb.push_inst(inst);
+        if *stop {
+            cb.stop();
+        }
+    }
+
+    // Exits. Side exits bump the (otherwise retired) taken-edge slot so
+    // the premature-exit rate of traces is measurable (paper: ~6%).
+    let exit_counter = engine.block(block_id).edge_counters.0;
+    if direct_loop {
+        cb.push(Op::Br {
+            target: Target::Label(body_start.0),
+        });
+        cb.stop();
+    } else {
+        emit_exit(engine, &mut cb, None, trace.main_exit, fp.perm, xmm.fmt, spec.xmm_fmt);
+    }
+    for e in &exits {
+        cb.bind(exit_labels[&e.label]);
+        emit_exit_counter(&mut cb, exit_counter);
+        emit_exit(
+            engine,
+            &mut cb,
+            None,
+            e.target,
+            e.perm,
+            e.xmm_fmt,
+            spec.xmm_fmt,
+        );
+    }
+
+    let base = engine.machine.arena.end();
+    let (bundles, _labels, placements) = cb.assemble_with_placements(base);
+    let n_bundles = bundles.len() as u64;
+
+    // Recovery map: scheduled IL k was pushed at head_len + k.
+    let mut hot = HotData {
+        recovery,
+        by_slot: HashMap::new(),
+    };
+    for (k, _) in scheduled.iter().enumerate() {
+        if let Some(rec) = ils[order[k]].rec {
+            let (bidx, slot) = placements[head_len + k];
+            if bidx != usize::MAX {
+                hot.by_slot
+                    .insert((base + bidx as u64 * ipf::Bundle::SIZE, slot), rec);
+            }
+        }
+    }
+
+    // Install.
+    let entry = engine.machine.arena.append(bundles, region::HOT);
+    engine.machine.charge(
+        region::OVERHEAD,
+        ia32_count * engine.cfg.cold_xlate_cycles * engine.cfg.hot_xlate_factor,
+    );
+    engine.stats.hot_traces += 1;
+    engine.stats.hot_ia32_insts += ia32_count;
+    engine.stats.hot_native_insts += scheduled.len() as u64;
+    engine.stats.hot_commit_points += hot.recovery.len() as u64;
+    engine.install_hot(
+        block_id,
+        entry,
+        (entry, entry + n_bundles * ipf::Bundle::SIZE),
+        hot,
+        ia32_count as usize,
+    );
+    let _ = trace.unrolled;
+    Some(())
+}
+
+/// Emits a side-exit counter increment (uses caller-saved hot scratch).
+fn emit_exit_counter(cb: &mut ipf::asm::CodeBuilder, slot: u64) {
+    use ipf::regs::Gr;
+    let (a, c) = (Gr(crate::state::GR_SCRATCH), Gr(crate::state::GR_SCRATCH + 1));
+    cb.push(Op::Movl { d: a, imm: slot });
+    cb.stop();
+    cb.push(Op::Ld {
+        sz: 8,
+        d: c,
+        addr: a,
+        spec: false,
+    });
+    cb.stop();
+    cb.push(Op::AddImm { d: c, imm: 1, a: c });
+    cb.stop();
+    cb.push(Op::St {
+        sz: 8,
+        addr: a,
+        val: c,
+    });
+    cb.stop();
+}
+
+/// Emits an exit block: FXCHG-permutation restore, XMM format-status
+/// writeback, then a branch to the target (direct when translated).
+fn emit_exit(
+    engine: &Engine,
+    cb: &mut ipf::asm::CodeBuilder,
+    label: Option<ipf::asm::Label>,
+    target: u32,
+    perm: [u8; 8],
+    xmm_fmt: u8,
+    entry_fmt: u8,
+) {
+    if let Some(l) = label {
+        cb.bind(l);
+    }
+    // Restore the identity FP mapping (value of physical p lives in
+    // FR perm[p]); swap chains via the reserved temp f63.
+    if perm != [0, 1, 2, 3, 4, 5, 6, 7] {
+        let mut cur = perm;
+        let fr = |p: u8| ipf::regs::Fr(crate::state::FR_X87 + p as u16);
+        let temp = ipf::regs::Fr(63);
+        for start in 0..8u8 {
+            while cur[start as usize] != start {
+                let from = cur[start as usize];
+                cb.push(Op::FmergeS {
+                    d: temp,
+                    a: fr(start),
+                    b: fr(start),
+                });
+                cb.stop();
+                cb.push(Op::FmergeS {
+                    d: fr(start),
+                    a: fr(from),
+                    b: fr(from),
+                });
+                cb.stop();
+                cb.push(Op::FmergeS {
+                    d: fr(from),
+                    a: temp,
+                    b: temp,
+                });
+                cb.stop();
+                cur.swap(start as usize, from as usize);
+            }
+        }
+    }
+    if xmm_fmt != entry_fmt {
+        cb.push(Op::AddImm {
+            d: GR_XMMFMT,
+            imm: xmm_fmt as i64,
+            a: ipf::regs::R0,
+        });
+        cb.stop();
+    }
+    match engine.entry_of_existing(target) {
+        Some(addr) => {
+            cb.push(Op::Br {
+                target: Target::Abs(addr),
+            });
+            cb.stop();
+        }
+        None => {
+            cb.push(Op::Movl {
+                d: GR_PAYLOAD0,
+                imm: target as u64,
+            });
+            cb.stop();
+            cb.push(Op::Br {
+                target: Target::Abs(StubKind::Untranslated.addr()),
+            });
+            cb.stop();
+        }
+    }
+}

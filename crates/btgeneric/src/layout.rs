@@ -1,0 +1,170 @@
+//! Address-space layout of the translator: translation cache, exit
+//! stubs, and the profile-data region.
+//!
+//! IA-32 EL lives in the translated process's own (64-bit) address
+//! space; the IA-32 application owns the low 4 GiB, and everything the
+//! translator allocates sits above it.
+
+/// Base of the translation cache (code arena).
+pub const TC_BASE: u64 = 0x8000_0000_0000;
+
+/// Base of the exit-stub address range. Branching anywhere in
+/// `[STUB_BASE, STUB_BASE + 16*NUM_STUBS)` leaves the arena and returns
+/// control to the translator with the stub kind encoded in the address.
+pub const STUB_BASE: u64 = 0xE000_0000_0000;
+
+/// Base of the translator's profile-data region (counters, lookup
+/// table), mapped as ordinary guest memory above 4 GiB.
+pub const PROFILE_BASE: u64 = 0x1_0000_0000;
+
+/// Size of the profile-data region.
+pub const PROFILE_SIZE: u64 = 0x100_0000;
+
+/// Base of the indirect-branch lookup table (inside the profile region).
+pub const LOOKUP_BASE: u64 = PROFILE_BASE;
+
+/// Number of direct-mapped lookup-table entries (must be a power of 2).
+pub const LOOKUP_ENTRIES: u64 = 4096;
+
+/// Bytes per lookup entry: `(eip: u64, target: u64)`.
+pub const LOOKUP_ENTRY_SIZE: u64 = 16;
+
+/// Start of per-block profile slots (counters), after the lookup table.
+pub const COUNTERS_BASE: u64 = LOOKUP_BASE + LOOKUP_ENTRIES * LOOKUP_ENTRY_SIZE;
+
+/// Why translated code exited to the translator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum StubKind {
+    /// Guest executed `HLT` (bare-metal exit).
+    Exit = 0,
+    /// Guest executed `INT n`; payload0 = vector, state register = next EIP.
+    Syscall = 1,
+    /// Direct branch to a not-yet-translated EIP; payload0 = target EIP.
+    Untranslated = 2,
+    /// Indirect branch missed the lookup table; payload0 = target EIP.
+    IndirectMiss = 3,
+    /// A block's use counter hit the heating threshold; payload0 = block id.
+    Heat = 4,
+    /// Stage-1 misalignment probe fired; payload0 = block id.
+    MisalignRetrain = 5,
+    /// Self-modifying-code prologue check failed; payload0 = block id.
+    SmcFail = 6,
+    /// FP TOS speculation check failed; payload0 = block id.
+    TosFix = 7,
+    /// FP tag-word speculation check failed; payload0 = block id.
+    TagFix = 8,
+    /// FP/MMX aliasing-mode check failed; payload0 = block id.
+    MmxFix = 9,
+    /// XMM format check failed; payload0 = block id.
+    XmmFix = 10,
+    /// Integer divide by zero detected; state register = faulting EIP.
+    DivZero = 11,
+    /// x87 stack fault detected; state register = faulting EIP.
+    FpStackFault = 12,
+    /// Hot-code `chk.s` failed: deoptimize; payload0 = block id,
+    /// payload1 = recovery index.
+    Deopt = 13,
+    /// Rare slow path: single-step this instruction in the reference
+    /// interpreter (64/32 divides, pop-to-memory, …); state register
+    /// holds the instruction's EIP.
+    InterpStep = 14,
+    /// `UD2` or an undecodable instruction: raise `#UD`.
+    InvalidOp = 15,
+    /// An invalidated block's entry was patched to this stub: the engine
+    /// re-dispatches by mapping the branching bundle back to its block.
+    Reenter = 16,
+}
+
+impl StubKind {
+    /// All kinds, indexed by discriminant.
+    pub const ALL: [StubKind; 17] = [
+        StubKind::Exit,
+        StubKind::Syscall,
+        StubKind::Untranslated,
+        StubKind::IndirectMiss,
+        StubKind::Heat,
+        StubKind::MisalignRetrain,
+        StubKind::SmcFail,
+        StubKind::TosFix,
+        StubKind::TagFix,
+        StubKind::MmxFix,
+        StubKind::XmmFix,
+        StubKind::DivZero,
+        StubKind::FpStackFault,
+        StubKind::Deopt,
+        StubKind::InterpStep,
+        StubKind::InvalidOp,
+        StubKind::Reenter,
+    ];
+
+    /// The stub address for this kind.
+    pub fn addr(self) -> u64 {
+        STUB_BASE + (self as u64) * 16
+    }
+
+    /// Decodes a stub address back to its kind.
+    pub fn from_addr(addr: u64) -> Option<StubKind> {
+        if !(STUB_BASE..STUB_BASE + Self::ALL.len() as u64 * 16).contains(&addr) {
+            return None;
+        }
+        if addr % 16 != 0 {
+            return None;
+        }
+        Some(Self::ALL[((addr - STUB_BASE) / 16) as usize])
+    }
+}
+
+/// Cycle-attribution region ids used for Figures 6/7.
+pub mod region {
+    /// Dispatch / engine bookkeeping / fix-up time ("other").
+    pub const OTHER: u32 = 0;
+    /// Cold translated code.
+    pub const COLD: u32 = 1;
+    /// Hot translated code.
+    pub const HOT: u32 = 2;
+    /// Translation work itself (charged synthetically; "overhead").
+    pub const OVERHEAD: u32 = 3;
+    /// Native (untranslated) code: OS kernel / drivers in the Sysmark
+    /// model.
+    pub const NATIVE: u32 = 4;
+    /// Idle time (Sysmark model).
+    pub const IDLE: u32 = 5;
+}
+
+/// The address of the direct-mapped lookup-table entry for `eip`.
+pub fn lookup_slot(eip: u32) -> u64 {
+    // Simple direct-mapped hash on the low bits (entries are 16 bytes).
+    LOOKUP_BASE + ((eip as u64 >> 2) & (LOOKUP_ENTRIES - 1)) * LOOKUP_ENTRY_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stub_addr_roundtrip() {
+        for k in StubKind::ALL {
+            assert_eq!(StubKind::from_addr(k.addr()), Some(k));
+        }
+        assert_eq!(StubKind::from_addr(STUB_BASE - 16), None);
+        assert_eq!(StubKind::from_addr(STUB_BASE + 17 * 16), None);
+        assert_eq!(StubKind::from_addr(STUB_BASE + 8), None);
+    }
+
+    #[test]
+    fn lookup_slots_in_region() {
+        for eip in [0u32, 4, 0x40_0000, 0xFFFF_FFFF] {
+            let s = lookup_slot(eip);
+            assert!(s >= LOOKUP_BASE);
+            assert!(s < COUNTERS_BASE);
+            assert_eq!(s % 16, 0);
+        }
+    }
+
+    #[test]
+    fn regions_disjoint() {
+        assert!(TC_BASE > PROFILE_BASE + PROFILE_SIZE);
+        assert!(STUB_BASE > TC_BASE);
+    }
+}

@@ -1,0 +1,18 @@
+//! # BTGeneric — the OS-independent core of the IA-32 Execution Layer
+//!
+//! The paper's primary contribution: a two-phase dynamic binary
+//! translator from IA-32 to Itanium. Cold translation works at
+//! basic-block granularity from hand-tuned templates with
+//! instrumentation in the translated code; hot translation re-derives an
+//! IL from the *same* templates, optimizes traces (hyper-blocks), and
+//! schedules aggressively while keeping exceptions precise through
+//! commit points and recovery maps.
+
+pub mod btos;
+pub mod cold;
+pub mod engine;
+pub mod hot;
+pub mod stats;
+pub mod layout;
+pub mod state;
+pub mod templates;

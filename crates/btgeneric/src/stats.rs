@@ -1,0 +1,129 @@
+//! Execution and translation statistics — the counters behind the
+//! paper's Figures 6/7 (time distribution) and the in-text numbers
+//! (heating rate, block sizes, speculation success, commit density).
+
+use crate::layout::region;
+use std::collections::HashMap;
+
+/// Aggregated statistics for one engine run.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Cold blocks translated (all versions).
+    pub cold_blocks: u64,
+    /// IA-32 instructions covered by cold translation.
+    pub cold_ia32_insts: u64,
+    /// Native instructions emitted by cold translation.
+    pub cold_native_insts: u64,
+    /// Hot traces generated.
+    pub hot_traces: u64,
+    /// IA-32 instructions covered by hot traces.
+    pub hot_ia32_insts: u64,
+    /// Native instructions emitted by hot translation.
+    pub hot_native_insts: u64,
+    /// Commit points recorded in hot code.
+    pub hot_commit_points: u64,
+    /// Side exits taken from hot traces (premature exits).
+    pub hot_side_exits: u64,
+    /// Heating-threshold triggers.
+    pub heat_events: u64,
+    /// Indirect-branch lookup misses handled.
+    pub indirect_misses: u64,
+    /// Misalignment probes that fired (stage 1 -> stage 2 regens).
+    pub misalign_retrains: u64,
+    /// OS-handled misalignment faults taken.
+    pub misalign_faults: u64,
+    /// Self-modifying-code events.
+    pub smc_events: u64,
+    /// FP TOS speculation fixes.
+    pub tos_fixes: u64,
+    /// FP tag speculation failures (block rebuilds).
+    pub tag_fixes: u64,
+    /// FP/MMX mode fixes.
+    pub mmx_fixes: u64,
+    /// XMM format fixes (engine side).
+    pub xmm_fixes: u64,
+    /// XMM format conversions performed by fix-ups.
+    pub xmm_conversions: u64,
+    /// Single-stepped instructions (escape hatch).
+    pub interp_steps: u64,
+    /// System calls serviced.
+    pub syscalls: u64,
+    /// Guest exceptions delivered or terminated on.
+    pub exceptions: u64,
+    /// Hot-code deoptimizations (chk.s failures).
+    pub deopts: u64,
+    /// Full translation-cache flushes (garbage collection).
+    pub cache_flushes: u64,
+}
+
+/// A cycle breakdown in the paper's Figure 6/7 categories.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TimeDistribution {
+    /// Cycles in hot translated code.
+    pub hot: u64,
+    /// Cycles in cold translated code.
+    pub cold: u64,
+    /// Translation overhead cycles.
+    pub overhead: u64,
+    /// Dispatch, fix-ups, emulation ("other").
+    pub other: u64,
+    /// Natively executed (kernel/driver) cycles.
+    pub native: u64,
+    /// Idle cycles.
+    pub idle: u64,
+}
+
+impl TimeDistribution {
+    /// Builds the distribution from a machine's per-region cycles.
+    pub fn from_region_cycles(rc: &HashMap<u32, u64>) -> TimeDistribution {
+        let g = |r: u32| rc.get(&r).copied().unwrap_or(0);
+        TimeDistribution {
+            hot: g(region::HOT),
+            cold: g(region::COLD),
+            overhead: g(region::OVERHEAD),
+            other: g(region::OTHER),
+            native: g(region::NATIVE),
+            idle: g(region::IDLE),
+        }
+    }
+
+    /// Total cycles.
+    pub fn total(&self) -> u64 {
+        self.hot + self.cold + self.overhead + self.other + self.native + self.idle
+    }
+
+    /// Percentage of the total for each category:
+    /// `(hot, cold, overhead, other, native, idle)`.
+    pub fn percentages(&self) -> (f64, f64, f64, f64, f64, f64) {
+        let t = self.total().max(1) as f64;
+        (
+            self.hot as f64 * 100.0 / t,
+            self.cold as f64 * 100.0 / t,
+            self.overhead as f64 * 100.0 / t,
+            self.other as f64 * 100.0 / t,
+            self.native as f64 * 100.0 / t,
+            self.idle as f64 * 100.0 / t,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_percentages() {
+        let mut rc = HashMap::new();
+        rc.insert(region::HOT, 95);
+        rc.insert(region::COLD, 3);
+        rc.insert(region::OVERHEAD, 1);
+        rc.insert(region::OTHER, 1);
+        let d = TimeDistribution::from_region_cycles(&rc);
+        assert_eq!(d.total(), 100);
+        let (hot, cold, ovh, other, _, _) = d.percentages();
+        assert!((hot - 95.0).abs() < 1e-9);
+        assert!((cold - 3.0).abs() < 1e-9);
+        assert!((ovh - 1.0).abs() < 1e-9);
+        assert!((other - 1.0).abs() < 1e-9);
+    }
+}

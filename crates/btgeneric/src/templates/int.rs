@@ -1,0 +1,1637 @@
+//! Integer and control-flow instruction templates.
+
+use super::flags_emit::{arith_flags, cond_from_flags, logic_flags, ArithKind};
+use super::mem::{ea, guest_load, guest_store, read_gpr, snapshot, write_gpr};
+use super::{EmitCtx, Sink, Term, Unsupported};
+use crate::layout::StubKind;
+use crate::state::{self, GR_EFLAGS, GR_ONE};
+use ia32::flags;
+use ia32::inst::{AluOp, Inst as I32, MulDivOp, Rm, RmI, ShiftCount, ShiftOp};
+use ia32::Size;
+use ipf::inst::{CmpRel, FXfer, Op, Target};
+use ipf::regs::{Gr, Pr, F0, R0};
+
+/// Reads a register-or-memory operand (zero-extended at `size`).
+fn read_rm(sink: &mut Sink, ctx: &mut EmitCtx<'_>, rm: &Rm, size: Size) -> Gr {
+    match rm {
+        Rm::Reg(r) => read_gpr(sink, *r, size),
+        Rm::Mem(a) => {
+            let addr = ea(sink, a);
+            guest_load(sink, ctx, addr, Some(a), size.bytes() as u8)
+        }
+    }
+}
+
+/// An ALU source: either a register value or a foldable immediate.
+enum AluSrc {
+    /// Register operand (read-through; unused by current callers, which
+    /// fall back to `read_rmi`).
+    #[allow(dead_code)]
+    Reg(Gr),
+    /// Foldable immediate.
+    Imm(i64),
+}
+
+/// Reads an ALU source, keeping immediates symbolic so the imm-form
+/// Itanium ops can be used.
+fn read_alu_src(sink: &mut Sink, ctx: &mut EmitCtx<'_>, rmi: &RmI, size: Size) -> AluSrc {
+    match rmi {
+        RmI::Imm(v) => AluSrc::Imm(size.trunc(*v as u32) as i64),
+        other => AluSrc::Reg(read_rmi(sink, ctx, other, size)),
+    }
+}
+
+/// Reads a register, memory, or immediate operand.
+fn read_rmi(sink: &mut Sink, ctx: &mut EmitCtx<'_>, rmi: &RmI, size: Size) -> Gr {
+    match rmi {
+        RmI::Reg(r) => read_gpr(sink, *r, size),
+        RmI::Mem(a) => {
+            let addr = ea(sink, a);
+            guest_load(sink, ctx, addr, Some(a), size.bytes() as u8)
+        }
+        RmI::Imm(v) => {
+            let d = sink.vg();
+            sink.mov_imm(d, size.trunc(*v as u32) as u64);
+            d
+        }
+    }
+}
+
+/// Truncate-and-zero-extend to `size`.
+fn trunc(sink: &mut Sink, v: Gr, size: Size) -> Gr {
+    let d = sink.vg();
+    sink.emit(Op::Zxt {
+        d,
+        a: v,
+        size: size.bytes() as u8,
+    });
+    d
+}
+
+/// Sign-extend at `size`.
+fn sext(sink: &mut Sink, v: Gr, size: Size) -> Gr {
+    let d = sink.vg();
+    sink.emit(Op::Sxt {
+        d,
+        a: v,
+        size: size.bytes() as u8,
+    });
+    d
+}
+
+/// Writes a result to an `Rm` destination. For memory this is the
+/// faulting op and must precede all state updates; the caller orders
+/// accordingly by calling this before flag emission when `dst` is
+/// memory.
+fn write_rm(sink: &mut Sink, ctx: &mut EmitCtx<'_>, rm: &Rm, size: Size, v: Gr) {
+    match rm {
+        Rm::Reg(r) => write_gpr(sink, ctx, *r, size, v),
+        Rm::Mem(a) => {
+            let addr = ea(sink, a);
+            guest_store(sink, ctx, addr, Some(a), size.bytes() as u8, v);
+        }
+    }
+}
+
+/// Pushes `v` (32-bit): store first, ESP update after (paper Table 1).
+fn push32(sink: &mut Sink, ctx: &mut EmitCtx<'_>, v: Gr) {
+    let esp = state::guest_gpr(4);
+    let new = sink.vg();
+    sink.emit(Op::AddImm {
+        d: new,
+        imm: -4,
+        a: esp,
+    });
+    let new32 = trunc(sink, new, Size::D);
+    guest_store(sink, ctx, new32, None, 4, v);
+    sink.mov(esp, new32);
+    ctx.align.invalidate_gpr(4);
+}
+
+/// Emits an exact unsigned 32-bit divide via `frcpa` + Newton-Raphson +
+/// Markstein correction (there is no integer divide on Itanium).
+/// Returns `(quotient, remainder)` as 64-bit GRs with 32-bit values.
+fn emit_udiv32(sink: &mut Sink, a: Gr, b: Gr) -> (Gr, Gr) {
+    let fa_sig = sink.vf();
+    let fb_sig = sink.vf();
+    sink.emit(Op::Setf {
+        kind: FXfer::Sig,
+        f: fa_sig,
+        r: a,
+    });
+    sink.emit(Op::Setf {
+        kind: FXfer::Sig,
+        f: fb_sig,
+        r: b,
+    });
+    let fa = sink.vf();
+    let fb = sink.vf();
+    sink.emit(Op::FcvtXf { d: fa, a: fa_sig });
+    sink.emit(Op::FcvtXf { d: fb, a: fb_sig });
+    let y = sink.vf();
+    let p = sink.vp();
+    sink.emit(Op::Frcpa {
+        d: y,
+        p,
+        a: fa,
+        b: fb,
+    });
+    // Two NR iterations are ample for 32-bit quotients.
+    for _ in 0..2 {
+        let e = sink.vf();
+        sink.emit_pred(
+            p,
+            Op::Fnma {
+                d: e,
+                a: fb,
+                b: y,
+                c: ipf::regs::F1,
+            },
+        );
+        sink.emit_pred(p, Op::Fma { d: y, a: y, b: e, c: y });
+    }
+    let q0 = sink.vf();
+    sink.emit_pred(p, Op::Fma { d: q0, a: fa, b: y, c: F0 });
+    let qt = sink.vf();
+    sink.emit(Op::FcvtFx {
+        d: qt,
+        a: q0,
+        trunc: true,
+    });
+    let q = sink.vg();
+    sink.emit(Op::Getf {
+        kind: FXfer::Sig,
+        d: q,
+        f: qt,
+    });
+    // r = a - q*b, then correct q into [0, b).
+    let qb_f = sink.vf();
+    sink.emit(Op::Xma {
+        d: qb_f,
+        a: qt,
+        b: fb_sig,
+        c: F0,
+        high: false,
+    });
+    let qb = sink.vg();
+    sink.emit(Op::Getf {
+        kind: FXfer::Sig,
+        d: qb,
+        f: qb_f,
+    });
+    let r = sink.vg();
+    sink.emit(Op::Sub { d: r, a, b: qb });
+    // If r < 0 (as i64): q -= 1, r += b.
+    let p_neg = sink.vp();
+    let p_nn = sink.vp();
+    sink.emit(Op::CmpImm {
+        rel: CmpRel::Gt,
+        pt: p_neg,
+        pf: p_nn,
+        imm: 0,
+        b: r,
+    });
+    sink.emit_pred(p_neg, Op::AddImm { d: q, imm: -1, a: q });
+    sink.emit_pred(p_neg, Op::Add { d: r, a: r, b });
+    // If r >= b: q += 1, r -= b.
+    let p_ge = sink.vp();
+    let p_lt = sink.vp();
+    sink.emit(Op::Cmp {
+        rel: CmpRel::Geu,
+        pt: p_ge,
+        pf: p_lt,
+        a: r,
+        b,
+    });
+    sink.emit_pred(p_ge, Op::AddImm { d: q, imm: 1, a: q });
+    sink.emit_pred(p_ge, Op::Sub { d: r, a: r, b });
+    (q, r)
+}
+
+/// Emits `|v|` of a sign-extended 64-bit value, returning
+/// `(abs, p_negative)`.
+fn emit_abs(sink: &mut Sink, v: Gr) -> (Gr, Pr) {
+    let p_neg = sink.vp();
+    let p_nn = sink.vp();
+    sink.emit(Op::CmpImm {
+        rel: CmpRel::Gt,
+        pt: p_neg,
+        pf: p_nn,
+        imm: 0,
+        b: v,
+    });
+    let out = sink.vg();
+    sink.mov(out, v);
+    sink.emit_pred(
+        p_neg,
+        Op::SubImm {
+            d: out,
+            imm: 0,
+            a: v,
+        },
+    );
+    (out, p_neg)
+}
+
+/// Emits the integer/control-flow translation of one instruction.
+pub(super) fn emit_int(
+    sink: &mut Sink,
+    inst: &I32,
+    ctx: &mut EmitCtx<'_>,
+) -> Result<Option<Term>, Unsupported> {
+    let live = ctx.live_flags & inst.flags_written_maybe();
+    match inst {
+        I32::Alu { op, size, dst, src } => {
+            let a = read_rm(sink, ctx, dst, *size);
+            // Immediate fast path: fold into the Itanium imm-form op.
+            if live == 0 && op.writes_dst() {
+                if let AluSrc::Imm(imm) = read_alu_src(sink, ctx, src, *size) {
+                    let folded = match op {
+                        AluOp::Add => Some(Op::AddImm {
+                            d: sink.vg(),
+                            imm,
+                            a,
+                        }),
+                        AluOp::Sub => Some(Op::AddImm {
+                            d: sink.vg(),
+                            imm: -imm,
+                            a,
+                        }),
+                        AluOp::And => Some(Op::AndImm {
+                            d: sink.vg(),
+                            imm,
+                            a,
+                        }),
+                        AluOp::Or => Some(Op::OrImm {
+                            d: sink.vg(),
+                            imm,
+                            a,
+                        }),
+                        AluOp::Xor => Some(Op::XorImm {
+                            d: sink.vg(),
+                            imm,
+                            a,
+                        }),
+                        _ => None,
+                    };
+                    if let Some(fop) = folded {
+                        let d = match fop {
+                            Op::AddImm { d, .. }
+                            | Op::AndImm { d, .. }
+                            | Op::OrImm { d, .. }
+                            | Op::XorImm { d, .. } => d,
+                            _ => unreachable!(),
+                        };
+                        sink.emit(fop);
+                        write_rm(sink, ctx, dst, *size, d);
+                        return Ok(None);
+                    }
+                }
+            }
+            let b = read_rmi(sink, ctx, src, *size);
+            emit_alu(sink, ctx, *op, *size, a, b, Some(dst), live);
+        }
+        I32::AluRM { op, size, dst, src } => {
+            let a = read_gpr(sink, *dst, *size);
+            let addr = ea(sink, src);
+            let b = guest_load(sink, ctx, addr, Some(src), size.bytes() as u8);
+            emit_alu(sink, ctx, *op, *size, a, b, Some(&Rm::Reg(*dst)), live);
+        }
+        I32::Test { size, a, b } => {
+            let x = read_rm(sink, ctx, a, *size);
+            let y = read_rmi(sink, ctx, b, *size);
+            let res = sink.vg();
+            sink.emit(Op::And { d: res, a: x, b: y });
+            logic_flags(sink, res, *size, live);
+        }
+        I32::Mov { size, dst, src } => {
+            if let (Rm::Reg(r), RmI::Imm(v), Size::D) = (dst, src, *size) {
+                // Direct constant write: the truncation is in the imm.
+                let g = crate::state::guest_gpr(r.num());
+                sink.mov_imm(g, Size::D.trunc(*v as u32) as u64);
+                ctx.align.invalidate_gpr(r.num());
+                return Ok(None);
+            }
+            let v = read_rmi(sink, ctx, src, *size);
+            write_rm(sink, ctx, dst, *size, v);
+        }
+        I32::MovLoad { size, dst, src } => {
+            let addr = ea(sink, src);
+            let v = guest_load(sink, ctx, addr, Some(src), size.bytes() as u8);
+            write_gpr(sink, ctx, *dst, *size, v);
+        }
+        I32::Movzx { dst, src_size, src } => {
+            let v = read_rm(sink, ctx, src, *src_size);
+            write_gpr(sink, ctx, *dst, Size::D, v);
+        }
+        I32::Movsx { dst, src_size, src } => {
+            let v = read_rm(sink, ctx, src, *src_size);
+            let s = sext(sink, v, *src_size);
+            write_gpr(sink, ctx, *dst, Size::D, s);
+        }
+        I32::Lea { dst, addr } => {
+            let v = ea(sink, addr);
+            write_gpr(sink, ctx, *dst, Size::D, v);
+        }
+        I32::Xchg { size, reg, rm } => {
+            let a = read_gpr(sink, *reg, *size);
+            let a = snapshot(sink, a);
+            let b = read_rm(sink, ctx, rm, *size);
+            let b = snapshot(sink, b);
+            write_rm(sink, ctx, rm, *size, a);
+            write_gpr(sink, ctx, *reg, *size, b);
+        }
+        I32::Push { src } => {
+            let v = read_rmi(sink, ctx, src, Size::D);
+            push32(sink, ctx, v);
+        }
+        I32::Pop { dst } => match dst {
+            Rm::Reg(r) => {
+                let esp = state::guest_gpr(4);
+                let v = guest_load(sink, ctx, esp, None, 4);
+                let new = sink.vg();
+                sink.emit(Op::AddImm {
+                    d: new,
+                    imm: 4,
+                    a: esp,
+                });
+                let new32 = trunc(sink, new, Size::D);
+                sink.mov(esp, new32);
+                ctx.align.invalidate_gpr(4);
+                write_gpr(sink, ctx, *r, Size::D, v);
+            }
+            Rm::Mem(_) => return Err(Unsupported("pop to memory")),
+        },
+        I32::IncDec { inc, size, dst } => {
+            let a = read_rm(sink, ctx, dst, *size);
+            let a = if live != 0 { snapshot(sink, a) } else { a };
+            let res64 = sink.vg();
+            sink.emit(Op::AddImm {
+                d: res64,
+                imm: if *inc { 1 } else { -1 },
+                a,
+            });
+            let res = trunc(sink, res64, *size);
+            write_rm(sink, ctx, dst, *size, res);
+            arith_flags(
+                sink,
+                if *inc { ArithKind::Inc } else { ArithKind::Dec },
+                a,
+                GR_ONE,
+                res64,
+                res,
+                *size,
+                live,
+                None,
+            );
+        }
+        I32::Neg { size, dst } => {
+            let a = read_rm(sink, ctx, dst, *size);
+            let a = if live != 0 { snapshot(sink, a) } else { a };
+            let res64 = sink.vg();
+            sink.emit(Op::SubImm {
+                d: res64,
+                imm: 0,
+                a,
+            });
+            let res = trunc(sink, res64, *size);
+            write_rm(sink, ctx, dst, *size, res);
+            arith_flags(
+                sink,
+                ArithKind::Sub,
+                R0,
+                a,
+                res64,
+                res,
+                *size,
+                live,
+                None,
+            );
+        }
+        I32::Not { size, dst } => {
+            let a = read_rm(sink, ctx, dst, *size);
+            let res64 = sink.vg();
+            sink.emit(Op::XorImm {
+                d: res64,
+                imm: -1,
+                a,
+            });
+            let res = trunc(sink, res64, *size);
+            write_rm(sink, ctx, dst, *size, res);
+        }
+        I32::Shift {
+            op,
+            size,
+            dst,
+            count,
+        } => emit_shift(sink, ctx, *op, *size, dst, count, live),
+        I32::ImulRm { dst, src } => {
+            let a = read_gpr(sink, *dst, Size::D);
+            let b = read_rm(sink, ctx, src, Size::D);
+            let p = emit_mul64(sink, a, b, true);
+            let res = trunc(sink, p, Size::D);
+            write_gpr(sink, ctx, *dst, Size::D, res);
+            emit_mul_flags(sink, p, res, true, live);
+        }
+        I32::ImulRmImm { dst, src, imm } => {
+            let a = read_rm(sink, ctx, src, Size::D);
+            let b = sink.vg();
+            sink.mov_imm(b, *imm as i64 as u64);
+            let p = emit_mul64(sink, a, b, true);
+            let res = trunc(sink, p, Size::D);
+            write_gpr(sink, ctx, *dst, Size::D, res);
+            emit_mul_flags(sink, p, res, true, live);
+        }
+        I32::MulDiv { op, size, src } => {
+            if *size != Size::D {
+                return Err(Unsupported("byte/word multiply/divide"));
+            }
+            emit_muldiv32(sink, ctx, *op, src, live)?;
+        }
+        I32::Cdq => {
+            let eax = state::guest_gpr(0);
+            let edx = state::guest_gpr(2);
+            let t = sext(sink, eax, Size::D);
+            let h = sink.vg();
+            sink.emit(Op::ShrImm {
+                d: h,
+                a: t,
+                count: 32,
+                signed: true,
+            });
+            sink.emit(Op::Zxt {
+                d: edx,
+                a: h,
+                size: 4,
+            });
+            ctx.align.invalidate_gpr(2);
+        }
+        I32::Cwde => {
+            let eax = state::guest_gpr(0);
+            let t = sext(sink, eax, Size::W);
+            sink.emit(Op::Zxt {
+                d: eax,
+                a: t,
+                size: 4,
+            });
+            ctx.align.invalidate_gpr(0);
+        }
+        I32::Jmp { target } => return Ok(Some(Term::Jump { target: *target })),
+        I32::JmpInd { src } => {
+            let t = read_rm(sink, ctx, src, Size::D);
+            return Ok(Some(Term::Indirect { eip: t }));
+        }
+        I32::Jcc { cond, target } => {
+            let (pt, _) = cond_from_flags(sink, *cond);
+            return Ok(Some(Term::CondJump {
+                taken_pred: pt,
+                taken: *target,
+                fallthrough: ctx.next_ip,
+            }));
+        }
+        I32::Call { target } => {
+            let ret = sink.vg();
+            sink.mov_imm(ret, ctx.next_ip as u64);
+            push32(sink, ctx, ret);
+            return Ok(Some(Term::Jump { target: *target }));
+        }
+        I32::CallInd { src } => {
+            let t = read_rm(sink, ctx, src, Size::D);
+            let ret = sink.vg();
+            sink.mov_imm(ret, ctx.next_ip as u64);
+            push32(sink, ctx, ret);
+            return Ok(Some(Term::Indirect { eip: t }));
+        }
+        I32::Ret { pop } => {
+            let esp = state::guest_gpr(4);
+            let t = guest_load(sink, ctx, esp, None, 4);
+            let new = sink.vg();
+            sink.emit(Op::AddImm {
+                d: new,
+                imm: 4 + *pop as i64,
+                a: esp,
+            });
+            let new32 = trunc(sink, new, Size::D);
+            sink.mov(esp, new32);
+            ctx.align.invalidate_gpr(4);
+            return Ok(Some(Term::Indirect { eip: t }));
+        }
+        I32::Setcc { cond, dst } => {
+            let (pt, pf) = cond_from_flags(sink, *cond);
+            let v = sink.vg();
+            sink.emit_pred(pt, Op::AddImm { d: v, imm: 1, a: R0 });
+            sink.emit_pred(pf, Op::AddImm { d: v, imm: 0, a: R0 });
+            write_rm(sink, ctx, dst, Size::B, v);
+        }
+        I32::Cmovcc { cond, dst, src } => {
+            // The source is read unconditionally (it may fault), as on
+            // hardware.
+            let v = read_rm(sink, ctx, src, Size::D);
+            let (pt, _) = cond_from_flags(sink, *cond);
+            let g = state::guest_gpr(dst.num());
+            sink.emit_pred(
+                pt,
+                Op::Zxt {
+                    d: g,
+                    a: v,
+                    size: 4,
+                },
+            );
+            ctx.align.invalidate_gpr(dst.num());
+        }
+        I32::Nop => {}
+        I32::Hlt => return Ok(Some(Term::Halt)),
+        I32::Ud2 => return Ok(Some(Term::InvalidOp)),
+        I32::Int { vector } => return Ok(Some(Term::Syscall { vector: *vector })),
+        I32::Movs { size, rep } => emit_string(sink, ctx, *size, *rep, true),
+        I32::Stos { size, rep } => emit_string(sink, ctx, *size, *rep, false),
+        _ => return Err(Unsupported("non-integer instruction in emit_int")),
+    }
+    Ok(None)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_alu(
+    sink: &mut Sink,
+    ctx: &mut EmitCtx<'_>,
+    op: AluOp,
+    size: Size,
+    a: Gr,
+    b: Gr,
+    dst: Option<&Rm>,
+    live: u32,
+) {
+    // The flag sequences read the operands after the destination write;
+    // snapshot them when the destination may alias an operand.
+    let (a, b) = if live != 0 && op.writes_dst() {
+        (snapshot(sink, a), snapshot(sink, b))
+    } else {
+        (a, b)
+    };
+    // With flags dead, the truncation can be left to the destination
+    // write (guest-register writes zero-extend; stores mask).
+    let maybe_trunc = |sink: &mut Sink, r: Gr| {
+        if live == 0 {
+            r
+        } else {
+            trunc(sink, r, size)
+        }
+    };
+    let (res64, res, kind) = match op {
+        AluOp::Add => {
+            let r = sink.vg();
+            sink.emit(Op::Add { d: r, a, b });
+            let rt = maybe_trunc(sink, r);
+            (r, rt, ArithKind::Add)
+        }
+        AluOp::Adc => {
+            let cf = sink.vg();
+            sink.emit(Op::Extr {
+                d: cf,
+                a: GR_EFLAGS,
+                pos: 0,
+                len: 1,
+                signed: false,
+            });
+            let s = sink.vg();
+            sink.emit(Op::Add { d: s, a, b });
+            let r = sink.vg();
+            sink.emit(Op::Add { d: r, a: s, b: cf });
+            (r, trunc(sink, r, size), ArithKind::Add)
+        }
+        AluOp::Sub | AluOp::Cmp => {
+            let r = sink.vg();
+            sink.emit(Op::Sub { d: r, a, b });
+            let rt = maybe_trunc(sink, r);
+            (r, rt, ArithKind::Sub)
+        }
+        AluOp::Sbb => {
+            let cf = sink.vg();
+            sink.emit(Op::Extr {
+                d: cf,
+                a: GR_EFLAGS,
+                pos: 0,
+                len: 1,
+                signed: false,
+            });
+            let s = sink.vg();
+            sink.emit(Op::Sub { d: s, a, b });
+            let r = sink.vg();
+            sink.emit(Op::Sub { d: r, a: s, b: cf });
+            (r, trunc(sink, r, size), ArithKind::Sub)
+        }
+        AluOp::And => {
+            let r = sink.vg();
+            sink.emit(Op::And { d: r, a, b });
+            (r, r, ArithKind::Logic)
+        }
+        AluOp::Or => {
+            let r = sink.vg();
+            sink.emit(Op::Or { d: r, a, b });
+            (r, r, ArithKind::Logic)
+        }
+        AluOp::Xor => {
+            let r = sink.vg();
+            sink.emit(Op::Xor { d: r, a, b });
+            (r, r, ArithKind::Logic)
+        }
+    };
+    // Memory destination: the store is the faulting op and must precede
+    // the EFLAGS update.
+    if op.writes_dst() {
+        if let Some(rm) = dst {
+            write_rm(sink, ctx, rm, size, res);
+        }
+    }
+    arith_flags(sink, kind, a, b, res64, res, size, live, None);
+}
+
+fn emit_shift(
+    sink: &mut Sink,
+    ctx: &mut EmitCtx<'_>,
+    op: ShiftOp,
+    size: Size,
+    dst: &Rm,
+    count: &ShiftCount,
+    live: u32,
+) {
+    let a = read_rm(sink, ctx, dst, size);
+    let a = if live != 0 { snapshot(sink, a) } else { a };
+    match count {
+        ShiftCount::Imm(c0) => {
+            let c = c0 & 0x1F;
+            if c == 0 {
+                return;
+            }
+            let (res64, res) = match op {
+                ShiftOp::Shl => {
+                    let r = sink.vg();
+                    sink.emit(Op::ShlImm { d: r, a, count: c });
+                    (r, trunc(sink, r, size))
+                }
+                ShiftOp::Shr => {
+                    let r = sink.vg();
+                    sink.emit(Op::ShrImm {
+                        d: r,
+                        a,
+                        count: c,
+                        signed: false,
+                    });
+                    (r, r)
+                }
+                ShiftOp::Sar => {
+                    let s = sext(sink, a, size);
+                    let r = sink.vg();
+                    sink.emit(Op::ShrImm {
+                        d: r,
+                        a: s,
+                        count: c,
+                        signed: true,
+                    });
+                    (s, trunc(sink, r, size))
+                }
+            };
+            write_rm(sink, ctx, dst, size, res);
+            shift_flags(sink, op, a, ShiftAmount::Imm(c), res64, res, size, live, None);
+        }
+        ShiftCount::Cl => {
+            let cl = read_gpr(sink, ia32::regs::ECX, Size::B);
+            let c = sink.vg();
+            sink.emit(Op::AndImm {
+                d: c,
+                imm: 0x1F,
+                a: cl,
+            });
+            let p_nz = sink.vp();
+            let p_z = sink.vp();
+            sink.emit(Op::CmpImm {
+                rel: CmpRel::Ne,
+                pt: p_nz,
+                pf: p_z,
+                imm: 0,
+                b: c,
+            });
+            let (res64, res) = match op {
+                ShiftOp::Shl => {
+                    let r = sink.vg();
+                    sink.emit(Op::ShlVar { d: r, a, c });
+                    (r, trunc(sink, r, size))
+                }
+                ShiftOp::Shr => {
+                    let r = sink.vg();
+                    sink.emit(Op::ShrVar {
+                        d: r,
+                        a,
+                        c,
+                        signed: false,
+                    });
+                    (r, r)
+                }
+                ShiftOp::Sar => {
+                    let s = sext(sink, a, size);
+                    let r = sink.vg();
+                    sink.emit(Op::ShrVar {
+                        d: r,
+                        a: s,
+                        c,
+                        signed: true,
+                    });
+                    (s, trunc(sink, r, size))
+                }
+            };
+            match dst {
+                Rm::Reg(r) => {
+                    // c == 0 leaves the value unchanged, so the write is
+                    // safe unconditionally.
+                    write_gpr(sink, ctx, *r, size, res);
+                }
+                Rm::Mem(a_expr) => {
+                    // Memory store must be skipped for c == 0 (the
+                    // interpreter performs no write in that case).
+                    let addr = ea(sink, a_expr);
+                    let qaddr = sink.vg();
+                    // Redirect the store to a scratch slot… simpler: use
+                    // a predicated store via a copy of the address only
+                    // valid under p_nz. Our guest_store is unpredicated,
+                    // so emit the plain-store variant under p_nz.
+                    let _ = qaddr;
+                    sink.emit_pred(
+                        p_nz,
+                        Op::St {
+                            sz: size.bytes() as u8,
+                            addr,
+                            val: res,
+                        },
+                    );
+                }
+            }
+            shift_flags(
+                sink,
+                op,
+                a,
+                ShiftAmount::Var(c),
+                res64,
+                res,
+                size,
+                live,
+                Some(p_nz),
+            );
+        }
+    }
+}
+
+enum ShiftAmount {
+    Imm(u8),
+    Var(Gr),
+}
+
+/// Shift flags: CF = last bit out, OF per-op formula, SZP of the result.
+/// All oracle-matching, including the quirky IA-32 corner cases.
+#[allow(clippy::too_many_arguments)]
+fn shift_flags(
+    sink: &mut Sink,
+    op: ShiftOp,
+    a: Gr,
+    amount: ShiftAmount,
+    res64: Gr,
+    res: Gr,
+    size: Size,
+    live: u32,
+    qp: Option<Pr>,
+) {
+    if live == 0 {
+        return;
+    }
+    use super::flags_emit::FlagAcc;
+    let bits = size.bits() as u8;
+    let mut fa = FlagAcc::new(sink);
+    // CF.
+    if live & flags::CF != 0 {
+        let cf_bit = match (op, &amount) {
+            (ShiftOp::Shl, _) => {
+                // Bit `bits` of the untruncated shifted value.
+                let t = sink.vg();
+                sink.emit(Op::Extr {
+                    d: t,
+                    a: res64,
+                    pos: bits,
+                    len: 1,
+                    signed: false,
+                });
+                t
+            }
+            (ShiftOp::Shr, ShiftAmount::Imm(c)) => {
+                let t = sink.vg();
+                sink.emit(Op::Extr {
+                    d: t,
+                    a,
+                    pos: c - 1,
+                    len: 1,
+                    signed: false,
+                });
+                t
+            }
+            (ShiftOp::Sar, ShiftAmount::Imm(c)) => {
+                let s = sext(sink, a, size);
+                let t = sink.vg();
+                sink.emit(Op::Extr {
+                    d: t,
+                    a: s,
+                    pos: (c - 1).min(63),
+                    len: 1,
+                    signed: false,
+                });
+                t
+            }
+            (ShiftOp::Shr, ShiftAmount::Var(c)) => {
+                let cm1 = sink.vg();
+                sink.emit(Op::AddImm {
+                    d: cm1,
+                    imm: -1,
+                    a: *c,
+                });
+                let sh = sink.vg();
+                sink.emit(Op::ShrVar {
+                    d: sh,
+                    a,
+                    c: cm1,
+                    signed: false,
+                });
+                let t = sink.vg();
+                sink.emit(Op::AndImm { d: t, imm: 1, a: sh });
+                t
+            }
+            (ShiftOp::Sar, ShiftAmount::Var(c)) => {
+                let s = sext(sink, a, size);
+                let cm1 = sink.vg();
+                sink.emit(Op::AddImm {
+                    d: cm1,
+                    imm: -1,
+                    a: *c,
+                });
+                let sh = sink.vg();
+                sink.emit(Op::ShrVar {
+                    d: sh,
+                    a: s,
+                    c: cm1,
+                    signed: true,
+                });
+                let t = sink.vg();
+                sink.emit(Op::AndImm { d: t, imm: 1, a: sh });
+                t
+            }
+        };
+        fa.or_bit(sink, cf_bit, 0);
+        // OF for SHL = CF ^ SF(res); compute while cf_bit is at hand.
+        if op == ShiftOp::Shl && live & flags::OF != 0 {
+            let sf = sink.vg();
+            sink.emit(Op::Extr {
+                d: sf,
+                a: res,
+                pos: bits - 1,
+                len: 1,
+                signed: false,
+            });
+            let x = sink.vg();
+            sink.emit(Op::Xor {
+                d: x,
+                a: cf_bit,
+                b: sf,
+            });
+            fa.or_bit(sink, x, 11);
+        }
+    } else if op == ShiftOp::Shl && live & flags::OF != 0 {
+        let cf = sink.vg();
+        sink.emit(Op::Extr {
+            d: cf,
+            a: res64,
+            pos: bits,
+            len: 1,
+            signed: false,
+        });
+        let sf = sink.vg();
+        sink.emit(Op::Extr {
+            d: sf,
+            a: res,
+            pos: bits - 1,
+            len: 1,
+            signed: false,
+        });
+        let x = sink.vg();
+        sink.emit(Op::Xor { d: x, a: cf, b: sf });
+        fa.or_bit(sink, x, 11);
+    }
+    if op == ShiftOp::Shr && live & flags::OF != 0 {
+        // OF = original sign.
+        let t = sink.vg();
+        sink.emit(Op::Extr {
+            d: t,
+            a,
+            pos: bits - 1,
+            len: 1,
+            signed: false,
+        });
+        fa.or_bit(sink, t, 11);
+    }
+    // SAR clears OF (mask handles it).
+    if live & flags::ZF != 0 {
+        let pt = sink.vp();
+        let pf = sink.vp();
+        sink.emit(Op::Cmp {
+            rel: CmpRel::Eq,
+            pt,
+            pf,
+            a: res,
+            b: R0,
+        });
+        fa.or_pred(sink, pt, flags::ZF);
+    }
+    if live & flags::SF != 0 {
+        let pt = sink.vp();
+        let pf = sink.vp();
+        sink.emit(Op::Tbit {
+            pt,
+            pf,
+            r: res,
+            pos: bits - 1,
+        });
+        fa.or_pred(sink, pt, flags::SF);
+    }
+    if live & flags::PF != 0 {
+        let t = sink.vg();
+        sink.emit(Op::AndImm {
+            d: t,
+            imm: 0xFF,
+            a: res,
+        });
+        let cnum = sink.vg();
+        sink.emit(Op::Popcnt { d: cnum, a: t });
+        let pt = sink.vp();
+        let pf = sink.vp();
+        sink.emit(Op::Tbit {
+            pt,
+            pf,
+            r: cnum,
+            pos: 0,
+        });
+        fa.or_pred(sink, pf, flags::PF);
+    }
+    // AF is undefined after shifts on hardware; the oracle leaves it
+    // cleared via the mask (flags::shl/shr/sar never set it).
+    fa.commit(sink, live & flags::STATUS, qp);
+}
+
+/// 64-bit product of two 32-bit operands via `xma` (the only integer
+/// multiply on Itanium).
+fn emit_mul64(sink: &mut Sink, a: Gr, b: Gr, signed: bool) -> Gr {
+    let (a, b) = if signed {
+        (sext(sink, a, Size::D), sext(sink, b, Size::D))
+    } else {
+        (a, b)
+    };
+    let fa = sink.vf();
+    let fb = sink.vf();
+    sink.emit(Op::Setf {
+        kind: FXfer::Sig,
+        f: fa,
+        r: a,
+    });
+    sink.emit(Op::Setf {
+        kind: FXfer::Sig,
+        f: fb,
+        r: b,
+    });
+    let fp = sink.vf();
+    sink.emit(Op::Xma {
+        d: fp,
+        a: fa,
+        b: fb,
+        c: F0,
+        high: false,
+    });
+    let p = sink.vg();
+    sink.emit(Op::Getf {
+        kind: FXfer::Sig,
+        d: p,
+        f: fp,
+    });
+    p
+}
+
+/// CF/OF (+SZP of the low half) for multiplies.
+fn emit_mul_flags(sink: &mut Sink, p: Gr, low: Gr, signed: bool, live: u32) {
+    if live == 0 {
+        return;
+    }
+    use super::flags_emit::FlagAcc;
+    let mut fa = FlagAcc::new(sink);
+    if live & (flags::CF | flags::OF) != 0 {
+        let (pt, pf) = (sink.vp(), sink.vp());
+        if signed {
+            let t = sext(sink, p, Size::D);
+            sink.emit(Op::Cmp {
+                rel: CmpRel::Ne,
+                pt,
+                pf,
+                a: p,
+                b: t,
+            });
+        } else {
+            let h = sink.vg();
+            sink.emit(Op::ShrImm {
+                d: h,
+                a: p,
+                count: 32,
+                signed: false,
+            });
+            sink.emit(Op::Cmp {
+                rel: CmpRel::Ne,
+                pt,
+                pf,
+                a: h,
+                b: R0,
+            });
+        }
+        fa.or_pred(sink, pt, (flags::CF | flags::OF) & live);
+    }
+    if live & flags::ZF != 0 {
+        let (pt, pf) = (sink.vp(), sink.vp());
+        sink.emit(Op::Cmp {
+            rel: CmpRel::Eq,
+            pt,
+            pf,
+            a: low,
+            b: R0,
+        });
+        fa.or_pred(sink, pt, flags::ZF);
+    }
+    if live & flags::SF != 0 {
+        let (pt, pf) = (sink.vp(), sink.vp());
+        sink.emit(Op::Tbit {
+            pt,
+            pf,
+            r: low,
+            pos: 31,
+        });
+        fa.or_pred(sink, pt, flags::SF);
+    }
+    if live & flags::PF != 0 {
+        let t = sink.vg();
+        sink.emit(Op::AndImm {
+            d: t,
+            imm: 0xFF,
+            a: low,
+        });
+        let c = sink.vg();
+        sink.emit(Op::Popcnt { d: c, a: t });
+        let (pt, pf) = (sink.vp(), sink.vp());
+        sink.emit(Op::Tbit {
+            pt,
+            pf,
+            r: c,
+            pos: 0,
+        });
+        fa.or_pred(sink, pf, flags::PF);
+    }
+    fa.commit(sink, live & flags::STATUS, None);
+}
+
+fn emit_muldiv32(
+    sink: &mut Sink,
+    ctx: &mut EmitCtx<'_>,
+    op: MulDivOp,
+    src: &Rm,
+    live: u32,
+) -> Result<(), Unsupported> {
+    let eax = state::guest_gpr(0);
+    let edx = state::guest_gpr(2);
+    let s = read_rm(sink, ctx, src, Size::D);
+    match op {
+        MulDivOp::Mul | MulDivOp::Imul => {
+            let signed = op == MulDivOp::Imul;
+            let p = emit_mul64(sink, eax, s, signed);
+            let low = trunc(sink, p, Size::D);
+            let hi = sink.vg();
+            sink.emit(Op::ShrImm {
+                d: hi,
+                a: p,
+                count: 32,
+                signed: false,
+            });
+            emit_mul_flags(sink, p, low, signed, live);
+            sink.mov(eax, low);
+            sink.mov(edx, hi);
+            ctx.align.invalidate_gpr(0);
+            ctx.align.invalidate_gpr(2);
+        }
+        MulDivOp::Div => {
+            // #DE on zero divisor.
+            let (pz, pnz) = (sink.vp(), sink.vp());
+            sink.emit(Op::CmpImm {
+                rel: CmpRel::Eq,
+                pt: pz,
+                pf: pnz,
+                imm: 0,
+                b: s,
+            });
+            sink.emit_pred(
+                pz,
+                Op::Br {
+                    target: Target::Abs(StubKind::DivZero.addr()),
+                },
+            );
+            // Fast path requires EDX == 0 (the overwhelmingly common
+            // compiler-generated pattern); otherwise single-step the
+            // instruction in the engine.
+            let (pslow, _pfast) = (sink.vp(), sink.vp());
+            sink.emit(Op::CmpImm {
+                rel: CmpRel::Ne,
+                pt: pslow,
+                pf: _pfast,
+                imm: 0,
+                b: edx,
+            });
+            sink.emit_pred(
+                pslow,
+                Op::Br {
+                    target: Target::Abs(StubKind::InterpStep.addr()),
+                },
+            );
+            let (q, r) = emit_udiv32(sink, eax, s);
+            sink.emit(Op::Zxt {
+                d: eax,
+                a: q,
+                size: 4,
+            });
+            sink.emit(Op::Zxt {
+                d: edx,
+                a: r,
+                size: 4,
+            });
+            ctx.align.invalidate_gpr(0);
+            ctx.align.invalidate_gpr(2);
+        }
+        MulDivOp::Idiv => {
+            let (pz, pnz) = (sink.vp(), sink.vp());
+            sink.emit(Op::CmpImm {
+                rel: CmpRel::Eq,
+                pt: pz,
+                pf: pnz,
+                imm: 0,
+                b: s,
+            });
+            sink.emit_pred(
+                pz,
+                Op::Br {
+                    target: Target::Abs(StubKind::DivZero.addr()),
+                },
+            );
+            // Fast path requires EDX to be the sign-extension of EAX
+            // (the CDQ pattern).
+            let a_sx = sext(sink, eax, Size::D);
+            let hi = sink.vg();
+            sink.emit(Op::ShrImm {
+                d: hi,
+                a: a_sx,
+                count: 32,
+                signed: true,
+            });
+            let hi32 = trunc(sink, hi, Size::D);
+            let (pslow, _pf) = (sink.vp(), sink.vp());
+            sink.emit(Op::Cmp {
+                rel: CmpRel::Ne,
+                pt: pslow,
+                pf: _pf,
+                a: hi32,
+                b: edx,
+            });
+            sink.emit_pred(
+                pslow,
+                Op::Br {
+                    target: Target::Abs(StubKind::InterpStep.addr()),
+                },
+            );
+            let b_sx = sext(sink, s, Size::D);
+            let (a_abs, a_neg) = emit_abs(sink, a_sx);
+            let (b_abs, b_neg) = emit_abs(sink, b_sx);
+            let (q, r) = emit_udiv32(sink, a_abs, b_abs);
+            // Apply signs: q negative iff signs differ; r takes a's sign.
+            let qs = sink.vg();
+            sink.mov(qs, q);
+            let neg_q = sink.vg();
+            sink.emit(Op::SubImm {
+                d: neg_q,
+                imm: 0,
+                a: q,
+            });
+            // signs differ = a_neg XOR b_neg; predicates cannot be
+            // XORed directly, so compute via 0/1 registers.
+            let an = sink.vg();
+            sink.mov(an, R0);
+            sink.emit_pred(a_neg, Op::AddImm { d: an, imm: 1, a: R0 });
+            let bn = sink.vg();
+            sink.mov(bn, R0);
+            sink.emit_pred(b_neg, Op::AddImm { d: bn, imm: 1, a: R0 });
+            let x = sink.vg();
+            sink.emit(Op::Xor { d: x, a: an, b: bn });
+            let (p_diff, _pd) = (sink.vp(), sink.vp());
+            sink.emit(Op::CmpImm {
+                rel: CmpRel::Ne,
+                pt: p_diff,
+                pf: _pd,
+                imm: 0,
+                b: x,
+            });
+            sink.emit_pred(p_diff, Op::AddImm { d: qs, imm: 0, a: neg_q });
+            let rs = sink.vg();
+            sink.mov(rs, r);
+            let neg_r = sink.vg();
+            sink.emit(Op::SubImm {
+                d: neg_r,
+                imm: 0,
+                a: r,
+            });
+            sink.emit_pred(a_neg, Op::AddImm { d: rs, imm: 0, a: neg_r });
+            // #DE if the quotient does not fit i32 (INT_MIN / -1).
+            let qt = sext(sink, qs, Size::D);
+            let q32 = sink.vg();
+            sink.emit(Op::Sxt {
+                d: q32,
+                a: qs,
+                size: 4,
+            });
+            let (p_ovf, _po) = (sink.vp(), sink.vp());
+            sink.emit(Op::Cmp {
+                rel: CmpRel::Ne,
+                pt: p_ovf,
+                pf: _po,
+                a: qt,
+                b: q32,
+            });
+            sink.emit_pred(
+                p_ovf,
+                Op::Br {
+                    target: Target::Abs(StubKind::DivZero.addr()),
+                },
+            );
+            sink.emit(Op::Zxt {
+                d: eax,
+                a: qs,
+                size: 4,
+            });
+            sink.emit(Op::Zxt {
+                d: edx,
+                a: rs,
+                size: 4,
+            });
+            ctx.align.invalidate_gpr(0);
+            ctx.align.invalidate_gpr(2);
+        }
+    }
+    Ok(())
+}
+
+/// `MOVS`/`STOS` with optional `REP` as an inline loop. State updates
+/// trail each element's store so the sequence is restartable on faults,
+/// exactly like the hardware semantics.
+fn emit_string(sink: &mut Sink, ctx: &mut EmitCtx<'_>, size: Size, rep: bool, movs: bool) {
+    let esi = state::guest_gpr(6);
+    let edi = state::guest_gpr(7);
+    let ecx = state::guest_gpr(1);
+    let n = size.bytes() as i64;
+    // Step from DF (bit 10).
+    let (p_df, p_up) = (sink.vp(), sink.vp());
+    sink.emit(Op::Tbit {
+        pt: p_df,
+        pf: p_up,
+        r: GR_EFLAGS,
+        pos: 10,
+    });
+    let step = sink.vg();
+    sink.emit_pred(p_up, Op::AddImm { d: step, imm: n, a: R0 });
+    sink.emit_pred(p_df, Op::AddImm { d: step, imm: -n, a: R0 });
+    let (top, done) = (sink.local_label(), sink.local_label());
+    if rep {
+        sink.bind(top);
+        let (p_done, _p) = (sink.vp(), sink.vp());
+        sink.emit(Op::CmpImm {
+            rel: CmpRel::Eq,
+            pt: p_done,
+            pf: _p,
+            imm: 0,
+            b: ecx,
+        });
+        sink.emit_pred(
+            p_done,
+            Op::Br {
+                target: Target::Label(done),
+            },
+        );
+    }
+    let v = if movs {
+        guest_load(sink, ctx, esi, None, size.bytes() as u8)
+    } else {
+        read_gpr(sink, ia32::regs::EAX, size)
+    };
+    guest_store(sink, ctx, edi, None, size.bytes() as u8, v);
+    if movs {
+        let t = sink.vg();
+        sink.emit(Op::Add {
+            d: t,
+            a: esi,
+            b: step,
+        });
+        sink.emit(Op::Zxt {
+            d: esi,
+            a: t,
+            size: 4,
+        });
+    }
+    let t = sink.vg();
+    sink.emit(Op::Add {
+        d: t,
+        a: edi,
+        b: step,
+    });
+    sink.emit(Op::Zxt {
+        d: edi,
+        a: t,
+        size: 4,
+    });
+    if rep {
+        let t = sink.vg();
+        sink.emit(Op::AddImm {
+            d: t,
+            imm: -1,
+            a: ecx,
+        });
+        sink.emit(Op::Zxt {
+            d: ecx,
+            a: t,
+            size: 4,
+        });
+        sink.emit(Op::Br {
+            target: Target::Label(top),
+        });
+        sink.bind(done);
+    }
+    ctx.align.invalidate_gpr(1);
+    ctx.align.invalidate_gpr(6);
+    ctx.align.invalidate_gpr(7);
+}
+
+/// Maps an IA-32 condition to an Itanium compare relation over the
+/// subtraction operands, when one exists.
+fn cond_to_rel(cond: ia32::Cond) -> Option<(CmpRel, bool)> {
+    use ia32::Cond as C;
+    // (relation, needs signed operands)
+    Some(match cond {
+        C::E => (CmpRel::Eq, false),
+        C::Ne => (CmpRel::Ne, false),
+        C::B => (CmpRel::Ltu, false),
+        C::Ae => (CmpRel::Geu, false),
+        C::A => (CmpRel::Gtu, false),
+        C::Be => (CmpRel::Leu, false),
+        C::L => (CmpRel::Lt, true),
+        C::Ge => (CmpRel::Ge, true),
+        C::G => (CmpRel::Gt, true),
+        C::Le => (CmpRel::Le, true),
+        _ => return None,
+    })
+}
+
+/// The fused compare+branch emission (see [`super::emit_fused_cmp_jcc`]).
+pub(super) fn try_fuse(
+    sink: &mut Sink,
+    alu: &I32,
+    cond: ia32::Cond,
+    ctx: &mut EmitCtx<'_>,
+) -> Option<Pr> {
+    sink.set_ip(ctx.ip);
+    let live = ctx.live_flags & alu.flags_written();
+    match alu {
+        // cmp a, b + jcc — the canonical case: one Itanium cmp.
+        I32::Alu {
+            op: AluOp::Cmp,
+            size,
+            dst,
+            src,
+        } => {
+            let (rel, signed) = cond_to_rel(cond)?;
+            let a = read_rm(sink, ctx, dst, *size);
+            // Immediate compare fast path (flags fully dead).
+            if live == 0 {
+                if let RmI::Imm(v) = src {
+                    let imm = if signed {
+                        size.sext(*v as u32) as i64
+                    } else {
+                        size.trunc(*v as u32) as i64
+                    };
+                    let a = if signed { sext(sink, a, *size) } else { a };
+                    let (pt, pf) = (sink.vp(), sink.vp());
+                    // CmpImm evaluates rel(imm, b): swap the relation.
+                    let srel = match rel {
+                        CmpRel::Lt => CmpRel::Gt,
+                        CmpRel::Gt => CmpRel::Lt,
+                        CmpRel::Le => CmpRel::Ge,
+                        CmpRel::Ge => CmpRel::Le,
+                        CmpRel::Ltu => CmpRel::Gtu,
+                        CmpRel::Gtu => CmpRel::Ltu,
+                        CmpRel::Leu => CmpRel::Geu,
+                        CmpRel::Geu => CmpRel::Leu,
+                        other => other,
+                    };
+                    sink.emit(Op::CmpImm {
+                        rel: srel,
+                        pt,
+                        pf,
+                        imm,
+                        b: a,
+                    });
+                    return Some(pt);
+                }
+            }
+            let b = read_rmi(sink, ctx, src, *size);
+            let (a, b) = if signed {
+                (sext(sink, a, *size), sext(sink, b, *size))
+            } else {
+                (a, b)
+            };
+            // Any still-live flags must be materialized too.
+            if live != 0 {
+                let r = sink.vg();
+                sink.emit(Op::Sub { d: r, a, b });
+                let rt = trunc(sink, r, *size);
+                arith_flags(sink, ArithKind::Sub, a, b, r, rt, *size, live, None);
+            }
+            let (pt, pf) = (sink.vp(), sink.vp());
+            sink.emit(Op::Cmp {
+                rel,
+                pt,
+                pf,
+                a,
+                b,
+            });
+            Some(pt)
+        }
+        // test a, b + je/jne/js/jns.
+        I32::Test { size, a, b } => {
+            use ia32::Cond as C;
+            if !matches!(cond, C::E | C::Ne | C::S | C::Ns) {
+                return None;
+            }
+            let x = read_rm(sink, ctx, a, *size);
+            let y = read_rmi(sink, ctx, b, *size);
+            let r = sink.vg();
+            sink.emit(Op::And { d: r, a: x, b: y });
+            if live != 0 {
+                logic_flags(sink, r, *size, live);
+            }
+            let (pt, pf) = (sink.vp(), sink.vp());
+            match cond {
+                C::E => sink.emit(Op::Cmp {
+                    rel: CmpRel::Eq,
+                    pt,
+                    pf,
+                    a: r,
+                    b: R0,
+                }),
+                C::Ne => sink.emit(Op::Cmp {
+                    rel: CmpRel::Ne,
+                    pt,
+                    pf,
+                    a: r,
+                    b: R0,
+                }),
+                C::S | C::Ns => {
+                    sink.emit(Op::Tbit {
+                        pt,
+                        pf,
+                        r,
+                        pos: size.bits() as u8 - 1,
+                    });
+                }
+                _ => unreachable!(),
+            }
+            Some(if cond == C::Ns { pf } else { pt })
+        }
+        // dec/inc r + jne/je/js/jns — the classic loop-closing pattern.
+        I32::IncDec { inc, size, dst } => {
+            use ia32::Cond as C;
+            if !matches!(cond, C::E | C::Ne | C::S | C::Ns) {
+                return None;
+            }
+            if cond.flags_read() & flags::CF != 0 {
+                return None; // INC/DEC do not write CF
+            }
+            let a = read_rm(sink, ctx, dst, *size);
+            let a = if live != 0 { snapshot(sink, a) } else { a };
+            let res64 = sink.vg();
+            sink.emit(Op::AddImm {
+                d: res64,
+                imm: if *inc { 1 } else { -1 },
+                a,
+            });
+            let res = trunc(sink, res64, *size);
+            write_rm(sink, ctx, dst, *size, res);
+            if live != 0 {
+                arith_flags(
+                    sink,
+                    if *inc { ArithKind::Inc } else { ArithKind::Dec },
+                    a,
+                    GR_ONE,
+                    res64,
+                    res,
+                    *size,
+                    live,
+                    None,
+                );
+            }
+            let (pt, pf) = (sink.vp(), sink.vp());
+            match cond {
+                C::E | C::Ne => sink.emit(Op::Cmp {
+                    rel: CmpRel::Eq,
+                    pt,
+                    pf,
+                    a: res,
+                    b: R0,
+                }),
+                _ => sink.emit(Op::Tbit {
+                    pt,
+                    pf,
+                    r: res,
+                    pos: size.bits() as u8 - 1,
+                }),
+            }
+            Some(match cond {
+                C::E | C::S => pt,
+                _ => pf,
+            })
+        }
+        // sub/and/or/xor + result-based conditions: emit the ALU in full
+        // (including the destination write), then compare the result.
+        I32::Alu {
+            op: op @ (AluOp::Sub | AluOp::And | AluOp::Or | AluOp::Xor),
+            size,
+            dst,
+            src,
+        } => {
+            use ia32::Cond as C;
+            if !matches!(cond, C::E | C::Ne | C::S | C::Ns) {
+                return None;
+            }
+            let a = read_rm(sink, ctx, dst, *size);
+            let b = read_rmi(sink, ctx, src, *size);
+            let (a, b) = if live != 0 {
+                (snapshot(sink, a), snapshot(sink, b))
+            } else {
+                (a, b)
+            };
+            let res = {
+                let r = sink.vg();
+                match op {
+                    AluOp::Sub => sink.emit(Op::Sub { d: r, a, b }),
+                    AluOp::And => sink.emit(Op::And { d: r, a, b }),
+                    AluOp::Or => sink.emit(Op::Or { d: r, a, b }),
+                    AluOp::Xor => sink.emit(Op::Xor { d: r, a, b }),
+                    _ => unreachable!(),
+                }
+                if *op == AluOp::Sub {
+                    let rt = trunc(sink, r, *size);
+                    write_rm(sink, ctx, dst, *size, rt);
+                    if live != 0 {
+                        arith_flags(sink, ArithKind::Sub, a, b, r, rt, *size, live, None);
+                    }
+                    rt
+                } else {
+                    write_rm(sink, ctx, dst, *size, r);
+                    if live != 0 {
+                        logic_flags(sink, r, *size, live);
+                    }
+                    r
+                }
+            };
+            let (pt, pf) = (sink.vp(), sink.vp());
+            match cond {
+                C::E | C::Ne => sink.emit(Op::Cmp {
+                    rel: CmpRel::Eq,
+                    pt,
+                    pf,
+                    a: res,
+                    b: R0,
+                }),
+                _ => sink.emit(Op::Tbit {
+                    pt,
+                    pf,
+                    r: res,
+                    pos: size.bits() as u8 - 1,
+                }),
+            }
+            Some(match cond {
+                C::E | C::S => pt,
+                _ => pf,
+            })
+        }
+        _ => None,
+    }
+}

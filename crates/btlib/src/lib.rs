@@ -1,0 +1,348 @@
+//! # BTLib — the OS abstraction layer of the IA-32 Execution Layer
+//!
+//! The thin, OS-specific glue of paper §3: it loads BTGeneric, performs
+//! the BTOS version handshake, provides system services (memory,
+//! syscalls, exception policy), and launches the IA-32 application.
+//! One implementation exists per OS personality; [`SimOs`] is a
+//! simulated Linux-like personality with `int 0x80` syscalls.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use btlib::{Process, SimOs};
+//! use ia32::asm::{Asm, Image};
+//! use ia32::regs::{EAX, EBX};
+//!
+//! // exit(42)
+//! let mut a = Asm::new(0x40_0000);
+//! a.mov_ri(EAX, 1); // SYS_exit
+//! a.mov_ri(EBX, 42);
+//! a.int(0x80);
+//! let image = Image::from_asm(&a);
+//!
+//! let mut process = Process::launch(&image, SimOs::new()).unwrap();
+//! let outcome = process.run(1_000_000);
+//! assert_eq!(outcome, btgeneric::engine::Outcome::Exited(42));
+//! ```
+
+use btgeneric::btos::{
+    negotiate, BtOs, ExceptionOutcome, GuestException, SyscallOutcome, Version, BTOS_MAJOR,
+    BTOS_MINOR,
+};
+use btgeneric::engine::{Config, Engine, Outcome};
+use ia32::asm::Image;
+use ia32::cpu::Cpu;
+use ia32::mem::{GuestMem, Prot};
+use ia32::regs::{EAX, EBX, ECX, EDX};
+
+/// Simulated Linux-like syscall numbers (`int 0x80` ABI: number in
+/// `EAX`, arguments in `EBX`, `ECX`, `EDX`).
+pub mod sys {
+    /// `exit(status)`.
+    pub const EXIT: u32 = 1;
+    /// `write(fd, buf, len)`.
+    pub const WRITE: u32 = 4;
+    /// `brk(addr)`.
+    pub const BRK: u32 = 45;
+    /// `gettick()` — returns a simulated tick (test aid).
+    pub const GETTICK: u32 = 78;
+    /// `signal(handler_eip)` — registers the process-wide exception
+    /// handler (the SimOs stand-in for sigaction).
+    pub const SIGNAL: u32 = 48;
+}
+
+/// The simulated Linux-like OS personality.
+#[derive(Debug)]
+pub struct SimOs {
+    /// Bytes written to fd 1 (captured "stdout").
+    pub stdout: Vec<u8>,
+    /// Current program break.
+    pub brk: u32,
+    /// Registered guest exception handler.
+    pub handler: Option<u32>,
+    /// Log lines from BTGeneric.
+    pub log: Vec<String>,
+    tick: u64,
+}
+
+impl Default for SimOs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimOs {
+    /// A fresh personality.
+    pub fn new() -> SimOs {
+        SimOs {
+            stdout: Vec::new(),
+            brk: 0x6000_0000,
+            handler: None,
+            log: Vec::new(),
+            tick: 0,
+        }
+    }
+
+    /// Captured stdout as UTF-8 (lossy).
+    pub fn stdout_string(&self) -> String {
+        String::from_utf8_lossy(&self.stdout).into_owned()
+    }
+}
+
+impl BtOs for SimOs {
+    fn version(&self) -> Version {
+        Version {
+            major: BTOS_MAJOR,
+            minor: BTOS_MINOR,
+        }
+    }
+
+    fn syscall(&mut self, cpu: &mut Cpu, mem: &mut GuestMem) -> SyscallOutcome {
+        let num = cpu.gpr[EAX.num() as usize];
+        let a1 = cpu.gpr[EBX.num() as usize];
+        let a2 = cpu.gpr[ECX.num() as usize];
+        let a3 = cpu.gpr[EDX.num() as usize];
+        match num {
+            sys::EXIT => return SyscallOutcome::Exit(a1 as i32),
+            sys::WRITE => {
+                if a1 == 1 {
+                    match mem.read_bytes(a2 as u64, a3 as usize) {
+                        Ok(bytes) => {
+                            let n = bytes.len() as u32;
+                            self.stdout.extend_from_slice(&bytes);
+                            cpu.gpr[EAX.num() as usize] = n;
+                        }
+                        Err(_) => cpu.gpr[EAX.num() as usize] = -14i32 as u32, // EFAULT
+                    }
+                } else {
+                    cpu.gpr[EAX.num() as usize] = -9i32 as u32; // EBADF
+                }
+            }
+            sys::BRK => {
+                if a1 > self.brk {
+                    mem.map(self.brk as u64, (a1 - self.brk) as u64, Prot::rw());
+                    self.brk = a1;
+                }
+                cpu.gpr[EAX.num() as usize] = self.brk;
+            }
+            sys::GETTICK => {
+                self.tick += 1;
+                cpu.gpr[EAX.num() as usize] = self.tick as u32;
+            }
+            sys::SIGNAL => {
+                self.handler = if a1 == 0 { None } else { Some(a1) };
+                cpu.gpr[EAX.num() as usize] = 0;
+            }
+            _ => cpu.gpr[EAX.num() as usize] = -38i32 as u32, // ENOSYS
+        }
+        SyscallOutcome::Continue
+    }
+
+    fn exception(&mut self, _exc: GuestException, _cpu: &Cpu) -> ExceptionOutcome {
+        match self.handler {
+            Some(h) => ExceptionOutcome::DeliverTo(h),
+            None => ExceptionOutcome::Terminate,
+        }
+    }
+
+    fn log(&mut self, msg: &str) {
+        self.log.push(msg.to_owned());
+    }
+}
+
+/// A launched IA-32 process under the Execution Layer: BTLib has loaded
+/// the image, checked BTOS versions, and initialized BTGeneric (paper
+/// Figure 3 A).
+pub struct Process<O: BtOs> {
+    /// The translation engine (BTGeneric).
+    pub engine: Engine,
+    /// The OS personality.
+    pub os: O,
+    /// The initial CPU state produced by the loader.
+    pub cpu: Cpu,
+    /// The negotiated BTOS version.
+    pub btos_version: Version,
+}
+
+/// Launch errors.
+#[derive(Debug)]
+pub enum LaunchError {
+    /// BTOS version negotiation failed.
+    Handshake(btgeneric::btos::HandshakeError),
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::Handshake(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+impl<O: BtOs> Process<O> {
+    /// Loads `image`, negotiates versions, and prepares the engine with
+    /// the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`LaunchError::Handshake`] when the BTLib/BTGeneric versions are
+    /// incompatible.
+    pub fn launch(image: &Image, os: O) -> Result<Process<O>, LaunchError> {
+        Self::launch_with(image, os, Config::default())
+    }
+
+    /// Like [`Process::launch`] with an explicit engine configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Process::launch`].
+    pub fn launch_with(image: &Image, os: O, cfg: Config) -> Result<Process<O>, LaunchError> {
+        let version = negotiate(os.version()).map_err(LaunchError::Handshake)?;
+        let mut mem = GuestMem::new();
+        let cpu = image.load(&mut mem);
+        let engine = Engine::new(mem, cfg);
+        Ok(Process {
+            engine,
+            os,
+            cpu,
+            btos_version: version,
+        })
+    }
+
+    /// Runs the process for up to `max_slots` Itanium instruction slots.
+    pub fn run(&mut self, max_slots: u64) -> Outcome {
+        let cpu = self.cpu.clone();
+        self.engine.run(&mut self.os, cpu, max_slots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia32::asm::Asm;
+    use ia32::inst::AluOp;
+    use ia32::regs::{ESI, ESP};
+
+    #[test]
+    fn exit_syscall() {
+        let mut a = Asm::new(0x40_0000);
+        a.mov_ri(EAX, sys::EXIT as i32);
+        a.mov_ri(EBX, 7);
+        a.int(0x80);
+        let image = Image::from_asm(&a);
+        let mut p = Process::launch(&image, SimOs::new()).unwrap();
+        assert_eq!(p.run(1_000_000), Outcome::Exited(7));
+    }
+
+    #[test]
+    fn write_captures_stdout() {
+        let mut a = Asm::new(0x40_0000);
+        a.mov_ri(EAX, 0x0A6968); // "hi\n"
+        a.alu_ri(AluOp::Sub, ESP, 4);
+        a.mov_store(ia32::inst::Addr::base(ESP), EAX);
+        a.mov_ri(EAX, sys::WRITE as i32);
+        a.mov_ri(EBX, 1);
+        a.mov_rr(ECX, ESP);
+        a.mov_ri(EDX, 3);
+        a.int(0x80);
+        a.mov_ri(EAX, sys::EXIT as i32);
+        a.mov_ri(EBX, 0);
+        a.int(0x80);
+        let image = Image::from_asm(&a);
+        let mut p = Process::launch(&image, SimOs::new()).unwrap();
+        assert_eq!(p.run(1_000_000), Outcome::Exited(0));
+        assert_eq!(p.os.stdout_string(), "hi\n");
+    }
+
+    #[test]
+    fn brk_extends_memory() {
+        let mut a = Asm::new(0x40_0000);
+        a.mov_ri(EAX, sys::BRK as i32);
+        a.mov_ri(EBX, 0x6000_4000u32 as i32);
+        a.int(0x80);
+        a.mov_ri(ESI, 0x6000_1000u32 as i32);
+        a.mov_mi(ia32::inst::Addr::base(ESI), 0x55);
+        a.mov_load(EBX, ia32::inst::Addr::base(ESI));
+        a.mov_ri(EAX, sys::EXIT as i32);
+        a.int(0x80);
+        let image = Image::from_asm(&a);
+        let mut p = Process::launch(&image, SimOs::new()).unwrap();
+        assert_eq!(p.run(1_000_000), Outcome::Exited(0x55));
+    }
+
+    #[test]
+    fn unhandled_exception_terminates() {
+        let mut a = Asm::new(0x40_0000);
+        a.mov_load(EAX, ia32::inst::Addr::abs(0x10)); // unmapped
+        a.hlt();
+        let image = Image::from_asm(&a);
+        let mut p = Process::launch(&image, SimOs::new()).unwrap();
+        match p.run(1_000_000) {
+            Outcome::Terminated { exc, cpu } => {
+                assert_eq!(
+                    exc,
+                    GuestException::PageFault {
+                        addr: 0x10,
+                        write: false
+                    }
+                );
+                assert_eq!(cpu.eip, 0x40_0000, "precise faulting EIP");
+            }
+            other => panic!("expected termination, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handler_receives_divide_error() {
+        // Build once to learn the handler address, then rebuild with it.
+        let build = |haddr: i32| {
+            let mut a = Asm::new(0x40_0000);
+            let handler = a.label();
+            a.mov_ri(EAX, sys::SIGNAL as i32);
+            a.mov_ri(EBX, haddr);
+            a.int(0x80);
+            a.mov_ri(EAX, 10);
+            a.mov_ri(EDX, 0);
+            a.mov_ri(ECX, 0);
+            a.divide(ia32::inst::MulDivOp::Div, ECX);
+            a.hlt();
+            a.bind(handler);
+            a.mov_ri(EAX, sys::EXIT as i32);
+            a.mov_ri(EBX, 99);
+            a.int(0x80);
+            let addr = a.label_addr(handler);
+            (a, addr)
+        };
+        let (_, haddr) = build(0);
+        let (a, haddr2) = build(haddr as i32);
+        assert_eq!(haddr, haddr2, "layout stable");
+        let image = Image::from_asm(&a);
+        let mut p = Process::launch(&image, SimOs::new()).unwrap();
+        assert_eq!(p.run(1_000_000), Outcome::Exited(99));
+    }
+
+    #[test]
+    fn version_mismatch_fails_launch() {
+        struct OldLib;
+        impl BtOs for OldLib {
+            fn version(&self) -> Version {
+                Version {
+                    major: BTOS_MAJOR + 1,
+                    minor: 0,
+                }
+            }
+            fn syscall(&mut self, _: &mut Cpu, _: &mut GuestMem) -> SyscallOutcome {
+                SyscallOutcome::Exit(0)
+            }
+            fn exception(&mut self, _: GuestException, _: &Cpu) -> ExceptionOutcome {
+                ExceptionOutcome::Terminate
+            }
+        }
+        let mut a = Asm::new(0x40_0000);
+        a.hlt();
+        let image = Image::from_asm(&a);
+        assert!(Process::launch(&image, OldLib).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! The IA-32 architectural register state.
+//!
+//! [`Cpu`] is the full application-visible state: it is what the
+//! interpreter mutates, what the translator maps onto Itanium registers,
+//! and what precise-exception reconstruction must be able to regenerate
+//! at any faulting instruction.
+
+use crate::flags;
+use crate::flags::Size;
+use crate::fpu::Fpu;
+use crate::regs::Gpr;
+
+/// The IA-32 architectural state (registers only; memory lives in
+/// [`crate::mem::GuestMem`]).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Cpu {
+    /// General-purpose registers, indexed by [`Gpr::num`].
+    pub gpr: [u32; 8],
+    /// Instruction pointer.
+    pub eip: u32,
+    /// Flags register.
+    pub eflags: u32,
+    /// x87 FPU / MMX state.
+    pub fpu: Fpu,
+    /// XMM registers.
+    pub xmm: [u128; 8],
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cpu {
+    /// Power-on-like state (EFLAGS reserved bit set, everything else 0).
+    pub fn new() -> Cpu {
+        Cpu {
+            gpr: [0; 8],
+            eip: 0,
+            eflags: flags::RESERVED_ONES,
+            fpu: Fpu::new(),
+            xmm: [0; 8],
+        }
+    }
+
+    /// Reads a register at the given operand size. For byte size,
+    /// register numbers 4-7 read the high byte of registers 0-3
+    /// (`AH`/`CH`/`DH`/`BH`).
+    pub fn read(&self, r: Gpr, size: Size) -> u32 {
+        let n = r.num() as usize;
+        match size {
+            Size::D => self.gpr[n],
+            Size::W => self.gpr[n] & 0xFFFF,
+            Size::B => {
+                if n < 4 {
+                    self.gpr[n] & 0xFF
+                } else {
+                    (self.gpr[n - 4] >> 8) & 0xFF
+                }
+            }
+        }
+    }
+
+    /// Writes a register at the given operand size, preserving the
+    /// untouched high bits (IA-32 semantics for 8/16-bit writes).
+    pub fn write(&mut self, r: Gpr, size: Size, v: u32) {
+        let n = r.num() as usize;
+        match size {
+            Size::D => self.gpr[n] = v,
+            Size::W => self.gpr[n] = (self.gpr[n] & 0xFFFF_0000) | (v & 0xFFFF),
+            Size::B => {
+                if n < 4 {
+                    self.gpr[n] = (self.gpr[n] & 0xFFFF_FF00) | (v & 0xFF);
+                } else {
+                    self.gpr[n - 4] = (self.gpr[n - 4] & 0xFFFF_00FF) | ((v & 0xFF) << 8);
+                }
+            }
+        }
+    }
+
+    /// The stack pointer.
+    pub fn esp(&self) -> u32 {
+        self.gpr[4]
+    }
+
+    /// Sets the stack pointer.
+    pub fn set_esp(&mut self, v: u32) {
+        self.gpr[4] = v;
+    }
+
+    /// Evaluates `cond` against the current flags.
+    pub fn cond(&self, cond: flags::Cond) -> bool {
+        cond.eval(self.eflags)
+    }
+
+    /// Updates the given status-flag bits from `new_bits`.
+    pub fn set_flags(&mut self, new_bits: u32, mask: u32) {
+        self.eflags = flags::merge(self.eflags, new_bits, mask);
+    }
+
+    /// Reads an XMM register lane as `f32`.
+    pub fn xmm_lane(&self, x: crate::regs::Xmm, lane: usize) -> f32 {
+        f32::from_bits((self.xmm[x.num() as usize] >> (lane * 32)) as u32)
+    }
+
+    /// Writes an XMM register lane from `f32`.
+    pub fn set_xmm_lane(&mut self, x: crate::regs::Xmm, lane: usize, v: f32) {
+        let shift = lane * 32;
+        let mask = !(0xFFFF_FFFFu128 << shift);
+        let n = x.num() as usize;
+        self.xmm[n] = (self.xmm[n] & mask) | ((v.to_bits() as u128) << shift);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::*;
+
+    #[test]
+    fn subregister_writes_preserve_high_bits() {
+        let mut c = Cpu::new();
+        c.gpr[0] = 0xAABBCCDD;
+        c.write(EAX, Size::B, 0x11); // AL
+        assert_eq!(c.gpr[0], 0xAABBCC11);
+        c.write(ESP, Size::B, 0x22); // number 4 at byte size = AH
+        assert_eq!(c.gpr[0], 0xAABB2211);
+        c.write(EAX, Size::W, 0x3344);
+        assert_eq!(c.gpr[0], 0xAABB3344);
+        c.write(EAX, Size::D, 0x55667788);
+        assert_eq!(c.gpr[0], 0x55667788);
+    }
+
+    #[test]
+    fn subregister_reads() {
+        let mut c = Cpu::new();
+        c.gpr[3] = 0x1234_5678; // EBX
+        assert_eq!(c.read(EBX, Size::B), 0x78); // BL
+        assert_eq!(c.read(EDI, Size::B), 0x56); // number 7 = BH
+        assert_eq!(c.read(EBX, Size::W), 0x5678);
+    }
+
+    #[test]
+    fn xmm_lanes() {
+        let mut c = Cpu::new();
+        let x = Xmm::new(2);
+        c.set_xmm_lane(x, 0, 1.5);
+        c.set_xmm_lane(x, 3, -2.0);
+        assert_eq!(c.xmm_lane(x, 0), 1.5);
+        assert_eq!(c.xmm_lane(x, 3), -2.0);
+        assert_eq!(c.xmm_lane(x, 1), 0.0);
+    }
+
+    #[test]
+    fn flag_helpers() {
+        let mut c = Cpu::new();
+        c.set_flags(flags::ZF, flags::STATUS);
+        assert!(c.cond(flags::Cond::E));
+        assert!(!c.cond(flags::Cond::Ne));
+        assert_ne!(c.eflags & flags::RESERVED_ONES, 0);
+    }
+}

@@ -1,0 +1,609 @@
+//! EFLAGS bits and arithmetic-flag computation.
+//!
+//! The flag helpers here are the single source of truth for IA-32 flag
+//! semantics: the reference interpreter calls them directly, and the
+//! translator's differential tests validate generated Itanium flag code
+//! against them.
+
+/// Carry flag bit.
+pub const CF: u32 = 1 << 0;
+/// Parity flag bit (parity of the low result byte).
+pub const PF: u32 = 1 << 2;
+/// Auxiliary (BCD half-carry) flag bit.
+pub const AF: u32 = 1 << 4;
+/// Zero flag bit.
+pub const ZF: u32 = 1 << 6;
+/// Sign flag bit.
+pub const SF: u32 = 1 << 7;
+/// Direction flag bit (string operations).
+pub const DF: u32 = 1 << 10;
+/// Overflow flag bit.
+pub const OF: u32 = 1 << 11;
+
+/// All six arithmetic status flags (`CF | PF | AF | ZF | SF | OF`).
+pub const STATUS: u32 = CF | PF | AF | ZF | SF | OF;
+
+/// Bits of EFLAGS that are always set on IA-32 (bit 1).
+pub const RESERVED_ONES: u32 = 1 << 1;
+
+/// Operand sizes for flag computation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Size {
+    /// 8-bit operand.
+    B,
+    /// 16-bit operand.
+    W,
+    /// 32-bit operand.
+    D,
+}
+
+impl Size {
+    /// Number of bytes in the operand.
+    pub fn bytes(self) -> u32 {
+        match self {
+            Size::B => 1,
+            Size::W => 2,
+            Size::D => 4,
+        }
+    }
+
+    /// Number of bits in the operand.
+    pub fn bits(self) -> u32 {
+        self.bytes() * 8
+    }
+
+    /// Mask selecting the operand's bits out of a 32-bit value.
+    pub fn mask(self) -> u32 {
+        match self {
+            Size::B => 0xFF,
+            Size::W => 0xFFFF,
+            Size::D => 0xFFFF_FFFF,
+        }
+    }
+
+    /// Mask selecting the operand's sign bit.
+    pub fn sign_bit(self) -> u32 {
+        1 << (self.bits() - 1)
+    }
+
+    /// Truncate `v` to this operand size.
+    pub fn trunc(self, v: u32) -> u32 {
+        v & self.mask()
+    }
+
+    /// Sign-extend the low `bits()` of `v` to 32 bits, returned as `i32`.
+    pub fn sext(self, v: u32) -> i32 {
+        match self {
+            Size::B => v as u8 as i8 as i32,
+            Size::W => v as u16 as i16 as i32,
+            Size::D => v as i32,
+        }
+    }
+}
+
+/// Parity of the low byte: PF is set when the low 8 bits of the result
+/// contain an even number of 1 bits.
+pub fn parity(result: u32) -> bool {
+    (result as u8).count_ones() % 2 == 0
+}
+
+fn szp(result: u32, size: Size) -> u32 {
+    let r = size.trunc(result);
+    let mut f = 0;
+    if r == 0 {
+        f |= ZF;
+    }
+    if r & size.sign_bit() != 0 {
+        f |= SF;
+    }
+    if parity(r) {
+        f |= PF;
+    }
+    f
+}
+
+/// Merge `new_bits` into `eflags` for the flag positions in `mask`.
+pub fn merge(eflags: u32, new_bits: u32, mask: u32) -> u32 {
+    (eflags & !mask) | (new_bits & mask) | RESERVED_ONES
+}
+
+/// Flags produced by `ADD` (and the flag part of `INC` when CF is kept).
+pub fn add(a: u32, b: u32, size: Size) -> u32 {
+    let (a, b) = (size.trunc(a), size.trunc(b));
+    let r = a.wrapping_add(b);
+    let rt = size.trunc(r);
+    let mut f = szp(rt, size);
+    if rt < a {
+        f |= CF;
+    }
+    // Overflow: operands same sign, result different sign.
+    if (!(a ^ b) & (a ^ rt)) & size.sign_bit() != 0 {
+        f |= OF;
+    }
+    if ((a ^ b ^ rt) & 0x10) != 0 {
+        f |= AF;
+    }
+    f
+}
+
+/// Flags produced by `ADC`.
+pub fn adc(a: u32, b: u32, carry_in: bool, size: Size) -> u32 {
+    let (a, b) = (size.trunc(a), size.trunc(b));
+    let c = carry_in as u32;
+    let r64 = a as u64 + b as u64 + c as u64;
+    let rt = size.trunc(r64 as u32);
+    let mut f = szp(rt, size);
+    if r64 > size.mask() as u64 {
+        f |= CF;
+    }
+    if (!(a ^ b) & (a ^ rt)) & size.sign_bit() != 0 {
+        f |= OF;
+    }
+    if ((a ^ b ^ rt) & 0x10) != 0 {
+        f |= AF;
+    }
+    f
+}
+
+/// Flags produced by `SUB` and `CMP` (`a - b`).
+pub fn sub(a: u32, b: u32, size: Size) -> u32 {
+    let (a, b) = (size.trunc(a), size.trunc(b));
+    let rt = size.trunc(a.wrapping_sub(b));
+    let mut f = szp(rt, size);
+    if b > a {
+        f |= CF;
+    }
+    if ((a ^ b) & (a ^ rt)) & size.sign_bit() != 0 {
+        f |= OF;
+    }
+    if ((a ^ b ^ rt) & 0x10) != 0 {
+        f |= AF;
+    }
+    f
+}
+
+/// Flags produced by `SBB` (`a - b - carry_in`).
+pub fn sbb(a: u32, b: u32, carry_in: bool, size: Size) -> u32 {
+    let (a, b) = (size.trunc(a), size.trunc(b));
+    let c = carry_in as u32;
+    let rt = size.trunc(a.wrapping_sub(b).wrapping_sub(c));
+    let mut f = szp(rt, size);
+    if (b as u64 + c as u64) > a as u64 {
+        f |= CF;
+    }
+    if ((a ^ b) & (a ^ rt)) & size.sign_bit() != 0 {
+        f |= OF;
+    }
+    if ((a ^ b ^ rt) & 0x10) != 0 {
+        f |= AF;
+    }
+    f
+}
+
+/// Flags produced by the logic operations `AND`, `OR`, `XOR`, `TEST`:
+/// CF and OF cleared, AF undefined (we clear it, as most hardware does).
+pub fn logic(result: u32, size: Size) -> u32 {
+    szp(result, size)
+}
+
+/// Flags produced by `INC` (CF is preserved by the caller).
+pub fn inc(a: u32, size: Size) -> u32 {
+    let rt = size.trunc(size.trunc(a).wrapping_add(1));
+    let mut f = szp(rt, size);
+    if rt == size.sign_bit() {
+        f |= OF;
+    }
+    if (a ^ rt) & 0x10 != 0 {
+        f |= AF;
+    }
+    f
+}
+
+/// Flags produced by `DEC` (CF is preserved by the caller).
+pub fn dec(a: u32, size: Size) -> u32 {
+    let rt = size.trunc(size.trunc(a).wrapping_sub(1));
+    let mut f = szp(rt, size);
+    if size.trunc(a) == size.sign_bit() {
+        f |= OF;
+    }
+    if (a ^ rt) & 0x10 != 0 {
+        f |= AF;
+    }
+    f
+}
+
+/// Flags produced by `NEG` (`0 - a`).
+pub fn neg(a: u32, size: Size) -> u32 {
+    let mut f = sub(0, a, size);
+    // CF is set iff the operand was non-zero.
+    if size.trunc(a) != 0 {
+        f |= CF;
+    } else {
+        f &= !CF;
+    }
+    f
+}
+
+/// Flags produced by `SHL` with a non-zero masked count.
+///
+/// CF is the last bit shifted out; OF (count == 1) is CF xor the result
+/// sign. For counts > 1 OF is undefined on hardware; we use the same
+/// formula, which is what the translator generates too.
+pub fn shl(a: u32, count: u32, size: Size) -> u32 {
+    debug_assert!(count > 0 && count < 32);
+    let a = size.trunc(a);
+    let rt = size.trunc(a << count);
+    let mut f = szp(rt, size);
+    let carry = if count <= size.bits() {
+        (a >> (size.bits() - count)) & 1
+    } else {
+        0
+    };
+    if carry != 0 {
+        f |= CF;
+    }
+    let sign = (rt & size.sign_bit() != 0) as u32;
+    if carry ^ sign != 0 {
+        f |= OF;
+    }
+    f
+}
+
+/// Flags produced by `SHR` with a non-zero masked count.
+pub fn shr(a: u32, count: u32, size: Size) -> u32 {
+    debug_assert!(count > 0 && count < 32);
+    let a = size.trunc(a);
+    let rt = size.trunc(if count >= size.bits() { 0 } else { a >> count });
+    let mut f = szp(rt, size);
+    if count <= size.bits() && (a >> (count - 1)) & 1 != 0 {
+        f |= CF;
+    }
+    // OF (count==1) = original sign bit; we use the same for all counts.
+    if a & size.sign_bit() != 0 {
+        f |= OF;
+    }
+    f
+}
+
+/// Flags produced by `SAR` with a non-zero masked count.
+pub fn sar(a: u32, count: u32, size: Size) -> u32 {
+    debug_assert!(count > 0 && count < 32);
+    let sa = size.sext(a);
+    let shift = count.min(size.bits() - 1).min(31);
+    let rt = size.trunc((sa >> shift) as u32);
+    let effective = count.min(31);
+    let carry_bit = if effective >= size.bits() {
+        (sa < 0) as u32
+    } else {
+        ((sa >> (effective - 1)) & 1) as u32
+    };
+    let mut f = szp(rt, size);
+    if carry_bit != 0 {
+        f |= CF;
+    }
+    // OF is cleared by SAR.
+    f
+}
+
+/// Flags produced by wide multiplies (`MUL`): CF=OF=1 when the upper half
+/// of the result is non-zero. SF/ZF/PF are undefined; we compute them from
+/// the low half for determinism.
+pub fn mul(low: u32, high: u32, size: Size) -> u32 {
+    let mut f = szp(low, size);
+    if high != 0 {
+        f |= CF | OF;
+    }
+    f
+}
+
+/// Flags produced by signed wide multiplies (`IMUL`): CF=OF=1 when the
+/// result does not fit the (signed) low half.
+pub fn imul(low: u32, high: u32, size: Size) -> u32 {
+    let mut f = szp(low, size);
+    let sign_extended_high = if low & size.sign_bit() != 0 {
+        size.mask()
+    } else {
+        0
+    };
+    if size.trunc(high) != sign_extended_high {
+        f |= CF | OF;
+    }
+    f
+}
+
+/// IA-32 condition codes, in the hardware encoding order used by
+/// `Jcc`/`SETcc`/`CMOVcc` opcodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum Cond {
+    /// Overflow (`OF=1`).
+    O = 0,
+    /// Not overflow.
+    No = 1,
+    /// Below / carry (`CF=1`).
+    B = 2,
+    /// Above or equal / not carry.
+    Ae = 3,
+    /// Equal / zero (`ZF=1`).
+    E = 4,
+    /// Not equal / not zero.
+    Ne = 5,
+    /// Below or equal (`CF=1 || ZF=1`).
+    Be = 6,
+    /// Above.
+    A = 7,
+    /// Sign (`SF=1`).
+    S = 8,
+    /// Not sign.
+    Ns = 9,
+    /// Parity (`PF=1`).
+    P = 10,
+    /// Not parity.
+    Np = 11,
+    /// Less (signed, `SF != OF`).
+    L = 12,
+    /// Greater or equal (signed).
+    Ge = 13,
+    /// Less or equal (signed, `ZF=1 || SF != OF`).
+    Le = 14,
+    /// Greater (signed).
+    G = 15,
+}
+
+impl Cond {
+    /// Creates a condition from its 4-bit opcode encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 15`.
+    pub fn from_code(n: u8) -> Cond {
+        assert!(n < 16, "condition code out of range: {n}");
+        // SAFETY-free table lookup keeps this panic-checked and const-friendly.
+        [
+            Cond::O,
+            Cond::No,
+            Cond::B,
+            Cond::Ae,
+            Cond::E,
+            Cond::Ne,
+            Cond::Be,
+            Cond::A,
+            Cond::S,
+            Cond::Ns,
+            Cond::P,
+            Cond::Np,
+            Cond::L,
+            Cond::Ge,
+            Cond::Le,
+            Cond::G,
+        ][n as usize]
+    }
+
+    /// The 4-bit encoding of this condition.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// The inverse condition (flips the low encoding bit, as hardware does).
+    pub fn negate(self) -> Cond {
+        Cond::from_code(self.code() ^ 1)
+    }
+
+    /// Evaluates the condition against an EFLAGS value.
+    pub fn eval(self, eflags: u32) -> bool {
+        let cf = eflags & CF != 0;
+        let zf = eflags & ZF != 0;
+        let sf = eflags & SF != 0;
+        let of = eflags & OF != 0;
+        let pf = eflags & PF != 0;
+        match self {
+            Cond::O => of,
+            Cond::No => !of,
+            Cond::B => cf,
+            Cond::Ae => !cf,
+            Cond::E => zf,
+            Cond::Ne => !zf,
+            Cond::Be => cf || zf,
+            Cond::A => !cf && !zf,
+            Cond::S => sf,
+            Cond::Ns => !sf,
+            Cond::P => pf,
+            Cond::Np => !pf,
+            Cond::L => sf != of,
+            Cond::Ge => sf == of,
+            Cond::Le => zf || sf != of,
+            Cond::G => !zf && sf == of,
+        }
+    }
+
+    /// The set of EFLAGS bits this condition reads.
+    pub fn flags_read(self) -> u32 {
+        match self {
+            Cond::O | Cond::No => OF,
+            Cond::B | Cond::Ae => CF,
+            Cond::E | Cond::Ne => ZF,
+            Cond::Be | Cond::A => CF | ZF,
+            Cond::S | Cond::Ns => SF,
+            Cond::P | Cond::Np => PF,
+            Cond::L | Cond::Ge => SF | OF,
+            Cond::Le | Cond::G => ZF | SF | OF,
+        }
+    }
+
+    /// The conventional mnemonic suffix (`jcc`/`setcc` spelling).
+    pub fn mnemonic(self) -> &'static str {
+        [
+            "o", "no", "b", "ae", "e", "ne", "be", "a", "s", "ns", "p", "np", "l", "ge", "le",
+            "g",
+        ][self.code() as usize]
+    }
+}
+
+impl std::fmt::Display for Cond {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_matches_definition() {
+        assert!(parity(0x00));
+        assert!(!parity(0x01));
+        assert!(parity(0x03));
+        assert!(parity(0xFF));
+        // Only the low byte participates.
+        assert!(parity(0xFF00));
+    }
+
+    #[test]
+    fn add_flags_basic() {
+        let f = add(1, 2, Size::D);
+        assert_eq!(f & (CF | ZF | SF | OF), 0);
+
+        // 0xFFFFFFFF + 1 = 0 with carry.
+        let f = add(u32::MAX, 1, Size::D);
+        assert_ne!(f & CF, 0);
+        assert_ne!(f & ZF, 0);
+        assert_eq!(f & OF, 0);
+
+        // 0x7FFFFFFF + 1 overflows.
+        let f = add(0x7FFF_FFFF, 1, Size::D);
+        assert_ne!(f & OF, 0);
+        assert_ne!(f & SF, 0);
+        assert_eq!(f & CF, 0);
+    }
+
+    #[test]
+    fn sub_flags_basic() {
+        // 1 - 2 borrows.
+        let f = sub(1, 2, Size::D);
+        assert_ne!(f & CF, 0);
+        assert_ne!(f & SF, 0);
+
+        // 0x80000000 - 1 overflows (signed).
+        let f = sub(0x8000_0000, 1, Size::D);
+        assert_ne!(f & OF, 0);
+        assert_eq!(f & SF, 0);
+
+        let f = sub(5, 5, Size::D);
+        assert_ne!(f & ZF, 0);
+        assert_eq!(f & CF, 0);
+    }
+
+    #[test]
+    fn byte_size_flags() {
+        // 0xFF + 1 = 0 with carry at byte size.
+        let f = add(0xFF, 1, Size::B);
+        assert_ne!(f & CF, 0);
+        assert_ne!(f & ZF, 0);
+        // 0x7F + 1 overflows at byte size.
+        let f = add(0x7F, 1, Size::B);
+        assert_ne!(f & OF, 0);
+    }
+
+    #[test]
+    fn adc_sbb_carry_chain() {
+        let f = adc(u32::MAX, 0, true, Size::D);
+        assert_ne!(f & CF, 0);
+        assert_ne!(f & ZF, 0);
+        let f = sbb(0, 0, true, Size::D);
+        assert_ne!(f & CF, 0);
+        assert_ne!(f & SF, 0);
+    }
+
+    #[test]
+    fn inc_dec_overflow() {
+        let f = inc(0x7FFF_FFFF, Size::D);
+        assert_ne!(f & OF, 0);
+        let f = dec(0x8000_0000, Size::D);
+        assert_ne!(f & OF, 0);
+        let f = dec(1, Size::D);
+        assert_ne!(f & ZF, 0);
+        assert_eq!(f & OF, 0);
+    }
+
+    #[test]
+    fn neg_carry() {
+        assert_eq!(neg(0, Size::D) & CF, 0);
+        assert_ne!(neg(1, Size::D) & CF, 0);
+    }
+
+    #[test]
+    fn shifts() {
+        // shl 0x80000000 by 1: carry out, result 0.
+        let f = shl(0x8000_0000, 1, Size::D);
+        assert_ne!(f & CF, 0);
+        assert_ne!(f & ZF, 0);
+        assert_ne!(f & OF, 0); // carry(1) xor sign(0)
+
+        let f = shr(1, 1, Size::D);
+        assert_ne!(f & CF, 0);
+        assert_ne!(f & ZF, 0);
+
+        // sar 0xC0000000 by 31: result 0xFFFFFFFF, last bit out (bit 30) = 1.
+        let f = sar(0xC000_0000, 31, Size::D);
+        assert_ne!(f & CF, 0);
+        assert_eq!(f & ZF, 0);
+        assert_ne!(f & SF, 0);
+        // sar 0x80000000 by 31: bit 30 = 0, so no carry.
+        let f = sar(0x8000_0000, 31, Size::D);
+        assert_eq!(f & CF, 0);
+    }
+
+    #[test]
+    fn mul_flags() {
+        assert_eq!(mul(10, 0, Size::D) & (CF | OF), 0);
+        assert_eq!(mul(0, 1, Size::D) & (CF | OF), CF | OF);
+        // -1 * -1 = 1: fits in signed low half.
+        assert_eq!(imul(1, 0, Size::D) & (CF | OF), 0);
+        // -1 (low) with high = -1 fits (it is just -1).
+        assert_eq!(imul(u32::MAX, u32::MAX, Size::D) & (CF | OF), 0);
+        // low 0x80000000 with high 0 does not fit signed.
+        assert_ne!(imul(0x8000_0000, 0, Size::D) & OF, 0);
+    }
+
+    #[test]
+    fn cond_eval_and_negate() {
+        for code in 0..16 {
+            let c = Cond::from_code(code);
+            assert_eq!(c.code(), code);
+            for ef in [0, CF, ZF, SF, OF, CF | ZF, SF | OF, ZF | SF | OF, PF] {
+                assert_eq!(c.eval(ef), !c.negate().eval(ef), "cond {c} flags {ef:x}");
+            }
+        }
+    }
+
+    #[test]
+    fn cond_flags_read_covers_eval() {
+        // Changing a flag outside flags_read() must not change eval().
+        for code in 0..16 {
+            let c = Cond::from_code(code);
+            let read = c.flags_read();
+            for ef in 0..64u32 {
+                let ef = ((ef & 1) * CF)
+                    | (((ef >> 1) & 1) * PF)
+                    | (((ef >> 2) & 1) * ZF)
+                    | (((ef >> 3) & 1) * SF)
+                    | (((ef >> 4) & 1) * OF)
+                    | (((ef >> 5) & 1) * AF);
+                let flipped = ef ^ AF; // AF is read by no condition
+                assert_eq!(c.eval(ef), c.eval(flipped));
+                let _ = read;
+            }
+        }
+    }
+
+    #[test]
+    fn merge_keeps_unmasked() {
+        let ef = SF | CF | RESERVED_ONES;
+        let out = merge(ef, ZF, ZF | SF);
+        assert_ne!(out & ZF, 0);
+        assert_eq!(out & SF, 0);
+        assert_ne!(out & CF, 0); // untouched
+        assert_ne!(out & RESERVED_ONES, 0);
+    }
+}

@@ -1,0 +1,295 @@
+//! x87 FPU state: the register stack, TOS, tag word, and status word.
+//!
+//! The paper's §5 is largely about the cost of emulating exactly this
+//! structure on Itanium's flat FP register file: `ST(i)` addressing is
+//! relative to a rotating top-of-stack, every access must be checked
+//! against the tag word, and the MMX registers alias the significands of
+//! the physical registers.
+//!
+//! Precision substitution: physical registers hold `f64` rather than the
+//! 80-bit extended format (documented in DESIGN.md §2).
+
+/// Value stored in one physical x87 register.
+///
+/// MMX instructions write the 64-bit significand directly ("aliasing"),
+/// which on real hardware leaves an invalid extended-precision pattern;
+/// we model the two interpretations explicitly.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum FpReg {
+    /// A floating-point value (valid for FP use).
+    F(f64),
+    /// An MMX value written through the aliasing path. FP reads observe
+    /// a NaN, as on hardware.
+    M(u64),
+}
+
+impl FpReg {
+    /// The value as seen by FP instructions.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            FpReg::F(v) => v,
+            FpReg::M(_) => f64::NAN,
+        }
+    }
+
+    /// The value as seen by MMX instructions (the significand).
+    pub fn as_mmx(self) -> u64 {
+        match self {
+            FpReg::F(v) => v.to_bits(), // approximation of the significand
+            FpReg::M(v) => v,
+        }
+    }
+}
+
+/// x87 status-word bits we model.
+pub mod status {
+    /// Invalid-operation exception flag.
+    pub const IE: u16 = 1 << 0;
+    /// Stack-fault flag.
+    pub const SF: u16 = 1 << 6;
+    /// C0 condition bit.
+    pub const C0: u16 = 1 << 8;
+    /// C1 condition bit (also "stack overflow" direction on stack fault).
+    pub const C1: u16 = 1 << 9;
+    /// C2 condition bit.
+    pub const C2: u16 = 1 << 10;
+    /// C3 condition bit.
+    pub const C3: u16 = 1 << 14;
+    /// TOS field shift (bits 11-13).
+    pub const TOP_SHIFT: u16 = 11;
+}
+
+/// An x87 stack fault.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FpuFault {
+    /// Push onto a full (valid-tagged) register: stack overflow.
+    Overflow,
+    /// Read/pop of an empty register: stack underflow.
+    Underflow,
+}
+
+impl std::fmt::Display for FpuFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FpuFault::Overflow => write!(f, "x87 stack overflow"),
+            FpuFault::Underflow => write!(f, "x87 stack underflow"),
+        }
+    }
+}
+
+impl std::error::Error for FpuFault {}
+
+/// The x87 FPU architectural state.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Fpu {
+    /// Physical registers R0-R7 (not stack-relative).
+    pub regs: [FpReg; 8],
+    /// Top-of-stack physical index (0-7). Loads decrement it.
+    pub top: u8,
+    /// Tag word, one bit per physical register: 1 = valid, 0 = empty.
+    /// (The real tag word has 2 bits per register; valid/empty is the
+    /// distinction the translator's speculation checks.)
+    pub tags: u8,
+    /// Status word (condition codes + exception flags).
+    pub status: u16,
+    /// True while in "MMX mode" — the mode bit the translator's
+    /// FP↔MMX aliasing speculation tracks.
+    pub mmx_mode: bool,
+}
+
+impl Default for Fpu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fpu {
+    /// Power-on state: empty stack, TOS = 0.
+    pub fn new() -> Fpu {
+        Fpu {
+            regs: [FpReg::F(0.0); 8],
+            top: 0,
+            tags: 0,
+            status: 0,
+            mmx_mode: false,
+        }
+    }
+
+    /// Physical register index of `ST(i)`.
+    pub fn phys(&self, i: u8) -> u8 {
+        (self.top.wrapping_add(i)) & 7
+    }
+
+    /// True if `ST(i)` holds a valid value.
+    pub fn is_valid(&self, i: u8) -> bool {
+        self.tags & (1 << self.phys(i)) != 0
+    }
+
+    /// Reads `ST(i)` as FP.
+    ///
+    /// # Errors
+    ///
+    /// [`FpuFault::Underflow`] if the register is tagged empty.
+    pub fn st(&self, i: u8) -> Result<f64, FpuFault> {
+        if !self.is_valid(i) {
+            return Err(FpuFault::Underflow);
+        }
+        Ok(self.regs[self.phys(i) as usize].as_f64())
+    }
+
+    /// Writes `ST(i)` (must already be valid, e.g. an arithmetic result).
+    ///
+    /// # Errors
+    ///
+    /// [`FpuFault::Underflow`] if the register is tagged empty.
+    pub fn set_st(&mut self, i: u8, v: f64) -> Result<(), FpuFault> {
+        if !self.is_valid(i) {
+            return Err(FpuFault::Underflow);
+        }
+        self.regs[self.phys(i) as usize] = FpReg::F(v);
+        self.mmx_mode = false;
+        Ok(())
+    }
+
+    /// Pushes a value (decrements TOS).
+    ///
+    /// # Errors
+    ///
+    /// [`FpuFault::Overflow`] if the new top register is already valid.
+    pub fn push(&mut self, v: f64) -> Result<(), FpuFault> {
+        let new_top = self.top.wrapping_sub(1) & 7;
+        if self.tags & (1 << new_top) != 0 {
+            self.status |= status::SF | status::IE | status::C1;
+            return Err(FpuFault::Overflow);
+        }
+        self.top = new_top;
+        self.regs[new_top as usize] = FpReg::F(v);
+        self.tags |= 1 << new_top;
+        self.mmx_mode = false;
+        self.sync_top();
+        Ok(())
+    }
+
+    /// Pops the stack (tags `ST(0)` empty, increments TOS).
+    ///
+    /// # Errors
+    ///
+    /// [`FpuFault::Underflow`] if `ST(0)` is empty.
+    pub fn pop(&mut self) -> Result<f64, FpuFault> {
+        let v = self.st(0)?;
+        self.tags &= !(1 << self.top);
+        self.top = (self.top + 1) & 7;
+        self.sync_top();
+        Ok(v)
+    }
+
+    /// Exchanges `ST(0)` and `ST(i)`.
+    ///
+    /// # Errors
+    ///
+    /// [`FpuFault::Underflow`] if either register is empty.
+    pub fn fxch(&mut self, i: u8) -> Result<(), FpuFault> {
+        if !self.is_valid(0) || !self.is_valid(i) {
+            return Err(FpuFault::Underflow);
+        }
+        let a = self.phys(0) as usize;
+        let b = self.phys(i) as usize;
+        self.regs.swap(a, b);
+        Ok(())
+    }
+
+    /// MMX write to `MMi`: sets the significand of physical register `i`,
+    /// tags it valid, forces TOS to 0, and enters MMX mode — the aliasing
+    /// behaviour the translator speculates about.
+    pub fn mmx_write(&mut self, i: u8, v: u64) {
+        self.regs[i as usize & 7] = FpReg::M(v);
+        self.tags |= 1 << (i & 7);
+        self.top = 0;
+        self.mmx_mode = true;
+        self.sync_top();
+    }
+
+    /// MMX read of `MMi`.
+    pub fn mmx_read(&self, i: u8) -> u64 {
+        self.regs[i as usize & 7].as_mmx()
+    }
+
+    /// `EMMS`: empties the tag word and leaves MMX mode.
+    pub fn emms(&mut self) {
+        self.tags = 0;
+        self.mmx_mode = false;
+    }
+
+    fn sync_top(&mut self) {
+        self.status =
+            (self.status & !(0b111 << status::TOP_SHIFT)) | ((self.top as u16) << status::TOP_SHIFT);
+    }
+
+    /// The number of valid stack entries.
+    pub fn depth(&self) -> u32 {
+        self.tags.count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_rotates_tos() {
+        let mut f = Fpu::new();
+        f.push(1.0).unwrap();
+        assert_eq!(f.top, 7);
+        f.push(2.0).unwrap();
+        assert_eq!(f.top, 6);
+        assert_eq!(f.st(0).unwrap(), 2.0);
+        assert_eq!(f.st(1).unwrap(), 1.0);
+        assert_eq!(f.pop().unwrap(), 2.0);
+        assert_eq!(f.pop().unwrap(), 1.0);
+        assert_eq!(f.depth(), 0);
+    }
+
+    #[test]
+    fn underflow_and_overflow_fault() {
+        let mut f = Fpu::new();
+        assert_eq!(f.pop().unwrap_err(), FpuFault::Underflow);
+        for i in 0..8 {
+            f.push(i as f64).unwrap();
+        }
+        assert_eq!(f.push(9.0).unwrap_err(), FpuFault::Overflow);
+        assert_ne!(f.status & status::SF, 0);
+    }
+
+    #[test]
+    fn fxch_swaps() {
+        let mut f = Fpu::new();
+        f.push(1.0).unwrap();
+        f.push(2.0).unwrap();
+        f.fxch(1).unwrap();
+        assert_eq!(f.st(0).unwrap(), 1.0);
+        assert_eq!(f.st(1).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn mmx_aliasing() {
+        let mut f = Fpu::new();
+        f.push(1.0).unwrap();
+        assert!(!f.mmx_mode);
+        f.mmx_write(3, 0x1122334455667788);
+        assert!(f.mmx_mode);
+        assert_eq!(f.top, 0, "MMX write forces TOS to 0");
+        assert_eq!(f.mmx_read(3), 0x1122334455667788);
+        // FP view of an MMX register is NaN.
+        assert!(f.regs[3].as_f64().is_nan());
+        f.emms();
+        assert_eq!(f.depth(), 0);
+        assert!(!f.mmx_mode);
+    }
+
+    #[test]
+    fn status_word_top_field() {
+        let mut f = Fpu::new();
+        f.push(1.0).unwrap();
+        assert_eq!((f.status >> status::TOP_SHIFT) & 7, 7);
+    }
+}

@@ -1,0 +1,56 @@
+//! # IA-32 substrate
+//!
+//! The IA-32 side of the IA-32 Execution Layer reproduction: an
+//! instruction model with real machine-code encodings, an assembler for
+//! building guest binaries, a paged guest address space, a reference
+//! interpreter that serves as the semantic oracle for the translator's
+//! differential tests, and a simple cycle model standing in for the
+//! paper's 1.6 GHz Xeon baseline (Figure 8).
+//!
+//! ## Example
+//!
+//! ```rust
+//! use ia32::asm::{Asm, Image};
+//! use ia32::inst::AluOp;
+//! use ia32::interp::{Event, Interp};
+//! use ia32::mem::GuestMem;
+//! use ia32::regs::{EAX, ECX};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut a = Asm::new(0x40_0000);
+//! a.mov_ri(EAX, 0);
+//! a.mov_ri(ECX, 100);
+//! let top = a.label();
+//! a.bind(top);
+//! a.alu_rr(AluOp::Add, EAX, ECX);
+//! a.dec(ECX);
+//! a.jcc(ia32::flags::Cond::Ne, top);
+//! a.hlt();
+//!
+//! let mut mem = GuestMem::new();
+//! let cpu = Image::from_asm(&a).load(&mut mem);
+//! let mut interp = Interp::new();
+//! interp.cpu = cpu;
+//! assert_eq!(interp.run(&mut mem, 10_000)?, Event::Halt);
+//! assert_eq!(interp.cpu.gpr[0], 5050);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod cpu;
+pub mod decode;
+pub mod encode;
+pub mod flags;
+pub mod fpu;
+pub mod inst;
+pub mod interp;
+pub mod mem;
+pub mod regs;
+pub mod timing;
+
+pub use cpu::Cpu;
+pub use flags::{Cond, Size};
+pub use inst::Inst;
+pub use interp::{Event, Fault, Interp, Trap};
+pub use mem::{GuestMem, MemFault, Prot};

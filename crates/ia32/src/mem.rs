@@ -1,0 +1,394 @@
+//! The guest address space.
+//!
+//! A sparse, paged, 64-bit address space shared by the IA-32 application
+//! (low 4 GiB) and, when running under the translator, the translator's
+//! own data structures (counters, lookup tables) above 4 GiB — mirroring
+//! how IA-32 EL lives in the same virtual address space as the translated
+//! process.
+//!
+//! Pages carry protection bits; stores to pages marked
+//! [`Prot::write_protect_code`] fault so the translator can detect
+//! self-modifying code.
+
+use std::collections::HashMap;
+
+/// Page size (4 KiB, like both IA-32 and IPF base pages).
+pub const PAGE_SIZE: u64 = 4096;
+
+const PAGE_MASK: u64 = PAGE_SIZE - 1;
+
+/// Page protection attributes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Prot {
+    /// Readable.
+    pub read: bool,
+    /// Writable.
+    pub write: bool,
+    /// Executable (fetchable by the interpreter / discoverable by the
+    /// translator).
+    pub exec: bool,
+    /// Set by the translator on pages it has translated code from:
+    /// stores fault with [`MemFaultKind::SmcWrite`] so translations can
+    /// be invalidated.
+    pub write_protect_code: bool,
+}
+
+impl Prot {
+    /// Read/write data page.
+    pub fn rw() -> Prot {
+        Prot {
+            read: true,
+            write: true,
+            exec: false,
+            write_protect_code: false,
+        }
+    }
+
+    /// Read/execute code page.
+    pub fn rx() -> Prot {
+        Prot {
+            read: true,
+            write: false,
+            exec: true,
+            write_protect_code: false,
+        }
+    }
+
+    /// Read/write/execute page (IA-32 binaries frequently have writable
+    /// code segments; this is what makes SMC possible).
+    pub fn rwx() -> Prot {
+        Prot {
+            read: true,
+            write: true,
+            exec: true,
+            write_protect_code: false,
+        }
+    }
+}
+
+/// Why a memory access faulted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemFaultKind {
+    /// No page mapped at the address.
+    Unmapped,
+    /// Page mapped without read permission.
+    NoRead,
+    /// Page mapped without write permission.
+    NoWrite,
+    /// Fetch from a non-executable page.
+    NoExec,
+    /// Store hit a write-protected code page (self-modifying code).
+    SmcWrite,
+}
+
+/// A faulting memory access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemFault {
+    /// Faulting address.
+    pub addr: u64,
+    /// Fault cause.
+    pub kind: MemFaultKind,
+    /// True if the access was a write.
+    pub write: bool,
+}
+
+impl std::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} fault on {} at {:#x}",
+            self.kind,
+            if self.write { "write" } else { "read" },
+            self.addr
+        )
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+struct Page {
+    data: Box<[u8; PAGE_SIZE as usize]>,
+    prot: Prot,
+}
+
+/// The sparse guest address space.
+pub struct GuestMem {
+    pages: HashMap<u64, Page>,
+}
+
+impl Default for GuestMem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for GuestMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GuestMem {{ {} pages mapped }}", self.pages.len())
+    }
+}
+
+impl GuestMem {
+    /// An empty address space.
+    pub fn new() -> GuestMem {
+        GuestMem {
+            pages: HashMap::new(),
+        }
+    }
+
+    /// Maps (or re-protects) the pages covering `[addr, addr+len)`.
+    /// Newly mapped pages are zero-filled; existing pages keep their data
+    /// but take the new protection.
+    pub fn map(&mut self, addr: u64, len: u64, prot: Prot) {
+        let first = addr & !PAGE_MASK;
+        let last = addr.wrapping_add(len.max(1) - 1) & !PAGE_MASK;
+        let mut p = first;
+        loop {
+            self.pages
+                .entry(p)
+                .and_modify(|pg| pg.prot = prot)
+                .or_insert_with(|| Page {
+                    data: Box::new([0; PAGE_SIZE as usize]),
+                    prot,
+                });
+            if p == last {
+                break;
+            }
+            p += PAGE_SIZE;
+        }
+    }
+
+    /// Removes the pages covering `[addr, addr+len)`.
+    pub fn unmap(&mut self, addr: u64, len: u64) {
+        let first = addr & !PAGE_MASK;
+        let last = addr.wrapping_add(len.max(1) - 1) & !PAGE_MASK;
+        let mut p = first;
+        loop {
+            self.pages.remove(&p);
+            if p == last {
+                break;
+            }
+            p += PAGE_SIZE;
+        }
+    }
+
+    /// Returns the protection of the page containing `addr`, if mapped.
+    pub fn prot_of(&self, addr: u64) -> Option<Prot> {
+        self.pages.get(&(addr & !PAGE_MASK)).map(|p| p.prot)
+    }
+
+    /// Marks the page containing `addr` as write-protected translated
+    /// code (SMC detection) or clears the mark.
+    pub fn set_code_protect(&mut self, addr: u64, on: bool) {
+        if let Some(p) = self.pages.get_mut(&(addr & !PAGE_MASK)) {
+            p.prot.write_protect_code = on;
+        }
+    }
+
+    /// True if the page containing `addr` is mapped.
+    pub fn is_mapped(&self, addr: u64) -> bool {
+        self.pages.contains_key(&(addr & !PAGE_MASK))
+    }
+
+    fn page(&self, addr: u64, write: bool) -> Result<&Page, MemFault> {
+        self.pages.get(&(addr & !PAGE_MASK)).ok_or(MemFault {
+            addr,
+            kind: MemFaultKind::Unmapped,
+            write,
+        })
+    }
+
+    /// Reads `N` bytes (`N` ≤ 8 in practice). Accesses may span pages.
+    pub fn read(&self, addr: u64, len: u32) -> Result<u64, MemFault> {
+        debug_assert!(len as usize <= 8);
+        let mut v = 0u64;
+        for i in 0..len as u64 {
+            let a = addr.wrapping_add(i);
+            let p = self.page(a, false)?;
+            if !p.prot.read {
+                return Err(MemFault {
+                    addr: a,
+                    kind: MemFaultKind::NoRead,
+                    write: false,
+                });
+            }
+            v |= (p.data[(a & PAGE_MASK) as usize] as u64) << (i * 8);
+        }
+        Ok(v)
+    }
+
+    /// Writes the low `len` bytes of `v` at `addr`.
+    pub fn write(&mut self, addr: u64, len: u32, v: u64) -> Result<(), MemFault> {
+        debug_assert!(len as usize <= 8);
+        // Validate all pages before mutating (stores must be atomic with
+        // respect to faults for precise-exception tests).
+        for i in 0..len as u64 {
+            let a = addr.wrapping_add(i);
+            let p = self.page(a, true)?;
+            if p.prot.write_protect_code {
+                return Err(MemFault {
+                    addr: a,
+                    kind: MemFaultKind::SmcWrite,
+                    write: true,
+                });
+            }
+            if !p.prot.write {
+                return Err(MemFault {
+                    addr: a,
+                    kind: MemFaultKind::NoWrite,
+                    write: true,
+                });
+            }
+        }
+        for i in 0..len as u64 {
+            let a = addr.wrapping_add(i);
+            let page = self
+                .pages
+                .get_mut(&(a & !PAGE_MASK))
+                .expect("validated above");
+            page.data[(a & PAGE_MASK) as usize] = (v >> (i * 8)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Writes bytes even to write-protected code pages (used by the
+    /// loader and by the translator's own data structures).
+    pub fn write_forced(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            let a = addr.wrapping_add(i as u64);
+            let page = self.pages.entry(a & !PAGE_MASK).or_insert_with(|| Page {
+                data: Box::new([0; PAGE_SIZE as usize]),
+                prot: Prot::rw(),
+            });
+            page.data[(a & PAGE_MASK) as usize] = b;
+        }
+    }
+
+    /// Fetches up to `len` instruction bytes for decode; requires exec
+    /// permission on the first byte's page.
+    pub fn fetch(&self, addr: u64, len: usize) -> Result<Vec<u8>, MemFault> {
+        let p = self.page(addr, false)?;
+        if !p.prot.exec {
+            return Err(MemFault {
+                addr,
+                kind: MemFaultKind::NoExec,
+                write: false,
+            });
+        }
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len as u64 {
+            let a = addr.wrapping_add(i);
+            match self.page(a, false) {
+                Ok(p) if p.prot.read => out.push(p.data[(a & PAGE_MASK) as usize]),
+                _ => break, // shorter fetch near an unmapped boundary
+            }
+        }
+        if out.is_empty() {
+            return Err(MemFault {
+                addr,
+                kind: MemFaultKind::Unmapped,
+                write: false,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Copies a byte range out (reads must all succeed).
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<Vec<u8>, MemFault> {
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len as u64 {
+            out.push(self.read(addr.wrapping_add(i), 1)? as u8);
+        }
+        Ok(out)
+    }
+
+    /// 32-bit read convenience.
+    pub fn read_u32(&self, addr: u64) -> Result<u32, MemFault> {
+        Ok(self.read(addr, 4)? as u32)
+    }
+
+    /// 32-bit write convenience.
+    pub fn write_u32(&mut self, addr: u64, v: u32) -> Result<(), MemFault> {
+        self.write(addr, 4, v as u64)
+    }
+
+    /// Number of mapped pages (for diagnostics).
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_read_write() {
+        let mut m = GuestMem::new();
+        m.map(0x1000, 0x2000, Prot::rw());
+        m.write(0x1234, 4, 0xDEADBEEF).unwrap();
+        assert_eq!(m.read(0x1234, 4).unwrap(), 0xDEADBEEF);
+        assert_eq!(m.read(0x1236, 2).unwrap(), 0xDEAD);
+    }
+
+    #[test]
+    fn unmapped_faults() {
+        let m = GuestMem::new();
+        let e = m.read(0x1000, 4).unwrap_err();
+        assert_eq!(e.kind, MemFaultKind::Unmapped);
+        assert!(!e.write);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = GuestMem::new();
+        m.map(0x1000, 0x2000, Prot::rw());
+        m.write(0x1FFE, 4, 0x11223344).unwrap();
+        assert_eq!(m.read(0x1FFE, 4).unwrap(), 0x11223344);
+        assert_eq!(m.read(0x2000, 2).unwrap(), 0x1122);
+    }
+
+    #[test]
+    fn cross_page_fault_leaves_memory_unchanged() {
+        let mut m = GuestMem::new();
+        m.map(0x1000, 0x1000, Prot::rw()); // only one page
+        let before = m.read(0x1FFC, 4).unwrap();
+        let e = m.write(0x1FFE, 4, 0xAABBCCDD).unwrap_err();
+        assert_eq!(e.kind, MemFaultKind::Unmapped);
+        assert_eq!(e.addr, 0x2000);
+        assert_eq!(m.read(0x1FFC, 4).unwrap(), before, "no partial write");
+    }
+
+    #[test]
+    fn write_protect_code_faults() {
+        let mut m = GuestMem::new();
+        m.map(0x1000, 0x1000, Prot::rwx());
+        m.set_code_protect(0x1000, true);
+        let e = m.write(0x1100, 1, 0x90).unwrap_err();
+        assert_eq!(e.kind, MemFaultKind::SmcWrite);
+        // Forced write still works (loader path).
+        m.write_forced(0x1100, &[0x90]);
+        assert_eq!(m.read(0x1100, 1).unwrap(), 0x90);
+        m.set_code_protect(0x1000, false);
+        m.write(0x1100, 1, 0x91).unwrap();
+    }
+
+    #[test]
+    fn fetch_requires_exec() {
+        let mut m = GuestMem::new();
+        m.map(0x1000, 0x1000, Prot::rw());
+        let e = m.fetch(0x1000, 4).unwrap_err();
+        assert_eq!(e.kind, MemFaultKind::NoExec);
+        m.map(0x1000, 0x1000, Prot::rx());
+        assert_eq!(m.fetch(0x1000, 4).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn high_addresses_work() {
+        // Translator data lives above 4 GiB.
+        let mut m = GuestMem::new();
+        m.map(0x1_0000_0000, 0x1000, Prot::rw());
+        m.write(0x1_0000_0008, 8, u64::MAX).unwrap();
+        assert_eq!(m.read(0x1_0000_0008, 8).unwrap(), u64::MAX);
+    }
+}

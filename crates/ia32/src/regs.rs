@@ -1,0 +1,168 @@
+//! IA-32 register identifiers.
+//!
+//! The architectural general-purpose registers are identified by [`Gpr`]
+//! (the 3-bit register number used in ModRM encodings). Operand size is
+//! carried by the instruction, not the register id, mirroring how the
+//! hardware encodes `EAX`/`AX`/`AL` with the same number.
+
+use std::fmt;
+
+/// A general-purpose register number (0-7).
+///
+/// The meaning depends on the operand size of the instruction using it:
+/// for 32-bit operands 0 = `EAX`, for 16-bit 0 = `AX`, and for 8-bit
+/// operands numbers 0-3 are the low bytes (`AL`..`BL`) while 4-7 are the
+/// high bytes (`AH`..`BH`) of registers 0-3.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Gpr(u8);
+
+/// `EAX` — accumulator.
+pub const EAX: Gpr = Gpr(0);
+/// `ECX` — counter.
+pub const ECX: Gpr = Gpr(1);
+/// `EDX` — data.
+pub const EDX: Gpr = Gpr(2);
+/// `EBX` — base.
+pub const EBX: Gpr = Gpr(3);
+/// `ESP` — stack pointer.
+pub const ESP: Gpr = Gpr(4);
+/// `EBP` — frame pointer.
+pub const EBP: Gpr = Gpr(5);
+/// `ESI` — source index.
+pub const ESI: Gpr = Gpr(6);
+/// `EDI` — destination index.
+pub const EDI: Gpr = Gpr(7);
+
+impl Gpr {
+    /// Creates a register from its ModRM register number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 7`.
+    pub fn new(n: u8) -> Gpr {
+        assert!(n < 8, "GPR number out of range: {n}");
+        Gpr(n)
+    }
+
+    /// The 3-bit register number used in instruction encodings.
+    pub fn num(self) -> u8 {
+        self.0
+    }
+
+    /// All eight registers in encoding order.
+    pub fn all() -> [Gpr; 8] {
+        [EAX, ECX, EDX, EBX, ESP, EBP, ESI, EDI]
+    }
+
+    /// The 32-bit register name.
+    pub fn name32(self) -> &'static str {
+        ["eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"][self.0 as usize]
+    }
+
+    /// The 16-bit register name.
+    pub fn name16(self) -> &'static str {
+        ["ax", "cx", "dx", "bx", "sp", "bp", "si", "di"][self.0 as usize]
+    }
+
+    /// The 8-bit register name (numbers 4-7 are the high-byte registers).
+    pub fn name8(self) -> &'static str {
+        ["al", "cl", "dl", "bl", "ah", "ch", "dh", "bh"][self.0 as usize]
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name32())
+    }
+}
+
+/// An MMX register `MM0`-`MM7`.
+///
+/// Architecturally aliased to the significands of the x87 physical
+/// registers (see [`crate::fpu`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Mm(u8);
+
+impl Mm {
+    /// Creates an MMX register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 7`.
+    pub fn new(n: u8) -> Mm {
+        assert!(n < 8, "MMX register number out of range: {n}");
+        Mm(n)
+    }
+
+    /// The register number.
+    pub fn num(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Mm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mm{}", self.0)
+    }
+}
+
+/// An SSE register `XMM0`-`XMM7`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Xmm(u8);
+
+impl Xmm {
+    /// Creates an XMM register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 7`.
+    pub fn new(n: u8) -> Xmm {
+        assert!(n < 8, "XMM register number out of range: {n}");
+        Xmm(n)
+    }
+
+    /// The register number.
+    pub fn num(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Xmm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xmm{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_roundtrip() {
+        for n in 0..8 {
+            assert_eq!(Gpr::new(n).num(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gpr_out_of_range() {
+        Gpr::new(8);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(EAX.name32(), "eax");
+        assert_eq!(EAX.name16(), "ax");
+        assert_eq!(EAX.name8(), "al");
+        assert_eq!(ESP.name8(), "ah"); // number 4 as an 8-bit operand is AH
+        assert_eq!(EDI.to_string(), "edi");
+    }
+
+    #[test]
+    fn all_in_encoding_order() {
+        for (i, r) in Gpr::all().iter().enumerate() {
+            assert_eq!(r.num() as usize, i);
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! The IPF bundler/assembler.
+//!
+//! Turns a linear instruction stream (with stop requests and labels)
+//! into template-conformant bundles, patching label targets to absolute
+//! bundle addresses. Used by both the translator's cold/hot backends and
+//! the workloads' native-code generator.
+
+use crate::bundle::{Bundle, SlotKind, Template};
+use crate::inst::{Inst, Op, Target, Unit};
+use crate::regs::P0;
+use std::collections::HashMap;
+
+/// A label naming a (future) bundle address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(pub u32);
+
+#[derive(Clone, Debug)]
+enum Item {
+    Inst { inst: Inst, stop_after: bool },
+    Bind(Label),
+}
+
+/// Where each pushed instruction landed after bundling: indexed by push
+/// order, `(bundle_index, slot)`.
+pub type Placements = Vec<(usize, u8)>;
+
+/// Builds bundles from a stream of instructions, stops, and labels.
+///
+/// Branch targets are always bundle-aligned (as on hardware): binding a
+/// label closes the current bundle.
+#[derive(Debug, Default)]
+pub struct CodeBuilder {
+    items: Vec<Item>,
+    next_label: u32,
+}
+
+impl CodeBuilder {
+    /// An empty builder.
+    pub fn new() -> CodeBuilder {
+        CodeBuilder::default()
+    }
+
+    /// Allocates a fresh label.
+    pub fn label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Binds `label` here (forces a new bundle).
+    pub fn bind(&mut self, label: Label) {
+        self.items.push(Item::Bind(label));
+    }
+
+    /// Appends an unpredicated instruction.
+    pub fn push(&mut self, op: Op) {
+        self.items.push(Item::Inst {
+            inst: Inst::new(op),
+            stop_after: false,
+        });
+    }
+
+    /// Appends a predicated instruction.
+    pub fn push_pred(&mut self, qp: crate::regs::Pr, op: Op) {
+        self.items.push(Item::Inst {
+            inst: Inst::pred(qp, op),
+            stop_after: false,
+        });
+    }
+
+    /// Appends a full instruction.
+    pub fn push_inst(&mut self, inst: Inst) {
+        self.items.push(Item::Inst {
+            inst,
+            stop_after: false,
+        });
+    }
+
+    /// Requests a stop bit (`;;`) after the most recent instruction.
+    pub fn stop(&mut self) {
+        if let Some(Item::Inst { stop_after, .. }) = self.items.last_mut() {
+            *stop_after = true;
+        }
+    }
+
+    /// Number of instructions queued (excluding label binds).
+    pub fn len(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|i| matches!(i, Item::Inst { .. }))
+            .count()
+    }
+
+    /// True if no instructions are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Assembles into bundles based at `base`, resolving labels.
+    ///
+    /// Returns the bundles and the resolved address of every label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced label was never bound.
+    pub fn assemble(&self, base: u64) -> (Vec<Bundle>, HashMap<Label, u64>) {
+        let (b, l, _) = self.assemble_with_placements(base);
+        (b, l)
+    }
+
+    /// Like [`CodeBuilder::assemble`], additionally returning where each
+    /// pushed instruction landed (`(bundle_index, slot)`, in push
+    /// order) — the translator's recovery maps need this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced label was never bound.
+    pub fn assemble_with_placements(
+        &self,
+        base: u64,
+    ) -> (Vec<Bundle>, HashMap<Label, u64>, Placements) {
+        let mut bundles: Vec<Bundle> = Vec::new();
+        let mut packer = Packer::new();
+        let mut label_bundle: HashMap<Label, usize> = HashMap::new();
+        let mut pending_binds: Vec<Label> = Vec::new();
+        let mut seq = 0usize;
+
+        for item in &self.items {
+            match item {
+                Item::Bind(l) => {
+                    packer.flush(&mut bundles);
+                    pending_binds.push(*l);
+                }
+                Item::Inst { inst, stop_after } => {
+                    if !pending_binds.is_empty() {
+                        let idx = bundles.len() + usize::from(packer.has_partial());
+                        // Binding lands on the *next* bundle started.
+                        debug_assert!(!packer.has_partial());
+                        for l in pending_binds.drain(..) {
+                            label_bundle.insert(l, idx);
+                        }
+                    }
+                    packer.add_tracked(*inst, *stop_after, seq, &mut bundles);
+                    seq += 1;
+                }
+            }
+        }
+        packer.flush(&mut bundles);
+        // Trailing binds point one past the end.
+        for l in pending_binds.drain(..) {
+            label_bundle.insert(l, bundles.len());
+        }
+
+        let addr_of = |idx: usize| base + idx as u64 * Bundle::SIZE;
+        let labels: HashMap<Label, u64> = label_bundle
+            .iter()
+            .map(|(l, i)| (*l, addr_of(*i)))
+            .collect();
+
+        // Patch label targets.
+        for b in &mut bundles {
+            for s in &mut b.slots {
+                if let Some(Target::Label(l)) = s.op.target() {
+                    let addr = *labels
+                        .get(&Label(l))
+                        .unwrap_or_else(|| panic!("unbound label L{l}"));
+                    s.op.set_target(Target::Abs(addr));
+                }
+            }
+        }
+        let mut placements: Placements = vec![(usize::MAX, 0); seq];
+        for p in packer.placements.drain(..) {
+            placements[p.0] = (p.1, p.2);
+        }
+        (bundles, labels, placements)
+    }
+}
+
+/// Greedy template packer.
+struct Packer {
+    /// Candidate templates still consistent with the placed slots.
+    candidates: Vec<Template>,
+    placed: Vec<(Inst, bool, Option<usize>)>,
+    /// Final placements: (seq, bundle_index, slot).
+    placements: Vec<(usize, usize, u8)>,
+    cur_seq: Option<usize>,
+}
+
+impl Packer {
+    fn new() -> Packer {
+        Packer {
+            candidates: Vec::new(),
+            placed: Vec::new(),
+            placements: Vec::new(),
+            cur_seq: None,
+        }
+    }
+
+    fn add_tracked(&mut self, inst: Inst, stop_after: bool, seq: usize, out: &mut Vec<Bundle>) {
+        self.cur_seq = Some(seq);
+        self.add(inst, stop_after, out);
+        self.cur_seq = None;
+    }
+
+    fn has_partial(&self) -> bool {
+        !self.placed.is_empty()
+    }
+
+    fn add(&mut self, inst: Inst, stop_after: bool, out: &mut Vec<Bundle>) {
+        let unit = inst.op.unit();
+        if unit == Unit::L {
+            // movl consumes slots 1+2 of MLX; it needs a fresh or
+            // M-compatible slot-0 bundle.
+            if self.placed.len() > 1 || (self.placed.len() == 1 && !self.fits_mlx_slot0()) {
+                self.flush(out);
+            }
+            if self.placed.is_empty() {
+                self.placed.push((
+                    Inst::new(Op::Nop { unit: Unit::M }),
+                    false,
+                    None,
+                ));
+            }
+            self.candidates = vec![Template::Mlx];
+            self.placed.push((inst, false, self.cur_seq));
+            // X placeholder slot carries the stop if requested.
+            self.placed
+                .push((Inst::new(Op::Nop { unit: Unit::I }), stop_after, None));
+            self.flush(out);
+            return;
+        }
+
+        let idx = self.placed.len();
+        if idx == 0 {
+            self.candidates = Template::all()
+                .iter()
+                .copied()
+                .filter(|t| *t != Template::Mlx && t.slots()[0].accepts(unit))
+                .collect();
+            if self.candidates.is_empty() {
+                // e.g. an I- or F-type op cannot start slot 0 of any
+                // template: prepend an M nop and keep the templates that
+                // can still take this op in slot 1.
+                self.candidates = Template::all()
+                    .iter()
+                    .copied()
+                    .filter(|t| *t != Template::Mlx && t.slots()[1].accepts(unit))
+                    .collect();
+                assert!(
+                    !self.candidates.is_empty(),
+                    "no template accepts unit {unit:?} in slot 1"
+                );
+                self.placed
+                    .push((Inst::new(Op::Nop { unit: Unit::M }), false, None));
+                self.placed.push((inst, stop_after, self.cur_seq));
+                return;
+            }
+            self.placed.push((inst, stop_after, self.cur_seq));
+            return;
+        }
+
+        let surviving: Vec<Template> = self
+            .candidates
+            .iter()
+            .copied()
+            .filter(|t| t.slots()[idx].accepts(unit))
+            .collect();
+        if surviving.is_empty() {
+            self.flush(out);
+            return self.add(inst, stop_after, out);
+        }
+        self.candidates = surviving;
+        self.placed.push((inst, stop_after, self.cur_seq));
+        if self.placed.len() == 3 {
+            self.flush(out);
+        }
+    }
+
+    fn fits_mlx_slot0(&self) -> bool {
+        self.placed
+            .first()
+            .map(|(i, _, _)| SlotKind::M.accepts(i.op.unit()))
+            .unwrap_or(true)
+    }
+
+    fn flush(&mut self, out: &mut Vec<Bundle>) {
+        if self.placed.is_empty() {
+            return;
+        }
+        let template = self.candidates.first().copied().unwrap_or(Template::Mii);
+        let pattern = template.slots();
+        let mut slots = [
+            Inst::new(Op::Nop { unit: Unit::M }),
+            Inst::new(Op::Nop { unit: Unit::I }),
+            Inst::new(Op::Nop { unit: Unit::I }),
+        ];
+        let mut stops = [false; 3];
+        let bundle_idx = out.len();
+        for (i, (inst, stop, seq)) in self.placed.drain(..).enumerate() {
+            slots[i] = inst;
+            stops[i] = stop;
+            if let Some(s) = seq {
+                self.placements.push((s, bundle_idx, i as u8));
+            }
+        }
+        // Fill remaining slots with unit-appropriate nops.
+        for i in 0..3 {
+            if matches!(slots[i].op, Op::Nop { .. }) {
+                let unit = match pattern[i] {
+                    SlotKind::M => Unit::M,
+                    SlotKind::I | SlotKind::L | SlotKind::X => Unit::I,
+                    SlotKind::F => Unit::F,
+                    SlotKind::B => Unit::B,
+                };
+                slots[i] = Inst {
+                    qp: P0,
+                    op: Op::Nop { unit },
+                };
+            }
+        }
+        out.push(Bundle {
+            template,
+            slots,
+            stops,
+        });
+        self.candidates.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::CmpRel;
+    use crate::regs::*;
+
+    #[test]
+    fn packs_alu_run_into_bundles() {
+        let mut cb = CodeBuilder::new();
+        for i in 0..6u16 {
+            cb.push(Op::AddImm {
+                d: Gr(32 + i),
+                imm: i as i64,
+                a: R0,
+            });
+        }
+        let (bundles, _) = cb.assemble(0x1000);
+        assert_eq!(bundles.len(), 2, "six A-type ops fit two bundles");
+    }
+
+    #[test]
+    fn branch_goes_to_b_slot() {
+        let mut cb = CodeBuilder::new();
+        let l = cb.label();
+        cb.bind(l);
+        cb.push(Op::AddImm {
+            d: Gr(32),
+            imm: 1,
+            a: Gr(32),
+        });
+        cb.push(Op::Br {
+            target: Target::Label(l.0),
+        });
+        let (bundles, labels) = cb.assemble(0x1000);
+        assert_eq!(labels[&l], 0x1000);
+        let last = bundles.last().unwrap();
+        // Branch occupies a B slot and targets the first bundle.
+        let br = last
+            .slots
+            .iter()
+            .find(|s| s.op.is_branch())
+            .expect("branch placed");
+        assert_eq!(br.op.target(), Some(Target::Abs(0x1000)));
+    }
+
+    #[test]
+    fn label_binding_is_bundle_aligned() {
+        let mut cb = CodeBuilder::new();
+        cb.push(Op::AddImm {
+            d: Gr(32),
+            imm: 0,
+            a: R0,
+        });
+        let l = cb.label();
+        cb.bind(l); // closes the partial bundle
+        cb.push(Op::AddImm {
+            d: Gr(33),
+            imm: 0,
+            a: R0,
+        });
+        let (bundles, labels) = cb.assemble(0);
+        assert_eq!(bundles.len(), 2);
+        assert_eq!(labels[&l], 16);
+    }
+
+    #[test]
+    fn movl_uses_mlx() {
+        let mut cb = CodeBuilder::new();
+        cb.push(Op::Movl {
+            d: Gr(40),
+            imm: 0xDEAD_BEEF_0000_1111,
+        });
+        let (bundles, _) = cb.assemble(0);
+        assert_eq!(bundles.len(), 1);
+        assert_eq!(bundles[0].template, Template::Mlx);
+        assert!(matches!(bundles[0].slots[1].op, Op::Movl { .. }));
+    }
+
+    #[test]
+    fn stop_bits_recorded() {
+        let mut cb = CodeBuilder::new();
+        cb.push(Op::AddImm {
+            d: Gr(32),
+            imm: 1,
+            a: R0,
+        });
+        cb.stop();
+        cb.push(Op::AddImm {
+            d: Gr(33),
+            imm: 2,
+            a: Gr(32),
+        });
+        let (bundles, _) = cb.assemble(0);
+        assert!(bundles[0].stops[0]);
+    }
+
+    #[test]
+    fn fp_and_cmp_pack() {
+        let mut cb = CodeBuilder::new();
+        cb.push(Op::Cmp {
+            rel: CmpRel::Eq,
+            pt: Pr(1),
+            pf: Pr(2),
+            a: Gr(32),
+            b: Gr(33),
+        });
+        cb.push(Op::Fma {
+            d: Fr(32),
+            a: Fr(8),
+            b: Fr(9),
+            c: F0,
+        });
+        cb.push(Op::Ld {
+            sz: 8,
+            d: Gr(34),
+            addr: Gr(35),
+            spec: false,
+        });
+        let (bundles, _) = cb.assemble(0);
+        // All three must be placed (template shuffling may take 1-2
+        // bundles); count non-nop slots.
+        let placed: usize = bundles
+            .iter()
+            .flat_map(|b| b.slots.iter())
+            .filter(|s| !matches!(s.op, Op::Nop { .. }))
+            .count();
+        assert_eq!(placed, 3);
+    }
+}

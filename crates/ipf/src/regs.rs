@@ -1,0 +1,135 @@
+//! Itanium register identifiers.
+//!
+//! Register numbers are `u16` so that numbers ≥ [`VIRT_BASE`] can be used
+//! as *virtual* registers by the translator's IL before register
+//! allocation; the machine only accepts physical numbers.
+//!
+//! Note on the register stack: IA-32 EL "allocates the entire 96-register
+//! stack and operates in the same frame" (paper §2 fn. 4), so we model
+//! a flat file of 128 general registers with no register stack engine.
+
+use std::fmt;
+
+/// First virtual register number (anything ≥ this is pre-allocation IL).
+pub const VIRT_BASE: u16 = 256;
+
+/// Number of physical general registers.
+pub const NUM_GR: u16 = 128;
+/// Number of physical floating-point registers.
+pub const NUM_FR: u16 = 128;
+/// Number of physical predicate registers.
+pub const NUM_PR: u16 = 64;
+/// Number of branch registers.
+pub const NUM_BR: u8 = 8;
+
+macro_rules! reg_type {
+    ($(#[$doc:meta])* $name:ident, $count:expr, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+        pub struct $name(pub u16);
+
+        impl $name {
+            /// True if this is a virtual (pre-allocation) register.
+            pub fn is_virtual(self) -> bool {
+                self.0 >= VIRT_BASE
+            }
+
+            /// The register number.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the register is virtual (must be allocated
+            /// before reaching the machine).
+            pub fn phys(self) -> usize {
+                assert!(
+                    self.0 < $count,
+                    concat!("virtual ", $prefix, "{} reached the machine"),
+                    self.0
+                );
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.is_virtual() {
+                    write!(f, concat!("v", $prefix, "{}"), self.0 - VIRT_BASE)
+                } else {
+                    write!(f, concat!($prefix, "{}"), self.0)
+                }
+            }
+        }
+    };
+}
+
+reg_type!(
+    /// A general (integer) register `r0`-`r127`; `r0` reads as zero.
+    Gr,
+    NUM_GR,
+    "r"
+);
+reg_type!(
+    /// A floating-point register `f0`-`f127`; `f0` = +0.0, `f1` = +1.0.
+    Fr,
+    NUM_FR,
+    "f"
+);
+reg_type!(
+    /// A predicate register `p0`-`p63`; `p0` always reads true.
+    Pr,
+    NUM_PR,
+    "p"
+);
+
+/// A branch register `b0`-`b7`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Br(pub u8);
+
+impl Br {
+    /// The register number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn phys(self) -> usize {
+        assert!(self.0 < NUM_BR, "branch register out of range");
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Br {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// The always-zero general register.
+pub const R0: Gr = Gr(0);
+/// The always-+0.0 FP register.
+pub const F0: Fr = Fr(0);
+/// The always-+1.0 FP register.
+pub const F1: Fr = Fr(1);
+/// The always-true predicate.
+pub const P0: Pr = Pr(0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physical_and_virtual() {
+        assert_eq!(Gr(5).phys(), 5);
+        assert!(!Gr(127).is_virtual());
+        assert!(Gr(VIRT_BASE).is_virtual());
+        assert_eq!(Gr(VIRT_BASE + 3).to_string(), "vr3");
+        assert_eq!(Fr(2).to_string(), "f2");
+        assert_eq!(Pr(6).to_string(), "p6");
+        assert_eq!(Br(1).to_string(), "b1");
+    }
+
+    #[test]
+    #[should_panic(expected = "reached the machine")]
+    fn virtual_phys_panics() {
+        Gr(VIRT_BASE).phys();
+    }
+}

@@ -1,0 +1,155 @@
+//! Runners for the two baselines: native Itanium code and the IA-32
+//! hardware model. (The Execution Layer runner lives in the `bench`
+//! crate, which depends on the translator.)
+
+use crate::{Workload, DATA, DATA_SIZE, RESULT};
+use ia32::asm::{Asm, Image};
+use ia32::interp::{Event, Interp};
+use ia32::mem::{GuestMem, Prot};
+use ipf::machine::{Bus, BusError, CodeArena, Machine, StopReason};
+
+/// Address native workload code branches to when done.
+pub const NATIVE_EXIT: u64 = 0xDEAD_0000;
+
+/// Where native workload code is placed.
+pub const NATIVE_CODE_BASE: u64 = 0x7000_0000;
+
+/// Builds the IA-32 image for a workload at the given scale.
+pub fn build_image(w: &Workload, scale: u32) -> Image {
+    let mut a = Asm::new(0x40_0000);
+    (w.build_ia32)(&mut a, scale);
+    let mut img = Image::from_asm(&a).with_bss(DATA, DATA_SIZE);
+    for (addr, bytes) in (w.data)() {
+        img = img.with_data(addr, bytes);
+    }
+    img
+}
+
+struct MemBus<'a>(&'a mut GuestMem);
+
+impl Bus for MemBus<'_> {
+    fn read(&mut self, addr: u64, size: u32) -> Result<u64, BusError> {
+        self.0.read(addr, size).map_err(|_| BusError::Unmapped)
+    }
+
+    fn write(&mut self, addr: u64, size: u32, val: u64) -> Result<(), BusError> {
+        self.0
+            .write(addr, size, val)
+            .map_err(|_| BusError::Unmapped)
+    }
+}
+
+/// Result of a native run.
+#[derive(Clone, Copy, Debug)]
+pub struct NativeRun {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Checksum stored at [`RESULT`].
+    pub result: u64,
+}
+
+/// Runs the native Itanium build of `w` under the IPF cycle model.
+///
+/// # Panics
+///
+/// Panics if the workload misbehaves (faults or fails to finish).
+pub fn run_native(w: &Workload, scale: u32, timing: ipf::Timing) -> NativeRun {
+    let mut cb = ipf::asm::CodeBuilder::new();
+    (w.build_native)(&mut cb, scale);
+    let (bundles, _) = cb.assemble(NATIVE_CODE_BASE);
+    let mut arena = CodeArena::new(NATIVE_CODE_BASE);
+    arena.append(bundles, 0);
+    let mut mem = GuestMem::new();
+    mem.map(DATA as u64, DATA_SIZE as u64, Prot::rw());
+    for (addr, bytes) in (w.data)() {
+        mem.write_forced(addr as u64, &bytes);
+    }
+    let mut m = Machine::new(arena, timing);
+    m.set_ip(NATIVE_CODE_BASE, 0);
+    let stop = {
+        let mut bus = MemBus(&mut mem);
+        m.run(&mut bus, u64::MAX / 2)
+    };
+    match stop {
+        StopReason::ExternalBranch { target, .. } if target == NATIVE_EXIT => {}
+        other => panic!("native {} did not finish cleanly: {other:?}", w.name),
+    }
+    NativeRun {
+        cycles: m.cycles,
+        result: mem.read(RESULT as u64, 8).unwrap_or(0),
+    }
+}
+
+/// Result of an IA-32 hardware-model run.
+#[derive(Clone, Copy, Debug)]
+pub struct Ia32Run {
+    /// Simulated cycles under the IA-32 timing model.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Checksum stored at [`RESULT`].
+    pub result: u64,
+}
+
+/// Runs the IA-32 build under the IA-32 ("Xeon") cycle model — the
+/// Figure 8 baseline.
+///
+/// # Panics
+///
+/// Panics if the workload faults or fails to finish.
+pub fn run_ia32_hw(w: &Workload, scale: u32, timing: ia32::timing::Timing) -> Ia32Run {
+    let img = build_image(w, scale);
+    let mut mem = GuestMem::new();
+    let cpu = img.load(&mut mem);
+    let mut interp = Interp::with_timing(timing);
+    interp.cpu = cpu;
+    match interp.run(&mut mem, u64::MAX / 2) {
+        Ok(Event::Halt) => {}
+        other => panic!("ia32 {} did not finish cleanly: {other:?}", w.name),
+    }
+    Ia32Run {
+        cycles: interp.stats.cycles,
+        instructions: interp.stats.instructions,
+        result: mem.read(RESULT as u64, 8).unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every workload's two backends must terminate; the INT kernels'
+    /// native checksums are not required to equal the IA-32 checksums
+    /// (they are baselines, not oracles), but both sides must do real
+    /// work.
+    #[test]
+    fn all_workloads_run_both_backends() {
+        let mut all = crate::spec_int();
+        all.extend(crate::spec_fp());
+        all.push(crate::sysmark());
+        all.push(crate::misalign_heavy());
+        for w in &all {
+            let scale = (w.scale / 50).max(64);
+            let native = run_native(w, scale, ipf::Timing::default());
+            assert!(native.cycles > 0, "{}: native did nothing", w.name);
+            let hw = run_ia32_hw(w, scale, ia32::timing::Timing::default());
+            assert!(hw.cycles > 0, "{}: ia32 did nothing", w.name);
+            assert!(hw.instructions > 64, "{}: too little work", w.name);
+        }
+    }
+
+    #[test]
+    fn mcf_backends_chase_pointers() {
+        let w = crate::spec_int().remove(3);
+        assert_eq!(w.name, "mcf");
+        let native = run_native(&w, 1000, ipf::Timing::default());
+        let hw = run_ia32_hw(&w, 1000, ia32::timing::Timing::default());
+        // Both visit the same permutation; the checksums match exactly
+        // because the node values are identical.
+        assert_eq!(
+            native.result & 0xFFFF_FFFF,
+            hw.result & 0xFFFF_FFFF,
+            "mcf native and IA-32 must visit the same nodes"
+        );
+    }
+}

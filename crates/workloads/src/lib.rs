@@ -1,0 +1,110 @@
+//! # Workloads — the synthetic evaluation suite
+//!
+//! The paper evaluates on SPEC CPU2000 and Sysmark 2002 binaries, which
+//! are proprietary; this crate substitutes synthetic kernels, one per
+//! Figure-5 benchmark, each tuned to the characteristic that drove its
+//! published score (gcc's code footprint, mcf's pointer chasing and
+//! 32-bit data advantage, eon's indirect calls, crafty's variable
+//! shifts, …). Every kernel has **two backends**:
+//!
+//! * an IA-32 machine-code binary (built with [`ia32::asm::Asm`]) that
+//!   runs under the Execution Layer or the IA-32 cycle model, and
+//! * a native Itanium version (built with [`ipf::asm::CodeBuilder`])
+//!   standing in for "compiled with the Intel compiler for Itanium" —
+//!   the Figure-5 baseline.
+//!
+//! The two backends compute the same function of the same data buffers;
+//! the IA-32 side is differentially verified against the reference
+//! interpreter in this crate's tests.
+
+pub mod fp;
+pub mod harness;
+pub mod int;
+pub mod sysmark;
+
+use ia32::asm::Asm;
+use ipf::asm::CodeBuilder;
+
+/// Base address of the workload data buffer.
+pub const DATA: u32 = 0x50_0000;
+/// Size of the data buffer.
+pub const DATA_SIZE: u32 = 0x4_0000;
+/// Result slot (both backends store their checksum here).
+pub const RESULT: u32 = DATA + DATA_SIZE - 16;
+
+/// One dual-backend workload.
+pub struct Workload {
+    /// Benchmark-style name (matches the paper's Figure 5 where
+    /// applicable).
+    pub name: &'static str,
+    /// Builds the IA-32 version (must end with `HLT`).
+    pub build_ia32: fn(&mut Asm, u32),
+    /// Builds the native Itanium version (must end with a branch to
+    /// [`harness::NATIVE_EXIT`]).
+    pub build_native: fn(&mut CodeBuilder, u32),
+    /// Initial data segments.
+    pub data: fn() -> Vec<(u32, Vec<u8>)>,
+    /// Iteration scale for "full" runs.
+    pub scale: u32,
+    /// Fraction of time spent in the OS kernel/drivers (Sysmark model;
+    /// executed natively on the paper's system).
+    pub native_fraction: f64,
+    /// Idle-time fraction (Sysmark model).
+    pub idle_fraction: f64,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Workload({})", self.name)
+    }
+}
+
+/// Deterministic pseudo-random bytes for data buffers.
+pub(crate) fn prng_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        out.push(x as u8);
+    }
+    out
+}
+
+/// All SPEC-INT-like kernels in the paper's Figure 5 order.
+pub fn spec_int() -> Vec<Workload> {
+    int::all()
+}
+
+/// FP/SIMD kernels (the CPU2000-FP-like composite of Figure 8).
+pub fn spec_fp() -> Vec<Workload> {
+    fp::all()
+}
+
+/// The Sysmark-2002-like mixed workload.
+pub fn sysmark() -> Workload {
+    sysmark::workload()
+}
+
+/// The misalignment-heavy workload (the 1236 s -> 133 s experiment).
+pub fn misalign_heavy() -> Workload {
+    int::misalign_heavy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_enumerate() {
+        assert_eq!(spec_int().len(), 12, "one kernel per Figure-5 bar");
+        assert!(spec_fp().len() >= 4);
+    }
+
+    #[test]
+    fn prng_deterministic() {
+        assert_eq!(prng_bytes(42, 16), prng_bytes(42, 16));
+        assert_ne!(prng_bytes(42, 16), prng_bytes(43, 16));
+    }
+}

@@ -1,0 +1,67 @@
+//! The BTLib/BTGeneric split (paper §3, Figure 3): the version
+//! handshake, system services flowing down through the BTOS API, and
+//! exceptions flowing back up.
+//!
+//! ```text
+//! cargo run --release --example os_interaction
+//! ```
+
+use btgeneric::btos::{BtOs, ExceptionOutcome, GuestException, SyscallOutcome, Version};
+use btgeneric::engine::Outcome;
+use btlib::{sys, Process};
+use ia32::asm::{Asm, Image};
+use ia32::cpu::Cpu;
+use ia32::mem::GuestMem;
+use ia32::regs::{EAX, EBX};
+
+/// A custom OS personality: logs every BTOS interaction (Figure 3).
+struct TracingOs {
+    inner: btlib::SimOs,
+    events: Vec<String>,
+}
+
+impl BtOs for TracingOs {
+    fn version(&self) -> Version {
+        self.inner.version()
+    }
+
+    fn syscall(&mut self, cpu: &mut Cpu, mem: &mut GuestMem) -> SyscallOutcome {
+        self.events
+            .push(format!("C) syscall {} delegated to the OS", cpu.gpr[0]));
+        self.inner.syscall(cpu, mem)
+    }
+
+    fn exception(&mut self, exc: GuestException, cpu: &Cpu) -> ExceptionOutcome {
+        self.events.push(format!(
+            "D) exception {exc:?} at eip={:#x}: BTGeneric reconstructed the IA-32 state",
+            cpu.eip
+        ));
+        self.inner.exception(exc, cpu)
+    }
+
+    fn log(&mut self, msg: &str) {
+        self.events.push(format!("log: {msg}"));
+    }
+}
+
+fn main() {
+    let mut a = Asm::new(0x40_0000);
+    a.mov_ri(EAX, sys::GETTICK as i32);
+    a.int(0x80);
+    a.mov_load(EBX, ia32::inst::Addr::abs(0x10)); // page fault
+    a.hlt();
+    let image = Image::from_asm(&a);
+
+    let os = TracingOs {
+        inner: btlib::SimOs::new(),
+        events: vec!["A) BTLib loaded BTGeneric; versions negotiated".into()],
+    };
+    let mut p = Process::launch(&image, os).expect("handshake");
+    println!("negotiated BTOS version: {}", p.btos_version);
+    let outcome = p.run(1_000_000);
+    p.os.events.push(format!("process ended: {outcome:?}"));
+    for e in &p.os.events {
+        println!("{e}");
+    }
+    assert!(matches!(outcome, Outcome::Terminated { .. }));
+}

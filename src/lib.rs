@@ -1,0 +1,52 @@
+//! # IA-32 Execution Layer — a two-phase dynamic binary translator
+//!
+//! A full reproduction of *"IA-32 Execution Layer: a two-phase dynamic
+//! translator designed to support IA-32 applications on Itanium-based
+//! systems"* (MICRO 2003) as a Rust workspace:
+//!
+//! * [`ia32`] — the guest architecture: instruction model, real
+//!   machine-code encoder/decoder, assembler, guest memory, reference
+//!   interpreter (the correctness oracle), and a Xeon-like cycle model.
+//! * [`ipf`] — the host architecture: an Itanium-like EPIC machine with
+//!   bundles, predication, speculation, and a dispersal cycle model.
+//! * [`btgeneric`] — the paper's contribution: the OS-independent
+//!   two-phase translator (cold templates + hot trace optimizer, precise
+//!   exceptions through commit points, FP/MMX/SSE speculation, and
+//!   three-stage misalignment handling).
+//! * [`btlib`] — the thin OS abstraction layer (BTOS API + simulated
+//!   Linux personality).
+//! * [`workloads`] — dual-backend synthetic SPEC/Sysmark-like kernels
+//!   for the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use btlib::{Process, SimOs};
+//! use ia32::asm::{Asm, Image};
+//! use ia32::inst::AluOp;
+//! use ia32::regs::{EAX, EBX, ECX};
+//!
+//! // Guest program: sum 1..=100, then exit(EBX = sum low byte).
+//! let mut a = Asm::new(0x40_0000);
+//! a.mov_ri(EBX, 0);
+//! a.mov_ri(ECX, 100);
+//! let top = a.label();
+//! a.bind(top);
+//! a.alu_rr(AluOp::Add, EBX, ECX);
+//! a.dec(ECX);
+//! a.jcc(ia32::Cond::Ne, top);
+//! a.alu_ri(AluOp::And, EBX, 0xFF);
+//! a.mov_ri(EAX, btlib::sys::EXIT as i32);
+//! a.int(0x80);
+//!
+//! let mut p = Process::launch(&Image::from_asm(&a), SimOs::new()).unwrap();
+//! assert_eq!(p.run(10_000_000), btgeneric::engine::Outcome::Exited(5050 & 0xFF));
+//! ```
+
+pub use btgeneric;
+pub use btlib;
+pub use ia32;
+pub use ipf;
+pub use workloads;
+
+pub mod testkit;

@@ -1,0 +1,173 @@
+//! Engine-level behaviors: translation-cache garbage collection, hot
+//! side-exit accounting, the indirect-branch lookup table under
+//! collisions, and instruction-budget handling.
+
+use btgeneric::engine::{Config, Outcome};
+use btlib::{Process, SimOs};
+use ia32::asm::{Asm, Image};
+use ia32::inst::AluOp;
+use ia32::regs::*;
+use ia32::Cond;
+use ia32el::testkit::{cold_config, differential, hot_config};
+
+const DATA: u32 = 0x50_0000;
+
+fn image(f: impl FnOnce(&mut Asm)) -> Image {
+    let mut a = Asm::new(0x40_0000);
+    f(&mut a);
+    Image::from_asm(&a).with_bss(DATA, 0x1_0000)
+}
+
+#[test]
+fn cache_flush_preserves_correctness() {
+    // A program with many blocks run under a tiny cache: constant
+    // flushing and retranslation must not change behaviour.
+    let build = |a: &mut Asm| {
+        a.mov_ri(EAX, 0);
+        a.mov_ri(ECX, 40);
+        let top = a.label();
+        a.bind(top);
+        // A chain of small blocks (each jmp ends a block).
+        for k in 0..24 {
+            let l = a.label();
+            a.alu_ri(AluOp::Add, EAX, k + 1);
+            a.alu_ri(AluOp::Xor, EAX, 0x1111);
+            a.jmp(l);
+            a.bind(l);
+        }
+        a.dec(ECX);
+        a.jcc(Cond::Ne, top);
+        a.mov_store(ia32::inst::Addr::abs(DATA), EAX);
+        a.hlt();
+    };
+    let img = image(build);
+    let mut tiny = cold_config();
+    tiny.max_cache_bundles = 100;
+    let p = differential(&img, tiny, &[(DATA, 8)], "tiny-cache");
+    assert!(
+        p.engine.stats.cache_flushes > 0,
+        "the tiny cache must have flushed"
+    );
+    // Same program with hot phase + tiny cache.
+    let mut tiny_hot = hot_config();
+    tiny_hot.max_cache_bundles = 150;
+    let p = differential(&img, tiny_hot, &[(DATA, 8)], "tiny-cache-hot");
+    assert!(p.engine.stats.cache_flushes > 0);
+}
+
+#[test]
+fn hot_side_exits_are_counted() {
+    // A hot loop with a rare inner branch: the off-trace direction is a
+    // side exit and must be counted.
+    let img = image(|a| {
+        a.mov_ri(ECX, 4000);
+        a.mov_ri(EAX, 0);
+        let top = a.label();
+        let rare = a.label();
+        let back = a.label();
+        a.bind(top);
+        a.inc(EAX);
+        a.mov_rr(EBX, ECX);
+        a.alu_ri(AluOp::And, EBX, 0x3F); // ~1.5% of iterations
+        a.cmp_ri(EBX, 0);
+        a.jcc(Cond::E, rare);
+        a.bind(back);
+        a.dec(ECX);
+        a.jcc(Cond::Ne, top);
+        a.mov_store(ia32::inst::Addr::abs(DATA), EAX);
+        a.hlt();
+        a.bind(rare);
+        a.alu_ri(AluOp::Add, EAX, 1000);
+        a.jmp(back);
+    });
+    let mut p = Process::launch_with(&img, SimOs::new(), hot_config()).unwrap();
+    match p.run(u64::MAX / 2) {
+        Outcome::Halted(_) => {}
+        other => panic!("{other:?}"),
+    }
+    p.engine.collect_hot_exit_stats();
+    assert!(p.engine.stats.hot_traces > 0);
+    assert!(
+        p.engine.stats.hot_side_exits > 10,
+        "rare branch must register as side exits, got {}",
+        p.engine.stats.hot_side_exits
+    );
+    // And the result must still be right (4000 + 62 * 1000).
+    let v = p.engine.mem.read(DATA as u64, 4).unwrap();
+    assert_eq!(v, 4000 + 1000 * (4000 / 64));
+}
+
+#[test]
+fn lookup_table_collisions_are_correct() {
+    // Two indirect-call targets whose EIPs collide in the direct-mapped
+    // lookup table: correctness must survive constant overwriting.
+    // Build with a landing pad such that both functions map to the same
+    // slot: slots hash on bits 2..14, so addresses 16 KiB apart collide.
+    let mut a = Asm::new(0x40_0000);
+    let f1 = a.label();
+    a.mov_ri(ECX, 600);
+    a.mov_ri(EAX, 0);
+    let top = a.label();
+    a.bind(top);
+    // Alternate targets every iteration.
+    a.mov_rr(EBX, ECX);
+    a.alu_ri(AluOp::And, EBX, 1);
+    a.inst(ia32::Inst::ImulRmImm {
+        dst: EBX,
+        src: ia32::inst::Rm::Reg(EBX),
+        imm: 0x4000,
+    });
+    a.alu_ri(AluOp::Add, EBX, 0x40_1000);
+    a.call_r(EBX);
+    a.dec(ECX);
+    a.jcc(Cond::Ne, top);
+    a.mov_store(ia32::inst::Addr::abs(DATA), EAX);
+    a.hlt();
+    let _ = f1;
+    // Function at 0x40_1000 and its 16KiB-offset twin at 0x40_5000.
+    while a.here() < 0x40_1000 {
+        a.nop();
+    }
+    a.alu_ri(AluOp::Add, EAX, 3);
+    a.ret();
+    while a.here() < 0x40_5000 {
+        a.nop();
+    }
+    a.alu_ri(AluOp::Add, EAX, 7);
+    a.ret();
+    let img = Image::from_asm(&a).with_bss(DATA, 0x1000);
+    let p = differential(&img, cold_config(), &[(DATA, 8)], "lookup-collide");
+    assert!(
+        p.engine.stats.indirect_misses >= 2,
+        "colliding entries must keep missing"
+    );
+}
+
+#[test]
+fn inst_limit_returns_cleanly() {
+    let img = image(|a| {
+        let top = a.label();
+        a.bind(top);
+        a.inc(EAX);
+        a.jmp(top); // infinite loop
+    });
+    let mut p = Process::launch_with(&img, SimOs::new(), cold_config()).unwrap();
+    assert_eq!(p.run(50_000), Outcome::InstLimit);
+}
+
+#[test]
+fn gettick_syscall_works_translated() {
+    let img = image(|a| {
+        a.mov_ri(EAX, btlib::sys::GETTICK as i32);
+        a.int(0x80);
+        a.mov_rr(EBX, EAX);
+        a.mov_ri(EAX, btlib::sys::GETTICK as i32);
+        a.int(0x80);
+        a.alu_rr(AluOp::Sub, EAX, EBX);
+        a.mov_rr(EBX, EAX);
+        a.mov_ri(EAX, btlib::sys::EXIT as i32);
+        a.int(0x80);
+    });
+    let mut p = Process::launch_with(&img, SimOs::new(), cold_config()).unwrap();
+    assert_eq!(p.run(1_000_000), Outcome::Exited(1), "ticks are monotonic");
+}

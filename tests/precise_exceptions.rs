@@ -1,0 +1,276 @@
+//! Precise-exception tests (paper §4 and Table 1): on any fault, the
+//! reconstructed IA-32 state must equal the oracle's state at the exact
+//! faulting instruction — in cold code (state register) and in hot code
+//! (commit points + recovery maps).
+
+use btgeneric::engine::Outcome;
+use ia32::asm::{Asm, Image};
+use ia32::inst::*;
+use ia32::regs::*;
+use ia32::Cond;
+use ia32el::testkit::{assert_cpu_equiv, cold_config, hot_config, run_interp, run_translated};
+
+const DATA: u32 = 0x50_0000;
+const UNMAPPED: u32 = 0x0000_1000;
+
+fn image(f: impl FnOnce(&mut Asm)) -> Image {
+    let mut a = Asm::new(0x40_0000);
+    f(&mut a);
+    Image::from_asm(&a).with_bss(DATA, 0x1_0000)
+}
+
+/// Runs both sides expecting a fault; compares faulting EIP + state.
+fn check_fault(name: &str, img: &Image) {
+    for (cfgname, cfg) in [("cold", cold_config()), ("hot", hot_config())] {
+        let oracle = run_interp(img, 50_000_000);
+        let (trans, _p) = run_translated(img, cfg, 400_000_000);
+        let what = format!("{name}/{cfgname}");
+        match (&oracle.end, &trans.end) {
+            (
+                ia32el::testkit::RunEnd::Fault(oe),
+                ia32el::testkit::RunEnd::Fault(te),
+            ) => {
+                assert_eq!(oe, te, "{what}: faulting EIP");
+                assert_cpu_equiv(&oracle.cpu, &trans.cpu, &what);
+            }
+            other => panic!("{what}: expected faults, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn table1_push_does_not_move_esp_on_fault() {
+    // The paper's Table 1: `push eax` with an unmapped stack must fault
+    // with ESP unchanged (store before ESP update).
+    let img = image(|a| {
+        a.mov_ri(EAX, 0xDEAD);
+        a.mov_ri(ESP, UNMAPPED as i32);
+        a.push_r(EAX);
+        a.hlt();
+    });
+    let (trans, _p) = run_translated(&img, cold_config(), 1_000_000);
+    match trans.end {
+        ia32el::testkit::RunEnd::Fault(eip) => {
+            assert_eq!(trans.cpu.esp(), UNMAPPED, "ESP must be unchanged");
+            assert_eq!(trans.cpu.gpr[0], 0xDEAD);
+            // The faulting instruction is the push (3rd instruction).
+            assert_eq!(eip, trans.cpu.eip);
+        }
+        other => panic!("expected fault, got {other:?}"),
+    }
+    check_fault("table1", &img);
+}
+
+#[test]
+fn fault_mid_block_preserves_earlier_state() {
+    // Several state changes, then a faulting load mid-block: everything
+    // before must be committed, nothing after.
+    let img = image(|a| {
+        a.mov_ri(EAX, 1);
+        a.mov_ri(EBX, 2);
+        a.alu_rr(AluOp::Add, EAX, EBX);
+        a.mov_store(Addr::abs(DATA), EAX);
+        a.mov_load(ECX, Addr::abs(UNMAPPED)); // faults
+        a.mov_ri(EDX, 99); // must not execute
+        a.hlt();
+    });
+    check_fault("midblock", &img);
+}
+
+#[test]
+fn fault_inside_hot_trace_reconstructs() {
+    // Heat a loop, then make it fault: the recovery map must rebuild
+    // the state at the faulting iteration.
+    let img = image(|a| {
+        // data[0] holds the address to load from; after N iterations it
+        // switches to an unmapped address.
+        a.mov_mi(Addr::abs(DATA), (DATA + 64) as i32);
+        a.mov_ri(ECX, 2000);
+        a.mov_ri(EAX, 0);
+        let top = a.label();
+        a.bind(top);
+        a.mov_load(ESI, Addr::abs(DATA));
+        a.alu_rm(AluOp::Add, EAX, Addr::base(ESI)); // faults when ESI bad
+        a.inc(EAX);
+        a.cmp_ri(ECX, 1000);
+        let skip = a.label();
+        a.jcc(Cond::Ne, skip);
+        a.mov_mi(Addr::abs(DATA), UNMAPPED as i32); // poison the pointer
+        a.bind(skip);
+        a.dec(ECX);
+        a.jcc(Cond::Ne, top);
+        a.hlt();
+    });
+    check_fault("hotfault", &img);
+}
+
+#[test]
+fn divide_by_zero_in_hot_code() {
+    let img = image(|a| {
+        a.mov_ri(EDI, 5000);
+        a.mov_ri(EBX, 100);
+        let top = a.label();
+        a.bind(top);
+        a.mov_rr(EAX, EDI);
+        a.mov_ri(EDX, 0);
+        // Divisor becomes zero on the last iteration.
+        a.lea(ECX, Addr::base_disp(EDI, -1));
+        a.divide(MulDivOp::Div, ECX);
+        a.alu_rr(AluOp::Add, EBX, EAX);
+        a.dec(EDI);
+        a.jcc(Cond::Ne, top);
+        a.hlt();
+    });
+    check_fault("div0-hot", &img);
+}
+
+#[test]
+fn handler_can_resume_after_fixing_state() {
+    // A guest handler fixes the bad pointer and returns to re-execute
+    // the faulting instruction (the paper: "execution resumes from the
+    // start of the IA-32 instruction [after] the exception handler").
+    let build = |haddr: i32| {
+        let mut a = Asm::new(0x40_0000);
+        let handler = a.label();
+        a.mov_ri(EAX, btlib::sys::SIGNAL as i32);
+        a.mov_ri(EBX, haddr);
+        a.int(0x80);
+        a.mov_ri(ESI, UNMAPPED as i32);
+        a.mov_load(EDX, Addr::base(ESI)); // faults, then retried
+        a.mov_store(Addr::abs(DATA + 8), EDX);
+        a.hlt();
+        a.bind(handler);
+        // Fix ESI to a valid buffer holding 0x777 and return to retry.
+        a.mov_ri(ESI, DATA as i32);
+        a.mov_mi(Addr::base(ESI), 0x777);
+        a.ret(); // pops the pushed faulting EIP: re-executes the load
+        (a.label_addr(handler), a)
+    };
+    let (h, _) = build(0);
+    let (h2, a) = build(h as i32);
+    assert_eq!(h, h2);
+    let img = Image::from_asm(&a).with_bss(DATA, 0x1000);
+
+    for (cfgname, cfg) in [("cold", cold_config()), ("hot", hot_config())] {
+        let (trans, p) = run_translated(&img, cfg, 10_000_000);
+        assert_eq!(
+            trans.end,
+            ia32el::testkit::RunEnd::Halt,
+            "{cfgname}: handler resumes"
+        );
+        assert_eq!(
+            p.engine.mem.read((DATA + 8) as u64, 4).unwrap(),
+            0x777,
+            "{cfgname}: retried load sees the fixed value"
+        );
+    }
+}
+
+#[test]
+fn fp_stack_overflow_detected() {
+    // Nine pushes: the ninth must raise the stack fault with the right
+    // EIP and the status word marked.
+    let img = image(|a| {
+        for _ in 0..9 {
+            a.inst(Inst::Fld1);
+        }
+        a.hlt();
+    });
+    let oracle = run_interp(&img, 1_000_000);
+    let (trans, _p) = run_translated(&img, cold_config(), 10_000_000);
+    match (&oracle.end, &trans.end) {
+        (ia32el::testkit::RunEnd::Fault(oe), ia32el::testkit::RunEnd::Fault(te)) => {
+            assert_eq!(oe, te, "stack-fault EIP");
+            assert_ne!(
+                trans.cpu.fpu.status & ia32::fpu::status::SF,
+                0,
+                "status word shows the stack fault"
+            );
+        }
+        other => panic!("expected stack faults, got {other:?}"),
+    }
+}
+
+#[test]
+fn fp_stack_underflow_detected() {
+    let img = image(|a| {
+        a.inst(Inst::Fld1);
+        a.inst(Inst::Fst {
+            dst: FpOperand::M64(Addr::abs(DATA)),
+            pop: true,
+        });
+        // Stack now empty: this faults.
+        a.inst(Inst::Farith {
+            op: FpArithOp::Add,
+            form: FpArithForm::St0Sti(1),
+        });
+        a.hlt();
+    });
+    let oracle = run_interp(&img, 1_000_000);
+    let (trans, _p) = run_translated(&img, cold_config(), 10_000_000);
+    match (&oracle.end, &trans.end) {
+        (ia32el::testkit::RunEnd::Fault(oe), ia32el::testkit::RunEnd::Fault(te)) => {
+            assert_eq!(oe, te);
+        }
+        other => panic!("expected stack faults, got {other:?}"),
+    }
+}
+
+#[test]
+fn ud2_raises_invalid_opcode() {
+    let img = image(|a| {
+        a.mov_ri(EAX, 7);
+        a.inst(Inst::Ud2);
+        a.hlt();
+    });
+    check_fault("ud2", &img);
+}
+
+#[test]
+fn split_store_probe_reports_write_fault() {
+    // A misaligned store across a page boundary into unmapped memory:
+    // the avoidance path probes with a load, but the delivered fault
+    // must still be a *write* fault (the engine re-derives intent).
+    let img = image(|a| {
+        // First touch a misaligned address so the block regenerates
+        // with detect+avoid, then hit the unmapped page.
+        a.mov_ri(ESI, (DATA + 2) as i32);
+        a.mov_ri(ECX, 40);
+        let top = a.label();
+        a.bind(top);
+        a.mov_store(Addr::base(ESI), ECX);
+        a.dec(ECX);
+        a.jcc(Cond::Ne, top);
+        // Now a misaligned store straddling into unmapped space.
+        a.mov_ri(ESI, (DATA + 0x10000 - 2) as i32);
+        a.mov_store(Addr::base(ESI), ECX);
+        a.hlt();
+    });
+    let oracle = run_interp(&img, 1_000_000);
+    let (trans, _p) = run_translated(&img, cold_config(), 10_000_000);
+    match (&oracle.end, &trans.end) {
+        (ia32el::testkit::RunEnd::Fault(oe), ia32el::testkit::RunEnd::Fault(te)) => {
+            assert_eq!(oe, te, "faulting EIP must match");
+        }
+        other => panic!("expected faults, got {other:?}"),
+    }
+}
+
+#[test]
+fn exit_syscall_state_is_consistent() {
+    // Not a fault, but the syscall path also reconstructs state: the
+    // registers at the syscall must match the oracle.
+    let img = image(|a| {
+        a.mov_ri(EBX, 41);
+        a.inc(EBX);
+        a.mov_ri(EAX, btlib::sys::EXIT as i32);
+        a.int(0x80);
+    });
+    let (trans, _p) = run_translated(&img, cold_config(), 1_000_000);
+    assert_eq!(trans.end, ia32el::testkit::RunEnd::Exit(42));
+    match run_interp(&img, 1_000_000).end {
+        ia32el::testkit::RunEnd::Exit(c) => assert_eq!(c, 42),
+        other => panic!("oracle: {other:?}"),
+    }
+    let _ = Outcome::Exited(42);
+}

@@ -1,0 +1,247 @@
+//! Property-based tests: randomized instruction streams run under the
+//! oracle and the translator must agree; encoder/decoder round-trips;
+//! FPU stack invariants.
+
+use ia32::asm::{Asm, Image};
+use ia32::decode::decode;
+use ia32::encode::encode_to_vec;
+use ia32::inst::*;
+use ia32::regs::*;
+use ia32::{Cond, Size};
+use ia32el::testkit::{cold_config, differential, hot_config};
+use proptest::prelude::*;
+
+const DATA: u32 = 0x50_0000;
+
+/// A generator for random (but always-terminating) ALU instructions.
+fn arb_alu() -> impl Strategy<Value = Inst> {
+    let reg = (0u8..8).prop_map(Gpr::new);
+    let op = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Adc),
+        Just(AluOp::Sbb),
+        Just(AluOp::Cmp),
+    ];
+    let size = prop_oneof![Just(Size::B), Just(Size::W), Just(Size::D)];
+    (op, size, reg.clone(), prop_oneof![
+        reg.prop_map(RmI::Reg),
+        any::<i32>().prop_map(RmI::Imm),
+    ])
+        .prop_map(|(op, size, dst, src)| {
+            // Keep ESP intact (register number 4 at dword size) so the
+            // stack stays valid for the harness.
+            let dst = if dst.num() == 4 { Gpr::new(5) } else { dst };
+            Inst::Alu {
+                op,
+                size,
+                dst: Rm::Reg(dst),
+                src,
+            }
+        })
+}
+
+fn arb_simple() -> impl Strategy<Value = Inst> {
+    let reg = (0u8..8).prop_map(Gpr::new);
+    prop_oneof![
+        arb_alu(),
+        (reg.clone(), any::<i32>()).prop_map(|(r, v)| {
+            let r = if r.num() == 4 { Gpr::new(6) } else { r };
+            Inst::Mov {
+                size: Size::D,
+                dst: Rm::Reg(r),
+                src: RmI::Imm(v),
+            }
+        }),
+        (reg.clone(), reg.clone()).prop_map(|(d, s)| {
+            let d = if d.num() == 4 { Gpr::new(7) } else { d };
+            Inst::Mov {
+                size: Size::D,
+                dst: Rm::Reg(d),
+                src: RmI::Reg(s),
+            }
+        }),
+        (reg.clone(), (0u8..32)).prop_map(|(r, c)| {
+            let r = if r.num() == 4 { Gpr::new(3) } else { r };
+            Inst::Shift {
+                op: ShiftOp::Shl,
+                size: Size::D,
+                dst: Rm::Reg(r),
+                count: ShiftCount::Imm(c),
+            }
+        }),
+        (reg.clone(), (0u8..32)).prop_map(|(r, c)| {
+            let r = if r.num() == 4 { Gpr::new(2) } else { r };
+            Inst::Shift {
+                op: ShiftOp::Sar,
+                size: Size::D,
+                dst: Rm::Reg(r),
+                count: ShiftCount::Imm(c),
+            }
+        }),
+        reg.clone().prop_map(|r| {
+            let r = if r.num() == 4 { Gpr::new(1) } else { r };
+            Inst::IncDec {
+                inc: true,
+                size: Size::D,
+                dst: Rm::Reg(r),
+            }
+        }),
+        (reg.clone(), reg).prop_map(|(d, s)| Inst::ImulRm {
+            dst: if d.num() == 4 { Gpr::new(0) } else { d },
+            src: Rm::Reg(s),
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random straight-line ALU programs: the translator must produce
+    /// exactly the oracle's final registers and flags.
+    #[test]
+    fn random_alu_programs_match(prog in prop::collection::vec(arb_simple(), 1..40)) {
+        let mut a = Asm::new(0x40_0000);
+        // Seed registers with recognizable values.
+        for (i, r) in Gpr::all().iter().enumerate() {
+            if r.num() != 4 {
+                a.mov_ri(*r, 0x1111 * (i as i32 + 1));
+            }
+        }
+        for inst in &prog {
+            a.inst(*inst);
+        }
+        // Store every register so memory compare catches everything.
+        for (i, r) in Gpr::all().iter().enumerate() {
+            a.mov_store(Addr::abs(DATA + 4 * i as u32), *r);
+        }
+        // And the flags, via setcc of every condition.
+        for c in 0..16u8 {
+            a.inst(Inst::Setcc {
+                cond: Cond::from_code(c),
+                dst: Rm::Mem(Addr::abs(DATA + 64 + c as u32)),
+            });
+        }
+        a.hlt();
+        let img = Image::from_asm(&a).with_bss(DATA, 0x1000);
+        differential(&img, cold_config(), &[(DATA, 96)], "prop-alu");
+    }
+
+    /// Randomized loop bodies reach the hot phase and still match.
+    #[test]
+    fn random_hot_loops_match(body in prop::collection::vec(arb_simple(), 1..10),
+                              iters in 200u32..600) {
+        let mut a = Asm::new(0x40_0000);
+        a.mov_ri(ECX, iters as i32);
+        let top = a.label();
+        a.bind(top);
+        for inst in &body {
+            // ECX is the loop counter: redirect writes away from it.
+            let patched = patch_away_from_ecx(*inst);
+            a.inst(patched);
+        }
+        a.dec(ECX);
+        a.jcc(Cond::Ne, top);
+        for (i, r) in Gpr::all().iter().enumerate() {
+            a.mov_store(Addr::abs(DATA + 4 * i as u32), *r);
+        }
+        a.hlt();
+        let img = Image::from_asm(&a).with_bss(DATA, 0x1000);
+        differential(&img, hot_config(), &[(DATA, 32)], "prop-hot");
+    }
+
+    /// encode -> decode is the identity on the instruction stream level:
+    /// re-encoding the decode gives the same bytes.
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_simple(), addr in 0u32..0x7FFF_0000) {
+        let bytes = encode_to_vec(&inst, addr).expect("encodable");
+        let (decoded, len) = decode(&bytes, addr).expect("decodable");
+        prop_assert_eq!(len, bytes.len());
+        let re = encode_to_vec(&decoded, addr).expect("re-encodable");
+        prop_assert_eq!(re, bytes);
+    }
+
+    /// FPU stack push/pop/fxch sequences keep TOS/TAG consistent.
+    #[test]
+    fn fpu_stack_invariants(ops in prop::collection::vec(0u8..4, 1..64)) {
+        let mut f = ia32::fpu::Fpu::new();
+        let mut depth: i32 = 0;
+        for op in ops {
+            match op {
+                0 => {
+                    if f.push(1.0).is_ok() {
+                        depth += 1;
+                    }
+                }
+                1 => {
+                    if f.pop().is_ok() {
+                        depth -= 1;
+                    }
+                }
+                2 => {
+                    let _ = f.fxch(1);
+                }
+                _ => {
+                    if depth > 0 {
+                        prop_assert!(f.st(0).is_ok());
+                    }
+                }
+            }
+            prop_assert_eq!(f.depth() as i32, depth);
+            prop_assert!(depth >= 0 && depth <= 8);
+            // TOS always reflects depth relative to start.
+            prop_assert_eq!(f.top as i32, (8 - depth).rem_euclid(8));
+        }
+    }
+}
+
+/// True if writing register number `n` at `size` touches ECX (the loop
+/// counter): ECX itself at dword/word size, or CL (1) / CH (5) at byte
+/// size.
+fn touches_ecx(n: u8, size: Size) -> bool {
+    match size {
+        Size::B => n == 1 || n == 5,
+        _ => n == 1,
+    }
+}
+
+fn patch_away_from_ecx(inst: Inst) -> Inst {
+    match inst {
+        Inst::Alu { op, size, dst: Rm::Reg(r), src } if touches_ecx(r.num(), size) => {
+            Inst::Alu {
+                op,
+                size,
+                dst: Rm::Reg(Gpr::new(0)),
+                src,
+            }
+        }
+        Inst::Mov { size, dst: Rm::Reg(r), src } if touches_ecx(r.num(), size) => Inst::Mov {
+            size,
+            dst: Rm::Reg(Gpr::new(0)),
+            src,
+        },
+        Inst::Shift { op, size, dst: Rm::Reg(r), count } if touches_ecx(r.num(), size) => {
+            Inst::Shift {
+                op,
+                size,
+                dst: Rm::Reg(Gpr::new(3)),
+                count,
+            }
+        }
+        Inst::IncDec { inc, size, dst: Rm::Reg(r) } if touches_ecx(r.num(), size) => {
+            Inst::IncDec {
+                inc,
+                size,
+                dst: Rm::Reg(Gpr::new(0)),
+            }
+        }
+        Inst::ImulRm { dst, src } if dst.num() == 1 => Inst::ImulRm {
+            dst: Gpr::new(0),
+            src,
+        },
+        other => other,
+    }
+}

@@ -1,0 +1,250 @@
+//! Exercises the §5 speculation *failure* paths: blocks are translated
+//! under one FP/SSE state and re-entered under another, forcing the
+//! engine-side TOS rotation, FP/MMX mode fix, XMM format conversion,
+//! and the tag-mismatch "special block" rebuild — all while remaining
+//! bit-identical to the oracle.
+
+use ia32::asm::{Asm, Image};
+use ia32::inst::*;
+use ia32::regs::*;
+use ia32el::testkit::{cold_config, differential, run_interp, run_translated};
+
+const DATA: u32 = 0x50_0000;
+
+fn image(f: impl FnOnce(&mut Asm)) -> Image {
+    let mut a = Asm::new(0x40_0000);
+    f(&mut a);
+    Image::from_asm(&a).with_bss(DATA, 0x1_0000)
+}
+
+fn put_f64(a: &mut Asm, addr: u32, v: f64) {
+    let bits = v.to_bits();
+    a.mov_mi(Addr::abs(addr), bits as u32 as i32);
+    a.mov_mi(Addr::abs(addr + 4), (bits >> 32) as u32 as i32);
+}
+
+#[test]
+fn tos_mismatch_triggers_rotation_fix() {
+    // A shared FP block first entered with stack depth 1, then with
+    // depth 2: the second entry fails the TOS head check and the engine
+    // rotates the physical registers.
+    let img = image(|a| {
+        put_f64(a, DATA, 3.0);
+        let shared = a.label();
+        let after1 = a.label();
+        let after2 = a.label();
+        // First visit: depth 1.
+        a.inst(Inst::Fld {
+            src: FpOperand::M64(Addr::abs(DATA)),
+        });
+        a.mov_ri(ESI, 0);
+        a.jmp(shared);
+        a.bind(after1);
+        // Second visit: depth 2 (different TOS).
+        a.inst(Inst::Fld {
+            src: FpOperand::M64(Addr::abs(DATA)),
+        });
+        a.inst(Inst::Fld1);
+        a.mov_ri(ESI, 1);
+        a.jmp(shared);
+        a.bind(after2);
+        a.hlt();
+        // The shared block: square ST(0) and store it.
+        a.bind(shared);
+        a.inst(Inst::Fld {
+            src: FpOperand::St(0),
+        });
+        a.inst(Inst::Farith {
+            op: FpArithOp::Mul,
+            form: FpArithForm::StiSt0 { i: 1, pop: true },
+        });
+        a.inst(Inst::Fst {
+            dst: FpOperand::M64(Addr::base_index(ESI, ESI, 8, DATA as i32 + 16)),
+            pop: true,
+        });
+        // Return to the right continuation.
+        a.cmp_ri(ESI, 0);
+        a.jcc(ia32::Cond::E, after1);
+        // Clean the remaining stack entry from the second path.
+        a.inst(Inst::Fst {
+            dst: FpOperand::St(0),
+            pop: true,
+        });
+        a.jmp(after2);
+    });
+    let p = differential(&img, cold_config(), &[(DATA, 64)], "tosfix");
+    assert!(
+        p.engine.stats.tos_fixes > 0,
+        "the shared block must have needed a TOS rotation"
+    );
+}
+
+#[test]
+fn mmx_mode_mismatch_triggers_fix() {
+    // A pure-FP block re-entered while the machine is in MMX mode.
+    let img = image(|a| {
+        put_f64(a, DATA, 2.0);
+        let fp_block = a.label();
+        let back1 = a.label();
+        let back2 = a.label();
+        a.mov_ri(ESI, 0);
+        a.jmp(fp_block);
+        a.bind(back1);
+        // Switch to MMX mode.
+        a.mov_ri(EAX, 0x1234);
+        a.inst(Inst::Movd {
+            mm: Mm::new(0),
+            rm: Rm::Reg(EAX),
+            to_mm: true,
+        });
+        a.inst(Inst::PAlu {
+            op: MmxOp::PAdd(2),
+            dst: Mm::new(0),
+            src: MmM::Reg(Mm::new(0)),
+        });
+        a.inst(Inst::Emms);
+        // EMMS leaves MMX mode in the oracle; to genuinely re-enter the
+        // block in MMX mode, do another MMX op without EMMS.
+        a.mov_ri(EAX, 0x77);
+        a.inst(Inst::Movd {
+            mm: Mm::new(1),
+            rm: Rm::Reg(EAX),
+            to_mm: true,
+        });
+        a.mov_ri(ESI, 1);
+        a.jmp(fp_block);
+        a.bind(back2);
+        a.hlt();
+        // The FP block (speculates FP mode).
+        a.bind(fp_block);
+        a.inst(Inst::Fld {
+            src: FpOperand::M64(Addr::abs(DATA)),
+        });
+        a.inst(Inst::Fsqrt);
+        a.inst(Inst::Fst {
+            dst: FpOperand::M64(Addr::base_index(ESI, ESI, 8, DATA as i32 + 16)),
+            pop: true,
+        });
+        a.cmp_ri(ESI, 0);
+        a.jcc(ia32::Cond::E, back1);
+        a.jmp(back2);
+    });
+    let p = differential(&img, cold_config(), &[(DATA, 64)], "mmxfix");
+    assert!(
+        p.engine.stats.mmx_fixes > 0,
+        "re-entering the FP block in MMX mode must fix the mode"
+    );
+}
+
+#[test]
+fn xmm_format_mismatch_triggers_fix() {
+    // A scalar-SSE block first entered with xmm0 scalar, then packed.
+    let img = image(|a| {
+        a.mov_mi(Addr::abs(DATA), 2.0f32.to_bits() as i32);
+        for i in 1..4u32 {
+            a.mov_mi(Addr::abs(DATA + 4 * i), (i as f32).to_bits() as i32);
+        }
+        let scalar_block = a.label();
+        let back1 = a.label();
+        let back2 = a.label();
+        // First entry: xmm0 in scalar format.
+        a.inst(Inst::Movss {
+            xmm: Xmm::new(0),
+            rm: XmmM::Mem(Addr::abs(DATA)),
+            to_xmm: true,
+        });
+        a.mov_ri(ESI, 0);
+        a.jmp(scalar_block);
+        a.bind(back1);
+        // Second entry: xmm0 in packed format (after a packed op).
+        a.inst(Inst::Movps {
+            xmm: Xmm::new(0),
+            rm: XmmM::Mem(Addr::abs(DATA)),
+            to_xmm: true,
+            aligned: true,
+        });
+        a.inst(Inst::SseArith {
+            op: SseOp::Add,
+            scalar: false,
+            dst: Xmm::new(0),
+            src: XmmM::Mem(Addr::abs(DATA)),
+        });
+        a.mov_ri(ESI, 1);
+        a.jmp(scalar_block);
+        a.bind(back2);
+        a.hlt();
+        // The shared scalar block.
+        a.bind(scalar_block);
+        a.inst(Inst::SseArith {
+            op: SseOp::Mul,
+            scalar: true,
+            dst: Xmm::new(0),
+            src: XmmM::Mem(Addr::abs(DATA)),
+        });
+        a.inst(Inst::Movss {
+            xmm: Xmm::new(0),
+            rm: XmmM::Mem(Addr {
+                base: Some(ESI),
+                index: Some((ESI, 4)),
+                disp: DATA as i32 + 32,
+            }),
+            to_xmm: false,
+        });
+        a.cmp_ri(ESI, 0);
+        a.jcc(ia32::Cond::E, back1);
+        a.jmp(back2);
+    });
+    let p = differential(&img, cold_config(), &[(DATA, 64)], "xmmfix");
+    assert!(
+        p.engine.stats.xmm_fixes > 0,
+        "re-entering the scalar block in packed format must convert"
+    );
+}
+
+#[test]
+fn tag_mismatch_rebuilds_special_block() {
+    // A block reading ST(0) is first run with a valid stack, then with
+    // an empty one: the head tag check fails, the engine rebuilds the
+    // block with inline checks, and the stack fault surfaces precisely.
+    let img = image(|a| {
+        put_f64(a, DATA, 5.0);
+        let reader = a.label();
+        let back1 = a.label();
+        a.inst(Inst::Fld {
+            src: FpOperand::M64(Addr::abs(DATA)),
+        });
+        a.mov_ri(ESI, 0);
+        a.jmp(reader);
+        a.bind(back1);
+        // Stack is now empty; enter the reader again -> stack fault.
+        a.mov_ri(ESI, 1);
+        a.jmp(reader);
+        // not reached
+        a.hlt();
+        a.bind(reader);
+        a.inst(Inst::Farith {
+            op: FpArithOp::Add,
+            form: FpArithForm::St0Sti(0),
+        });
+        a.inst(Inst::Fst {
+            dst: FpOperand::M64(Addr::abs(DATA + 24)),
+            pop: true,
+        });
+        a.cmp_ri(ESI, 0);
+        a.jcc(ia32::Cond::E, back1);
+        a.hlt();
+    });
+    // Both sides must fault at the same EIP with the same state.
+    let oracle = run_interp(&img, 1_000_000);
+    let (trans, p) = run_translated(&img, cold_config(), 10_000_000);
+    match (&oracle.end, &trans.end) {
+        (ia32el::testkit::RunEnd::Fault(oe), ia32el::testkit::RunEnd::Fault(te)) => {
+            assert_eq!(oe, te, "stack fault must be precise after the rebuild");
+        }
+        other => panic!("expected stack faults, got {other:?}"),
+    }
+    assert!(
+        p.engine.stats.tag_fixes > 0,
+        "the tag mismatch must have rebuilt the block"
+    );
+}
