@@ -1,12 +1,14 @@
 //! Regenerates every table and figure of the paper's evaluation (§6).
 //!
 //! ```text
-//! figures [fig5|fig6|fig7|fig8|table1|hot_vs_cold|misalign|paper_stats|all] [--fast]
+//! figures [fig5|fig6|fig7|fig8|table1|hot_vs_cold|misalign|paper_stats|cache|all] [--fast]
 //! ```
 //!
 //! `--fast` divides iteration counts by 20 (useful in debug builds).
 
-use bench::{figure5, figure6, figure7, figure8, hot_vs_cold, misalign_speedup, paper_stats};
+use bench::{
+    cache_pressure, figure5, figure6, figure7, figure8, hot_vs_cold, misalign_speedup, paper_stats,
+};
 use btgeneric::engine::Config;
 
 fn hot_cfg() -> Config {
@@ -118,6 +120,30 @@ fn print_paper_stats(div: u32) {
     );
 }
 
+fn print_cache(div: u32) {
+    const CAP: usize = 250;
+    let cp = cache_pressure(div.max(1) * 20, CAP);
+    println!("== Translation-cache management under pressure (cap {CAP} bundles) ==");
+    println!("(incremental generation-aware eviction vs. flush-everything GC)");
+    println!(
+        "  evict: {:>12} cy, {:>6} cold blocks | {}",
+        cp.evict.cycles,
+        cp.evict.stats.cold_blocks,
+        cp.evict.stats.cache_summary()
+    );
+    println!(
+        "  flush: {:>12} cy, {:>6} cold blocks | {}",
+        cp.flush.cycles,
+        cp.flush.stats.cold_blocks,
+        cp.flush.stats.cache_summary()
+    );
+    println!(
+        "  retranslation reduced {:.2}x, total cycles reduced {:.2}x",
+        cp.retranslation_ratio(),
+        cp.cycle_ratio()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
@@ -144,6 +170,7 @@ fn main() {
         "hot_vs_cold" => print_hot_vs_cold(div),
         "misalign" => print_misalign(div),
         "paper_stats" => print_paper_stats(div),
+        "cache" => print_cache(div),
         "all" => {
             print_table1();
             println!();
@@ -168,6 +195,8 @@ fn main() {
             print_misalign(div);
             println!();
             print_paper_stats(div);
+            println!();
+            print_cache(div);
         }
         other => {
             eprintln!("unknown figure: {other}");

@@ -19,31 +19,75 @@ use ia32::regs::*;
 use ia32::Size;
 
 fn rng(x: &mut u64) -> u64 {
-    *x ^= *x << 13; *x ^= *x >> 7; *x ^= *x << 17; *x
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
 }
 
 fn gen_inst(x: &mut u64) -> Inst {
     let r = |x: &mut u64| Gpr::new((rng(x) % 8) as u8);
-    let nz = |g: Gpr, alt: u8| if g.num() == 1 || g.num() == 4 { Gpr::new(alt) } else { g };
+    let nz = |g: Gpr, alt: u8| {
+        if g.num() == 1 || g.num() == 4 {
+            Gpr::new(alt)
+        } else {
+            g
+        }
+    };
     match rng(x) % 7 {
-        0 => Inst::Alu { op: [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Adc, AluOp::Sbb, AluOp::Cmp][(rng(x)%8) as usize],
-                         size: [Size::B, Size::W, Size::D][(rng(x)%3) as usize],
-                         dst: Rm::Reg(nz(r(x), 5)), src: RmI::Imm(rng(x) as i32) },
-        1 => Inst::Alu { op: [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor][(rng(x)%5) as usize],
-                         size: Size::D, dst: Rm::Reg(nz(r(x), 0)), src: RmI::Reg(r(x)) },
-        2 => Inst::Mov { size: Size::D, dst: Rm::Reg(nz(r(x), 6)), src: RmI::Imm(rng(x) as i32) },
-        3 => Inst::Shift { op: [ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar][(rng(x)%3) as usize],
-                           size: Size::D, dst: Rm::Reg(nz(r(x), 3)), count: ShiftCount::Imm((rng(x)%34) as u8) },
-        4 => Inst::IncDec { inc: rng(x)%2==0, size: Size::D, dst: Rm::Reg(nz(r(x), 5)) },
-        5 => Inst::ImulRm { dst: nz(r(x), 0), src: Rm::Reg(r(x)) },
-        _ => Inst::Mov { size: Size::D, dst: Rm::Reg(nz(r(x), 7)), src: RmI::Reg(r(x)) },
+        0 => Inst::Alu {
+            op: [
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::And,
+                AluOp::Or,
+                AluOp::Xor,
+                AluOp::Adc,
+                AluOp::Sbb,
+                AluOp::Cmp,
+            ][(rng(x) % 8) as usize],
+            size: [Size::B, Size::W, Size::D][(rng(x) % 3) as usize],
+            dst: Rm::Reg(nz(r(x), 5)),
+            src: RmI::Imm(rng(x) as i32),
+        },
+        1 => Inst::Alu {
+            op: [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor][(rng(x) % 5) as usize],
+            size: Size::D,
+            dst: Rm::Reg(nz(r(x), 0)),
+            src: RmI::Reg(r(x)),
+        },
+        2 => Inst::Mov {
+            size: Size::D,
+            dst: Rm::Reg(nz(r(x), 6)),
+            src: RmI::Imm(rng(x) as i32),
+        },
+        3 => Inst::Shift {
+            op: [ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar][(rng(x) % 3) as usize],
+            size: Size::D,
+            dst: Rm::Reg(nz(r(x), 3)),
+            count: ShiftCount::Imm((rng(x) % 34) as u8),
+        },
+        4 => Inst::IncDec {
+            inc: rng(x).is_multiple_of(2),
+            size: Size::D,
+            dst: Rm::Reg(nz(r(x), 5)),
+        },
+        5 => Inst::ImulRm {
+            dst: nz(r(x), 0),
+            src: Rm::Reg(r(x)),
+        },
+        _ => Inst::Mov {
+            size: Size::D,
+            dst: Rm::Reg(nz(r(x), 7)),
+            src: RmI::Reg(r(x)),
+        },
     }
 }
 
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_default();
     for seed in 1..=4000u64 {
-        let mut x = seed * 0x9E3779B97F4A7C15 | 1;
+        let mut x = (seed * 0x9E3779B97F4A7C15) | 1;
         let n = 1 + (rng(&mut x) % 10) as usize;
         let iters = 200 + (rng(&mut x) % 400) as i32;
         let body: Vec<Inst> = (0..n).map(|_| gen_inst(&mut x)).collect();
@@ -52,11 +96,15 @@ fn main() {
             a.mov_ri(ECX, iters);
             let top = a.label();
             a.bind(top);
-            for i in &body { a.inst(*i); }
+            for i in &body {
+                a.inst(*i);
+            }
             a.dec(ECX);
             a.jcc(ia32::Cond::Ne, top);
         } else {
-            for i in &body { a.inst(*i); }
+            for i in &body {
+                a.inst(*i);
+            }
         }
         a.hlt();
         let img = Image::from_asm(&a).with_bss(0x50_0000, 0x1000);
@@ -77,15 +125,22 @@ fn main() {
         match (&oend, &tout) {
             (Ok(ia32::Event::Halt), btgeneric::engine::Outcome::Halted(tcpu)) => {
                 if interp.cpu.gpr != tcpu.gpr {
-                    println!("SEED {seed}: GPR mismatch\n  {:x?}\n  {:x?}", interp.cpu.gpr, tcpu.gpr);
-                    for i in &body { println!("  {i}"); }
+                    println!(
+                        "SEED {seed}: GPR mismatch\n  {:x?}\n  {:x?}",
+                        interp.cpu.gpr, tcpu.gpr
+                    );
+                    for i in &body {
+                        println!("  {i}");
+                    }
                     return;
                 }
                 let of = interp.cpu.eflags & 0x8D5;
                 let tf = tcpu.eflags & 0x8D5;
                 if of != tf {
                     println!("SEED {seed}: FLAGS mismatch {of:#x} vs {tf:#x}");
-                    for i in &body { println!("  {i}"); }
+                    for i in &body {
+                        println!("  {i}");
+                    }
                     return;
                 }
             }
@@ -95,11 +150,15 @@ fn main() {
             }
             (o, t) => {
                 println!("SEED {seed}: outcome mismatch {o:?} vs {t:?}");
-                for i in &body { println!("  {i}"); }
+                for i in &body {
+                    println!("  {i}");
+                }
                 return;
             }
         }
-        if seed % 500 == 0 { println!("...{seed} ok"); }
+        if seed % 500 == 0 {
+            println!("...{seed} ok");
+        }
     }
     println!("no mismatch found");
 }

@@ -163,8 +163,10 @@ pub fn figure8(cfg: Config, scale_div: u32) -> Vec<Fig8Row> {
 pub fn hot_vs_cold(scale_div: u32) -> f64 {
     let w = &workloads::spec_int()[0]; // gzip: tight and hot-friendly
     let scale = (w.scale / scale_div).max(2048);
-    let mut cold_cfg = Config::default();
-    cold_cfg.enable_hot = false;
+    let cold_cfg = Config {
+        enable_hot: false,
+        ..Config::default()
+    };
     let hot_cfg = Config {
         heat_threshold: 64,
         hot_candidates: 1,
@@ -184,11 +186,69 @@ pub fn hot_vs_cold(scale_div: u32) -> f64 {
 pub fn misalign_speedup(scale_div: u32) -> (u64, u64, f64) {
     let w = workloads::misalign_heavy();
     let scale = (w.scale / scale_div).max(512);
-    let mut off = Config::default();
-    off.enable_misalign_avoidance = false;
+    let off = Config {
+        enable_misalign_avoidance: false,
+        ..Config::default()
+    };
     let without = run_el(&w, scale, off).cycles;
     let with = run_el(&w, scale, Config::default()).cycles;
     (without, with, without as f64 / with as f64)
+}
+
+/// Tiny-cache experiment: the same workload run under capacity
+/// pressure twice — with incremental eviction, and with eviction
+/// disabled so every overflow falls back to the seed's wholesale
+/// flush.
+#[derive(Clone, Debug)]
+pub struct CachePressure {
+    /// Run with incremental, generation-aware eviction.
+    pub evict: ElRun,
+    /// Run with eviction disabled (flush-everything GC).
+    pub flush: ElRun,
+}
+
+impl CachePressure {
+    /// Retranslation reduction: flushed-run cold blocks over
+    /// eviction-run cold blocks (> 1 means eviction retranslates less).
+    pub fn retranslation_ratio(&self) -> f64 {
+        self.flush.stats.cold_blocks as f64 / self.evict.stats.cold_blocks.max(1) as f64
+    }
+
+    /// Total simulated-cycle reduction: flushed-run cycles over
+    /// eviction-run cycles.
+    pub fn cycle_ratio(&self) -> f64 {
+        self.flush.cycles as f64 / self.evict.cycles.max(1) as f64
+    }
+}
+
+/// Runs the cache-pressure experiment on gcc — the INT workload with
+/// the largest cold working set, so a tiny cache genuinely thrashes —
+/// capped at `max_cache_bundles` bundles. Both phases are enabled:
+/// eviction's edge over flushing comes from *generation awareness* —
+/// hot traces (20x translation cost) and high-use cold blocks stay
+/// resident while cold single-pass code churns. A flush rebuilds the
+/// hot working set from scratch after every overflow.
+pub fn cache_pressure(scale_div: u32, max_cache_bundles: usize) -> CachePressure {
+    let all = workloads::spec_int();
+    let w = all
+        .iter()
+        .find(|w| w.name == "gcc")
+        .expect("gcc workload exists");
+    let scale = (w.scale / scale_div).max(512);
+    let evict_cfg = Config {
+        heat_threshold: 256,
+        hot_candidates: 2,
+        max_cache_bundles,
+        ..Config::default()
+    };
+    let flush_cfg = Config {
+        enable_eviction: false,
+        ..evict_cfg
+    };
+    CachePressure {
+        evict: run_el(w, scale, evict_cfg),
+        flush: run_el(w, scale, flush_cfg),
+    }
 }
 
 /// The paper's in-text statistics, measured over the INT suite.
@@ -232,10 +292,8 @@ pub fn paper_stats(scale_div: u32) -> PaperStats {
         totals.3 += el.stats.hot_ia32_insts;
         totals.4 += el.stats.hot_native_insts;
         totals.5 += el.stats.hot_commit_points;
-        totals.6 += el.stats.tos_fixes
-            + el.stats.tag_fixes
-            + el.stats.mmx_fixes
-            + el.stats.xmm_fixes;
+        totals.6 +=
+            el.stats.tos_fixes + el.stats.tag_fixes + el.stats.mmx_fixes + el.stats.xmm_fixes;
         totals.7 += el.stats.cold_native_insts;
         totals.8 += el.stats.hot_side_exits;
     }
@@ -288,5 +346,25 @@ mod tests {
     fn misalignment_avoidance_pays() {
         let (_, _, speedup) = misalign_speedup(40);
         assert!(speedup > 2.0, "avoidance speedup too small: {speedup:.2}x");
+    }
+
+    #[test]
+    fn eviction_beats_flushing_under_pressure() {
+        let cp = cache_pressure(400, 250);
+        assert!(cp.evict.stats.evictions > 0, "eviction run must evict");
+        assert_eq!(cp.evict.stats.cache_flushes, 0, "no fallback flushes");
+        assert!(cp.flush.stats.cache_flushes > 0, "flush run must flush");
+        assert!(
+            cp.evict.stats.cold_blocks < cp.flush.stats.cold_blocks,
+            "eviction must retranslate less: {} vs {}",
+            cp.evict.stats.cold_blocks,
+            cp.flush.stats.cold_blocks
+        );
+        assert!(
+            cp.evict.cycles < cp.flush.cycles,
+            "eviction must cost fewer cycles: {} vs {}",
+            cp.evict.cycles,
+            cp.flush.cycles
+        );
     }
 }

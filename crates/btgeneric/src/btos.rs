@@ -91,6 +91,9 @@ pub fn negotiate(btlib: Version) -> Result<Version, HandshakeError> {
             btlib,
         });
     }
+    // The floor is currently 0 (every minor is compatible); the check
+    // stays so raising BTOS_MIN_COMPAT_MINOR is a one-line change.
+    #[allow(clippy::absurd_extreme_comparisons)]
     if btlib.minor < BTOS_MIN_COMPAT_MINOR {
         return Err(HandshakeError::BtlibTooOld {
             btlib,

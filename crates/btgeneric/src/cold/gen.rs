@@ -144,11 +144,7 @@ fn prescan_fp(blk: &DiscBlock) -> (bool, bool, bool) {
 
 /// Emits a counter increment `[addr] += 1`, optionally under `qp`,
 /// returning the incremented value's register.
-fn emit_counter_inc(
-    sink: &mut Sink,
-    qp: Option<ipf::regs::Pr>,
-    addr: u64,
-) -> ipf::regs::Gr {
+fn emit_counter_inc(sink: &mut Sink, qp: Option<ipf::regs::Pr>, addr: u64) -> ipf::regs::Gr {
     let qp = qp.unwrap_or(ipf::regs::P0);
     let a = sink.vg();
     sink.emit_pred(qp, Op::Movl { d: a, imm: addr });
@@ -404,11 +400,14 @@ pub fn generate(input: &ColdGenInput<'_>) -> Result<ColdBlock, ColdGenError> {
             let t = branch_to(&mut tail, target, &mut tramp_reqs);
             tail.emit(Op::Br { target: t });
         }
-        (Some(Term::CondJump {
-            taken_pred,
-            taken,
-            fallthrough,
-        }), _) => {
+        (
+            Some(Term::CondJump {
+                taken_pred,
+                taken,
+                fallthrough,
+            }),
+            _,
+        ) => {
             // Edge counters (paper: "an edge counter for blocks ending
             // with conditional or indirect branches").
             emit_counter_inc(&mut tail, Some(taken_pred), input.edge_counters.0);

@@ -112,24 +112,20 @@ pub fn lower(sink: &Sink, cb: &mut CodeBuilder) -> Result<Vec<Label>, LowerError
                     }
                 }
                 inst.op.map_regs(&mut |r, _is_def| match r {
-                    Reg::G(g) if g.is_virtual() => {
-                        match grs.get(g.0, "GR scratch exhausted") {
-                            Ok(p) => Reg::G(Gr(p)),
-                            Err(e) => {
-                                err = Some(e);
-                                Reg::G(Gr(state::GR_SCRATCH))
-                            }
+                    Reg::G(g) if g.is_virtual() => match grs.get(g.0, "GR scratch exhausted") {
+                        Ok(p) => Reg::G(Gr(p)),
+                        Err(e) => {
+                            err = Some(e);
+                            Reg::G(Gr(state::GR_SCRATCH))
                         }
-                    }
-                    Reg::F(f) if f.is_virtual() => {
-                        match frs.get(f.0, "FR scratch exhausted") {
-                            Ok(p) => Reg::F(Fr(p)),
-                            Err(e) => {
-                                err = Some(e);
-                                Reg::F(Fr(state::FR_SCRATCH))
-                            }
+                    },
+                    Reg::F(f) if f.is_virtual() => match frs.get(f.0, "FR scratch exhausted") {
+                        Ok(p) => Reg::F(Fr(p)),
+                        Err(e) => {
+                            err = Some(e);
+                            Reg::F(Fr(state::FR_SCRATCH))
                         }
-                    }
+                    },
                     Reg::P(p) if p.is_virtual() => {
                         match prs.get(p.0, "predicate scratch exhausted") {
                             Ok(ph) => Reg::P(Pr(ph)),
@@ -146,8 +142,7 @@ pub fn lower(sink: &Sink, cb: &mut CodeBuilder) -> Result<Vec<Label>, LowerError
                 }
                 // Remap template-local label targets.
                 if let Some(Target::Label(l)) = inst.op.target() {
-                    inst.op
-                        .set_target(Target::Label(labels[l as usize].0));
+                    inst.op.set_target(Target::Label(labels[l as usize].0));
                 }
 
                 // Stop-bit decision: this instruction conflicts with the
@@ -247,7 +242,11 @@ mod tests {
     fn stop_inserted_on_dependence() {
         let mut sink = Sink::new();
         let v = sink.vg();
-        sink.emit(Op::AddImm { d: v, imm: 1, a: R0 });
+        sink.emit(Op::AddImm {
+            d: v,
+            imm: 1,
+            a: R0,
+        });
         sink.emit(Op::AddImm {
             d: state::guest_gpr(0),
             imm: 0,

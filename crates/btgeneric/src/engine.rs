@@ -42,8 +42,13 @@ pub struct Config {
     /// Hot translation costs this factor more per instruction (paper:
     /// "about 20 times more").
     pub hot_xlate_factor: u64,
-    /// Engine dispatch round-trip cost (simulated cycles).
+    /// Engine dispatch round-trip cost (simulated cycles) when the
+    /// target must be translated or looked up the slow way.
     pub dispatch_cycles: u64,
+    /// Dispatch round-trip cost when the target block is already
+    /// translated (registry hit, no translation, minimal state
+    /// spill/fill): the chained-dispatch fast path.
+    pub dispatch_fast_cycles: u64,
     /// OS-handled misalignment fault cost (paper: "on the order of
     /// several thousand cycles").
     pub misalign_fault_cycles: u64,
@@ -58,10 +63,15 @@ pub struct Config {
     /// Misalignment faults tolerated in a hot block before it is
     /// discarded and regenerated with avoidance.
     pub hot_misalign_tolerance: u32,
-    /// Translation-cache capacity in bundles; exceeding it triggers a
-    /// full flush (the paper's block recycling / garbage collection,
-    /// FX!32-style). 0 = unbounded.
+    /// Translation-cache capacity in bundles. 0 = unbounded. Exceeding
+    /// it evicts cold, low-use blocks incrementally (see
+    /// `enable_eviction`), falling back to a full flush when nothing is
+    /// evictable.
     pub max_cache_bundles: usize,
+    /// Incremental, generation-aware eviction under cache pressure.
+    /// Off = the paper's wholesale garbage collection (every capacity
+    /// overflow discards the entire cache, FX!32-style).
+    pub enable_eviction: bool,
 }
 
 impl Default for Config {
@@ -77,6 +87,7 @@ impl Default for Config {
             cold_xlate_cycles: 120,
             hot_xlate_factor: 20,
             dispatch_cycles: 60,
+            dispatch_fast_cycles: 18,
             misalign_fault_cycles: 2500,
             fix_cycles: 120,
             interp_step_cycles: 150,
@@ -84,6 +95,7 @@ impl Default for Config {
             max_trace_insts: 24,
             hot_misalign_tolerance: 8,
             max_cache_bundles: 0,
+            enable_eviction: true,
         }
     }
 }
@@ -128,6 +140,14 @@ pub struct BlockInfo {
     pub entry: u64,
     /// Arena range `[start, end)` of the *latest* version.
     pub range: (u64, u64),
+    /// Arena extents of *every* generation of this block (oldest first,
+    /// latest last). Superseded generations stay allocated — their entry
+    /// bundles forward to the latest — until the block is evicted, when
+    /// all of them are reclaimed together.
+    pub extents: Vec<(u64, u64)>,
+    /// True once the block has been evicted from the cache: its extents
+    /// are on the arena free list and it must not be executed.
+    pub evicted: bool,
     /// Kind/stage.
     pub kind: BlockKind,
     /// Profile slots.
@@ -197,6 +217,21 @@ pub struct Engine {
     smc_pages: HashMap<u32, ()>,
     /// Pages holding translated code (write-protected until SMC fires).
     protected_pages: Vec<u32>,
+    /// Profile slot per guest EIP, persistent across retranslation and
+    /// eviction so re-heated blocks promote quickly.
+    profile_of: HashMap<u32, u64>,
+    /// Untranslated-exit trampolines waiting for a target, from the cold
+    /// generator's exit records: `target_eip -> trampoline addresses`.
+    /// Drained (patched into direct chained branches) when the target is
+    /// translated.
+    pending_exits: HashMap<u32, Vec<u64>>,
+    /// Reverse chain index: block id -> bundle addresses whose branch
+    /// was patched to point at (a generation of) that block. Used to
+    /// surgically un-link a victim's inbound edges on eviction.
+    links_into: HashMap<u32, Vec<u64>>,
+    /// Block whose code the engine may still patch or resume in the
+    /// current exit handling — never an eviction victim.
+    pinned_block: Option<u32>,
 }
 
 const PROFILE_STRIDE: u64 = 24 + 64 * 8;
@@ -219,6 +254,10 @@ impl Engine {
             blocks_by_page: HashMap::new(),
             smc_pages: HashMap::new(),
             protected_pages: Vec::new(),
+            profile_of: HashMap::new(),
+            pending_exits: HashMap::new(),
+            links_into: HashMap::new(),
+            pinned_block: None,
         }
     }
 
@@ -287,6 +326,9 @@ impl Engine {
         self.by_eip.clear();
         self.candidates.clear();
         self.blocks_by_page.clear();
+        self.pending_exits.clear();
+        self.links_into.clear();
+        self.pinned_block = None;
         for page in self.protected_pages.drain(..) {
             self.mem.set_code_protect((page as u64) << 12, false);
         }
@@ -295,17 +337,21 @@ impl Engine {
             let _ = self.mem.write(
                 layout::LOOKUP_BASE + i * layout::LOOKUP_ENTRY_SIZE,
                 8,
-                u64::MAX,
+                layout::LOOKUP_EMPTY_KEY,
             );
         }
     }
 
     /// Harvests the hot side-exit counters into the statistics (call
     /// after a run; the counters live in translator memory).
+    ///
+    /// Idempotent: the counters are *assigned*, not accumulated, so the
+    /// bench harness may call this any number of times without
+    /// double-counting `hot_side_exits`.
     pub fn collect_hot_exit_stats(&mut self) {
         let mut side = 0;
         for b in &self.blocks {
-            if b.kind == BlockKind::Hot {
+            if b.kind == BlockKind::Hot && !b.evicted {
                 side += self.mem.read(b.edge_counters.0, 8).unwrap_or(0);
             }
         }
@@ -334,6 +380,7 @@ impl Engine {
         let b = &mut self.blocks[block_id as usize];
         b.entry = entry;
         b.range = range;
+        b.extents.push(range);
         b.kind = BlockKind::Hot;
         b.hot = Some(hot);
         b.ia32_insts = ia32_insts;
@@ -355,11 +402,159 @@ impl Engine {
             return Ok(self.blocks[id as usize].entry);
         }
         if self.cfg.max_cache_bundles > 0
-            && self.machine.arena.len() >= self.cfg.max_cache_bundles
+            && self.machine.arena.live_len() >= self.cfg.max_cache_bundles
         {
-            self.flush_cache();
+            if self.cfg.enable_eviction {
+                self.make_room();
+            } else {
+                self.flush_cache();
+            }
         }
         self.translate_cold(eip, BlockKind::ColdV1, false, HashMap::new())
+    }
+
+    /// Frees cache space by evicting cold, low-use blocks until live
+    /// usage drops to ¾ of capacity (incremental garbage collection).
+    /// Registered heat candidates and the pinned block are never
+    /// victims; hot blocks are spared by the first pass and evicted
+    /// only as a last resort (their use counters persist, so they
+    /// re-heat quickly). If even that leaves the cache full, falls back
+    /// to a full flush (the emergency path in `Stats::cache_flushes`).
+    fn make_room(&mut self) {
+        let cap = self.cfg.max_cache_bundles;
+        let target = cap - cap / 4;
+        self.evict_pass(target, false);
+        if self.machine.arena.live_len() > target {
+            self.evict_pass(target, true);
+        }
+        if self.machine.arena.live_len() >= cap {
+            self.flush_cache();
+        }
+    }
+
+    /// One eviction sweep toward `target` live bundles, over cold
+    /// blocks only or (`include_hot`) hot blocks too.
+    fn evict_pass(&mut self, target: usize, include_hot: bool) {
+        // Victims coldest-first: blocks orphaned by SMC invalidation (no
+        // longer in the registry) count as use 0; live blocks sort by
+        // their profile use counter.
+        let mut victims: Vec<(u64, u32)> = self
+            .blocks
+            .iter()
+            .filter(|b| {
+                !b.evicted
+                    && (include_hot == (b.kind == BlockKind::Hot))
+                    && Some(b.id) != self.pinned_block
+                    && !self.candidates.contains(&b.id)
+            })
+            .map(|b| {
+                let uses = if self.by_eip.get(&b.eip) == Some(&b.id) {
+                    self.mem.read(b.counter_addr, 8).unwrap_or(0)
+                } else {
+                    0
+                };
+                (uses, b.id)
+            })
+            .collect();
+        victims.sort_unstable();
+        for (_, id) in victims {
+            if self.machine.arena.live_len() <= target {
+                break;
+            }
+            self.evict_block(id);
+        }
+    }
+
+    /// Surgically removes one block from the translation cache:
+    /// re-points inbound chained branches at the Untranslated stub,
+    /// purges its indirect-branch lookup entry, scrubs bookkeeping that
+    /// references its code, and returns every generation's extent to
+    /// the arena free list.
+    fn evict_block(&mut self, id: u32) {
+        let (eip, extents) = {
+            let b = &self.blocks[id as usize];
+            (b.eip, b.extents.clone())
+        };
+        let in_extents =
+            |addr: u64, ex: &[(u64, u64)]| ex.iter().any(|&(s, e)| addr >= s && addr < e);
+        // Un-link inbound edges. The chaining bundle's trampoline movl
+        // (payload = target EIP) is still upstream of the branch, so
+        // re-pointing the branch at the stub restores the original
+        // dispatch semantics exactly.
+        for from in self.links_into.remove(&id).unwrap_or_default() {
+            if in_extents(from, &extents) {
+                continue; // self-link inside the victim: reclaimed anyway
+            }
+            self.unlink_branch(from, &extents);
+        }
+        // Purge the lookup entry — only if the slot both keys on this
+        // EIP and still targets the victim's code; a colliding or newer
+        // entry in the same direct-mapped slot must survive.
+        let slot = layout::lookup_slot(eip);
+        if self.mem.read(slot, 8) == Ok(eip as u64) {
+            let tgt = self.mem.read(slot + 8, 8).unwrap_or(0);
+            if in_extents(tgt, &extents) {
+                let _ = self.mem.write(slot, 8, layout::LOOKUP_EMPTY_KEY);
+                self.stats.lookup_purges += 1;
+            }
+        }
+        // Patch sites inside the reclaimed extents may be reused for
+        // unrelated code: drop them from both side tables.
+        for v in self.pending_exits.values_mut() {
+            v.retain(|&a| !in_extents(a, &extents));
+        }
+        self.pending_exits.retain(|_, v| !v.is_empty());
+        for v in self.links_into.values_mut() {
+            v.retain(|&a| !in_extents(a, &extents));
+        }
+        self.links_into.retain(|_, v| !v.is_empty());
+        let mut freed = 0;
+        for &(s, e) in &extents {
+            freed += (e - s) / ipf::Bundle::SIZE;
+            self.machine.arena.release(s, e);
+        }
+        if self.by_eip.get(&eip) == Some(&id) {
+            self.by_eip.remove(&eip);
+        }
+        self.blocks_by_page
+            .entry(eip >> 12)
+            .or_default()
+            .retain(|&b| b != id);
+        self.candidates.retain(|&c| c != id);
+        let b = &mut self.blocks[id as usize];
+        b.evicted = true;
+        b.range = (0, 0);
+        b.extents.clear();
+        b.entry = StubKind::Untranslated.addr();
+        b.hot = None;
+        self.stats.evictions += 1;
+        self.stats.evicted_bundles += freed;
+    }
+
+    /// Re-points every branch slot in the bundle at `addr` that targets
+    /// one of `extents` back at the Untranslated stub.
+    fn unlink_branch(&mut self, addr: u64, extents: &[(u64, u64)]) {
+        let Some(b) = self.machine.arena.bundle_at(addr) else {
+            return;
+        };
+        let mut patches = Vec::new();
+        for (i, s) in b.slots.iter().enumerate() {
+            if let Some(Target::Abs(t)) = s.op.target() {
+                if extents.iter().any(|&(st, en)| t >= st && t < en) {
+                    patches.push(i);
+                }
+            }
+        }
+        for i in patches {
+            self.machine.arena.patch_slot(
+                addr,
+                i,
+                Op::Br {
+                    target: Target::Abs(StubKind::Untranslated.addr()),
+                },
+            );
+            self.stats.chain_unlinks += 1;
+        }
     }
 
     /// Cold-translates the block at `eip` (a specific version), updating
@@ -386,7 +581,18 @@ impl Engine {
             }
             None => {
                 let id = self.blocks.len() as u32;
-                (id, self.alloc_profile(), None)
+                // Profile slots are keyed by guest EIP and survive both
+                // eviction and flushing, so a re-translated block keeps
+                // its use counter and re-heats quickly.
+                let profile = match self.profile_of.get(&eip) {
+                    Some(&p) => p,
+                    None => {
+                        let p = self.alloc_profile();
+                        self.profile_of.insert(eip, p);
+                        p
+                    }
+                };
+                (id, profile, None)
             }
         };
         let spec = if self.cfg.enable_fp_spec {
@@ -433,23 +639,47 @@ impl Engine {
             smc_check,
             base: self.machine.arena.end(),
         };
-        let gen = match generate(&input) {
+        let gen0 = match generate(&input) {
             Ok(g) => g,
             Err(_) => {
                 // Unlowerable block: a stub that single-steps from here.
                 return Ok(self.emit_interp_stub(eip));
             }
         };
-        // Charge translation overhead.
+        // Charge translation overhead (once — the free-list placement
+        // below re-bases the same deterministic generation).
         self.machine.charge(
             region::OVERHEAD,
-            gen.ia32_insts.max(1) as u64 * self.cfg.cold_xlate_cycles,
+            gen0.ia32_insts.max(1) as u64 * self.cfg.cold_xlate_cycles,
         );
         self.stats.cold_blocks += 1;
-        self.stats.cold_ia32_insts += gen.ia32_insts as u64;
-        self.stats.cold_native_insts += gen.native_insts as u64;
-        let n_bundles = gen.bundles.len() as u64;
-        let entry = self.machine.arena.append(gen.bundles, region::COLD);
+        self.stats.cold_ia32_insts += gen0.ia32_insts as u64;
+        self.stats.cold_native_insts += gen0.native_insts as u64;
+        let n_bundles = gen0.bundles.len() as u64;
+        // Prefer filling an eviction hole over growing the arena. Code
+        // addresses are position-dependent, so re-generate at the hole's
+        // base — same shape, new addresses.
+        let (mut gen, entry) = match self.machine.arena.alloc(gen0.bundles.len()) {
+            Some(hole) => {
+                let rebased = ColdGenInput {
+                    base: hole,
+                    ..input
+                };
+                let g = generate(&rebased).expect("cold generation is deterministic");
+                debug_assert_eq!(g.bundles.len() as u64, n_bundles);
+                (g, hole)
+            }
+            None => {
+                let end = self.machine.arena.end();
+                (gen0, end)
+            }
+        };
+        let bundles = std::mem::take(&mut gen.bundles);
+        let entry = if entry == self.machine.arena.end() {
+            self.machine.arena.append(bundles, region::COLD)
+        } else {
+            self.machine.arena.place(entry, bundles, region::COLD)
+        };
         let range = (entry, entry + n_bundles * ipf::Bundle::SIZE);
 
         // Write-protect the source page for SMC detection (unless it is
@@ -462,11 +692,20 @@ impl Engine {
         }
         self.blocks_by_page.entry(page).or_default().push(id);
 
+        // Superseded generations stay allocated (their entries forward
+        // here); eviction reclaims the whole list at once.
+        let mut extents = match prev_entry {
+            Some(_) => std::mem::take(&mut self.blocks[id as usize].extents),
+            None => Vec::new(),
+        };
+        extents.push(range);
         let info = BlockInfo {
             id,
             eip,
             entry,
             range,
+            extents,
+            evicted: false,
             kind,
             counter_addr: profile,
             edge_counters: (profile + 8, profile + 16),
@@ -489,12 +728,54 @@ impl Engine {
             self.blocks.push(info);
             self.by_eip.insert(eip, id);
         }
-        // Patch any trampolines waiting for this EIP… handled lazily:
-        // trampolines branch to the Untranslated stub and are patched on
-        // first use (see handle_untranslated).
-        // Record this block's own exits for later patching on demand.
-        let _ = &gen.exits;
+        // Register this block's untranslated-target trampolines and
+        // proactively chain the ones whose target already exists, so
+        // the block never round-trips through the dispatcher for them
+        // and eviction can find every inbound edge later.
+        for &(texit, tramp) in &gen.exits {
+            let Some(br) = self.exit_branch_bundle(tramp, range.1) else {
+                continue;
+            };
+            match self.by_eip.get(&texit).copied() {
+                Some(tid) => {
+                    let tentry = self.blocks[tid as usize].entry;
+                    self.patch_branch(br, StubKind::Untranslated.addr(), tentry);
+                    self.links_into.entry(tid).or_default().push(br);
+                }
+                None => {
+                    self.pending_exits.entry(texit).or_default().push(br);
+                }
+            }
+        }
+        // Chain every trampoline that was already waiting for this EIP.
+        if let Some(waiting) = self.pending_exits.remove(&eip) {
+            for br in waiting {
+                self.patch_branch(br, StubKind::Untranslated.addr(), entry);
+                self.links_into.entry(id).or_default().push(br);
+            }
+        }
         Ok(entry)
+    }
+
+    /// Finds the bundle holding a trampoline's branch to the
+    /// Untranslated stub: trampoline labels are bundle-aligned, so the
+    /// first stub-targeting branch at or after `tramp` (bounded by the
+    /// block's end) belongs to that trampoline.
+    fn exit_branch_bundle(&self, tramp: u64, end: u64) -> Option<u64> {
+        let stub = StubKind::Untranslated.addr();
+        let mut addr = tramp;
+        while addr < end {
+            if let Some(b) = self.machine.arena.bundle_at(addr) {
+                if b.slots
+                    .iter()
+                    .any(|s| s.op.target() == Some(Target::Abs(stub)))
+                {
+                    return Some(addr);
+                }
+            }
+            addr += ipf::Bundle::SIZE;
+        }
+        None
     }
 
     /// Emits a tiny stub that single-steps the instruction at `eip`.
@@ -560,16 +841,26 @@ impl Engine {
         let mut eip = cpu.eip;
         let mut remaining = max_slots;
         'dispatch: loop {
-            self.machine.charge(region::OTHER, self.cfg.dispatch_cycles);
-            let entry = match self.entry_of(eip) {
-                Ok(e) => e,
-                Err(exc) => match self.deliver(os, exc, None) {
-                    Ok(new_eip) => {
-                        eip = new_eip;
-                        continue 'dispatch;
-                    }
-                    Err(out) => return out,
-                },
+            // Chained-dispatch fast path: a registry hit needs no
+            // translation work and only minimal state traffic, so it is
+            // charged a reduced round-trip cost.
+            let entry = if let Some(e) = self.entry_of_existing(eip) {
+                self.machine
+                    .charge(region::OTHER, self.cfg.dispatch_fast_cycles);
+                self.stats.dispatch_fast_hits += 1;
+                e
+            } else {
+                self.machine.charge(region::OTHER, self.cfg.dispatch_cycles);
+                match self.entry_of(eip) {
+                    Ok(e) => e,
+                    Err(exc) => match self.deliver(os, exc, None) {
+                        Ok(new_eip) => {
+                            eip = new_eip;
+                            continue 'dispatch;
+                        }
+                        Err(out) => return out,
+                    },
+                }
             };
             self.machine.set_ip(entry, 0);
             loop {
@@ -615,6 +906,16 @@ impl Engine {
     }
 
     fn handle_exit(&mut self, os: &mut dyn BtOs, target: u64, from: u64) -> ExitAction {
+        // Pin the block owning `from`: its bundles may be patched or
+        // resumed below and must survive any eviction that entry_of
+        // triggers while handling this exit.
+        self.pinned_block = self.block_at_addr(from);
+        let act = self.handle_exit_stub(os, target, from);
+        self.pinned_block = None;
+        act
+    }
+
+    fn handle_exit_stub(&mut self, os: &mut dyn BtOs, target: u64, from: u64) -> ExitAction {
         let Some(kind) = StubKind::from_addr(target) else {
             // A branch left the arena to a non-stub address — this is an
             // engine bug, not guest behaviour.
@@ -650,8 +951,12 @@ impl Engine {
                 match self.entry_of(eip) {
                     Ok(entry) => {
                         // Patch the trampoline's branch (the bundle that
-                        // exited) to go straight to the new block.
+                        // exited) to go straight to the new block, and
+                        // record the edge so eviction can un-link it.
                         self.patch_branch(from, StubKind::Untranslated.addr(), entry);
+                        if let Some(&tid) = self.by_eip.get(&eip) {
+                            self.links_into.entry(tid).or_default().push(from);
+                        }
                         ExitAction::Continue(entry)
                     }
                     Err(exc) => {
@@ -776,15 +1081,13 @@ impl Engine {
                 let eip = self.machine.gr[GR_STATE.0 as usize] as u32;
                 self.interp_one(os, eip)
             }
-            StubKind::Reenter => {
-                match self.block_at_addr(from) {
-                    Some(id) => ExitAction::Dispatch(self.blocks[id as usize].eip),
-                    None => {
-                        let eip = self.machine.gr[GR_STATE.0 as usize] as u32;
-                        ExitAction::Dispatch(eip)
-                    }
+            StubKind::Reenter => match self.block_at_addr(from) {
+                Some(id) => ExitAction::Dispatch(self.blocks[id as usize].eip),
+                None => {
+                    let eip = self.machine.gr[GR_STATE.0 as usize] as u32;
+                    ExitAction::Dispatch(eip)
                 }
-            }
+            },
             StubKind::InvalidOp => {
                 let eip = self.machine.gr[GR_STATE.0 as usize] as u32;
                 let cpu = state::machine_to_cpu(&self.machine, eip);
@@ -807,9 +1110,7 @@ impl Engine {
                 state::cpu_to_machine(&interp.cpu, &mut self.machine);
                 ExitAction::Dispatch(interp.cpu.eip)
             }
-            Ok(Event::Halt) => {
-                ExitAction::Done(Outcome::Halted(Box::new(interp.cpu)))
-            }
+            Ok(Event::Halt) => ExitAction::Done(Outcome::Halted(Box::new(interp.cpu))),
             Ok(Event::Syscall { vector }) => {
                 let mut cpu = interp.cpu;
                 if vector != 0x80 {
@@ -862,12 +1163,7 @@ impl Engine {
                         let eip = b.eip;
                         let overrides = b.misalign_overrides.clone();
                         let cpu = self.reconstruct(ip, slot);
-                        let _ = self.translate_cold(
-                            eip,
-                            BlockKind::ColdV2,
-                            false,
-                            overrides,
-                        );
+                        let _ = self.translate_cold(eip, BlockKind::ColdV2, false, overrides);
                         state::cpu_to_machine(&cpu, &mut self.machine);
                         return ExitAction::Dispatch(cpu.eip);
                     }
@@ -913,21 +1209,43 @@ impl Engine {
         use ia32::inst::Inst as I;
         matches!(
             inst,
-            I::Mov { dst: ia32::inst::Rm::Mem(_), .. }
-                | I::Alu { dst: ia32::inst::Rm::Mem(_), .. }
-                | I::Push { .. }
+            I::Mov {
+                dst: ia32::inst::Rm::Mem(_),
+                ..
+            } | I::Alu {
+                dst: ia32::inst::Rm::Mem(_),
+                ..
+            } | I::Push { .. }
                 | I::Call { .. }
                 | I::CallInd { .. }
                 | I::Movs { .. }
                 | I::Stos { .. }
                 | I::Fst { .. }
                 | I::Fistp { .. }
-                | I::IncDec { dst: ia32::inst::Rm::Mem(_), .. }
-                | I::Neg { dst: ia32::inst::Rm::Mem(_), .. }
-                | I::Not { dst: ia32::inst::Rm::Mem(_), .. }
-                | I::Shift { dst: ia32::inst::Rm::Mem(_), .. }
-                | I::Setcc { dst: ia32::inst::Rm::Mem(_), .. }
-                | I::Xchg { rm: ia32::inst::Rm::Mem(_), .. }
+                | I::IncDec {
+                    dst: ia32::inst::Rm::Mem(_),
+                    ..
+                }
+                | I::Neg {
+                    dst: ia32::inst::Rm::Mem(_),
+                    ..
+                }
+                | I::Not {
+                    dst: ia32::inst::Rm::Mem(_),
+                    ..
+                }
+                | I::Shift {
+                    dst: ia32::inst::Rm::Mem(_),
+                    ..
+                }
+                | I::Setcc {
+                    dst: ia32::inst::Rm::Mem(_),
+                    ..
+                }
+                | I::Xchg {
+                    rm: ia32::inst::Rm::Mem(_),
+                    ..
+                }
         )
     }
 
@@ -942,10 +1260,12 @@ impl Engine {
         let read_parts = |mem: &GuestMem, addr: u64, size: u32| -> Result<u64, GuestException> {
             let mut v = 0u64;
             for i in 0..size as u64 {
-                let b = mem.read(addr + i, 1).map_err(|f| GuestException::PageFault {
-                    addr: f.addr as u32,
-                    write: false,
-                })?;
+                let b = mem
+                    .read(addr + i, 1)
+                    .map_err(|f| GuestException::PageFault {
+                        addr: f.addr as u32,
+                        write: false,
+                    })?;
                 v |= b << (i * 8);
             }
             Ok(v)
@@ -1009,13 +1329,7 @@ impl Engine {
     /// the reference interpreter with protection lifted (full IA-32
     /// semantics, e.g. for `xchg`/`push`), restore protection, and
     /// re-dispatch — the next entry retranslates from the fresh bytes.
-    fn handle_smc_store(
-        &mut self,
-        os: &mut dyn BtOs,
-        ip: u64,
-        slot: u8,
-        addr: u64,
-    ) -> ExitAction {
+    fn handle_smc_store(&mut self, os: &mut dyn BtOs, ip: u64, slot: u8, addr: u64) -> ExitAction {
         self.stats.smc_events += 1;
         let cpu = self.reconstruct(ip, slot);
         let page = (addr >> 12) as u32;
@@ -1027,7 +1341,7 @@ impl Engine {
             self.by_eip.remove(&eip);
             // Purge the lookup-table entry.
             let slot_addr = layout::lookup_slot(eip);
-            let _ = self.mem.write(slot_addr, 8, u64::MAX);
+            let _ = self.mem.write(slot_addr, 8, layout::LOOKUP_EMPTY_KEY);
         }
         self.mem.set_code_protect(addr, false);
         state::cpu_to_machine(&cpu, &mut self.machine);
@@ -1105,8 +1419,7 @@ impl Engine {
                 let sc = f64::from_bits(self.machine.fr[state::xmm_scalar_fr(n).0 as usize]);
                 let lane0 = (sc as f32).to_bits() as u64;
                 let lo = self.machine.fr[state::xmm_lo_fr(n).0 as usize];
-                self.machine.fr[state::xmm_lo_fr(n).0 as usize] =
-                    (lo & !0xFFFF_FFFF) | lane0;
+                self.machine.fr[state::xmm_lo_fr(n).0 as usize] = (lo & !0xFFFF_FFFF) | lane0;
             }
         }
         self.machine.gr[state::GR_XMMFMT.0 as usize] = want as u64;
@@ -1168,11 +1481,7 @@ impl Engine {
                 // SimOs signal ABI: push the faulting EIP like a call,
                 // then enter the handler.
                 let new_esp = cpu.esp().wrapping_sub(4);
-                if self
-                    .mem
-                    .write(new_esp as u64, 4, cpu.eip as u64)
-                    .is_err()
-                {
+                if self.mem.write(new_esp as u64, 4, cpu.eip as u64).is_err() {
                     return ExitAction::Done(Outcome::Terminated {
                         exc,
                         cpu: Box::new(cpu),

@@ -37,8 +37,8 @@ pub(super) fn lvn(ils: &mut Vec<HotIl>) {
         });
     }
     let mut subst: HashMap<u16, Gr> = HashMap::new(); // virtual -> replacement
-    // Copy propagation: virtual v is a copy of physical p taken at
-    // version n; uses of v read p directly while p is unmodified.
+                                                      // Copy propagation: virtual v is a copy of physical p taken at
+                                                      // version n; uses of v read p directly while p is unmodified.
     let mut copy_of: HashMap<u16, (u16, u64)> = HashMap::new();
     let mut versions: HashMap<(u8, u16), u64> = HashMap::new();
     let mut mem_version: u64 = 0;
@@ -91,10 +91,7 @@ pub(super) fn lvn(ils: &mut Vec<HotIl>) {
         }
         let (lvn_ok, dest) = lvn_candidate(&op);
         let Some(dest) = dest else { continue };
-        if !lvn_ok
-            || !dest.is_virtual()
-            || def_count.get(&dest.0).copied().unwrap_or(0) != 1
-        {
+        if !lvn_ok || !dest.is_virtual() || def_count.get(&dest.0).copied().unwrap_or(0) != 1 {
             continue;
         }
         // Build the canonical key: the op with its destination zeroed
@@ -162,11 +159,28 @@ pub(super) fn lvn(ils: &mut Vec<HotIl>) {
 fn lvn_candidate(op: &Op) -> (bool, Option<Gr>) {
     use Op::*;
     match *op {
-        Add { d, .. } | Sub { d, .. } | AddImm { d, .. } | SubImm { d, .. } | And { d, .. }
-        | Or { d, .. } | Xor { d, .. } | AndCm { d, .. } | AndImm { d, .. } | OrImm { d, .. }
-        | XorImm { d, .. } | Shladd { d, .. } | ShlImm { d, .. } | ShlVar { d, .. }
-        | ShrImm { d, .. } | ShrVar { d, .. } | Extr { d, .. } | Dep { d, .. }
-        | DepZ { d, .. } | Sxt { d, .. } | Zxt { d, .. } | Popcnt { d, .. }
+        Add { d, .. }
+        | Sub { d, .. }
+        | AddImm { d, .. }
+        | SubImm { d, .. }
+        | And { d, .. }
+        | Or { d, .. }
+        | Xor { d, .. }
+        | AndCm { d, .. }
+        | AndImm { d, .. }
+        | OrImm { d, .. }
+        | XorImm { d, .. }
+        | Shladd { d, .. }
+        | ShlImm { d, .. }
+        | ShlVar { d, .. }
+        | ShrImm { d, .. }
+        | ShrVar { d, .. }
+        | Extr { d, .. }
+        | Dep { d, .. }
+        | DepZ { d, .. }
+        | Sxt { d, .. }
+        | Zxt { d, .. }
+        | Popcnt { d, .. }
         | Movl { d, .. } => (true, Some(d)),
         // Non-speculative loads are value-numbered against the store
         // counter (redundant-load elimination).
@@ -268,8 +282,16 @@ mod tests {
         let (v1, v2) = (s.vg(), s.vg());
         let g = crate::state::guest_gpr(0);
         let mut ils = vec![
-            il(ipf::Inst::new(Op::AddImm { d: v1, imm: 8, a: g })),
-            il(ipf::Inst::new(Op::AddImm { d: v2, imm: 8, a: g })),
+            il(ipf::Inst::new(Op::AddImm {
+                d: v1,
+                imm: 8,
+                a: g,
+            })),
+            il(ipf::Inst::new(Op::AddImm {
+                d: v2,
+                imm: 8,
+                a: g,
+            })),
             il(ipf::Inst::new(Op::St {
                 sz: 4,
                 addr: v1,
@@ -292,9 +314,17 @@ mod tests {
         let (v1, v2) = (s.vg(), s.vg());
         let g = crate::state::guest_gpr(0);
         let mut ils = vec![
-            il(ipf::Inst::new(Op::AddImm { d: v1, imm: 8, a: g })),
+            il(ipf::Inst::new(Op::AddImm {
+                d: v1,
+                imm: 8,
+                a: g,
+            })),
             il(ipf::Inst::new(Op::AddImm { d: g, imm: 1, a: g })), // g changes
-            il(ipf::Inst::new(Op::AddImm { d: v2, imm: 8, a: g })),
+            il(ipf::Inst::new(Op::AddImm {
+                d: v2,
+                imm: 8,
+                a: g,
+            })),
             il(ipf::Inst::new(Op::St {
                 sz: 4,
                 addr: v1,
@@ -328,7 +358,11 @@ mod tests {
                 addr: g,
                 spec: false,
             })),
-            il(ipf::Inst::new(Op::Add { d: v3, a: v1, b: v2 })),
+            il(ipf::Inst::new(Op::Add {
+                d: v3,
+                a: v1,
+                b: v2,
+            })),
             il(ipf::Inst::new(Op::St {
                 sz: 4,
                 addr: g,
@@ -358,7 +392,11 @@ mod tests {
                 addr: g,
                 spec: false,
             })),
-            il(ipf::Inst::new(Op::Add { d: v3, a: v1, b: v2 })),
+            il(ipf::Inst::new(Op::Add {
+                d: v3,
+                a: v1,
+                b: v2,
+            })),
             il(ipf::Inst::new(Op::St {
                 sz: 4,
                 addr: g,
@@ -375,9 +413,21 @@ mod tests {
         let (v1, v2) = (s.vg(), s.vg());
         let g = crate::state::guest_gpr(0);
         let mut ils = vec![
-            il(ipf::Inst::new(Op::AddImm { d: v1, imm: 1, a: R0 })),
-            il(ipf::Inst::new(Op::AddImm { d: v2, imm: 2, a: R0 })), // dead
-            il(ipf::Inst::new(Op::AddImm { d: g, imm: 0, a: v1 })),
+            il(ipf::Inst::new(Op::AddImm {
+                d: v1,
+                imm: 1,
+                a: R0,
+            })),
+            il(ipf::Inst::new(Op::AddImm {
+                d: v2,
+                imm: 2,
+                a: R0,
+            })), // dead
+            il(ipf::Inst::new(Op::AddImm {
+                d: g,
+                imm: 0,
+                a: v1,
+            })),
         ];
         dce(&mut ils);
         assert_eq!(ils.len(), 2);
@@ -389,13 +439,21 @@ mod tests {
         let v1 = s.vg();
         let g = crate::state::guest_gpr(3);
         let mut ils = vec![
-            il(ipf::Inst::new(Op::AddImm { d: v1, imm: 1, a: R0 })),
+            il(ipf::Inst::new(Op::AddImm {
+                d: v1,
+                imm: 1,
+                a: R0,
+            })),
             il(ipf::Inst::new(Op::St {
                 sz: 4,
                 addr: v1,
                 val: g,
             })),
-            il(ipf::Inst::new(Op::AddImm { d: g, imm: 5, a: R0 })),
+            il(ipf::Inst::new(Op::AddImm {
+                d: g,
+                imm: 5,
+                a: R0,
+            })),
         ];
         dce(&mut ils);
         assert_eq!(ils.len(), 3);

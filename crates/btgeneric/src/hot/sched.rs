@@ -82,8 +82,7 @@ pub(super) fn schedule(ils: &[HotIl]) -> Vec<usize> {
     let mut last_barrier: Option<usize> = None;
     let mut state_writes_since: Vec<usize> = Vec::new();
 
-    for i in 0..n {
-        let il = &ils[i];
+    for (i, il) in ils.iter().enumerate() {
         let op = &il.inst.op;
         // Register dependences (including the qualifying predicate).
         let mut reads: Vec<Reg> = op.uses();
@@ -234,8 +233,7 @@ pub(super) fn schedule(ils: &[HotIl]) -> Vec<usize> {
                 Unit::B => b += 1,
             }
             total += 1;
-            for si in 0..succs[i].len() {
-                let s = succs[i][si];
+            for &s in &succs[i] {
                 preds_left[s] -= 1;
                 earliest[s] = earliest[s].max(cycle + 1);
                 if preds_left[s] == 0 {
@@ -287,12 +285,10 @@ pub(super) fn allocate(ils: &[HotIl], order: &[usize]) -> Option<Vec<(ipf::Inst,
     // Pools: scratch + renaming banks; f63 is reserved for exit blocks.
     // FIFO pools: recently-freed registers are reused last, which
     // avoids false WAW dependences between unrelated computations.
-    let mut gr_free: Vec<u16> =
-        (state::GR_SCRATCH..state::GR_POOL + state::NUM_POOL).collect();
+    let mut gr_free: Vec<u16> = (state::GR_SCRATCH..state::GR_POOL + state::NUM_POOL).collect();
     let mut fr_free: Vec<u16> =
         (state::FR_SCRATCH..state::FR_SCRATCH + state::NUM_FR_SCRATCH - 1).collect();
-    let mut pr_free: Vec<u16> =
-        (state::PR_POOL..state::PR_POOL + state::NUM_PR_POOL).collect();
+    let mut pr_free: Vec<u16> = (state::PR_POOL..state::PR_POOL + state::NUM_PR_POOL).collect();
     let mut map: HashMap<(u8, u16), u16> = HashMap::new();
 
     // Recompute cycle boundaries by replaying the schedule function's
@@ -441,8 +437,16 @@ mod tests {
         let v1 = s.vg();
         let g = crate::state::guest_gpr(0);
         let ils = vec![
-            il(ipf::Inst::new(Op::AddImm { d: v1, imm: 1, a: R0 })),
-            il(ipf::Inst::new(Op::AddImm { d: g, imm: 0, a: v1 })),
+            il(ipf::Inst::new(Op::AddImm {
+                d: v1,
+                imm: 1,
+                a: R0,
+            })),
+            il(ipf::Inst::new(Op::AddImm {
+                d: g,
+                imm: 0,
+                a: v1,
+            })),
         ];
         let order = schedule(&ils);
         let p0 = order.iter().position(|&i| i == 0).unwrap();
@@ -459,22 +463,38 @@ mod tests {
         let (v1, v2) = (s.vg(), s.vg());
         let (g0, g1) = (crate::state::guest_gpr(0), crate::state::guest_gpr(1));
         let ils = vec![
-            il(ipf::Inst::new(Op::AddImm { d: a1, imm: 16, a: g0 })),
+            il(ipf::Inst::new(Op::AddImm {
+                d: a1,
+                imm: 16,
+                a: g0,
+            })),
             il(ipf::Inst::new(Op::Ld {
                 sz: 4,
                 d: v1,
                 addr: a1,
                 spec: false,
             })),
-            il(ipf::Inst::new(Op::AddImm { d: g0, imm: 0, a: v1 })),
-            il(ipf::Inst::new(Op::AddImm { d: a2, imm: 32, a: g1 })),
+            il(ipf::Inst::new(Op::AddImm {
+                d: g0,
+                imm: 0,
+                a: v1,
+            })),
+            il(ipf::Inst::new(Op::AddImm {
+                d: a2,
+                imm: 32,
+                a: g1,
+            })),
             il(ipf::Inst::new(Op::Ld {
                 sz: 4,
                 d: v2,
                 addr: a2,
                 spec: false,
             })),
-            il(ipf::Inst::new(Op::AddImm { d: g1, imm: 0, a: v2 })),
+            il(ipf::Inst::new(Op::AddImm {
+                d: g1,
+                imm: 0,
+                a: v2,
+            })),
         ];
         let order = schedule(&ils);
         // The second chain's address computation should be scheduled
@@ -535,8 +555,16 @@ mod tests {
         let v1 = s.vg();
         let g = crate::state::guest_gpr(0);
         let ils = vec![
-            il(ipf::Inst::new(Op::AddImm { d: v1, imm: 1, a: R0 })),
-            il(ipf::Inst::new(Op::AddImm { d: g, imm: 0, a: v1 })),
+            il(ipf::Inst::new(Op::AddImm {
+                d: v1,
+                imm: 1,
+                a: R0,
+            })),
+            il(ipf::Inst::new(Op::AddImm {
+                d: g,
+                imm: 0,
+                a: v1,
+            })),
         ];
         let order = schedule(&ils);
         let out = allocate(&ils, &order).unwrap();

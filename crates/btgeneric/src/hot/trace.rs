@@ -115,11 +115,7 @@ fn if_convertible(inst: &I32) -> bool {
 /// Decodes the straight-line hammock between `from` and the join point
 /// `join`; `None` unless it is short, simple, and lands exactly on the
 /// join.
-fn decode_hammock(
-    mem: &ia32::GuestMem,
-    from: u32,
-    join: u32,
-) -> Option<Vec<(u32, I32, u8)>> {
+fn decode_hammock(mem: &ia32::GuestMem, from: u32, join: u32) -> Option<Vec<(u32, I32, u8)>> {
     if join <= from || join - from > 64 {
         return None;
     }
@@ -207,18 +203,14 @@ pub(super) fn select(engine: &Engine, block_id: u32) -> Option<Trace> {
                         // No clear winner: try if-conversion of the
                         // forward hammock `jcc skip; <short block>; skip:`
                         // (paper: predication for if...then... shapes).
-                        if let Some(hammock) =
-                            decode_hammock(&engine.mem, next, *target)
-                        {
-                            if total + hammock.len() + 1 <= budget {
+                        if let Some(hammock) = decode_hammock(&engine.mem, next, *target) {
+                            if total + hammock.len() < budget {
                                 steps.push(Step::Guard {
                                     cond: *cond,
                                     ip: *ip,
                                 });
                                 total += 1;
-                                for (j, (gip, ginst, glen)) in
-                                    hammock.iter().enumerate()
-                                {
+                                for (j, (gip, ginst, glen)) in hammock.iter().enumerate() {
                                     steps.push(Step::Inst {
                                         ip: *gip,
                                         inst: *ginst,
@@ -523,7 +515,7 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
                     Ok(Some(_)) | Err(_) => return None,
                 }
                 if *guarded {
-                    let Some(g) = guard else { return None };
+                    let g = guard?;
                     // Predicate the whole expansion; templates that emit
                     // their own predicates cannot be if-converted.
                     for item in &mut body.items[before..] {
@@ -538,7 +530,9 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
                 ia32_count += 1;
                 i += 1;
             }
-            Step::SideExit { cond, target, ip, .. } => {
+            Step::SideExit {
+                cond, target, ip, ..
+            } => {
                 guard = None;
                 // Unfused side exit: read the materialized flags.
                 body.set_ip(*ip);
@@ -683,7 +677,15 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
         });
         cb.stop();
     } else {
-        emit_exit(engine, &mut cb, None, trace.main_exit, fp.perm, xmm.fmt, spec.xmm_fmt);
+        emit_exit(
+            engine,
+            &mut cb,
+            None,
+            trace.main_exit,
+            fp.perm,
+            xmm.fmt,
+            spec.xmm_fmt,
+        );
     }
     for e in &exits {
         cb.bind(exit_labels[&e.label]);
@@ -699,9 +701,20 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
         );
     }
 
-    let base = engine.machine.arena.end();
-    let (bundles, _labels, placements) = cb.assemble_with_placements(base);
+    let (bundles, _labels, placements) = cb.assemble_with_placements(engine.machine.arena.end());
     let n_bundles = bundles.len() as u64;
+    // Prefer filling an eviction hole over growing the arena. Hot code
+    // is position-dependent (labels resolve to absolute bundle
+    // addresses), so re-assemble at the hole's base; the recovery map
+    // below is keyed on the final placement.
+    let (base, bundles, placements) = match engine.machine.arena.alloc(bundles.len()) {
+        Some(hole) => {
+            let (b, _l, p) = cb.assemble_with_placements(hole);
+            debug_assert_eq!(b.len() as u64, n_bundles);
+            (hole, b, p)
+        }
+        None => (engine.machine.arena.end(), bundles, placements),
+    };
 
     // Recovery map: scheduled IL k was pushed at head_len + k.
     let mut hot = HotData {
@@ -719,7 +732,11 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
     }
 
     // Install.
-    let entry = engine.machine.arena.append(bundles, region::HOT);
+    let entry = if base == engine.machine.arena.end() {
+        engine.machine.arena.append(bundles, region::HOT)
+    } else {
+        engine.machine.arena.place(base, bundles, region::HOT)
+    };
     engine.machine.charge(
         region::OVERHEAD,
         ia32_count * engine.cfg.cold_xlate_cycles * engine.cfg.hot_xlate_factor,
@@ -742,7 +759,10 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
 /// Emits a side-exit counter increment (uses caller-saved hot scratch).
 fn emit_exit_counter(cb: &mut ipf::asm::CodeBuilder, slot: u64) {
     use ipf::regs::Gr;
-    let (a, c) = (Gr(crate::state::GR_SCRATCH), Gr(crate::state::GR_SCRATCH + 1));
+    let (a, c) = (
+        Gr(crate::state::GR_SCRATCH),
+        Gr(crate::state::GR_SCRATCH + 1),
+    );
     cb.push(Op::Movl { d: a, imm: slot });
     cb.stop();
     cb.push(Op::Ld {

@@ -29,6 +29,10 @@ pub const LOOKUP_ENTRIES: u64 = 4096;
 /// Bytes per lookup entry: `(eip: u64, target: u64)`.
 pub const LOOKUP_ENTRY_SIZE: u64 = 16;
 
+/// Key value marking a lookup-table entry empty. No guest EIP is
+/// `u64::MAX`, so inline lookup code can never match an empty slot.
+pub const LOOKUP_EMPTY_KEY: u64 = u64::MAX;
+
 /// Start of per-block profile slots (counters), after the lookup table.
 pub const COUNTERS_BASE: u64 = LOOKUP_BASE + LOOKUP_ENTRIES * LOOKUP_ENTRY_SIZE;
 
@@ -108,7 +112,7 @@ impl StubKind {
         if !(STUB_BASE..STUB_BASE + Self::ALL.len() as u64 * 16).contains(&addr) {
             return None;
         }
-        if addr % 16 != 0 {
+        if !addr.is_multiple_of(16) {
             return None;
         }
         Some(Self::ALL[((addr - STUB_BASE) / 16) as usize])
@@ -164,7 +168,7 @@ mod tests {
 
     #[test]
     fn regions_disjoint() {
-        assert!(TC_BASE > PROFILE_BASE + PROFILE_SIZE);
-        assert!(STUB_BASE > TC_BASE);
+        const { assert!(TC_BASE > PROFILE_BASE + PROFILE_SIZE) };
+        const { assert!(STUB_BASE > TC_BASE) };
     }
 }

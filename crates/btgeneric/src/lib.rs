@@ -12,7 +12,7 @@ pub mod btos;
 pub mod cold;
 pub mod engine;
 pub mod hot;
-pub mod stats;
 pub mod layout;
 pub mod state;
+pub mod stats;
 pub mod templates;

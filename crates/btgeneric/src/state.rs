@@ -178,7 +178,7 @@ pub fn machine_to_cpu(m: &Machine, eip: u32) -> Cpu {
         cpu.gpr[i as usize] = m.gr[(GR_GUEST + i) as usize] as u32;
     }
     cpu.eip = eip;
-    cpu.eflags = (m.gr[GR_EFLAGS.0 as usize] as u32 & 0xFFFF_FFFF) | ia32::flags::RESERVED_ONES;
+    cpu.eflags = (m.gr[GR_EFLAGS.0 as usize] as u32) | ia32::flags::RESERVED_ONES;
     cpu.fpu.top = (m.gr[GR_FPTOP.0 as usize] & 7) as u8;
     cpu.fpu.tags = m.gr[GR_FPTAG.0 as usize] as u8;
     cpu.fpu.status = m.gr[GR_FPSTATUS.0 as usize] as u16;
@@ -277,11 +277,7 @@ mod tests {
         m.fr[xmm_lo_fr(1).0 as usize] = 0xDEAD_DEAD_DEAD_DEAD; // stale lane 0
         let back = machine_to_cpu(&m, 0);
         assert_eq!(back.xmm_lane(ia32::regs::Xmm::new(1), 0), 3.5);
-        assert_eq!(
-            (back.xmm[1] >> 32) as u32,
-            0xDEAD_DEAD,
-            "lane 1 still raw"
-        );
+        assert_eq!((back.xmm[1] >> 32) as u32, 0xDEAD_DEAD, "lane 1 still raw");
     }
 
     #[test]
@@ -294,8 +290,14 @@ mod tests {
         let mut all = Vec::new();
         all.extend(&guest);
         all.extend([
-            GR_STATE.0, GR_EFLAGS.0, GR_FPTOP.0, GR_FPTAG.0, GR_FPSTATUS.0, GR_FPMODE.0,
-            GR_XMMFMT.0, GR_ONE.0,
+            GR_STATE.0,
+            GR_EFLAGS.0,
+            GR_FPTOP.0,
+            GR_FPTAG.0,
+            GR_FPSTATUS.0,
+            GR_FPMODE.0,
+            GR_XMMFMT.0,
+            GR_ONE.0,
         ]);
         all.extend(&scratch);
         all.extend(&pool);
@@ -320,6 +322,6 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), n);
-        assert!(all.iter().all(|&r| r >= 2 && r < 128));
+        assert!(all.iter().all(|&r| (2..128).contains(&r)));
     }
 }

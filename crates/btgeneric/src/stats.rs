@@ -52,8 +52,44 @@ pub struct Stats {
     pub exceptions: u64,
     /// Hot-code deoptimizations (chk.s failures).
     pub deopts: u64,
-    /// Full translation-cache flushes (garbage collection).
+    /// Full translation-cache flushes. With incremental eviction
+    /// enabled this is the emergency fallback only (nothing evictable
+    /// under pressure); with eviction disabled it is the paper's
+    /// wholesale garbage collection.
     pub cache_flushes: u64,
+    /// Blocks evicted individually from the translation cache under
+    /// capacity pressure (incremental, generation-aware eviction).
+    pub evictions: u64,
+    /// Bundles reclaimed to the arena free list by those evictions
+    /// (all generations of each victim).
+    pub evicted_bundles: u64,
+    /// Chained direct branches un-linked on eviction: patched
+    /// block-to-block branches re-pointed at the Untranslated stub so
+    /// no live code targets a reclaimed extent.
+    pub chain_unlinks: u64,
+    /// Indirect-branch lookup-table entries surgically purged on
+    /// eviction (instead of clearing the whole table).
+    pub lookup_purges: u64,
+    /// Dispatch-loop entries that hit an already-translated block (the
+    /// fast path: no translation, reduced round-trip charge).
+    pub dispatch_fast_hits: u64,
+}
+
+impl Stats {
+    /// One-line cache-management summary (evictions vs. flushes) for
+    /// bench/figures output.
+    pub fn cache_summary(&self) -> String {
+        format!(
+            "evictions {} ({} bundles), unlinks {}, lookup purges {}, \
+             flushes {}, fast dispatches {}",
+            self.evictions,
+            self.evicted_bundles,
+            self.chain_unlinks,
+            self.lookup_purges,
+            self.cache_flushes,
+            self.dispatch_fast_hits
+        )
+    }
 }
 
 /// A cycle breakdown in the paper's Figure 6/7 categories.

@@ -24,10 +24,7 @@ impl FlagAcc {
     pub(super) fn new(sink: &mut Sink) -> FlagAcc {
         let acc = sink.vg();
         sink.mov(acc, R0);
-        FlagAcc {
-            acc,
-            started: true,
-        }
+        FlagAcc { acc, started: true }
     }
 
     /// ORs constant `bits` into the accumulator when `pt` is true.
@@ -305,17 +302,7 @@ pub(super) fn arith_flags(
 
 /// Emits `SF`/`ZF`/`PF` (+ cleared `CF`/`OF`/`AF`) for a logic result.
 pub(super) fn logic_flags(sink: &mut Sink, res: Gr, size: Size, live: u32) {
-    arith_flags(
-        sink,
-        ArithKind::Logic,
-        R0,
-        R0,
-        res,
-        res,
-        size,
-        live,
-        None,
-    );
+    arith_flags(sink, ArithKind::Logic, R0, R0, res, res, size, live, None);
 }
 
 /// Builds the predicates for an IA-32 condition from the materialized
@@ -454,17 +441,7 @@ mod tests {
     #[test]
     fn live_zero_emits_nothing() {
         let mut s = Sink::new();
-        arith_flags(
-            &mut s,
-            ArithKind::Add,
-            R0,
-            R0,
-            R0,
-            R0,
-            Size::D,
-            0,
-            None,
-        );
+        arith_flags(&mut s, ArithKind::Add, R0, R0, R0, R0, Size::D, 0, None);
         assert_eq!(s.inst_count(), 0);
     }
 

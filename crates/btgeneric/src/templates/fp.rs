@@ -138,12 +138,7 @@ fn do_pop(sink: &mut Sink, ctx: &mut EmitCtx<'_>) {
 
 /// Loads an FP memory operand, honoring the misalignment plan (loads go
 /// through the integer path when avoidance is active).
-fn fp_load(
-    sink: &mut Sink,
-    ctx: &mut EmitCtx<'_>,
-    addr_expr: &Addr,
-    single: bool,
-) -> Fr {
+fn fp_load(sink: &mut Sink, ctx: &mut EmitCtx<'_>, addr_expr: &Addr, single: bool) -> Fr {
     let addr = ea(sink, addr_expr);
     let bytes = if single { 4 } else { 8 };
     let v = guest_load(sink, ctx, addr, Some(addr_expr), bytes);
@@ -157,13 +152,7 @@ fn fp_load(
 }
 
 /// Stores an FP value (converting to single if needed).
-fn fp_store(
-    sink: &mut Sink,
-    ctx: &mut EmitCtx<'_>,
-    addr_expr: &Addr,
-    single: bool,
-    f: Fr,
-) {
+fn fp_store(sink: &mut Sink, ctx: &mut EmitCtx<'_>, addr_expr: &Addr, single: bool, f: Fr) {
     let g = sink.vg();
     sink.emit(Op::Getf {
         kind: if single { FXfer::S } else { FXfer::D },
@@ -182,14 +171,54 @@ pub(super) fn emit_fdiv(sink: &mut Sink, d: Fr, a: Fr, b: Fr) {
     sink.emit(Op::Frcpa { d, p, a, b });
     for _ in 0..3 {
         let e = sink.vf();
-        sink.emit_pred(p, Op::Fnma { d: e, a: b, b: d, c: F1 });
-        sink.emit_pred(p, Op::Fma { d, a: d, b: e, c: d });
+        sink.emit_pred(
+            p,
+            Op::Fnma {
+                d: e,
+                a: b,
+                b: d,
+                c: F1,
+            },
+        );
+        sink.emit_pred(
+            p,
+            Op::Fma {
+                d,
+                a: d,
+                b: e,
+                c: d,
+            },
+        );
     }
     let q0 = sink.vf();
-    sink.emit_pred(p, Op::Fma { d: q0, a, b: d, c: F0 });
+    sink.emit_pred(
+        p,
+        Op::Fma {
+            d: q0,
+            a,
+            b: d,
+            c: F0,
+        },
+    );
     let r = sink.vf();
-    sink.emit_pred(p, Op::Fnma { d: r, a: b, b: q0, c: a });
-    sink.emit_pred(p, Op::Fma { d, a: r, b: d, c: q0 });
+    sink.emit_pred(
+        p,
+        Op::Fnma {
+            d: r,
+            a: b,
+            b: q0,
+            c: a,
+        },
+    );
+    sink.emit_pred(
+        p,
+        Op::Fma {
+            d,
+            a: r,
+            b: d,
+            c: q0,
+        },
+    );
 }
 
 fn fp_arith(sink: &mut Sink, op: FpArithOp, d: Fr, dst: Fr, src: Fr) {
@@ -399,7 +428,11 @@ fn fcvt_to_i32(sink: &mut Sink, f: Fr) -> Gr {
         f: t,
     });
     let s = sink.vg();
-    sink.emit(Op::Sxt { d: s, a: g, size: 4 });
+    sink.emit(Op::Sxt {
+        d: s,
+        a: g,
+        size: 4,
+    });
     let (p_bad, _p_ok) = (sink.vp(), sink.vp());
     sink.emit(Op::Cmp {
         rel: CmpRel::Ne,
@@ -730,7 +763,9 @@ pub(super) fn emit_fp(
                 }
             }
         }
-        I32::Movps { xmm, rm, to_xmm, .. } => {
+        I32::Movps {
+            xmm, rm, to_xmm, ..
+        } => {
             let n = xmm.num();
             if *to_xmm {
                 match rm {
@@ -812,9 +847,24 @@ pub(super) fn emit_fp(
                 let d = xmm_scalar_fr(n);
                 let t = sink.vf();
                 match op {
-                    SseOp::Add => sink.emit(Op::Fma { d: t, a: d, b: F1, c: s }),
-                    SseOp::Sub => sink.emit(Op::Fms { d: t, a: d, b: F1, c: s }),
-                    SseOp::Mul => sink.emit(Op::Fma { d: t, a: d, b: s, c: F0 }),
+                    SseOp::Add => sink.emit(Op::Fma {
+                        d: t,
+                        a: d,
+                        b: F1,
+                        c: s,
+                    }),
+                    SseOp::Sub => sink.emit(Op::Fms {
+                        d: t,
+                        a: d,
+                        b: F1,
+                        c: s,
+                    }),
+                    SseOp::Mul => sink.emit(Op::Fma {
+                        d: t,
+                        a: d,
+                        b: s,
+                        c: F0,
+                    }),
                     SseOp::Div => emit_fdiv(sink, t, d, s),
                     SseOp::Min => sink.emit(Op::Fmin { d: t, a: d, b: s }),
                     SseOp::Max => sink.emit(Op::Fmax { d: t, a: d, b: s }),
@@ -831,9 +881,24 @@ pub(super) fn emit_fp(
                 let (dlo, dhi) = (xmm_lo_fr(n), xmm_hi_fr(n));
                 for (d, s) in [(dlo, slo), (dhi, shi)] {
                     match op {
-                        SseOp::Add => sink.emit(Op::Fpma { d, a: d, b: F1, c: s }),
-                        SseOp::Sub => sink.emit(Op::Fpms { d, a: d, b: F1, c: s }),
-                        SseOp::Mul => sink.emit(Op::Fpma { d, a: d, b: s, c: F0 }),
+                        SseOp::Add => sink.emit(Op::Fpma {
+                            d,
+                            a: d,
+                            b: F1,
+                            c: s,
+                        }),
+                        SseOp::Sub => sink.emit(Op::Fpms {
+                            d,
+                            a: d,
+                            b: F1,
+                            c: s,
+                        }),
+                        SseOp::Mul => sink.emit(Op::Fpma {
+                            d,
+                            a: d,
+                            b: s,
+                            c: F0,
+                        }),
                         SseOp::Div => sink.emit(Op::Fpdiv { d, a: d, b: s }),
                         SseOp::Min => sink.emit(Op::Fpmin { d, a: d, b: s }),
                         SseOp::Max => sink.emit(Op::Fpmax { d, a: d, b: s }),
@@ -883,7 +948,11 @@ pub(super) fn emit_fp(
                 }
             };
             let s = sink.vg();
-            sink.emit(Op::Sxt { d: s, a: v, size: 4 });
+            sink.emit(Op::Sxt {
+                d: s,
+                a: v,
+                size: 4,
+            });
             let fsig = sink.vf();
             sink.emit(Op::Setf {
                 kind: FXfer::Sig,

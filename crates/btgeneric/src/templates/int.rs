@@ -148,10 +148,26 @@ fn emit_udiv32(sink: &mut Sink, a: Gr, b: Gr) -> (Gr, Gr) {
                 c: ipf::regs::F1,
             },
         );
-        sink.emit_pred(p, Op::Fma { d: y, a: y, b: e, c: y });
+        sink.emit_pred(
+            p,
+            Op::Fma {
+                d: y,
+                a: y,
+                b: e,
+                c: y,
+            },
+        );
     }
     let q0 = sink.vf();
-    sink.emit_pred(p, Op::Fma { d: q0, a: fa, b: y, c: F0 });
+    sink.emit_pred(
+        p,
+        Op::Fma {
+            d: q0,
+            a: fa,
+            b: y,
+            c: F0,
+        },
+    );
     let qt = sink.vf();
     sink.emit(Op::FcvtFx {
         d: qt,
@@ -191,7 +207,14 @@ fn emit_udiv32(sink: &mut Sink, a: Gr, b: Gr) -> (Gr, Gr) {
         imm: 0,
         b: r,
     });
-    sink.emit_pred(p_neg, Op::AddImm { d: q, imm: -1, a: q });
+    sink.emit_pred(
+        p_neg,
+        Op::AddImm {
+            d: q,
+            imm: -1,
+            a: q,
+        },
+    );
     sink.emit_pred(p_neg, Op::Add { d: r, a: r, b });
     // If r >= b: q += 1, r -= b.
     let p_ge = sink.vp();
@@ -396,17 +419,7 @@ pub(super) fn emit_int(
             });
             let res = trunc(sink, res64, *size);
             write_rm(sink, ctx, dst, *size, res);
-            arith_flags(
-                sink,
-                ArithKind::Sub,
-                R0,
-                a,
-                res64,
-                res,
-                *size,
-                live,
-                None,
-            );
+            arith_flags(sink, ArithKind::Sub, R0, a, res64, res, *size, live, None);
         }
         I32::Not { size, dst } => {
             let a = read_rm(sink, ctx, dst, *size);
@@ -519,8 +532,22 @@ pub(super) fn emit_int(
         I32::Setcc { cond, dst } => {
             let (pt, pf) = cond_from_flags(sink, *cond);
             let v = sink.vg();
-            sink.emit_pred(pt, Op::AddImm { d: v, imm: 1, a: R0 });
-            sink.emit_pred(pf, Op::AddImm { d: v, imm: 0, a: R0 });
+            sink.emit_pred(
+                pt,
+                Op::AddImm {
+                    d: v,
+                    imm: 1,
+                    a: R0,
+                },
+            );
+            sink.emit_pred(
+                pf,
+                Op::AddImm {
+                    d: v,
+                    imm: 0,
+                    a: R0,
+                },
+            );
             write_rm(sink, ctx, dst, Size::B, v);
         }
         I32::Cmovcc { cond, dst, src } => {
@@ -692,7 +719,17 @@ fn emit_shift(
                 }
             };
             write_rm(sink, ctx, dst, size, res);
-            shift_flags(sink, op, a, ShiftAmount::Imm(c), res64, res, size, live, None);
+            shift_flags(
+                sink,
+                op,
+                a,
+                ShiftAmount::Imm(c),
+                res64,
+                res,
+                size,
+                live,
+                None,
+            );
         }
         ShiftCount::Cl => {
             let cl = read_gpr(sink, ia32::regs::ECX, Size::B);
@@ -858,7 +895,11 @@ fn shift_flags(
                     signed: false,
                 });
                 let t = sink.vg();
-                sink.emit(Op::AndImm { d: t, imm: 1, a: sh });
+                sink.emit(Op::AndImm {
+                    d: t,
+                    imm: 1,
+                    a: sh,
+                });
                 t
             }
             (ShiftOp::Sar, ShiftAmount::Var(c)) => {
@@ -877,7 +918,11 @@ fn shift_flags(
                     signed: true,
                 });
                 let t = sink.vg();
-                sink.emit(Op::AndImm { d: t, imm: 1, a: sh });
+                sink.emit(Op::AndImm {
+                    d: t,
+                    imm: 1,
+                    a: sh,
+                });
                 t
             }
         };
@@ -1228,10 +1273,24 @@ fn emit_muldiv32(
             // XORed directly, so compute via 0/1 registers.
             let an = sink.vg();
             sink.mov(an, R0);
-            sink.emit_pred(a_neg, Op::AddImm { d: an, imm: 1, a: R0 });
+            sink.emit_pred(
+                a_neg,
+                Op::AddImm {
+                    d: an,
+                    imm: 1,
+                    a: R0,
+                },
+            );
             let bn = sink.vg();
             sink.mov(bn, R0);
-            sink.emit_pred(b_neg, Op::AddImm { d: bn, imm: 1, a: R0 });
+            sink.emit_pred(
+                b_neg,
+                Op::AddImm {
+                    d: bn,
+                    imm: 1,
+                    a: R0,
+                },
+            );
             let x = sink.vg();
             sink.emit(Op::Xor { d: x, a: an, b: bn });
             let (p_diff, _pd) = (sink.vp(), sink.vp());
@@ -1242,7 +1301,14 @@ fn emit_muldiv32(
                 imm: 0,
                 b: x,
             });
-            sink.emit_pred(p_diff, Op::AddImm { d: qs, imm: 0, a: neg_q });
+            sink.emit_pred(
+                p_diff,
+                Op::AddImm {
+                    d: qs,
+                    imm: 0,
+                    a: neg_q,
+                },
+            );
             let rs = sink.vg();
             sink.mov(rs, r);
             let neg_r = sink.vg();
@@ -1251,7 +1317,14 @@ fn emit_muldiv32(
                 imm: 0,
                 a: r,
             });
-            sink.emit_pred(a_neg, Op::AddImm { d: rs, imm: 0, a: neg_r });
+            sink.emit_pred(
+                a_neg,
+                Op::AddImm {
+                    d: rs,
+                    imm: 0,
+                    a: neg_r,
+                },
+            );
             // #DE if the quotient does not fit i32 (INT_MIN / -1).
             let qt = sext(sink, qs, Size::D);
             let q32 = sink.vg();
@@ -1308,8 +1381,22 @@ fn emit_string(sink: &mut Sink, ctx: &mut EmitCtx<'_>, size: Size, rep: bool, mo
         pos: 10,
     });
     let step = sink.vg();
-    sink.emit_pred(p_up, Op::AddImm { d: step, imm: n, a: R0 });
-    sink.emit_pred(p_df, Op::AddImm { d: step, imm: -n, a: R0 });
+    sink.emit_pred(
+        p_up,
+        Op::AddImm {
+            d: step,
+            imm: n,
+            a: R0,
+        },
+    );
+    sink.emit_pred(
+        p_df,
+        Op::AddImm {
+            d: step,
+            imm: -n,
+            a: R0,
+        },
+    );
     let (top, done) = (sink.local_label(), sink.local_label());
     if rep {
         sink.bind(top);
@@ -1465,13 +1552,7 @@ pub(super) fn try_fuse(
                 arith_flags(sink, ArithKind::Sub, a, b, r, rt, *size, live, None);
             }
             let (pt, pf) = (sink.vp(), sink.vp());
-            sink.emit(Op::Cmp {
-                rel,
-                pt,
-                pf,
-                a,
-                b,
-            });
+            sink.emit(Op::Cmp { rel, pt, pf, a, b });
             Some(pt)
         }
         // test a, b + je/jne/js/jns.

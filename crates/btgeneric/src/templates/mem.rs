@@ -87,9 +87,8 @@ impl AlignCache {
 
     /// Drops entries that depend on `gpr` (called on guest writes).
     pub fn invalidate_gpr(&mut self, gpr: u8) {
-        self.map.retain(|k, _| {
-            k.base != Some(gpr) && k.index.map(|(r, _)| r) != Some(gpr)
-        });
+        self.map
+            .retain(|k, _| k.base != Some(gpr) && k.index.map(|(r, _)| r) != Some(gpr));
     }
 }
 
@@ -207,7 +206,11 @@ pub(super) fn write_gpr(sink: &mut Sink, ctx: &mut EmitCtx<'_>, r: Gpr, size: Si
     match size {
         Size::D => {
             let g = state::guest_gpr(n);
-            sink.emit(Op::Zxt { d: g, a: v, size: 4 });
+            sink.emit(Op::Zxt {
+                d: g,
+                a: v,
+                size: 4,
+            });
         }
         Size::W => {
             let g = state::guest_gpr(n);
@@ -378,7 +381,14 @@ fn split_store(sink: &mut Sink, qp: Pr, addr: Gr, size: u8, gran: u8, val: Gr) {
         };
         let part = sink.vg();
         if k == 0 {
-            sink.emit_pred(qp, Op::AddImm { d: part, imm: 0, a: val });
+            sink.emit_pred(
+                qp,
+                Op::AddImm {
+                    d: part,
+                    imm: 0,
+                    a: val,
+                },
+            );
         } else {
             sink.emit_pred(
                 qp,
@@ -432,7 +442,14 @@ fn record_misalign(sink: &mut Sink, ctx: &EmitCtx<'_>, qp: Pr, addr: Gr, acc: u1
         },
     );
     let c2 = sink.vg();
-    sink.emit_pred(qp, Op::Or { d: c2, a: c, b: low });
+    sink.emit_pred(
+        qp,
+        Op::Or {
+            d: c2,
+            a: c,
+            b: low,
+        },
+    );
     let c3 = sink.vg();
     sink.emit_pred(
         qp,
@@ -552,11 +569,7 @@ pub(super) fn guest_store(
 ) {
     let acc = sink.begin_access();
     if size == 1 {
-        sink.emit(Op::St {
-            sz: 1,
-            addr,
-            val,
-        });
+        sink.emit(Op::St { sz: 1, addr, val });
         sink.end_access();
         return;
     }

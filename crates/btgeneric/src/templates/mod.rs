@@ -550,9 +550,12 @@ pub fn emit_spec_checks(sink: &mut Sink, fp: &FpCtx, xmm: &XmmCtx, block_id: u32
             b: state::GR_FPMODE,
         });
         sink.mov_imm(payload, block_id as u64);
-        sink.emit_pred(pt, Op::Br {
-            target: Target::Abs(StubKind::MmxFix.addr()),
-        });
+        sink.emit_pred(
+            pt,
+            Op::Br {
+                target: Target::Abs(StubKind::MmxFix.addr()),
+            },
+        );
     }
     if fp.uses_fp {
         // TOS check.
@@ -566,9 +569,12 @@ pub fn emit_spec_checks(sink: &mut Sink, fp: &FpCtx, xmm: &XmmCtx, block_id: u32
             b: state::GR_FPTOP,
         });
         sink.mov_imm(payload, block_id as u64);
-        sink.emit_pred(pt, Op::Br {
-            target: Target::Abs(StubKind::TosFix.addr()),
-        });
+        sink.emit_pred(
+            pt,
+            Op::Br {
+                target: Target::Abs(StubKind::TosFix.addr()),
+            },
+        );
         // Tag check: required-valid bits set, required-empty bits clear.
         if fp.req_valid != 0 {
             let t = sink.vg();
@@ -586,9 +592,12 @@ pub fn emit_spec_checks(sink: &mut Sink, fp: &FpCtx, xmm: &XmmCtx, block_id: u32
                 imm: fp.req_valid as i64,
                 b: t,
             });
-            sink.emit_pred(pt, Op::Br {
-                target: Target::Abs(StubKind::TagFix.addr()),
-            });
+            sink.emit_pred(
+                pt,
+                Op::Br {
+                    target: Target::Abs(StubKind::TagFix.addr()),
+                },
+            );
         }
         if fp.req_empty != 0 {
             let t = sink.vg();
@@ -606,9 +615,12 @@ pub fn emit_spec_checks(sink: &mut Sink, fp: &FpCtx, xmm: &XmmCtx, block_id: u32
                 imm: 0,
                 b: t,
             });
-            sink.emit_pred(pt, Op::Br {
-                target: Target::Abs(StubKind::TagFix.addr()),
-            });
+            sink.emit_pred(
+                pt,
+                Op::Br {
+                    target: Target::Abs(StubKind::TagFix.addr()),
+                },
+            );
         }
     }
     if xmm.used != 0 {
@@ -629,9 +641,12 @@ pub fn emit_spec_checks(sink: &mut Sink, fp: &FpCtx, xmm: &XmmCtx, block_id: u32
             b: t,
         });
         sink.mov_imm(payload, block_id as u64);
-        sink.emit_pred(pt, Op::Br {
-            target: Target::Abs(StubKind::XmmFix.addr()),
-        });
+        sink.emit_pred(
+            pt,
+            Op::Br {
+                target: Target::Abs(StubKind::XmmFix.addr()),
+            },
+        );
     }
 }
 

@@ -216,6 +216,13 @@ impl<O: BtOs> Process<O> {
         let cpu = self.cpu.clone();
         self.engine.run(&mut self.os, cpu, max_slots)
     }
+
+    /// One-line translation-cache management summary (evictions,
+    /// unlinks, purges, fallback flushes, fast dispatches) for bench
+    /// and figures output.
+    pub fn cache_report(&self) -> String {
+        self.engine.stats.cache_summary()
+    }
 }
 
 #[cfg(test)]

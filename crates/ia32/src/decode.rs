@@ -83,11 +83,11 @@ impl Cursor<'_> {
     }
 
     fn imm(&mut self, size: Size) -> Result<i32> {
-        Ok(match size {
+        match size {
             Size::B => self.i8(),
             Size::W => self.u16().map(|v| v as i16 as i32),
             Size::D => self.u32().map(|v| v as i32),
-        }?)
+        }
     }
 
     /// Decodes a ModRM byte (plus SIB/displacement), returning the `reg`
@@ -952,7 +952,10 @@ mod tests {
                 src_size: Size::W,
                 src: Rm::Reg(EDX),
             },
-            Inst::Lea { dst: ESI, addr: mem },
+            Inst::Lea {
+                dst: ESI,
+                addr: mem,
+            },
             Inst::Xchg {
                 size: Size::D,
                 reg: EAX,
@@ -1001,9 +1004,7 @@ mod tests {
             },
             Inst::Cdq,
             Inst::Jmp { target: 0x40_1000 },
-            Inst::JmpInd {
-                src: Rm::Reg(EAX),
-            },
+            Inst::JmpInd { src: Rm::Reg(EAX) },
             Inst::Jcc {
                 cond: Cond::L,
                 target: 0x3F_FF00,

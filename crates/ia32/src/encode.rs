@@ -204,9 +204,7 @@ pub fn encode(inst: &Inst, addr: u32, out: &mut Vec<u8>) -> Result<usize> {
                     Size::D => e.imm32(*imm),
                 }
             }
-            RmI::Mem(_) => {
-                return Err(EncodeError::InvalidOperands("TEST with memory second op"))
-            }
+            RmI::Mem(_) => return Err(EncodeError::InvalidOperands("TEST with memory second op")),
         },
         Inst::Mov { size, dst, src } => match (dst, src) {
             (Rm::Reg(r), RmI::Imm(imm)) => {

@@ -84,7 +84,7 @@ impl Size {
 /// Parity of the low byte: PF is set when the low 8 bits of the result
 /// contain an even number of 1 bits.
 pub fn parity(result: u32) -> bool {
-    (result as u8).count_ones() % 2 == 0
+    (result as u8).count_ones().is_multiple_of(2)
 }
 
 fn szp(result: u32, size: Size) -> u32 {
@@ -433,8 +433,7 @@ impl Cond {
     /// The conventional mnemonic suffix (`jcc`/`setcc` spelling).
     pub fn mnemonic(self) -> &'static str {
         [
-            "o", "no", "b", "ae", "e", "ne", "be", "a", "s", "ns", "p", "np", "l", "ge", "le",
-            "g",
+            "o", "no", "b", "ae", "e", "ne", "be", "a", "s", "ns", "p", "np", "l", "ge", "le", "g",
         ][self.code() as usize]
     }
 }

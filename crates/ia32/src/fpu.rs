@@ -221,8 +221,8 @@ impl Fpu {
     }
 
     fn sync_top(&mut self) {
-        self.status =
-            (self.status & !(0b111 << status::TOP_SHIFT)) | ((self.top as u16) << status::TOP_SHIFT);
+        self.status = (self.status & !(0b111 << status::TOP_SHIFT))
+            | ((self.top as u16) << status::TOP_SHIFT);
     }
 
     /// The number of valid stack entries.

@@ -1121,10 +1121,10 @@ impl Inst {
             },
             Inst::Fild { src } => Some(*src),
             Inst::Fistp { dst } => Some(*dst),
-            Inst::Farith { form, .. } => match form {
-                FpArithForm::St0Mem(_, a) => Some(*a),
-                _ => None,
-            },
+            Inst::Farith {
+                form: FpArithForm::St0Mem(_, a),
+                ..
+            } => Some(*a),
             Inst::Movd { rm: r, .. } => rm(r),
             Inst::Movq { src, .. } => match src {
                 MmM::Mem(a) => Some(*a),
@@ -1196,7 +1196,12 @@ impl fmt::Display for Inst {
             Inst::Push { src } => write!(f, "push {src}"),
             Inst::Pop { dst } => write!(f, "pop {dst}"),
             Inst::IncDec { inc, size, dst } => {
-                write!(f, "{} {} {dst}", if *inc { "inc" } else { "dec" }, sz(*size))
+                write!(
+                    f,
+                    "{} {} {dst}",
+                    if *inc { "inc" } else { "dec" },
+                    sz(*size)
+                )
             }
             Inst::Neg { size, dst } => write!(f, "neg {} {dst}", sz(*size)),
             Inst::Not { size, dst } => write!(f, "not {} {dst}", sz(*size)),

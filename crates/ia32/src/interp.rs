@@ -166,7 +166,7 @@ impl Interp {
     }
 
     fn note_align(&mut self, addr: u32, bytes: u32) {
-        if bytes > 1 && addr % bytes != 0 {
+        if bytes > 1 && !addr.is_multiple_of(bytes) {
             self.stats.misaligned += 1;
             self.stats.cycles += self.timing.misalign_penalty as u64;
         }
@@ -247,9 +247,7 @@ impl Interp {
     pub fn step(&mut self, mem: &mut GuestMem) -> Result<Event, Trap> {
         let eip = self.cpu.eip;
         let trap = |fault| Trap { fault, eip };
-        let bytes = mem
-            .fetch(eip as u64, 16)
-            .map_err(|e| trap(Fault::Mem(e)))?;
+        let bytes = mem.fetch(eip as u64, 16).map_err(|e| trap(Fault::Mem(e)))?;
         let (inst, len) = match decode(&bytes, eip) {
             Ok(v) => v,
             Err(DecodeError::Truncated) => {
@@ -378,7 +376,11 @@ impl Interp {
                     let (r, f) = match op {
                         ShiftOp::Shl => (size.trunc(a << c.min(31)), flags::shl(a, c, *size)),
                         ShiftOp::Shr => {
-                            let r = if c >= size.bits() { 0 } else { size.trunc(a) >> c };
+                            let r = if c >= size.bits() {
+                                0
+                            } else {
+                                size.trunc(a) >> c
+                            };
                             (r, flags::shr(a, c, *size))
                         }
                         ShiftOp::Sar => {
@@ -396,19 +398,15 @@ impl Interp {
                 let b = self.read_rm(mem, src, Size::D)? as i32 as i64;
                 let p = a.wrapping_mul(b);
                 self.cpu.write(*dst, Size::D, p as u32);
-                self.cpu.set_flags(
-                    flags::imul(p as u32, (p >> 32) as u32, Size::D),
-                    STATUS,
-                );
+                self.cpu
+                    .set_flags(flags::imul(p as u32, (p >> 32) as u32, Size::D), STATUS);
             }
             Inst::ImulRmImm { dst, src, imm } => {
                 let a = self.read_rm(mem, src, Size::D)? as i32 as i64;
                 let p = a.wrapping_mul(*imm as i64);
                 self.cpu.write(*dst, Size::D, p as u32);
-                self.cpu.set_flags(
-                    flags::imul(p as u32, (p >> 32) as u32, Size::D),
-                    STATUS,
-                );
+                self.cpu
+                    .set_flags(flags::imul(p as u32, (p >> 32) as u32, Size::D), STATUS);
             }
             Inst::MulDiv { op, size, src } => {
                 let s = self.read_rm(mem, src, *size)?;
@@ -445,8 +443,7 @@ impl Interp {
             }
             Inst::Ret { pop } => {
                 let t = self.pop32(mem)?;
-                self.cpu
-                    .set_esp(self.cpu.esp().wrapping_add(*pop as u32));
+                self.cpu.set_esp(self.cpu.esp().wrapping_add(*pop as u32));
                 new_eip = t;
             }
             Inst::Setcc { cond, dst } => {
@@ -504,7 +501,7 @@ impl Interp {
             Inst::Fistp { dst } => {
                 let v = self.cpu.fpu.st(0).map_err(Fault::FpStack)?;
                 let ea = self.ea(dst);
-                let i = if v.is_nan() || v >= 2147483648.0 || v < -2147483648.0 {
+                let i = if v.is_nan() || !(-2147483648.0..2147483648.0).contains(&v) {
                     i32::MIN // integer indefinite
                 } else {
                     v as i32 // Rust casts truncate toward zero, like FISTP with RC=truncate
@@ -578,7 +575,9 @@ impl Interp {
                     self.cpu.fpu.mmx_write(mm.num(), v as u64);
                 } else {
                     let v = self.cpu.fpu.mmx_read(mm.num()) as u32;
-                    self.cpu.fpu.mmx_write(mm.num(), self.cpu.fpu.mmx_read(mm.num()));
+                    self.cpu
+                        .fpu
+                        .mmx_write(mm.num(), self.cpu.fpu.mmx_read(mm.num()));
                     self.write_rm(mem, rm, Size::D, v)?;
                 }
             }
@@ -643,7 +642,9 @@ impl Interp {
                     }
                 }
             }
-            Inst::Movps { xmm, rm, to_xmm, .. } => {
+            Inst::Movps {
+                xmm, rm, to_xmm, ..
+            } => {
                 // MOVAPS alignment faults are modeled as a timing event
                 // only; semantics are the unaligned ones.
                 if *to_xmm {
@@ -699,7 +700,7 @@ impl Interp {
             Inst::Cvttss2si { dst, src } => {
                 let b = self.xmm_src(mem, src, true)?;
                 let v = f32::from_bits(b as u32);
-                let i = if v.is_nan() || v >= 2147483648.0 || v < -2147483648.0 {
+                let i = if v.is_nan() || !(-2147483648.0..2147483648.0).contains(&v) {
                     i32::MIN
                 } else {
                     v as i32
@@ -815,9 +816,7 @@ impl Interp {
                 }
                 let n = match sz {
                     Size::B => self.cpu.read(Gpr::new(0), Size::W),
-                    _ => {
-                        (self.cpu.read(EDX, Size::W) << 16) | self.cpu.read(Gpr::new(0), Size::W)
-                    }
+                    _ => (self.cpu.read(EDX, Size::W) << 16) | self.cpu.read(Gpr::new(0), Size::W),
                 };
                 let q = n / sz.trunc(s);
                 if q > sz.mask() {
@@ -840,8 +839,10 @@ impl Interp {
                 }
                 let n = match sz {
                     Size::B => self.cpu.read(Gpr::new(0), Size::W) as u16 as i16 as i64,
-                    _ => (((self.cpu.read(EDX, Size::W) << 16)
-                        | self.cpu.read(Gpr::new(0), Size::W)) as i32) as i64,
+                    _ => {
+                        (((self.cpu.read(EDX, Size::W) << 16) | self.cpu.read(Gpr::new(0), Size::W))
+                            as i32) as i64
+                    }
                 };
                 let d = sz.sext(s) as i64;
                 let q = n / d;
@@ -900,8 +901,7 @@ impl Interp {
             if !rep {
                 break;
             }
-            self.cpu.gpr[ECX.num() as usize] =
-                self.cpu.gpr[ECX.num() as usize].wrapping_sub(1);
+            self.cpu.gpr[ECX.num() as usize] = self.cpu.gpr[ECX.num() as usize].wrapping_sub(1);
             self.stats.cycles += self.timing.string_element as u64;
         }
         Ok(())

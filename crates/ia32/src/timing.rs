@@ -111,8 +111,8 @@ impl Timing {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::inst::{AluOp, Rm, RmI};
     use crate::flags::Size;
+    use crate::inst::{AluOp, Rm, RmI};
     use crate::regs::EAX;
 
     #[test]

@@ -215,11 +215,8 @@ impl Packer {
                 self.flush(out);
             }
             if self.placed.is_empty() {
-                self.placed.push((
-                    Inst::new(Op::Nop { unit: Unit::M }),
-                    false,
-                    None,
-                ));
+                self.placed
+                    .push((Inst::new(Op::Nop { unit: Unit::M }), false, None));
             }
             self.candidates = vec![Template::Mlx];
             self.placed.push((inst, false, self.cur_seq));

@@ -34,8 +34,11 @@ impl SlotKind {
     /// True if an instruction of unit class `u` may occupy this slot.
     pub fn accepts(self, u: Unit) -> bool {
         match (self, u) {
-            (SlotKind::M, Unit::M) | (SlotKind::I, Unit::I) | (SlotKind::F, Unit::F)
-            | (SlotKind::B, Unit::B) | (SlotKind::L, Unit::L) => true,
+            (SlotKind::M, Unit::M)
+            | (SlotKind::I, Unit::I)
+            | (SlotKind::F, Unit::F)
+            | (SlotKind::B, Unit::B)
+            | (SlotKind::L, Unit::L) => true,
             // A-type may disperse to M or I.
             (SlotKind::M | SlotKind::I, Unit::A) => true,
             _ => false,

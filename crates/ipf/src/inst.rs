@@ -814,22 +814,62 @@ impl Op {
     pub fn unit(&self) -> Unit {
         use Op::*;
         match self {
-            Add { .. } | Sub { .. } | AddImm { .. } | SubImm { .. } | And { .. } | Or { .. }
-            | Xor { .. } | AndCm { .. } | AndImm { .. } | OrImm { .. } | XorImm { .. }
-            | Shladd { .. } | Cmp { .. } | CmpImm { .. } => Unit::A,
-            Tbit { .. } | ShlImm { .. } | ShlVar { .. } | ShrImm { .. } | ShrVar { .. }
-            | Extr { .. } | Dep { .. } | DepZ { .. } | Sxt { .. } | Zxt { .. } | Popcnt { .. }
-            | MovToBr { .. } | MovFromBr { .. } | MovFromIp { .. } | Padd { .. } | Psub { .. }
+            Add { .. }
+            | Sub { .. }
+            | AddImm { .. }
+            | SubImm { .. }
+            | And { .. }
+            | Or { .. }
+            | Xor { .. }
+            | AndCm { .. }
+            | AndImm { .. }
+            | OrImm { .. }
+            | XorImm { .. }
+            | Shladd { .. }
+            | Cmp { .. }
+            | CmpImm { .. } => Unit::A,
+            Tbit { .. }
+            | ShlImm { .. }
+            | ShlVar { .. }
+            | ShrImm { .. }
+            | ShrVar { .. }
+            | Extr { .. }
+            | Dep { .. }
+            | DepZ { .. }
+            | Sxt { .. }
+            | Zxt { .. }
+            | Popcnt { .. }
+            | MovToBr { .. }
+            | MovFromBr { .. }
+            | MovFromIp { .. }
+            | Padd { .. }
+            | Psub { .. }
             | Pmpy2 { .. } => Unit::I,
             Movl { .. } => Unit::L,
             Ld { .. } | St { .. } | Ldf { .. } | Stf { .. } | Setf { .. } | Getf { .. } | Mf => {
                 Unit::M
             }
             ChkS { .. } => Unit::A, // chk.s may issue on M or I
-            Fma { .. } | Fms { .. } | Fnma { .. } | Fmin { .. } | Fmax { .. } | Fcmp { .. }
-            | FcvtFx { .. } | FcvtXf { .. } | FmergeS { .. } | FmergeNs { .. } | Frcpa { .. } | FnormS { .. }
-            | Frsqrta { .. } | Fsqrt { .. } | Fpma { .. } | Fpms { .. } | Fpmin { .. }
-            | Fpmax { .. } | Fpdiv { .. } | Xma { .. } => Unit::F,
+            Fma { .. }
+            | Fms { .. }
+            | Fnma { .. }
+            | Fmin { .. }
+            | Fmax { .. }
+            | Fcmp { .. }
+            | FcvtFx { .. }
+            | FcvtXf { .. }
+            | FmergeS { .. }
+            | FmergeNs { .. }
+            | Frcpa { .. }
+            | FnormS { .. }
+            | Frsqrta { .. }
+            | Fsqrt { .. }
+            | Fpma { .. }
+            | Fpms { .. }
+            | Fpmin { .. }
+            | Fpmax { .. }
+            | Fpdiv { .. }
+            | Xma { .. } => Unit::F,
             Br { .. } | BrCall { .. } | BrRet { .. } => Unit::B,
             Nop { unit } => *unit,
         }
@@ -871,14 +911,21 @@ impl Op {
         use Op::*;
         use Reg::*;
         match *self {
-            Add { d, a, b } | Sub { d, a, b } | And { d, a, b } | Or { d, a, b }
-            | Xor { d, a, b } | AndCm { d, a, b } => {
+            Add { d, a, b }
+            | Sub { d, a, b }
+            | And { d, a, b }
+            | Or { d, a, b }
+            | Xor { d, a, b }
+            | AndCm { d, a, b } => {
                 cb(G(a), false);
                 cb(G(b), false);
                 cb(G(d), true);
             }
-            AddImm { d, a, .. } | SubImm { d, a, .. } | AndImm { d, a, .. }
-            | OrImm { d, a, .. } | XorImm { d, a, .. } => {
+            AddImm { d, a, .. }
+            | SubImm { d, a, .. }
+            | AndImm { d, a, .. }
+            | OrImm { d, a, .. }
+            | XorImm { d, a, .. } => {
                 cb(G(a), false);
                 cb(G(d), true);
             }
@@ -966,8 +1013,11 @@ impl Op {
                 cb(G(d), true);
             }
             Mf => {}
-            Fma { d, a, b, c } | Fms { d, a, b, c } | Fnma { d, a, b, c }
-            | Fpma { d, a, b, c } | Fpms { d, a, b, c } => {
+            Fma { d, a, b, c }
+            | Fms { d, a, b, c }
+            | Fnma { d, a, b, c }
+            | Fpma { d, a, b, c }
+            | Fpms { d, a, b, c } => {
                 cb(F(a), false);
                 cb(F(b), false);
                 cb(F(c), false);
@@ -979,8 +1029,13 @@ impl Op {
                 cb(F(c), false);
                 cb(F(d), true);
             }
-            Fmin { d, a, b } | Fmax { d, a, b } | Fpmin { d, a, b } | Fpmax { d, a, b }
-            | Fpdiv { d, a, b } | FmergeS { d, a, b } | FmergeNs { d, a, b } => {
+            Fmin { d, a, b }
+            | Fmax { d, a, b }
+            | Fpmin { d, a, b }
+            | Fpmax { d, a, b }
+            | Fpdiv { d, a, b }
+            | FmergeS { d, a, b }
+            | FmergeNs { d, a, b } => {
                 cb(F(a), false);
                 cb(F(b), false);
                 cb(F(d), true);
@@ -1075,16 +1130,30 @@ impl Op {
         }
         use Op::*;
         match self {
-            Add { d, a, b } | Sub { d, a, b } | And { d, a, b } | Or { d, a, b }
-            | Xor { d, a, b } | AndCm { d, a, b } | Shladd { d, a, b, .. }
-            | Padd { d, a, b, .. } | Psub { d, a, b, .. } | Pmpy2 { d, a, b } => {
+            Add { d, a, b }
+            | Sub { d, a, b }
+            | And { d, a, b }
+            | Or { d, a, b }
+            | Xor { d, a, b }
+            | AndCm { d, a, b }
+            | Shladd { d, a, b, .. }
+            | Padd { d, a, b, .. }
+            | Psub { d, a, b, .. }
+            | Pmpy2 { d, a, b } => {
                 g!(a, false);
                 g!(b, false);
                 g!(d, true);
             }
-            AddImm { d, a, .. } | SubImm { d, a, .. } | AndImm { d, a, .. }
-            | OrImm { d, a, .. } | XorImm { d, a, .. } | ShlImm { d, a, .. }
-            | ShrImm { d, a, .. } | Extr { d, a, .. } | Sxt { d, a, .. } | Zxt { d, a, .. }
+            AddImm { d, a, .. }
+            | SubImm { d, a, .. }
+            | AndImm { d, a, .. }
+            | OrImm { d, a, .. }
+            | XorImm { d, a, .. }
+            | ShlImm { d, a, .. }
+            | ShrImm { d, a, .. }
+            | Extr { d, a, .. }
+            | Sxt { d, a, .. }
+            | Zxt { d, a, .. }
             | Popcnt { d, a } => {
                 g!(a, false);
                 g!(d, true);
@@ -1147,15 +1216,24 @@ impl Op {
                 g!(d, true);
             }
             Mf | Nop { .. } | Br { .. } | BrRet { .. } | BrCall { .. } => {}
-            Fma { d, a, b, c } | Fms { d, a, b, c } | Fnma { d, a, b, c }
-            | Fpma { d, a, b, c } | Fpms { d, a, b, c } | Xma { d, a, b, c, .. } => {
+            Fma { d, a, b, c }
+            | Fms { d, a, b, c }
+            | Fnma { d, a, b, c }
+            | Fpma { d, a, b, c }
+            | Fpms { d, a, b, c }
+            | Xma { d, a, b, c, .. } => {
                 fr!(a, false);
                 fr!(b, false);
                 fr!(c, false);
                 fr!(d, true);
             }
-            Fmin { d, a, b } | Fmax { d, a, b } | Fpmin { d, a, b } | Fpmax { d, a, b }
-            | Fpdiv { d, a, b } | FmergeS { d, a, b } | FmergeNs { d, a, b } => {
+            Fmin { d, a, b }
+            | Fmax { d, a, b }
+            | Fpmin { d, a, b }
+            | Fpmax { d, a, b }
+            | Fpdiv { d, a, b }
+            | FmergeS { d, a, b }
+            | FmergeNs { d, a, b } => {
                 fr!(a, false);
                 fr!(b, false);
                 fr!(d, true);
@@ -1197,9 +1275,7 @@ impl Op {
     /// Rewrites the branch target (label patching).
     pub fn set_target(&mut self, t: Target) {
         match self {
-            Op::Br { target } | Op::BrCall { target, .. } | Op::ChkS { target, .. } => {
-                *target = t
-            }
+            Op::Br { target } | Op::BrCall { target, .. } | Op::ChkS { target, .. } => *target = t,
             _ => panic!("set_target on a non-branch"),
         }
     }
@@ -1240,7 +1316,13 @@ impl fmt::Display for Op {
             Cmp { rel, pt, pf, a, b } => {
                 write!(f, "cmp.{} {pt}, {pf} = {a}, {b}", rel.mnemonic())
             }
-            CmpImm { rel, pt, pf, imm, b } => {
+            CmpImm {
+                rel,
+                pt,
+                pf,
+                imm,
+                b,
+            } => {
                 write!(f, "cmp.{} {pt}, {pf} = {imm}, {b}", rel.mnemonic())
             }
             Tbit { pt, pf, r, pos } => write!(f, "tbit {pt}, {pf} = {r}, {pos}"),
@@ -1254,7 +1336,11 @@ impl fmt::Display for Op {
                 a,
                 count,
                 signed,
-            } => write!(f, "shr{} {d} = {a}, {count}", if *signed { "" } else { ".u" }),
+            } => write!(
+                f,
+                "shr{} {d} = {a}, {count}",
+                if *signed { "" } else { ".u" }
+            ),
             ShrVar { d, a, c, signed } => {
                 write!(f, "shr{} {d} = {a}, {c}", if *signed { "" } else { ".u" })
             }
@@ -1289,7 +1375,12 @@ impl fmt::Display for Op {
             }
             St { sz, addr, val } => write!(f, "st{sz} [{addr}] = {val}"),
             ChkS { r, target } => write!(f, "chk.s {r}, {}", t(target)),
-            Ldf { fmt, f: fr, addr, spec } => {
+            Ldf {
+                fmt,
+                f: fr,
+                addr,
+                spec,
+            } => {
                 let m = match fmt {
                     FFmt::S => "ldfs",
                     FFmt::D => "ldfd",
@@ -1328,11 +1419,9 @@ impl fmt::Display for Op {
             Fmin { d, a, b } => write!(f, "fmin {d} = {a}, {b}"),
             Fmax { d, a, b } => write!(f, "fmax {d} = {a}, {b}"),
             Fcmp { rel, pt, pf, a, b } => write!(f, "fcmp.{rel:?} {pt}, {pf} = {a}, {b}"),
-            FcvtFx { d, a, trunc } => write!(
-                f,
-                "fcvt.fx{} {d} = {a}",
-                if *trunc { ".trunc" } else { "" }
-            ),
+            FcvtFx { d, a, trunc } => {
+                write!(f, "fcvt.fx{} {d} = {a}", if *trunc { ".trunc" } else { "" })
+            }
             FcvtXf { d, a } => write!(f, "fcvt.xf {d} = {a}"),
             FmergeS { d, a, b } => write!(f, "fmerge.s {d} = {a}, {b}"),
             FmergeNs { d, a, b } => write!(f, "fmerge.ns {d} = {a}, {b}"),

@@ -152,11 +152,20 @@ impl Default for Timing {
 /// A contiguous region of bundles at a base address, with a per-bundle
 /// *region id* used for cycle attribution (the translator tags bundles
 /// as cold code, hot code, stubs, …).
+///
+/// The arena also keeps a free list of reclaimable extents so the
+/// translator can evict individual blocks and reuse their space instead
+/// of flushing wholesale: [`CodeArena::release`] returns an extent to
+/// the free list, [`CodeArena::alloc`] carves a hole back out, and
+/// [`CodeArena::place`] installs fresh bundles into it.
 #[derive(Debug, Default)]
 pub struct CodeArena {
     base: u64,
     bundles: Vec<Bundle>,
     region: Vec<u32>,
+    /// Free extents as `(bundle_index, bundle_count)`, kept sorted by
+    /// index and coalesced.
+    free: Vec<(usize, usize)>,
 }
 
 impl CodeArena {
@@ -167,6 +176,7 @@ impl CodeArena {
             base,
             bundles: Vec::new(),
             region: Vec::new(),
+            free: Vec::new(),
         }
     }
 
@@ -184,12 +194,15 @@ impl CodeArena {
     /// address.
     pub fn append(&mut self, bundles: Vec<Bundle>, region: u32) -> u64 {
         let addr = self.end();
-        self.region.extend(std::iter::repeat(region).take(bundles.len()));
+        self.region
+            .extend(std::iter::repeat_n(region, bundles.len()));
         self.bundles.extend(bundles);
         addr
     }
 
     /// Truncates the arena back to `addr` (translation-cache flush).
+    /// The free list is cleared: everything past `addr` is gone and
+    /// everything before it is live again.
     ///
     /// # Panics
     ///
@@ -199,11 +212,108 @@ impl CodeArena {
         let n = ((addr - self.base) / Bundle::SIZE) as usize;
         self.bundles.truncate(n);
         self.region.truncate(n);
+        self.free.clear();
+    }
+
+    /// Returns the extent `[start, end)` to the free list, overwriting
+    /// its bundles with all-nop bundles (region 0) so stale control flow
+    /// into it is inert, and coalescing with adjacent free extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the extent is misaligned or out of bounds.
+    pub fn release(&mut self, start: u64, end: u64) {
+        assert!(start <= end, "inverted extent");
+        if start == end {
+            return;
+        }
+        let idx = self.index_of(start).expect("release start inside arena");
+        assert_eq!((end - start) % Bundle::SIZE, 0, "misaligned extent end");
+        let count = ((end - start) / Bundle::SIZE) as usize;
+        assert!(idx + count <= self.bundles.len(), "extent past arena end");
+        for b in &mut self.bundles[idx..idx + count] {
+            *b = Bundle::nops();
+        }
+        for r in &mut self.region[idx..idx + count] {
+            *r = 0;
+        }
+        let pos = self.free.partition_point(|&(i, _)| i < idx);
+        debug_assert!(
+            self.free.get(pos).is_none_or(|&(i, _)| idx + count <= i)
+                && (pos == 0 || {
+                    let (pi, pn) = self.free[pos - 1];
+                    pi + pn <= idx
+                }),
+            "double release"
+        );
+        self.free.insert(pos, (idx, count));
+        // Coalesce with the neighbours.
+        if pos + 1 < self.free.len() && self.free[pos].0 + self.free[pos].1 == self.free[pos + 1].0
+        {
+            self.free[pos].1 += self.free[pos + 1].1;
+            self.free.remove(pos + 1);
+        }
+        if pos > 0 && self.free[pos - 1].0 + self.free[pos - 1].1 == self.free[pos].0 {
+            self.free[pos - 1].1 += self.free[pos].1;
+            self.free.remove(pos);
+        }
+    }
+
+    /// Carves `count` bundles out of the free list (best fit), returning
+    /// the hole's start address, or `None` if no free extent is large
+    /// enough. Use [`CodeArena::place`] to install code there.
+    pub fn alloc(&mut self, count: usize) -> Option<u64> {
+        if count == 0 {
+            return None;
+        }
+        let best = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, n))| n >= count)
+            .min_by_key(|(_, &(_, n))| n)?
+            .0;
+        let (idx, n) = self.free[best];
+        if n == count {
+            self.free.remove(best);
+        } else {
+            self.free[best] = (idx + count, n - count);
+        }
+        Some(self.base + idx as u64 * Bundle::SIZE)
+    }
+
+    /// Installs bundles into a hole previously returned by
+    /// [`CodeArena::alloc`], returning their start address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the arena or the bundles overrun it.
+    pub fn place(&mut self, addr: u64, bundles: Vec<Bundle>, region: u32) -> u64 {
+        let idx = self.index_of(addr).expect("place address inside arena");
+        assert!(
+            idx + bundles.len() <= self.bundles.len(),
+            "placed code overruns the arena"
+        );
+        for (k, b) in bundles.into_iter().enumerate() {
+            self.bundles[idx + k] = b;
+            self.region[idx + k] = region;
+        }
+        addr
+    }
+
+    /// Number of bundles currently on the free list.
+    pub fn free_bundles(&self) -> usize {
+        self.free.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Number of live (allocated) bundles: total minus free.
+    pub fn live_len(&self) -> usize {
+        self.bundles.len() - self.free_bundles()
     }
 
     /// Index of the bundle at `addr`, if inside the arena.
     pub fn index_of(&self, addr: u64) -> Option<usize> {
-        if addr < self.base || addr >= self.end() || addr % Bundle::SIZE != 0 {
+        if addr < self.base || addr >= self.end() || !addr.is_multiple_of(Bundle::SIZE) {
             return None;
         }
         Some(((addr - self.base) / Bundle::SIZE) as usize)
@@ -549,10 +659,7 @@ impl Machine {
                 None => {
                     let t = self.ip;
                     self.close_group(0);
-                    return StopReason::ExternalBranch {
-                        target: t,
-                        from: t,
-                    };
+                    return StopReason::ExternalBranch { target: t, from: t };
                 }
             };
             let inst = self.arena.bundles[bundle_idx].slots[self.slot as usize];
@@ -631,7 +738,7 @@ impl Machine {
         size: u8,
         spec: bool,
     ) -> Result<Option<u64>, MachFault> {
-        if addr % size as u64 != 0 {
+        if !addr.is_multiple_of(size as u64) {
             if spec {
                 return Ok(None); // deferred to NaT
             }
@@ -662,18 +769,19 @@ impl Machine {
         size: u8,
         val: u64,
     ) -> Result<(), MachFault> {
-        if addr % size as u64 != 0 {
+        if !addr.is_multiple_of(size as u64) {
             return Err(MachFault::Misalign {
                 addr,
                 size,
                 write: true,
             });
         }
-        bus.write(addr, size as u32, val).map_err(|err| MachFault::Bus {
-            err,
-            addr,
-            write: true,
-        })
+        bus.write(addr, size as u32, val)
+            .map_err(|err| MachFault::Bus {
+                err,
+                addr,
+                write: true,
+            })
     }
 
     /// Executes one operation; returns a taken-branch target if any.
@@ -740,7 +848,13 @@ impl Machine {
                     self.wr_pr(pf, !r);
                 }
             }
-            CmpImm { rel, pt, pf, imm, b } => {
+            CmpImm {
+                rel,
+                pt,
+                pf,
+                imm,
+                b,
+            } => {
                 if self.gr_nat_of(b) {
                     self.wr_pr(pt, false);
                     self.wr_pr(pf, false);
@@ -775,7 +889,11 @@ impl Machine {
                 self.wr_gr(d, v, nat2(self, a, b));
             }
             ShlImm { d, a, count } => {
-                let v = if count >= 64 { 0 } else { self.rd_gr(a) << count };
+                let v = if count >= 64 {
+                    0
+                } else {
+                    self.rd_gr(a) << count
+                };
                 self.wr_gr(d, v, self.gr_nat_of(a));
             }
             ShlVar { d, a, c } => {
@@ -783,7 +901,12 @@ impl Machine {
                 let v = if cnt >= 64 { 0 } else { self.rd_gr(a) << cnt };
                 self.wr_gr(d, v, nat2(self, a, c));
             }
-            ShrImm { d, a, count, signed } => {
+            ShrImm {
+                d,
+                a,
+                count,
+                signed,
+            } => {
                 let v = shr64(self.rd_gr(a), count as u64, signed);
                 self.wr_gr(d, v, self.gr_nat_of(a));
             }
@@ -791,7 +914,13 @@ impl Machine {
                 let v = shr64(self.rd_gr(a), self.rd_gr(c), signed);
                 self.wr_gr(d, v, nat2(self, a, c));
             }
-            Extr { d, a, pos, len, signed } => {
+            Extr {
+                d,
+                a,
+                pos,
+                len,
+                signed,
+            } => {
                 let raw = self.rd_gr(a) >> pos;
                 let v = if len >= 64 {
                     raw
@@ -803,14 +932,27 @@ impl Machine {
                 };
                 self.wr_gr(d, v, self.gr_nat_of(a));
             }
-            Dep { d, src, target, pos, len } => {
-                let mask = if len >= 64 { u64::MAX } else { (1u64 << len) - 1 };
-                let v = (self.rd_gr(target) & !(mask << pos))
-                    | ((self.rd_gr(src) & mask) << pos);
+            Dep {
+                d,
+                src,
+                target,
+                pos,
+                len,
+            } => {
+                let mask = if len >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << len) - 1
+                };
+                let v = (self.rd_gr(target) & !(mask << pos)) | ((self.rd_gr(src) & mask) << pos);
                 self.wr_gr(d, v, nat2(self, src, target));
             }
             DepZ { d, src, pos, len } => {
-                let mask = if len >= 64 { u64::MAX } else { (1u64 << len) - 1 };
+                let mask = if len >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << len) - 1
+                };
                 let v = (self.rd_gr(src) & mask) << pos;
                 self.wr_gr(d, v, self.gr_nat_of(src));
             }
@@ -976,14 +1118,14 @@ impl Machine {
             }
             FcvtFx { d, a, trunc } => {
                 let v = self.rd_fr_f64(a);
-                let i: i64 = if v.is_nan() || v >= 9.223372036854776e18 || v < -9.223372036854776e18
-                {
-                    i64::MIN
-                } else if trunc {
-                    v as i64
-                } else {
-                    v.round_ties_even() as i64
-                };
+                let i: i64 =
+                    if v.is_nan() || !(-9.223372036854776e18..9.223372036854776e18).contains(&v) {
+                        i64::MIN
+                    } else if trunc {
+                        v as i64
+                    } else {
+                        v.round_ties_even() as i64
+                    };
                 self.wr_fr(d, i as u64, false);
             }
             FcvtXf { d, a } => {
@@ -1243,7 +1385,13 @@ mod tests {
             cb.stop();
         });
         let r = run(&mut m);
-        assert!(matches!(r, StopReason::ExternalBranch { target: 0xDEAD0000, .. }));
+        assert!(matches!(
+            r,
+            StopReason::ExternalBranch {
+                target: 0xDEAD0000,
+                ..
+            }
+        ));
         assert_eq!(m.gr[32], 0x1234_5678_9ABC_DEF0);
         assert_eq!(m.gr[33], 0x1234_5678_9ABC_DF00);
         assert_eq!(m.gr[34], 0x10);
@@ -1505,42 +1653,57 @@ mod tests {
         cb.stop();
         // Three NR iterations: y <- y + y*(1 - b*y).
         for _ in 0..3 {
-            cb.push_pred(p, Fnma {
-                d: t1,
-                a: b,
-                b: d,
-                c: F1,
-            });
+            cb.push_pred(
+                p,
+                Fnma {
+                    d: t1,
+                    a: b,
+                    b: d,
+                    c: F1,
+                },
+            );
             cb.stop();
-            cb.push_pred(p, Fma {
-                d,
-                a: d,
-                b: t1,
-                c: d,
-            });
+            cb.push_pred(
+                p,
+                Fma {
+                    d,
+                    a: d,
+                    b: t1,
+                    c: d,
+                },
+            );
             cb.stop();
         }
         // q0 = a*y; r = a - b*q0; q = q0 + r*y (Markstein correction).
-        cb.push_pred(p, Fma {
-            d: t2,
-            a,
-            b: d,
-            c: F0,
-        });
+        cb.push_pred(
+            p,
+            Fma {
+                d: t2,
+                a,
+                b: d,
+                c: F0,
+            },
+        );
         cb.stop();
-        cb.push_pred(p, Fnma {
-            d: t1,
-            a: b,
-            b: t2,
-            c: a,
-        });
+        cb.push_pred(
+            p,
+            Fnma {
+                d: t1,
+                a: b,
+                b: t2,
+                c: a,
+            },
+        );
         cb.stop();
-        cb.push_pred(p, Fma {
-            d,
-            a: t1,
-            b: d,
-            c: t2,
-        });
+        cb.push_pred(
+            p,
+            Fma {
+                d,
+                a: t1,
+                b: d,
+                c: t2,
+            },
+        );
         cb.stop();
     }
 
@@ -1788,9 +1951,13 @@ mod tests {
             .iter()
             .position(|s| s.op.is_branch())
             .unwrap();
-        arena.patch_slot(BASE, slot, Op::Br {
-            target: Target::Abs(0xBBB0000),
-        });
+        arena.patch_slot(
+            BASE,
+            slot,
+            Op::Br {
+                target: Target::Abs(0xBBB0000),
+            },
+        );
         let mut m = Machine::new(arena, Timing::default());
         m.set_ip(BASE, 0);
         let mut bus = VecBus::new(16);

@@ -16,8 +16,8 @@ fn fp_data() -> Vec<(u32, Vec<u8>)> {
     let mut x = Vec::new();
     let mut y = Vec::new();
     let raw = prng_bytes(99, 4096);
-    for i in 0..1024usize {
-        let v = (raw[i] as f64 - 128.0) / 16.0;
+    for &r in raw.iter().take(1024) {
+        let v = (r as f64 - 128.0) / 16.0;
         x.extend_from_slice(&v.to_bits().to_le_bytes());
         y.extend_from_slice(&(v * 0.5 + 1.0).to_bits().to_le_bytes());
     }
@@ -65,11 +65,14 @@ fn daxpy_ia32(a: &mut Asm, iters: u32) {
     }); // x*2
     a.inst(Inst::Farith {
         op: FpArithOp::Add,
-        form: FpArithForm::St0Mem(Size2::D, Addr {
-            base: Some(EBX),
-            index: None,
-            disp: (DATA + 0x8000) as i32,
-        }),
+        form: FpArithForm::St0Mem(
+            Size2::D,
+            Addr {
+                base: Some(EBX),
+                index: None,
+                disp: (DATA + 0x8000) as i32,
+            },
+        ),
     });
     a.inst(Inst::Fst {
         dst: FpOperand::M64(Addr {
@@ -175,7 +178,7 @@ fn poly_ia32(a: &mut Asm, iters: u32) {
         }),
     }); // x
     a.inst(Inst::Fld1); // acc = 1
-    // acc = acc*x + 1, three times, with fxch between.
+                        // acc = acc*x + 1, three times, with fxch between.
     for _ in 0..3 {
         a.inst(Inst::Fxch { i: 1 }); // st0=x, st1=acc
         a.inst(Inst::Fxch { i: 1 }); // juggle (compiler-style noise)
@@ -211,7 +214,11 @@ fn poly_native(cb: &mut CodeBuilder, iters: u32) {
             a: ngr(0),
         });
         cb.stop();
-        cb.push(Op::ShlImm { d: x, a: x, count: 3 });
+        cb.push(Op::ShlImm {
+            d: x,
+            a: x,
+            count: 3,
+        });
         cb.stop();
         cb.push(Op::Add {
             d: x,
@@ -313,7 +320,11 @@ fn sse_dot_native(cb: &mut CodeBuilder, iters: u32) {
             a: ngr(0),
         });
         cb.stop();
-        cb.push(Op::ShlImm { d: x, a: x, count: 2 });
+        cb.push(Op::ShlImm {
+            d: x,
+            a: x,
+            count: 2,
+        });
         cb.stop();
         cb.push(Op::Add {
             d: x,
@@ -418,7 +429,11 @@ fn sse_packed_native(cb: &mut CodeBuilder, iters: u32) {
             a: ngr(0),
         });
         cb.stop();
-        cb.push(Op::ShlImm { d: x, a: x, count: 4 });
+        cb.push(Op::ShlImm {
+            d: x,
+            a: x,
+            count: 4,
+        });
         cb.stop();
         cb.push(Op::AddImm {
             d: x,
@@ -538,7 +553,11 @@ fn mmx_native(cb: &mut CodeBuilder, iters: u32) {
             a: ngr(0),
         });
         cb.stop();
-        cb.push(Op::ShlImm { d: x, a: x, count: 3 });
+        cb.push(Op::ShlImm {
+            d: x,
+            a: x,
+            count: 3,
+        });
         cb.stop();
         cb.push(Op::Add {
             d: x,

@@ -36,8 +36,7 @@ fn mcf_data() -> Vec<(u32, Vec<u8>)> {
     for &nxt in perm.iter().chain(std::iter::once(&0)) {
         let a32 = DATA + cur * 8;
         let a64 = (DATA + 0x2_0000) + cur * 16;
-        n32[(a32 - DATA) as usize..][..4]
-            .copy_from_slice(&(DATA + nxt * 8).to_le_bytes());
+        n32[(a32 - DATA) as usize..][..4].copy_from_slice(&(DATA + nxt * 8).to_le_bytes());
         n32[(a32 - DATA) as usize + 4..][..4].copy_from_slice(&cur.to_le_bytes());
         n64[(a64 - (DATA + 0x2_0000)) as usize..][..8]
             .copy_from_slice(&((DATA + 0x2_0000) as u64 + nxt as u64 * 16).to_le_bytes());

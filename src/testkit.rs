@@ -183,10 +183,7 @@ pub fn assert_cpu_equiv(oracle: &Cpu, translated: &Cpu, what: &str) {
             );
             assert_eq!(a, b, "{what}: MMX register ST({k}) mismatch");
         } else {
-            let (x, y) = (
-                oracle.fpu.st(k).unwrap(),
-                translated.fpu.st(k).unwrap(),
-            );
+            let (x, y) = (oracle.fpu.st(k).unwrap(), translated.fpu.st(k).unwrap());
             assert!(
                 x == y || (x.is_nan() && y.is_nan()),
                 "{what}: ST({k}) mismatch: {x} vs {y}"

@@ -19,7 +19,12 @@ fn image(f: impl FnOnce(&mut Asm)) -> Image {
 
 fn check(name: &str, f: impl Fn(&mut Asm)) {
     let img = image(&f);
-    differential(&img, cold_config(), &[(DATA, 0x400)], &format!("{name}/cold"));
+    differential(
+        &img,
+        cold_config(),
+        &[(DATA, 0x400)],
+        &format!("{name}/cold"),
+    );
     differential(&img, hot_config(), &[(DATA, 0x400)], &format!("{name}/hot"));
 }
 
@@ -279,8 +284,8 @@ fn calls_and_indirect_branches() {
         // Indirect call through a register.
         let after = a.label();
         a.mov_ri(EBX, 0); // patched via label math below: call f1 again
-        // (use lea-like trick: we know f1's address after layout; use
-        // a direct call instead to keep the program position-stable)
+                          // (use lea-like trick: we know f1's address after layout; use
+                          // a direct call instead to keep the program position-stable)
         a.call(f1);
         a.bind(after);
         // Indirect jump via register over a jump table pattern.
@@ -491,10 +496,9 @@ fn address_wraparound_faults_match() {
     let oracle = ia32el::testkit::run_interp(&img, 1_000_000);
     let (trans, _p) = ia32el::testkit::run_translated(&img, cold_config(), 10_000_000);
     match (&oracle.end, &trans.end) {
-        (
-            ia32el::testkit::RunEnd::Fault(oe),
-            ia32el::testkit::RunEnd::Fault(te),
-        ) => assert_eq!(oe, te),
+        (ia32el::testkit::RunEnd::Fault(oe), ia32el::testkit::RunEnd::Fault(te)) => {
+            assert_eq!(oe, te)
+        }
         other => panic!("expected wraparound faults, got {other:?}"),
     }
 }
@@ -508,7 +512,7 @@ fn high_byte_registers_roundtrip() {
         a.inst(Inst::Alu {
             op: AluOp::Add,
             size: Size::B,
-            dst: Rm::Reg(ESP), // AH
+            dst: Rm::Reg(ESP),  // AH
             src: RmI::Reg(EDI), // BH
         });
         // CH = memory byte; DH = CH.
@@ -520,7 +524,7 @@ fn high_byte_registers_roundtrip() {
         });
         a.inst(Inst::Mov {
             size: Size::B,
-            dst: Rm::Reg(ESI), // DH
+            dst: Rm::Reg(ESI),  // DH
             src: RmI::Reg(EBP), // CH
         });
         // Store all four registers.

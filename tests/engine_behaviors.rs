@@ -2,7 +2,7 @@
 //! side-exit accounting, the indirect-branch lookup table under
 //! collisions, and instruction-budget handling.
 
-use btgeneric::engine::{Config, Outcome};
+use btgeneric::engine::Outcome;
 use btlib::{Process, SimOs};
 use ia32::asm::{Asm, Image};
 use ia32::inst::AluOp;
@@ -18,11 +18,10 @@ fn image(f: impl FnOnce(&mut Asm)) -> Image {
     Image::from_asm(&a).with_bss(DATA, 0x1_0000)
 }
 
-#[test]
-fn cache_flush_preserves_correctness() {
-    // A program with many blocks run under a tiny cache: constant
-    // flushing and retranslation must not change behaviour.
-    let build = |a: &mut Asm| {
+/// A chain of many small blocks looping 40 times — enough churn to
+/// overflow a tiny translation cache many times over.
+fn churn_image() -> Image {
+    image(|a| {
         a.mov_ri(EAX, 0);
         a.mov_ri(ECX, 40);
         let top = a.label();
@@ -39,20 +38,51 @@ fn cache_flush_preserves_correctness() {
         a.jcc(Cond::Ne, top);
         a.mov_store(ia32::inst::Addr::abs(DATA), EAX);
         a.hlt();
-    };
-    let img = image(build);
+    })
+}
+
+#[test]
+fn cache_eviction_preserves_correctness() {
+    // A program with many blocks run under a tiny cache: incremental
+    // eviction and retranslation must not change behaviour, and the
+    // pressure must be absorbed entirely by evictions — the full-flush
+    // fallback must never fire.
+    let img = churn_image();
     let mut tiny = cold_config();
     tiny.max_cache_bundles = 100;
     let p = differential(&img, tiny, &[(DATA, 8)], "tiny-cache");
     assert!(
-        p.engine.stats.cache_flushes > 0,
-        "the tiny cache must have flushed"
+        p.engine.stats.evictions > 0,
+        "the tiny cache must have evicted"
     );
+    assert_eq!(
+        p.engine.stats.cache_flushes, 0,
+        "eviction must absorb the pressure without a full flush"
+    );
+    assert!(p.engine.stats.evicted_bundles >= p.engine.stats.evictions);
     // Same program with hot phase + tiny cache.
     let mut tiny_hot = hot_config();
     tiny_hot.max_cache_bundles = 150;
     let p = differential(&img, tiny_hot, &[(DATA, 8)], "tiny-cache-hot");
-    assert!(p.engine.stats.cache_flushes > 0);
+    assert!(p.engine.stats.evictions > 0);
+    assert_eq!(p.engine.stats.cache_flushes, 0);
+}
+
+#[test]
+fn cache_flush_fallback_preserves_correctness() {
+    // With eviction disabled the engine falls back to the paper's
+    // wholesale garbage collection: constant flushing and
+    // retranslation must not change behaviour either.
+    let img = churn_image();
+    let mut tiny = cold_config();
+    tiny.max_cache_bundles = 100;
+    tiny.enable_eviction = false;
+    let p = differential(&img, tiny, &[(DATA, 8)], "tiny-cache-flush");
+    assert!(
+        p.engine.stats.cache_flushes > 0,
+        "the tiny cache must have flushed"
+    );
+    assert_eq!(p.engine.stats.evictions, 0);
 }
 
 #[test]
@@ -140,6 +170,104 @@ fn lookup_table_collisions_are_correct() {
     assert!(
         p.engine.stats.indirect_misses >= 2,
         "colliding entries must keep missing"
+    );
+}
+
+#[test]
+fn evicted_lookup_slots_never_serve_stale_entries() {
+    // Indirect calls through the lookup table under heavy cache
+    // pressure: when a call target's block is evicted, its lookup slot
+    // must be purged (or already overwritten by the colliding twin) —
+    // an indirect branch must never land in reclaimed code. The
+    // differential harness catches any stale dispatch as a state
+    // mismatch; padding blocks between calls force constant eviction.
+    let mut a = Asm::new(0x40_0000);
+    a.mov_ri(ECX, 120);
+    a.mov_ri(EAX, 0);
+    let top = a.label();
+    a.bind(top);
+    // Alternate between two 16 KiB-apart targets (same lookup slot).
+    a.mov_rr(EBX, ECX);
+    a.alu_ri(AluOp::And, EBX, 1);
+    a.inst(ia32::Inst::ImulRmImm {
+        dst: EBX,
+        src: ia32::inst::Rm::Reg(EBX),
+        imm: 0x4000,
+    });
+    a.alu_ri(AluOp::Add, EBX, 0x40_1000);
+    a.call_r(EBX);
+    // Filler block chain: churns the tiny cache so the call targets
+    // themselves get evicted between iterations.
+    for k in 0..12 {
+        let l = a.label();
+        a.alu_ri(AluOp::Add, EAX, k);
+        a.jmp(l);
+        a.bind(l);
+    }
+    a.dec(ECX);
+    a.jcc(Cond::Ne, top);
+    a.mov_store(ia32::inst::Addr::abs(DATA), EAX);
+    a.hlt();
+    while a.here() < 0x40_1000 {
+        a.nop();
+    }
+    a.alu_ri(AluOp::Add, EAX, 3);
+    a.ret();
+    while a.here() < 0x40_5000 {
+        a.nop();
+    }
+    a.alu_ri(AluOp::Add, EAX, 7);
+    a.ret();
+    let img = Image::from_asm(&a).with_bss(DATA, 0x1000);
+    let mut tiny = cold_config();
+    tiny.max_cache_bundles = 120;
+    let p = differential(&img, tiny, &[(DATA, 8)], "evict-lookup-collide");
+    assert!(p.engine.stats.evictions > 0, "cache must be under pressure");
+    assert!(
+        p.engine.stats.indirect_misses >= 2,
+        "evicted/colliding entries must keep missing"
+    );
+}
+
+#[test]
+fn hot_exit_collection_is_idempotent() {
+    // collect_hot_exit_stats assigns (not accumulates): harvesting
+    // twice — as run_el and figure code paths may — must not
+    // double-count side exits.
+    let img = image(|a| {
+        a.mov_ri(ECX, 4000);
+        a.mov_ri(EAX, 0);
+        let top = a.label();
+        let rare = a.label();
+        let back = a.label();
+        a.bind(top);
+        a.inc(EAX);
+        a.mov_rr(EBX, ECX);
+        a.alu_ri(AluOp::And, EBX, 0x3F);
+        a.cmp_ri(EBX, 0);
+        a.jcc(Cond::E, rare);
+        a.bind(back);
+        a.dec(ECX);
+        a.jcc(Cond::Ne, top);
+        a.mov_store(ia32::inst::Addr::abs(DATA), EAX);
+        a.hlt();
+        a.bind(rare);
+        a.alu_ri(AluOp::Add, EAX, 1000);
+        a.jmp(back);
+    });
+    let mut p = Process::launch_with(&img, SimOs::new(), hot_config()).unwrap();
+    match p.run(u64::MAX / 2) {
+        Outcome::Halted(_) => {}
+        other => panic!("{other:?}"),
+    }
+    p.engine.collect_hot_exit_stats();
+    let once = p.engine.stats.hot_side_exits;
+    assert!(once > 0);
+    p.engine.collect_hot_exit_stats();
+    p.engine.collect_hot_exit_stats();
+    assert_eq!(
+        p.engine.stats.hot_side_exits, once,
+        "repeated harvests must not double-count"
     );
 }
 

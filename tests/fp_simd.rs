@@ -6,7 +6,7 @@
 use ia32::asm::{Asm, Image};
 use ia32::inst::*;
 use ia32::regs::*;
-use ia32::{Cond, Size};
+use ia32::Cond;
 use ia32el::testkit::{cold_config, differential, hot_config};
 
 const DATA: u32 = 0x50_0000;
@@ -15,7 +15,12 @@ fn check(name: &str, f: impl Fn(&mut Asm)) {
     let mut a = Asm::new(0x40_0000);
     f(&mut a);
     let img = Image::from_asm(&a).with_bss(DATA, 0x1_0000);
-    differential(&img, cold_config(), &[(DATA, 0x400)], &format!("{name}/cold"));
+    differential(
+        &img,
+        cold_config(),
+        &[(DATA, 0x400)],
+        &format!("{name}/cold"),
+    );
     differential(&img, hot_config(), &[(DATA, 0x400)], &format!("{name}/hot"));
 }
 

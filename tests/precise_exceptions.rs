@@ -26,10 +26,7 @@ fn check_fault(name: &str, img: &Image) {
         let (trans, _p) = run_translated(img, cfg, 400_000_000);
         let what = format!("{name}/{cfgname}");
         match (&oracle.end, &trans.end) {
-            (
-                ia32el::testkit::RunEnd::Fault(oe),
-                ia32el::testkit::RunEnd::Fault(te),
-            ) => {
+            (ia32el::testkit::RunEnd::Fault(oe), ia32el::testkit::RunEnd::Fault(te)) => {
                 assert_eq!(oe, te, "{what}: faulting EIP");
                 assert_cpu_equiv(&oracle.cpu, &trans.cpu, &what);
             }

@@ -1,6 +1,11 @@
-//! Property-based tests: randomized instruction streams run under the
+//! Property-style tests: randomized instruction streams run under the
 //! oracle and the translator must agree; encoder/decoder round-trips;
 //! FPU stack invariants.
+//!
+//! Generation uses a deterministic xorshift PRNG (same scheme as the
+//! `hunt` fuzzer binary) instead of proptest, so the suite builds and
+//! runs with no network access. Every case is reproducible from its
+//! printed seed.
 
 use ia32::asm::{Asm, Image};
 use ia32::decode::decode;
@@ -9,139 +14,192 @@ use ia32::inst::*;
 use ia32::regs::*;
 use ia32::{Cond, Size};
 use ia32el::testkit::{cold_config, differential, hot_config};
-use proptest::prelude::*;
 
 const DATA: u32 = 0x50_0000;
 
-/// A generator for random (but always-terminating) ALU instructions.
-fn arb_alu() -> impl Strategy<Value = Inst> {
-    let reg = (0u8..8).prop_map(Gpr::new);
-    let op = prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Adc),
-        Just(AluOp::Sbb),
-        Just(AluOp::Cmp),
-    ];
-    let size = prop_oneof![Just(Size::B), Just(Size::W), Just(Size::D)];
-    (op, size, reg.clone(), prop_oneof![
-        reg.prop_map(RmI::Reg),
-        any::<i32>().prop_map(RmI::Imm),
-    ])
-        .prop_map(|(op, size, dst, src)| {
-            // Keep ESP intact (register number 4 at dword size) so the
-            // stack stays valid for the harness.
-            let dst = if dst.num() == 4 { Gpr::new(5) } else { dst };
-            Inst::Alu {
-                op,
-                size,
-                dst: Rm::Reg(dst),
-                src,
-            }
-        })
+/// xorshift64 step (never yields 0 for a non-zero state).
+fn rng(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
 }
 
-fn arb_simple() -> impl Strategy<Value = Inst> {
-    let reg = (0u8..8).prop_map(Gpr::new);
-    prop_oneof![
-        arb_alu(),
-        (reg.clone(), any::<i32>()).prop_map(|(r, v)| {
-            let r = if r.num() == 4 { Gpr::new(6) } else { r };
+fn seed_for(case: u64) -> u64 {
+    case.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+}
+
+/// A random (but always-terminating) ALU instruction. ESP (register
+/// number 4 at dword size) is kept intact so the stack stays valid for
+/// the harness.
+fn gen_alu(x: &mut u64) -> Inst {
+    const OPS: [AluOp; 8] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Adc,
+        AluOp::Sbb,
+        AluOp::Cmp,
+    ];
+    const SIZES: [Size; 3] = [Size::B, Size::W, Size::D];
+    let op = OPS[(rng(x) % 8) as usize];
+    let size = SIZES[(rng(x) % 3) as usize];
+    let dst = Gpr::new((rng(x) % 8) as u8);
+    let dst = if dst.num() == 4 { Gpr::new(5) } else { dst };
+    let src = if rng(x).is_multiple_of(2) {
+        RmI::Reg(Gpr::new((rng(x) % 8) as u8))
+    } else {
+        RmI::Imm(rng(x) as i32)
+    };
+    Inst::Alu {
+        op,
+        size,
+        dst: Rm::Reg(dst),
+        src,
+    }
+}
+
+/// A random simple instruction drawn from the same families as the old
+/// proptest strategy (ALU, mov, shifts, inc, imul).
+fn gen_simple(x: &mut u64) -> Inst {
+    let reg = |x: &mut u64| Gpr::new((rng(x) % 8) as u8);
+    let not_esp = |g: Gpr, alt: u8| if g.num() == 4 { Gpr::new(alt) } else { g };
+    match rng(x) % 7 {
+        0 => gen_alu(x),
+        1 => {
+            let r = not_esp(reg(x), 6);
             Inst::Mov {
                 size: Size::D,
                 dst: Rm::Reg(r),
-                src: RmI::Imm(v),
+                src: RmI::Imm(rng(x) as i32),
             }
-        }),
-        (reg.clone(), reg.clone()).prop_map(|(d, s)| {
-            let d = if d.num() == 4 { Gpr::new(7) } else { d };
+        }
+        2 => {
+            let d = not_esp(reg(x), 7);
+            let s = reg(x);
             Inst::Mov {
                 size: Size::D,
                 dst: Rm::Reg(d),
                 src: RmI::Reg(s),
             }
-        }),
-        (reg.clone(), (0u8..32)).prop_map(|(r, c)| {
-            let r = if r.num() == 4 { Gpr::new(3) } else { r };
+        }
+        3 => {
+            let r = not_esp(reg(x), 3);
             Inst::Shift {
                 op: ShiftOp::Shl,
                 size: Size::D,
                 dst: Rm::Reg(r),
-                count: ShiftCount::Imm(c),
+                count: ShiftCount::Imm((rng(x) % 32) as u8),
             }
-        }),
-        (reg.clone(), (0u8..32)).prop_map(|(r, c)| {
-            let r = if r.num() == 4 { Gpr::new(2) } else { r };
+        }
+        4 => {
+            let r = not_esp(reg(x), 2);
             Inst::Shift {
                 op: ShiftOp::Sar,
                 size: Size::D,
                 dst: Rm::Reg(r),
-                count: ShiftCount::Imm(c),
+                count: ShiftCount::Imm((rng(x) % 32) as u8),
             }
-        }),
-        reg.clone().prop_map(|r| {
-            let r = if r.num() == 4 { Gpr::new(1) } else { r };
+        }
+        5 => {
+            let r = not_esp(reg(x), 1);
             Inst::IncDec {
                 inc: true,
                 size: Size::D,
                 dst: Rm::Reg(r),
             }
-        }),
-        (reg.clone(), reg).prop_map(|(d, s)| Inst::ImulRm {
-            dst: if d.num() == 4 { Gpr::new(0) } else { d },
-            src: Rm::Reg(s),
-        }),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Random straight-line ALU programs: the translator must produce
-    /// exactly the oracle's final registers and flags.
-    #[test]
-    fn random_alu_programs_match(prog in prop::collection::vec(arb_simple(), 1..40)) {
-        let mut a = Asm::new(0x40_0000);
-        // Seed registers with recognizable values.
-        for (i, r) in Gpr::all().iter().enumerate() {
-            if r.num() != 4 {
-                a.mov_ri(*r, 0x1111 * (i as i32 + 1));
+        }
+        _ => {
+            let d = not_esp(reg(x), 0);
+            let s = reg(x);
+            Inst::ImulRm {
+                dst: d,
+                src: Rm::Reg(s),
             }
         }
-        for inst in &prog {
-            a.inst(*inst);
-        }
-        // Store every register so memory compare catches everything.
-        for (i, r) in Gpr::all().iter().enumerate() {
-            a.mov_store(Addr::abs(DATA + 4 * i as u32), *r);
-        }
-        // And the flags, via setcc of every condition.
-        for c in 0..16u8 {
-            a.inst(Inst::Setcc {
-                cond: Cond::from_code(c),
-                dst: Rm::Mem(Addr::abs(DATA + 64 + c as u32)),
-            });
-        }
-        a.hlt();
-        let img = Image::from_asm(&a).with_bss(DATA, 0x1000);
-        differential(&img, cold_config(), &[(DATA, 96)], "prop-alu");
     }
+}
 
-    /// Randomized loop bodies reach the hot phase and still match.
-    #[test]
-    fn random_hot_loops_match(body in prop::collection::vec(arb_simple(), 1..10),
-                              iters in 200u32..600) {
+/// Straight-line ALU program check: the translator must produce exactly
+/// the oracle's final registers and flags.
+fn check_alu_program(prog: &[Inst], what: &str) {
+    let mut a = Asm::new(0x40_0000);
+    // Seed registers with recognizable values.
+    for (i, r) in Gpr::all().iter().enumerate() {
+        if r.num() != 4 {
+            a.mov_ri(*r, 0x1111 * (i as i32 + 1));
+        }
+    }
+    for inst in prog {
+        a.inst(*inst);
+    }
+    // Store every register so memory compare catches everything.
+    for (i, r) in Gpr::all().iter().enumerate() {
+        a.mov_store(Addr::abs(DATA + 4 * i as u32), *r);
+    }
+    // And the flags, via setcc of every condition.
+    for c in 0..16u8 {
+        a.inst(Inst::Setcc {
+            cond: Cond::from_code(c),
+            dst: Rm::Mem(Addr::abs(DATA + 64 + c as u32)),
+        });
+    }
+    a.hlt();
+    let img = Image::from_asm(&a).with_bss(DATA, 0x1000);
+    differential(&img, cold_config(), &[(DATA, 96)], what);
+}
+
+/// Random straight-line ALU programs (48 cases, like the old
+/// `ProptestConfig::with_cases(48)`).
+#[test]
+fn random_alu_programs_match() {
+    for case in 0..48u64 {
+        let mut x = seed_for(case);
+        let n = 1 + (rng(&mut x) % 39) as usize;
+        let prog: Vec<Inst> = (0..n).map(|_| gen_simple(&mut x)).collect();
+        check_alu_program(&prog, &format!("prop-alu seed {case}"));
+    }
+}
+
+/// Saved proptest regression: byte-size ADD r/r followed by SHL with an
+/// immediate count of zero (flags must survive the 0-count shift).
+#[test]
+fn regression_byte_add_then_shl0() {
+    let prog = [
+        Inst::Alu {
+            op: AluOp::Add,
+            size: Size::B,
+            dst: Rm::Reg(Gpr::new(0)),
+            src: RmI::Reg(Gpr::new(0)),
+        },
+        Inst::Shift {
+            op: ShiftOp::Shl,
+            size: Size::D,
+            dst: Rm::Reg(Gpr::new(0)),
+            count: ShiftCount::Imm(0),
+        },
+    ];
+    check_alu_program(&prog, "prop-alu regression shl0");
+}
+
+/// Randomized loop bodies reach the hot phase and still match.
+#[test]
+fn random_hot_loops_match() {
+    for case in 0..24u64 {
+        let mut x = seed_for(case ^ 0x5EED);
+        let n = 1 + (rng(&mut x) % 9) as usize;
+        let iters = 200 + (rng(&mut x) % 400) as i32;
+        let body: Vec<Inst> = (0..n)
+            .map(|_| patch_away_from_ecx(gen_simple(&mut x)))
+            .collect();
         let mut a = Asm::new(0x40_0000);
-        a.mov_ri(ECX, iters as i32);
+        a.mov_ri(ECX, iters);
         let top = a.label();
         a.bind(top);
         for inst in &body {
-            // ECX is the loop counter: redirect writes away from it.
-            let patched = patch_away_from_ecx(*inst);
-            a.inst(patched);
+            a.inst(*inst);
         }
         a.dec(ECX);
         a.jcc(Cond::Ne, top);
@@ -150,27 +208,41 @@ proptest! {
         }
         a.hlt();
         let img = Image::from_asm(&a).with_bss(DATA, 0x1000);
-        differential(&img, hot_config(), &[(DATA, 32)], "prop-hot");
+        differential(
+            &img,
+            hot_config(),
+            &[(DATA, 32)],
+            &format!("prop-hot seed {case}"),
+        );
     }
+}
 
-    /// encode -> decode is the identity on the instruction stream level:
-    /// re-encoding the decode gives the same bytes.
-    #[test]
-    fn encode_decode_roundtrip(inst in arb_simple(), addr in 0u32..0x7FFF_0000) {
+/// encode -> decode is the identity on the instruction stream level:
+/// re-encoding the decode gives the same bytes.
+#[test]
+fn encode_decode_roundtrip() {
+    for case in 0..512u64 {
+        let mut x = seed_for(case ^ 0xC0DE);
+        let inst = gen_simple(&mut x);
+        let addr = (rng(&mut x) % 0x7FFF_0000) as u32;
         let bytes = encode_to_vec(&inst, addr).expect("encodable");
         let (decoded, len) = decode(&bytes, addr).expect("decodable");
-        prop_assert_eq!(len, bytes.len());
+        assert_eq!(len, bytes.len(), "length mismatch for {inst:?}");
         let re = encode_to_vec(&decoded, addr).expect("re-encodable");
-        prop_assert_eq!(re, bytes);
+        assert_eq!(re, bytes, "roundtrip mismatch for {inst:?}");
     }
+}
 
-    /// FPU stack push/pop/fxch sequences keep TOS/TAG consistent.
-    #[test]
-    fn fpu_stack_invariants(ops in prop::collection::vec(0u8..4, 1..64)) {
+/// FPU stack push/pop/fxch sequences keep TOS/TAG consistent.
+#[test]
+fn fpu_stack_invariants() {
+    for case in 0..64u64 {
+        let mut x = seed_for(case ^ 0xF9);
+        let n = 1 + (rng(&mut x) % 63) as usize;
         let mut f = ia32::fpu::Fpu::new();
         let mut depth: i32 = 0;
-        for op in ops {
-            match op {
+        for _ in 0..n {
+            match rng(&mut x) % 4 {
                 0 => {
                     if f.push(1.0).is_ok() {
                         depth += 1;
@@ -186,14 +258,14 @@ proptest! {
                 }
                 _ => {
                     if depth > 0 {
-                        prop_assert!(f.st(0).is_ok());
+                        assert!(f.st(0).is_ok());
                     }
                 }
             }
-            prop_assert_eq!(f.depth() as i32, depth);
-            prop_assert!(depth >= 0 && depth <= 8);
+            assert_eq!(f.depth() as i32, depth, "seed {case}");
+            assert!((0..=8).contains(&depth), "seed {case}");
             // TOS always reflects depth relative to start.
-            prop_assert_eq!(f.top as i32, (8 - depth).rem_euclid(8));
+            assert_eq!(f.top as i32, (8 - depth).rem_euclid(8), "seed {case}");
         }
     }
 }
@@ -210,34 +282,46 @@ fn touches_ecx(n: u8, size: Size) -> bool {
 
 fn patch_away_from_ecx(inst: Inst) -> Inst {
     match inst {
-        Inst::Alu { op, size, dst: Rm::Reg(r), src } if touches_ecx(r.num(), size) => {
-            Inst::Alu {
-                op,
-                size,
-                dst: Rm::Reg(Gpr::new(0)),
-                src,
-            }
-        }
-        Inst::Mov { size, dst: Rm::Reg(r), src } if touches_ecx(r.num(), size) => Inst::Mov {
+        Inst::Alu {
+            op,
+            size,
+            dst: Rm::Reg(r),
+            src,
+        } if touches_ecx(r.num(), size) => Inst::Alu {
+            op,
             size,
             dst: Rm::Reg(Gpr::new(0)),
             src,
         },
-        Inst::Shift { op, size, dst: Rm::Reg(r), count } if touches_ecx(r.num(), size) => {
-            Inst::Shift {
-                op,
-                size,
-                dst: Rm::Reg(Gpr::new(3)),
-                count,
-            }
-        }
-        Inst::IncDec { inc, size, dst: Rm::Reg(r) } if touches_ecx(r.num(), size) => {
-            Inst::IncDec {
-                inc,
-                size,
-                dst: Rm::Reg(Gpr::new(0)),
-            }
-        }
+        Inst::Mov {
+            size,
+            dst: Rm::Reg(r),
+            src,
+        } if touches_ecx(r.num(), size) => Inst::Mov {
+            size,
+            dst: Rm::Reg(Gpr::new(0)),
+            src,
+        },
+        Inst::Shift {
+            op,
+            size,
+            dst: Rm::Reg(r),
+            count,
+        } if touches_ecx(r.num(), size) => Inst::Shift {
+            op,
+            size,
+            dst: Rm::Reg(Gpr::new(3)),
+            count,
+        },
+        Inst::IncDec {
+            inc,
+            size,
+            dst: Rm::Reg(r),
+        } if touches_ecx(r.num(), size) => Inst::IncDec {
+            inc,
+            size,
+            dst: Rm::Reg(Gpr::new(0)),
+        },
         Inst::ImulRm { dst, src } if dst.num() == 1 => Inst::ImulRm {
             dst: Gpr::new(0),
             src,
