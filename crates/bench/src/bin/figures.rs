@@ -1,13 +1,16 @@
 //! Regenerates every table and figure of the paper's evaluation (§6).
 //!
 //! ```text
-//! figures [fig5|fig6|fig7|fig8|table1|hot_vs_cold|misalign|paper_stats|cache|all] [--fast]
+//! figures [fig5|fig6|fig7|fig8|table1|hot_vs_cold|misalign|paper_stats|cache|chaos|all]
+//!         [--fast] [--seed=N]
 //! ```
 //!
 //! `--fast` divides iteration counts by 20 (useful in debug builds).
+//! `--seed=N` seeds the `chaos` fault-injection storm (default 1).
 
 use bench::{
-    cache_pressure, figure5, figure6, figure7, figure8, hot_vs_cold, misalign_speedup, paper_stats,
+    cache_pressure, chaos_storm, figure5, figure6, figure7, figure8, hot_vs_cold, misalign_speedup,
+    paper_stats,
 };
 use btgeneric::engine::Config;
 
@@ -144,10 +147,50 @@ fn print_cache(div: u32) {
     );
 }
 
+fn print_chaos(div: u32, seed: u64) {
+    let s = chaos_storm(div.max(1) * 10, seed);
+    println!("== Fault injection: deterministic storm, seed {seed} ==");
+    println!("(graceful degradation: survive every fault, stay oracle-correct)");
+    for r in &s.runs {
+        println!(
+            "  {:<5} {} / {}  recovery overhead {:.2}x",
+            r.name,
+            if r.survived { "survived" } else { "DIED" },
+            if r.oracle_ok {
+                "oracle ok"
+            } else {
+                "ORACLE MISMATCH"
+            },
+            r.recovery_overhead
+        );
+        println!("        {}", r.stats.chaos_summary());
+    }
+    let by_kind: Vec<String> = s
+        .injected_by_kind()
+        .iter()
+        .map(|(name, n)| format!("{name} {n}"))
+        .collect();
+    println!(
+        "  total faults {} across {} kinds ({})",
+        s.total_faults(),
+        s.kinds_hit(),
+        by_kind.join(", ")
+    );
+    if !s.survived() || !s.oracle_ok() {
+        eprintln!("chaos: a storm run died or diverged from the oracle");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     let div = if fast { 20 } else { 1 };
+    let seed = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--seed="))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64);
     let what = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -171,6 +214,7 @@ fn main() {
         "misalign" => print_misalign(div),
         "paper_stats" => print_paper_stats(div),
         "cache" => print_cache(div),
+        "chaos" => print_chaos(div, seed),
         "all" => {
             print_table1();
             println!();
@@ -197,6 +241,8 @@ fn main() {
             print_paper_stats(div);
             println!();
             print_cache(div);
+            println!();
+            print_chaos(div, seed);
         }
         other => {
             eprintln!("unknown figure: {other}");

@@ -5,9 +5,10 @@
 //! ("Xeon") model — and regenerates every table and figure of the
 //! paper's evaluation (§6). The `figures` binary prints them.
 
+use btgeneric::chaos::{FaultKind, FaultPlan, NUM_KINDS};
 use btgeneric::engine::{Config, Outcome};
 use btgeneric::stats::{Stats, TimeDistribution};
-use btlib::{Process, SimOs};
+use btlib::{Process, SimOs, SimOsFaults};
 use workloads::harness::{build_image, run_ia32_hw, run_native};
 use workloads::{Workload, RESULT};
 
@@ -251,6 +252,145 @@ pub fn cache_pressure(scale_div: u32, max_cache_bundles: usize) -> CachePressure
     }
 }
 
+/// One chaos trial: a workload run under a [`FaultPlan`] storm, with a
+/// clean run of the same configuration as the recovery-overhead
+/// baseline and the IA-32 hardware model as the correctness oracle.
+#[derive(Clone, Debug)]
+pub struct ChaosRun {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// The storm run halted cleanly (no panic, no runaway).
+    pub survived: bool,
+    /// Final guest state matches the IA-32 hardware model.
+    pub oracle_ok: bool,
+    /// Engine-side faults delivered, by [`FaultKind`] index.
+    pub injected: [u64; NUM_KINDS],
+    /// Storm-run cycles over clean-run cycles (recovery overhead).
+    pub recovery_overhead: f64,
+    /// Storm-run translator statistics.
+    pub stats: Stats,
+}
+
+impl ChaosRun {
+    /// All faults delivered: engine-side injections plus OS-side
+    /// allocation refusals.
+    pub fn total_faults(&self) -> u64 {
+        self.injected.iter().sum::<u64>() + self.stats.os_alloc_failures
+    }
+}
+
+/// The chaos configuration: hot promotion on a short fuse so the storm
+/// has hot traces to damage, integrity checking armed, and the hot
+/// optimizer under its cycle-budget watchdog.
+fn chaos_cfg() -> Config {
+    Config {
+        heat_threshold: 64,
+        hot_candidates: 1,
+        verify_on_dispatch: true,
+        hot_session_budget: 400_000,
+        ..Config::default()
+    }
+}
+
+/// Runs `w` once clean and once under [`FaultPlan::storm`], checking
+/// the storm run's final guest state against the IA-32 hardware model.
+pub fn chaos_run(w: &Workload, scale: u32, seed: u64) -> ChaosRun {
+    let cfg = chaos_cfg();
+    let img = build_image(w, scale);
+    let oracle = run_ia32_hw(w, scale, ia32::timing::Timing::default()).result;
+
+    // Clean baseline for the recovery-overhead ratio.
+    let mut clean = Process::launch_with(&img, SimOs::new(), cfg).expect("launch");
+    match clean.run(u64::MAX / 2) {
+        Outcome::Halted(_) => {}
+        other => panic!("clean {} did not halt: {other:?}", w.name),
+    }
+    let clean_cycles = clean.engine.machine.cycles.max(1);
+
+    // Storm run: engine-side faults plus OS-side allocation refusals.
+    let plan = FaultPlan::storm(seed);
+    let os = SimOs::with_faults(SimOsFaults {
+        fail_allocs: plan.os_alloc_failures,
+        fail_syscalls: 0, // the INT workloads issue no mid-run syscalls
+    });
+    let mut p = Process::launch_with(&img, os, cfg).expect("launch");
+    p.engine.chaos = Some(plan);
+    let survived = matches!(p.run(u64::MAX / 2), Outcome::Halted(_));
+    p.engine.collect_hot_exit_stats();
+    let result = p.engine.mem.read(RESULT as u64, 8).unwrap_or(0);
+    let plan = p.engine.chaos.take().expect("plan stays attached");
+    ChaosRun {
+        name: w.name,
+        survived,
+        oracle_ok: result == oracle,
+        injected: plan.injected,
+        recovery_overhead: p.engine.machine.cycles as f64 / clean_cycles as f64,
+        stats: p.engine.stats.clone(),
+    }
+}
+
+/// A full storm: [`chaos_run`] over the two most translation-heavy INT
+/// workloads (gcc's working set churns the cache; mcf's hot loops give
+/// the storm hot traces to damage).
+#[derive(Clone, Debug)]
+pub struct ChaosStorm {
+    /// Per-workload trials.
+    pub runs: Vec<ChaosRun>,
+}
+
+impl ChaosStorm {
+    /// Every trial halted cleanly.
+    pub fn survived(&self) -> bool {
+        self.runs.iter().all(|r| r.survived)
+    }
+
+    /// Every trial matched the hardware-model oracle.
+    pub fn oracle_ok(&self) -> bool {
+        self.runs.iter().all(|r| r.oracle_ok)
+    }
+
+    /// Total faults delivered across all trials.
+    pub fn total_faults(&self) -> u64 {
+        self.runs.iter().map(ChaosRun::total_faults).sum()
+    }
+
+    /// Per-kind totals across trials, labelled for display.
+    pub fn injected_by_kind(&self) -> [(&'static str, u64); NUM_KINDS] {
+        FaultKind::ALL.map(|k| {
+            (
+                k.name(),
+                self.runs.iter().map(|r| r.injected[k as usize]).sum(),
+            )
+        })
+    }
+
+    /// Distinct fault kinds delivered at least once (the five
+    /// engine-side kinds plus OS allocation refusal).
+    pub fn kinds_hit(&self) -> usize {
+        let engine = (0..NUM_KINDS)
+            .filter(|&k| self.runs.iter().any(|r| r.injected[k] > 0))
+            .count();
+        let os = usize::from(self.runs.iter().any(|r| r.stats.os_alloc_failures > 0));
+        engine + os
+    }
+}
+
+/// Runs the storm over gcc and mcf. Each workload gets its own plan
+/// seeded from `seed` so the two trials draw independent streams.
+pub fn chaos_storm(scale_div: u32, seed: u64) -> ChaosStorm {
+    let all = workloads::spec_int();
+    let mut runs = Vec::new();
+    for (i, name) in ["gcc", "mcf"].iter().enumerate() {
+        let w = all
+            .iter()
+            .find(|w| w.name == *name)
+            .expect("workload exists");
+        let scale = (w.scale / scale_div).max(512);
+        runs.push(chaos_run(w, scale, seed.wrapping_add(i as u64)));
+    }
+    ChaosStorm { runs }
+}
+
 /// The paper's in-text statistics, measured over the INT suite.
 #[derive(Clone, Debug, Default)]
 pub struct PaperStats {
@@ -346,6 +486,37 @@ mod tests {
     fn misalignment_avoidance_pays() {
         let (_, _, speedup) = misalign_speedup(40);
         assert!(speedup > 2.0, "avoidance speedup too small: {speedup:.2}x");
+    }
+
+    /// The acceptance bar for the fault-injection harness: a storm of
+    /// at least 100 faults across at least 4 kinds over gcc and mcf,
+    /// every run halting with the oracle-correct result, and the
+    /// degradation ladder visibly doing the recovering.
+    #[test]
+    fn chaos_storm_survives_and_recovers() {
+        let s = chaos_storm(200, 0xC0FFEE);
+        for r in &s.runs {
+            eprintln!(
+                "{}: injected {:?}, os denials {}, overhead {:.2}x",
+                r.name, r.injected, r.stats.os_alloc_failures, r.recovery_overhead
+            );
+        }
+        assert!(s.survived(), "a storm run failed to halt");
+        assert!(s.oracle_ok(), "a storm run diverged from the oracle");
+        assert!(
+            s.total_faults() >= 100,
+            "too few faults delivered: {}",
+            s.total_faults()
+        );
+        assert!(s.kinds_hit() >= 4, "only {} fault kinds hit", s.kinds_hit());
+        let agg = |f: fn(&Stats) -> u64| s.runs.iter().map(|r| f(&r.stats)).sum::<u64>();
+        assert!(agg(|st| st.ladder_recoveries) > 0, "no ladder recoveries");
+        assert!(agg(|st| st.demotions) > 0, "no demotions");
+        assert!(agg(|st| st.interp_fallbacks) > 0, "no interp fallbacks");
+        assert!(
+            agg(|st| st.integrity_evictions) > 0,
+            "no integrity evictions"
+        );
     }
 
     #[test]

@@ -10,14 +10,16 @@
 //! and BTGeneric versions match each other").
 
 use ia32::cpu::Cpu;
-use ia32::mem::GuestMem;
+use ia32::mem::{GuestMem, Prot};
 
 /// BTGeneric's BTOS API major version. Major versions must match
 /// exactly.
 pub const BTOS_MAJOR: u16 = 2;
 /// BTGeneric's BTOS API minor version. BTLib may be newer (backward
 /// compatible) but not older than the translator requires.
-pub const BTOS_MINOR: u16 = 1;
+/// Minor 2 added [`BtOs::alloc_pages`] (recoverable translator-side
+/// allocation).
+pub const BTOS_MINOR: u16 = 2;
 /// The oldest BTLib minor version this BTGeneric can work with.
 pub const BTOS_MIN_COMPAT_MINOR: u16 = 0;
 
@@ -163,6 +165,16 @@ pub trait BtOs {
     /// Asks the OS layer what to do with an application exception.
     /// `cpu` is the precise reconstructed IA-32 state.
     fn exception(&mut self, exc: GuestException, cpu: &Cpu) -> ExceptionOutcome;
+
+    /// Allocates translator-side memory (profile counters, lookup
+    /// tables) at a fixed address. Returns false on ENOMEM — a
+    /// *recoverable* refusal: the engine degrades (shared overflow
+    /// profile slots) instead of aborting. The default implementation
+    /// never fails, matching pre-2.2 BTLib behaviour.
+    fn alloc_pages(&mut self, mem: &mut GuestMem, addr: u64, len: u64) -> bool {
+        mem.map(addr, len, Prot::rw());
+        true
+    }
 
     /// Diagnostic logging channel.
     fn log(&mut self, msg: &str) {

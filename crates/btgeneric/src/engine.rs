@@ -3,6 +3,7 @@
 //! phases together (paper Figure 2).
 
 use crate::btos::{BtOs, ExceptionOutcome, GuestException, SyscallOutcome};
+use crate::chaos::{Blacklist, FaultKind, FaultPlan};
 use crate::cold::discover::discover;
 use crate::cold::gen::{generate, ColdGenInput, SpecSeed};
 use crate::cold::liveness::analyze;
@@ -72,6 +73,27 @@ pub struct Config {
     /// Off = the paper's wholesale garbage collection (every capacity
     /// overflow discards the entire cache, FX!32-style).
     pub enable_eviction: bool,
+    /// Verify each block's arena checksum before dispatching into it;
+    /// a mismatch (corrupted cache line) evicts and retranslates
+    /// instead of executing garbage. Opt-in: costs
+    /// `integrity_check_cycles` per dispatch.
+    pub verify_on_dispatch: bool,
+    /// Simulated cost of one verify-on-dispatch checksum check.
+    pub integrity_check_cycles: u64,
+    /// Cycle budget (OVERHEAD region) for one hot optimization session;
+    /// the watchdog aborts the session past it and keeps the cold
+    /// code. 0 = unbounded.
+    pub hot_session_budget: u64,
+    /// Degradation-ladder failures tolerated per block before it is
+    /// demoted (hot) or evicted (cold) and its EIP blacklisted.
+    pub block_failure_cap: u32,
+    /// Speculation (NaT-consumption) failures tolerated in a hot trace
+    /// before its retries are exhausted and it is rebuilt with inline
+    /// checks.
+    pub spec_retry_cap: u32,
+    /// Base re-promotion backoff (simulated cycles) after a demotion;
+    /// doubles per strike.
+    pub blacklist_backoff_cycles: u64,
 }
 
 impl Default for Config {
@@ -96,8 +118,44 @@ impl Default for Config {
             hot_misalign_tolerance: 8,
             max_cache_bundles: 0,
             enable_eviction: true,
+            verify_on_dispatch: false,
+            integrity_check_cycles: 35,
+            hot_session_budget: 0,
+            block_failure_cap: 3,
+            spec_retry_cap: 32,
+            blacklist_backoff_cycles: 100_000,
         }
     }
+}
+
+/// A translator-internal failure (organic or injected) that the
+/// degradation ladder recovers from instead of panicking.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineError {
+    /// Translated code branched out of the arena to a non-stub address
+    /// (corrupted or mispatched code).
+    NonStubBranch {
+        /// The bad branch target.
+        target: u64,
+        /// Arena address of the branching bundle.
+        from: u64,
+    },
+    /// A NaT-flagged value was consumed (failed control/data
+    /// speculation that escaped its `chk.s`).
+    NatConsumption {
+        /// Faulting arena address.
+        ip: u64,
+        /// Faulting slot.
+        slot: u8,
+    },
+    /// A misalignment fault was taken on a bundle the engine cannot
+    /// emulate (clobbered code or a non-memory op).
+    MisalignResidue {
+        /// Faulting arena address.
+        ip: u64,
+        /// Faulting slot.
+        slot: u8,
+    },
 }
 
 /// Why the engine returned.
@@ -172,6 +230,13 @@ pub struct BlockInfo {
     pub misalign_faults: u32,
     /// Heat registrations (for the "registered twice" trigger).
     pub registrations: u32,
+    /// Degradation-ladder failures charged to this generation.
+    pub failures: u32,
+    /// Speculation (NaT) failures charged to this generation.
+    pub spec_failures: u32,
+    /// FNV-1a checksum of the latest generation's bundles (maintained
+    /// only under `Config::verify_on_dispatch`).
+    pub checksum: u64,
     /// Hot recovery data (commit maps), if this is a hot block.
     pub hot: Option<crate::hot::HotData>,
 }
@@ -209,6 +274,9 @@ pub struct Engine {
     pub cfg: Config,
     /// Execution statistics.
     pub stats: Stats,
+    /// Attached fault-injection schedule (None = no chaos).
+    pub chaos: Option<FaultPlan>,
+    blacklist: Blacklist,
     blocks: Vec<BlockInfo>,
     by_eip: HashMap<u32, u32>,
     profile_cursor: u64,
@@ -232,14 +300,25 @@ pub struct Engine {
     /// Block whose code the engine may still patch or resume in the
     /// current exit handling — never an eviction victim.
     pinned_block: Option<u32>,
+    /// End of the currently mapped prefix of the profile region (grown
+    /// on demand through `BtOs::alloc_pages`).
+    profile_mapped: u64,
 }
 
 const PROFILE_STRIDE: u64 = 24 + 64 * 8;
 
+/// Granularity of on-demand profile-region mapping (page-aligned).
+const PROFILE_CHUNK: u64 = 0x1_0000;
+
 impl Engine {
     /// Creates an engine over the given guest memory.
     pub fn new(mut mem: GuestMem, cfg: Config) -> Engine {
-        mem.map(layout::PROFILE_BASE, layout::PROFILE_SIZE, Prot::rw());
+        // Map only the lookup table plus one reserved overflow profile
+        // slot up front; per-block profile slots are allocated on
+        // demand through `BtOs::alloc_pages` so the OS can refuse them.
+        let head = (layout::COUNTERS_BASE + PROFILE_STRIDE - layout::PROFILE_BASE)
+            .next_multiple_of(PROFILE_CHUNK);
+        mem.map(layout::PROFILE_BASE, head, Prot::rw());
         let arena = CodeArena::new(layout::TC_BASE);
         let machine = Machine::new(arena, cfg.timing);
         Engine {
@@ -247,9 +326,11 @@ impl Engine {
             machine,
             cfg,
             stats: Stats::default(),
+            chaos: None,
+            blacklist: Blacklist::new(cfg.blacklist_backoff_cycles),
             blocks: Vec::new(),
             by_eip: HashMap::new(),
-            profile_cursor: layout::COUNTERS_BASE,
+            profile_cursor: layout::COUNTERS_BASE + PROFILE_STRIDE,
             candidates: Vec::new(),
             blocks_by_page: HashMap::new(),
             smc_pages: HashMap::new(),
@@ -258,7 +339,18 @@ impl Engine {
             pending_exits: HashMap::new(),
             links_into: HashMap::new(),
             pinned_block: None,
+            profile_mapped: layout::PROFILE_BASE + head,
         }
+    }
+
+    /// The re-promotion blacklist (inspection for tests/figures).
+    pub fn blacklist(&self) -> &Blacklist {
+        &self.blacklist
+    }
+
+    /// Mutable blacklist access (tests drive the policy directly).
+    pub fn blacklist_mut(&mut self) -> &mut Blacklist {
+        &mut self.blacklist
     }
 
     /// Block info by id.
@@ -279,13 +371,26 @@ impl Engine {
         }
     }
 
-    fn alloc_profile(&mut self) -> u64 {
+    /// Allocates one per-block profile slot, growing the mapped profile
+    /// region through the OS on demand. When the region is exhausted or
+    /// the OS refuses the mapping (ENOMEM), degrades to the shared
+    /// overflow slot at `COUNTERS_BASE` — colliding use counters cost
+    /// profile quality, never correctness.
+    fn alloc_profile(&mut self, os: &mut dyn BtOs) -> u64 {
         let p = self.profile_cursor;
-        self.profile_cursor += PROFILE_STRIDE;
-        assert!(
-            self.profile_cursor < layout::PROFILE_BASE + layout::PROFILE_SIZE,
-            "profile region exhausted"
-        );
+        let end = p + PROFILE_STRIDE;
+        if end > layout::PROFILE_BASE + layout::PROFILE_SIZE {
+            self.stats.os_alloc_failures += 1;
+            return layout::COUNTERS_BASE;
+        }
+        while end > self.profile_mapped {
+            if !os.alloc_pages(&mut self.mem, self.profile_mapped, PROFILE_CHUNK) {
+                self.stats.os_alloc_failures += 1;
+                return layout::COUNTERS_BASE;
+            }
+            self.profile_mapped += PROFILE_CHUNK;
+        }
+        self.profile_cursor = end;
         p
     }
 
@@ -385,10 +490,16 @@ impl Engine {
         b.hot = Some(hot);
         b.ia32_insts = ia32_insts;
         b.misalign_faults = 0;
+        b.failures = 0;
+        b.spec_failures = 0;
+        let eip = b.eip;
+        if self.cfg.verify_on_dispatch {
+            self.blocks[block_id as usize].checksum =
+                self.machine.arena.checksum_range(range.0, range.1);
+        }
         // Refresh the indirect-branch lookup entry if it pointed at the
         // old version (the forward keeps it correct, but direct is
         // faster).
-        let eip = b.eip;
         let slot = layout::lookup_slot(eip);
         if self.mem.read(slot, 8) == Ok(eip as u64) {
             let _ = self.mem.write(slot + 8, 8, entry);
@@ -397,9 +508,22 @@ impl Engine {
 
     /// Returns the entry address for `eip`, translating a cold block if
     /// necessary.
-    pub fn entry_of(&mut self, eip: u32) -> Result<u64, GuestException> {
+    pub fn entry_of(&mut self, os: &mut dyn BtOs, eip: u32) -> Result<u64, GuestException> {
         if let Some(&id) = self.by_eip.get(&eip) {
             return Ok(self.blocks[id as usize].entry);
+        }
+        // Injected transient translation failure (the guest code page
+        // faulted under the translator's reader): single-step this
+        // entry through the safety net; the next dispatch retries.
+        if self
+            .chaos
+            .as_mut()
+            .is_some_and(|p| p.roll(FaultKind::Translate))
+        {
+            self.stats.faults_injected += 1;
+            self.stats.interp_fallbacks += 1;
+            self.stats.ladder_recoveries += 1;
+            return Ok(self.emit_interp_stub(eip));
         }
         if self.cfg.max_cache_bundles > 0
             && self.machine.arena.live_len() >= self.cfg.max_cache_bundles
@@ -410,7 +534,7 @@ impl Engine {
                 self.flush_cache();
             }
         }
-        self.translate_cold(eip, BlockKind::ColdV1, false, HashMap::new())
+        self.translate_cold(os, eip, BlockKind::ColdV1, false, HashMap::new())
     }
 
     /// Frees cache space by evicting cold, low-use blocks until live
@@ -555,12 +679,14 @@ impl Engine {
             );
             self.stats.chain_unlinks += 1;
         }
+        self.note_patched(addr);
     }
 
     /// Cold-translates the block at `eip` (a specific version), updating
     /// the registry and patching pending links via the forwarding rule.
     fn translate_cold(
         &mut self,
+        os: &mut dyn BtOs,
         eip: u32,
         kind: BlockKind,
         inline_fp: bool,
@@ -587,7 +713,7 @@ impl Engine {
                 let profile = match self.profile_of.get(&eip) {
                     Some(&p) => p,
                     None => {
-                        let p = self.alloc_profile();
+                        let p = self.alloc_profile(os);
                         self.profile_of.insert(eip, p);
                         p
                     }
@@ -642,7 +768,9 @@ impl Engine {
         let gen0 = match generate(&input) {
             Ok(g) => g,
             Err(_) => {
-                // Unlowerable block: a stub that single-steps from here.
+                // Unlowerable block: a stub that single-steps from here
+                // (the bottom rung of the degradation ladder).
+                self.stats.interp_fallbacks += 1;
                 return Ok(self.emit_interp_stub(eip));
             }
         };
@@ -718,6 +846,9 @@ impl Engine {
             misalign_overrides: overrides,
             misalign_faults: 0,
             registrations: 0,
+            failures: 0,
+            spec_failures: 0,
+            checksum: 0,
             hot: None,
         };
         if let Some(prev) = prev_entry {
@@ -727,6 +858,9 @@ impl Engine {
         } else {
             self.blocks.push(info);
             self.by_eip.insert(eip, id);
+        }
+        if self.cfg.verify_on_dispatch {
+            self.blocks[id as usize].checksum = self.machine.arena.checksum_range(range.0, range.1);
         }
         // Register this block's untranslated-target trampolines and
         // proactively chain the ones whose target already exists, so
@@ -809,6 +943,7 @@ impl Engine {
                 self.machine.arena.patch_slot(old_entry, slot, inst.op);
             }
         }
+        self.note_patched(old_entry);
     }
 
     /// Maps an arena address back to the owning block.
@@ -817,6 +952,49 @@ impl Engine {
             .iter()
             .find(|b| addr >= b.range.0 && addr < b.range.1)
             .map(|b| b.id)
+    }
+
+    /// Maps an arena address back to the owning block, searching every
+    /// live generation (the degradation ladder must attribute failures
+    /// in superseded extents too — live extents are disjoint).
+    fn block_at_addr_any(&self, addr: u64) -> Option<u32> {
+        self.blocks
+            .iter()
+            .find(|b| !b.evicted && b.extents.iter().any(|&(s, e)| addr >= s && addr < e))
+            .map(|b| b.id)
+    }
+
+    /// Re-records the owning block's checksum after a *legitimate* code
+    /// patch (chaining, unlinking, forwarding), so verify-on-dispatch
+    /// flags only unsanctioned modifications.
+    fn note_patched(&mut self, addr: u64) {
+        if !self.cfg.verify_on_dispatch {
+            return;
+        }
+        if let Some(id) = self.block_at_addr(addr) {
+            let (s, e) = self.blocks[id as usize].range;
+            self.blocks[id as usize].checksum = self.machine.arena.checksum_range(s, e);
+        }
+    }
+
+    /// Verify-on-dispatch: checks the target block's checksum before
+    /// entering it. On a mismatch the corrupted block is evicted (the
+    /// caller falls back to the slow path, which retranslates) and
+    /// false is returned.
+    fn verify_dispatch(&mut self, eip: u32) -> bool {
+        let Some(&id) = self.by_eip.get(&eip) else {
+            return true;
+        };
+        self.machine
+            .charge(region::OTHER, self.cfg.integrity_check_cycles);
+        let b = &self.blocks[id as usize];
+        if self.machine.arena.checksum_range(b.range.0, b.range.1) == b.checksum {
+            return true;
+        }
+        self.stats.integrity_evictions += 1;
+        self.stats.ladder_recoveries += 1;
+        self.evict_block(id);
+        false
     }
 
     /// Reconstructs the precise IA-32 state at a fault (paper §4).
@@ -841,17 +1019,29 @@ impl Engine {
         let mut eip = cpu.eip;
         let mut remaining = max_slots;
         'dispatch: loop {
+            // Fault injection is consulted at the dispatch boundary:
+            // the precise EIP is known and all guest state is in its
+            // canonical home, so every injected failure is recoverable.
+            if self.chaos.is_some() {
+                self.inject_faults(os, eip);
+            }
             // Chained-dispatch fast path: a registry hit needs no
             // translation work and only minimal state traffic, so it is
-            // charged a reduced round-trip cost.
-            let entry = if let Some(e) = self.entry_of_existing(eip) {
+            // charged a reduced round-trip cost. Under
+            // verify-on-dispatch a checksum mismatch evicts the target
+            // and falls back to the slow path (retranslation).
+            let fast = match self.entry_of_existing(eip) {
+                Some(e) if !self.cfg.verify_on_dispatch || self.verify_dispatch(eip) => Some(e),
+                _ => None,
+            };
+            let entry = if let Some(e) = fast {
                 self.machine
                     .charge(region::OTHER, self.cfg.dispatch_fast_cycles);
                 self.stats.dispatch_fast_hits += 1;
                 e
             } else {
                 self.machine.charge(region::OTHER, self.cfg.dispatch_cycles);
-                match self.entry_of(eip) {
+                match self.entry_of(os, eip) {
                     Ok(e) => e,
                     Err(exc) => match self.deliver(os, exc, None) {
                         Ok(new_eip) => {
@@ -917,9 +1107,10 @@ impl Engine {
 
     fn handle_exit_stub(&mut self, os: &mut dyn BtOs, target: u64, from: u64) -> ExitAction {
         let Some(kind) = StubKind::from_addr(target) else {
-            // A branch left the arena to a non-stub address — this is an
-            // engine bug, not guest behaviour.
-            panic!("translated code branched to {target:#x} (not a stub)");
+            // A branch left the arena to a non-stub address: corrupted
+            // or mispatched code. Walk the degradation ladder instead
+            // of executing garbage (or dying).
+            return self.degrade(os, EngineError::NonStubBranch { target, from });
         };
         let payload = self.machine.gr[GR_PAYLOAD0.0 as usize];
         match kind {
@@ -948,7 +1139,7 @@ impl Engine {
             }
             StubKind::Untranslated => {
                 let eip = payload as u32;
-                match self.entry_of(eip) {
+                match self.entry_of(os, eip) {
                     Ok(entry) => {
                         // Patch the trampoline's branch (the bundle that
                         // exited) to go straight to the new block, and
@@ -968,7 +1159,7 @@ impl Engine {
             StubKind::IndirectMiss => {
                 let eip = payload as u32;
                 self.stats.indirect_misses += 1;
-                match self.entry_of(eip) {
+                match self.entry_of(os, eip) {
                     Ok(entry) => {
                         // Fill the lookup table.
                         let slot = layout::lookup_slot(eip);
@@ -989,6 +1180,12 @@ impl Engine {
                 b.registrations += 1;
                 let twice = b.registrations >= 2;
                 let eip = b.eip;
+                // Demoted blocks sit out their re-promotion backoff:
+                // no candidacy until the blacklist releases them.
+                if self.blacklist.is_blocked(eip, self.machine.cycles) {
+                    self.stats.blacklist_hits += 1;
+                    return ExitAction::Dispatch(eip);
+                }
                 if !self.candidates.contains(&id) {
                     self.candidates.push(id);
                 }
@@ -1002,7 +1199,7 @@ impl Engine {
                 self.stats.misalign_retrains += 1;
                 let eip = self.blocks[id as usize].eip;
                 let overrides = self.blocks[id as usize].misalign_overrides.clone();
-                let _ = self.translate_cold(eip, BlockKind::ColdV2, false, overrides);
+                let _ = self.translate_cold(os, eip, BlockKind::ColdV2, false, overrides);
                 // Continue at the interrupted instruction.
                 let cur = self.machine.gr[GR_STATE.0 as usize] as u32;
                 ExitAction::Dispatch(cur)
@@ -1011,7 +1208,7 @@ impl Engine {
                 let id = payload as u32;
                 self.stats.smc_events += 1;
                 let eip = self.blocks[id as usize].eip;
-                let _ = self.translate_cold(eip, BlockKind::ColdV1, false, HashMap::new());
+                let _ = self.translate_cold(os, eip, BlockKind::ColdV1, false, HashMap::new());
                 ExitAction::Dispatch(eip)
             }
             StubKind::TosFix => {
@@ -1029,7 +1226,7 @@ impl Engine {
                 let eip = self.blocks[id as usize].eip;
                 let overrides = self.blocks[id as usize].misalign_overrides.clone();
                 let kind = self.blocks[id as usize].kind;
-                let _ = self.translate_cold(eip, kind, true, overrides);
+                let _ = self.translate_cold(os, eip, kind, true, overrides);
                 ExitAction::Dispatch(eip)
             }
             StubKind::MmxFix => {
@@ -1100,6 +1297,7 @@ impl Engine {
     /// rare-case escape hatch: 64/32-bit divides, pop-to-memory, …).
     fn interp_one(&mut self, os: &mut dyn BtOs, eip: u32) -> ExitAction {
         self.stats.interp_steps += 1;
+        self.stats.interp_cycles += self.cfg.interp_step_cycles;
         self.machine
             .charge(region::OTHER, self.cfg.interp_step_cycles);
         let cpu = state::machine_to_cpu(&self.machine, eip);
@@ -1116,6 +1314,9 @@ impl Engine {
                 if vector != 0x80 {
                     return self.deliver_action(os, GuestException::InvalidOpcode, cpu);
                 }
+                // Count the syscall exactly like the Syscall-stub path
+                // does, so single-stepped syscalls don't under-report.
+                self.stats.syscalls += 1;
                 match os.syscall(&mut cpu, &mut self.mem) {
                     SyscallOutcome::Continue => {
                         state::cpu_to_machine(&cpu, &mut self.machine);
@@ -1139,7 +1340,7 @@ impl Engine {
         }
     }
 
-    fn handle_fault(
+    pub(crate) fn handle_fault(
         &mut self,
         os: &mut dyn BtOs,
         fault: MachFault,
@@ -1159,11 +1360,10 @@ impl Engine {
                     {
                         // Discard the hot block; regenerate everything
                         // with detection and avoidance (paper §5 stage 3
-                        // final paragraph).
-                        let eip = b.eip;
-                        let overrides = b.misalign_overrides.clone();
+                        // final paragraph) and blacklist re-promotion
+                        // until the backoff expires.
                         let cpu = self.reconstruct(ip, slot);
-                        let _ = self.translate_cold(eip, BlockKind::ColdV2, false, overrides);
+                        self.demote_block(os, id);
                         state::cpu_to_machine(&cpu, &mut self.machine);
                         return ExitAction::Dispatch(cpu.eip);
                     }
@@ -1173,9 +1373,12 @@ impl Engine {
                         self.machine.skip_slot();
                         ExitAction::Continue(self.machine.ip)
                     }
-                    Err(exc) => {
+                    Err(MisEmu::Guest(exc)) => {
                         let cpu = self.reconstruct(ip, slot);
                         self.deliver_action(os, exc, cpu)
+                    }
+                    Err(MisEmu::Residue) => {
+                        self.degrade(os, EngineError::MisalignResidue { ip, slot })
                     }
                 }
             }
@@ -1194,7 +1397,9 @@ impl Engine {
                 }
             },
             MachFault::NatConsumption => {
-                panic!("NaT consumption at {ip:#x}.{slot}: translator bug");
+                // Failed speculation escaped its chk.s (or the code was
+                // corrupted): recover through the ladder.
+                self.degrade(os, EngineError::NatConsumption { ip, slot })
             }
         }
     }
@@ -1250,22 +1455,20 @@ impl Engine {
     }
 
     /// Emulates a misaligned access in parts (the "OS handler" path).
-    fn emulate_misaligned(&mut self, ip: u64, slot: u8) -> Result<(), GuestException> {
-        let bundle = self
-            .machine
-            .arena
-            .bundle_at(ip)
-            .expect("fault inside arena");
+    fn emulate_misaligned(&mut self, ip: u64, slot: u8) -> Result<(), MisEmu> {
+        let Some(bundle) = self.machine.arena.bundle_at(ip) else {
+            return Err(MisEmu::Residue);
+        };
         let op = bundle.slots[slot as usize].op;
-        let read_parts = |mem: &GuestMem, addr: u64, size: u32| -> Result<u64, GuestException> {
+        let read_parts = |mem: &GuestMem, addr: u64, size: u32| -> Result<u64, MisEmu> {
             let mut v = 0u64;
             for i in 0..size as u64 {
-                let b = mem
-                    .read(addr + i, 1)
-                    .map_err(|f| GuestException::PageFault {
+                let b = mem.read(addr + i, 1).map_err(|f| {
+                    MisEmu::Guest(GuestException::PageFault {
                         addr: f.addr as u32,
                         write: false,
-                    })?;
+                    })
+                })?;
                 v |= b << (i * 8);
             }
             Ok(v)
@@ -1285,9 +1488,11 @@ impl Engine {
                 for i in 0..sz as u64 {
                     self.mem
                         .write(a + i, 1, (v >> (i * 8)) & 0xFF)
-                        .map_err(|f| GuestException::PageFault {
-                            addr: f.addr as u32,
-                            write: true,
+                        .map_err(|f| {
+                            MisEmu::Guest(GuestException::PageFault {
+                                addr: f.addr as u32,
+                                write: true,
+                            })
                         })?;
                 }
             }
@@ -1310,13 +1515,18 @@ impl Engine {
                 for i in 0..n {
                     self.mem
                         .write(a + i, 1, (v >> (i * 8)) & 0xFF)
-                        .map_err(|f| GuestException::PageFault {
-                            addr: f.addr as u32,
-                            write: true,
+                        .map_err(|f| {
+                            MisEmu::Guest(GuestException::PageFault {
+                                addr: f.addr as u32,
+                                write: true,
+                            })
                         })?;
                 }
             }
-            other => panic!("misalignment fault on non-memory op {other:?}"),
+            // A misalignment fault on a non-memory op means the code at
+            // `ip` is not what the translator emitted: residue for the
+            // degradation ladder.
+            _ => return Err(MisEmu::Residue),
         }
         let _ = FXfer::Sig;
         Ok(())
@@ -1443,12 +1653,228 @@ impl Engine {
                 );
             }
         }
+        self.note_patched(bundle_addr);
     }
 
-    fn run_hot_session(&mut self, _os: &mut dyn BtOs) {
+    fn run_hot_session(&mut self, os: &mut dyn BtOs) {
+        // Injected budget exhaustion: the watchdog kills the whole
+        // session before it starts; every candidate keeps its cold code.
+        if self
+            .chaos
+            .as_mut()
+            .is_some_and(|p| p.roll(FaultKind::HotBudget))
+        {
+            self.stats.faults_injected += 1;
+            self.stats.watchdog_aborts += 1;
+            self.stats.ladder_recoveries += 1;
+            self.candidates.clear();
+            return;
+        }
+        let budget = self.cfg.hot_session_budget;
+        let start = self.overhead_cycles();
         let candidates = std::mem::take(&mut self.candidates);
         for id in candidates {
+            let eip = self.blocks[id as usize].eip;
+            if self.blacklist.is_blocked(eip, self.machine.cycles) {
+                self.stats.blacklist_hits += 1;
+                continue;
+            }
             crate::hot::promote(self, id);
+            if budget > 0 && self.overhead_cycles() - start > budget {
+                // The session blew its cycle budget: abort the rest,
+                // keeping their cold code (they can re-register later).
+                self.stats.watchdog_aborts += 1;
+                break;
+            }
+        }
+        let _ = os;
+    }
+
+    fn overhead_cycles(&self) -> u64 {
+        self.machine
+            .region_cycles
+            .get(&region::OVERHEAD)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The degradation ladder: maps a translator-internal failure to a
+    /// precise guest state and a bounded recovery action (retry ->
+    /// demote/evict + blacklist -> retranslate) — never a panic.
+    fn degrade(&mut self, os: &mut dyn BtOs, err: EngineError) -> ExitAction {
+        self.stats.ladder_recoveries += 1;
+        let (site, slot) = match err {
+            EngineError::NonStubBranch { from, .. } => (from, 0),
+            EngineError::NatConsumption { ip, slot }
+            | EngineError::MisalignResidue { ip, slot } => (ip, slot),
+        };
+        let id = self.block_at_addr_any(site);
+        // Precise state: a block entry is a state boundary (everything
+        // in its canonical home, EIP = the block's EIP); inside a block
+        // the recovery maps / state register reconstruct it.
+        let cpu = match id {
+            Some(id) => {
+                let b = &self.blocks[id as usize];
+                if b.extents.iter().any(|&(s, _)| s == site) {
+                    state::machine_to_cpu(&self.machine, b.eip)
+                } else {
+                    self.reconstruct(site, slot)
+                }
+            }
+            None => self.reconstruct(site, slot),
+        };
+        if let Some(id) = id {
+            let is_spec = matches!(err, EngineError::NatConsumption { .. });
+            if is_spec && self.blocks[id as usize].kind == BlockKind::Hot {
+                // Failed speculation: bounded retries, then rebuild
+                // without the speculative assumptions (inline checks).
+                let b = &mut self.blocks[id as usize];
+                b.spec_failures += 1;
+                if b.spec_failures > self.cfg.spec_retry_cap {
+                    b.inline_fp = true;
+                    self.stats.spec_retry_exhaustions += 1;
+                    self.demote_block(os, id);
+                }
+            } else {
+                self.note_failure(os, id);
+            }
+        }
+        state::cpu_to_machine(&cpu, &mut self.machine);
+        ExitAction::Dispatch(cpu.eip)
+    }
+
+    /// Charges one ladder failure to a block. Below the cap the block
+    /// is simply retried (a transient fault may clear); past it the
+    /// block is demoted (hot) or evicted (cold), its EIP blacklisted,
+    /// and the next dispatch rebuilds fresh code from the unchanged
+    /// guest bytes.
+    fn note_failure(&mut self, os: &mut dyn BtOs, id: u32) {
+        let b = &mut self.blocks[id as usize];
+        if b.evicted {
+            return;
+        }
+        b.failures += 1;
+        if b.failures <= self.cfg.block_failure_cap {
+            return;
+        }
+        if b.kind == BlockKind::Hot {
+            self.demote_block(os, id);
+        } else {
+            let eip = self.blocks[id as usize].eip;
+            self.blacklist.strike(eip, self.machine.cycles);
+            self.evict_block(id);
+        }
+    }
+
+    /// Demotes a hot (or repeatedly failing) block back to stage-2 cold
+    /// code and blacklists its EIP from re-promotion with exponential
+    /// backoff.
+    fn demote_block(&mut self, os: &mut dyn BtOs, id: u32) {
+        let eip = self.blocks[id as usize].eip;
+        self.stats.demotions += 1;
+        self.blacklist.strike(eip, self.machine.cycles);
+        if self.by_eip.get(&eip) == Some(&id) {
+            let inline_fp = self.blocks[id as usize].inline_fp;
+            let overrides = self.blocks[id as usize].misalign_overrides.clone();
+            let _ = self.translate_cold(os, eip, BlockKind::ColdV2, inline_fp, overrides);
+        } else {
+            // An orphaned generation (superseded via SMC): nothing to
+            // rebuild, just reclaim it.
+            self.evict_block(id);
+        }
+    }
+
+    /// Consults the attached `FaultPlan` at a dispatch boundary and
+    /// applies any injected faults. Every injection damages only
+    /// *translations*, which the ladder rebuilds from unchanged guest
+    /// code — guest-visible semantics are preserved by construction
+    /// (the differential oracle in the chaos bench checks this).
+    fn inject_faults(&mut self, os: &mut dyn BtOs, eip: u32) {
+        let Some(mut plan) = self.chaos.take() else {
+            return;
+        };
+        // Misalignment storm: push a victim over its fault tolerance.
+        if plan.roll(FaultKind::MisalignStorm) {
+            if let Some(victim) = self.pick_victim(&mut plan, true) {
+                self.stats.faults_injected += 1;
+                self.stats.ladder_recoveries += 1;
+                let n = self.cfg.hot_misalign_tolerance + 1;
+                self.stats.misalign_faults += n as u64;
+                self.machine
+                    .charge(region::OTHER, self.cfg.misalign_fault_cycles * n as u64);
+                self.blocks[victim as usize].misalign_faults += n;
+                if self.blocks[victim as usize].kind == BlockKind::Hot {
+                    self.demote_block(os, victim);
+                } else {
+                    // Retrain: regenerate with detection and avoidance.
+                    self.stats.misalign_retrains += 1;
+                    let veip = self.blocks[victim as usize].eip;
+                    let overrides = self.blocks[victim as usize].misalign_overrides.clone();
+                    let _ = self.translate_cold(os, veip, BlockKind::ColdV2, false, overrides);
+                }
+            }
+        }
+        // SMC write landing on the current page: invalidate all of its
+        // translations. Guest bytes are unchanged, so the retranslation
+        // is identical — only the recovery machinery is exercised.
+        if plan.roll(FaultKind::SmcInvalidate) {
+            self.stats.faults_injected += 1;
+            self.stats.smc_events += 1;
+            self.machine.charge(region::OTHER, self.cfg.fix_cycles);
+            let ids = self.blocks_by_page.remove(&(eip >> 12)).unwrap_or_default();
+            for id in ids {
+                let entry = self.blocks[id as usize].entry;
+                self.forward(entry, StubKind::Reenter.addr());
+                let beip = self.blocks[id as usize].eip;
+                if self.by_eip.get(&beip) == Some(&id) {
+                    self.by_eip.remove(&beip);
+                }
+                let slot_addr = layout::lookup_slot(beip);
+                let _ = self.mem.write(slot_addr, 8, layout::LOOKUP_EMPTY_KEY);
+            }
+        }
+        // Bit-flip: clobber a victim's entry bundle. Detected by the
+        // checksum (verify-on-dispatch) or, without it, by the
+        // non-stub-branch rung of the ladder — never executed as-is
+        // beyond the clobbered slot.
+        if plan.roll(FaultKind::BitFlip) {
+            if let Some(victim) = self.pick_victim(&mut plan, false) {
+                self.stats.faults_injected += 1;
+                let entry = self.blocks[victim as usize].range.0;
+                self.machine.arena.patch_slot(
+                    entry,
+                    0,
+                    Op::Br {
+                        target: Target::Abs(layout::CORRUPT_SENTINEL),
+                    },
+                );
+                // No note_patched(): this modification is unsanctioned,
+                // exactly what the checksum must catch.
+            }
+        }
+        self.chaos = Some(plan);
+    }
+
+    /// Picks a live, registered injection victim — preferring hot
+    /// blocks when asked (so storms exercise demotion).
+    fn pick_victim(&mut self, plan: &mut FaultPlan, prefer_hot: bool) -> Option<u32> {
+        let live = |b: &&BlockInfo| !b.evicted && self.by_eip.get(&b.eip) == Some(&b.id);
+        let hot: Vec<u32> = self
+            .blocks
+            .iter()
+            .filter(live)
+            .filter(|b| b.kind == BlockKind::Hot)
+            .map(|b| b.id)
+            .collect();
+        let pool: Vec<u32> = if prefer_hot && !hot.is_empty() {
+            hot
+        } else {
+            self.blocks.iter().filter(live).map(|b| b.id).collect()
+        };
+        if pool.is_empty() {
+            None
+        } else {
+            Some(pool[plan.pick(pool.len())])
         }
     }
 
@@ -1500,11 +1926,20 @@ impl Engine {
     }
 }
 
-enum ExitAction {
+pub(crate) enum ExitAction {
     /// Resume the machine at this arena address.
     Continue(u64),
     /// Re-dispatch at this guest EIP.
     Dispatch(u32),
     /// Return to the caller.
     Done(Outcome),
+}
+
+/// Outcome of part-wise misaligned-access emulation.
+enum MisEmu {
+    /// A real guest exception surfaced (unmapped page, …).
+    Guest(GuestException),
+    /// The faulting bundle is not an emulable memory op — the code is
+    /// not what the translator emitted; residue for the ladder.
+    Residue,
 }

@@ -13,6 +13,12 @@ pub const TC_BASE: u64 = 0x8000_0000_0000;
 /// control to the translator with the stub kind encoded in the address.
 pub const STUB_BASE: u64 = 0xE000_0000_0000;
 
+/// Sentinel branch target used by fault injection to model a corrupted
+/// cache line: inside neither the arena nor the stub range, so a
+/// clobbered bundle that branches here is caught by the engine's
+/// degradation ladder instead of silently executing.
+pub const CORRUPT_SENTINEL: u64 = 0xDEAD_0000_0000;
+
 /// Base of the translator's profile-data region (counters, lookup
 /// table), mapped as ordinary guest memory above 4 GiB.
 pub const PROFILE_BASE: u64 = 0x1_0000_0000;

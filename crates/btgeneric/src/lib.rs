@@ -9,6 +9,7 @@
 //! commit points and recovery maps.
 
 pub mod btos;
+pub mod chaos;
 pub mod cold;
 pub mod engine;
 pub mod hot;

@@ -6,7 +6,11 @@ use crate::layout::region;
 use std::collections::HashMap;
 
 /// Aggregated statistics for one engine run.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq`/`Eq` back the fault-injection determinism test: two runs
+/// of the same workload under the same `FaultPlan` seed must produce
+/// identical counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Cold blocks translated (all versions).
     pub cold_blocks: u64,
@@ -73,6 +77,36 @@ pub struct Stats {
     /// Dispatch-loop entries that hit an already-translated block (the
     /// fast path: no translation, reduced round-trip charge).
     pub dispatch_fast_hits: u64,
+    /// Hot traces demoted back to cold by the degradation ladder
+    /// (repeated faults, failed speculation, corruption).
+    pub demotions: u64,
+    /// Heat events suppressed because the block's EIP was blacklisted
+    /// from re-promotion (backoff not yet expired).
+    pub blacklist_hits: u64,
+    /// Blocks whose speculation-failure retries ran out: demoted and
+    /// rebuilt without the speculative assumptions.
+    pub spec_retry_exhaustions: u64,
+    /// Translation attempts that fell back to the `InterpStep` safety
+    /// net (organic generation failure or injected translate fault).
+    pub interp_fallbacks: u64,
+    /// Installed extents evicted because verify-on-dispatch caught a
+    /// checksum mismatch (corrupted cache line).
+    pub integrity_evictions: u64,
+    /// Hot optimization sessions aborted by the cycle-budget watchdog
+    /// (cold code kept).
+    pub watchdog_aborts: u64,
+    /// Failures (injected or organic) recovered by walking the
+    /// degradation ladder instead of dying.
+    pub ladder_recoveries: u64,
+    /// Translator-side allocation requests the OS refused (ENOMEM);
+    /// the engine degraded (shared overflow profile slot) instead of
+    /// aborting.
+    pub os_alloc_failures: u64,
+    /// Faults delivered by an attached `FaultPlan` (engine-side kinds).
+    pub faults_injected: u64,
+    /// Cycles charged to single-stepped instructions (the `InterpStep`
+    /// safety net), so fallback time reconciles against total cycles.
+    pub interp_cycles: u64,
 }
 
 impl Stats {
@@ -88,6 +122,25 @@ impl Stats {
             self.lookup_purges,
             self.cache_flushes,
             self.dispatch_fast_hits
+        )
+    }
+
+    /// One-line robustness summary (degradation-ladder activity) for
+    /// bench/figures output.
+    pub fn chaos_summary(&self) -> String {
+        format!(
+            "injected {}, recoveries {}, demotions {}, blacklist hits {}, \
+             spec exhaustions {}, interp fallbacks {}, integrity evictions {}, \
+             watchdog aborts {}, os alloc fails {}",
+            self.faults_injected,
+            self.ladder_recoveries,
+            self.demotions,
+            self.blacklist_hits,
+            self.spec_retry_exhaustions,
+            self.interp_fallbacks,
+            self.integrity_evictions,
+            self.watchdog_aborts,
+            self.os_alloc_failures
         )
     }
 }

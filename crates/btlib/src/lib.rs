@@ -51,6 +51,17 @@ pub mod sys {
     pub const SIGNAL: u32 = 48;
 }
 
+/// Deterministic OS-side fault injection: how many upcoming requests of
+/// each kind SimOs refuses before returning to normal service.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimOsFaults {
+    /// Translator-side allocation requests to refuse (ENOMEM).
+    pub fail_allocs: u32,
+    /// `write` syscalls to fail transiently (EAGAIN) — guest-visible,
+    /// so only armed for workloads/tests that retry.
+    pub fail_syscalls: u32,
+}
+
 /// The simulated Linux-like OS personality.
 #[derive(Debug)]
 pub struct SimOs {
@@ -62,6 +73,12 @@ pub struct SimOs {
     pub handler: Option<u32>,
     /// Log lines from BTGeneric.
     pub log: Vec<String>,
+    /// Armed fault injection (remaining refusals).
+    pub faults: SimOsFaults,
+    /// Allocation requests refused so far.
+    pub denied_allocs: u64,
+    /// Syscalls failed with EAGAIN so far.
+    pub denied_syscalls: u64,
     tick: u64,
 }
 
@@ -79,7 +96,18 @@ impl SimOs {
             brk: 0x6000_0000,
             handler: None,
             log: Vec::new(),
+            faults: SimOsFaults::default(),
+            denied_allocs: 0,
+            denied_syscalls: 0,
             tick: 0,
+        }
+    }
+
+    /// A personality with fault injection armed.
+    pub fn with_faults(faults: SimOsFaults) -> SimOs {
+        SimOs {
+            faults,
+            ..SimOs::new()
         }
     }
 
@@ -105,7 +133,13 @@ impl BtOs for SimOs {
         match num {
             sys::EXIT => return SyscallOutcome::Exit(a1 as i32),
             sys::WRITE => {
-                if a1 == 1 {
+                if self.faults.fail_syscalls > 0 {
+                    // Injected transient failure: the guest sees EAGAIN
+                    // and may retry.
+                    self.faults.fail_syscalls -= 1;
+                    self.denied_syscalls += 1;
+                    cpu.gpr[EAX.num() as usize] = -11i32 as u32; // EAGAIN
+                } else if a1 == 1 {
                     match mem.read_bytes(a2 as u64, a3 as usize) {
                         Ok(bytes) => {
                             let n = bytes.len() as u32;
@@ -143,6 +177,17 @@ impl BtOs for SimOs {
             Some(h) => ExceptionOutcome::DeliverTo(h),
             None => ExceptionOutcome::Terminate,
         }
+    }
+
+    fn alloc_pages(&mut self, mem: &mut GuestMem, addr: u64, len: u64) -> bool {
+        if self.faults.fail_allocs > 0 {
+            // Injected ENOMEM: the engine must degrade, not die.
+            self.faults.fail_allocs -= 1;
+            self.denied_allocs += 1;
+            return false;
+        }
+        mem.map(addr, len, Prot::rw());
+        true
     }
 
     fn log(&mut self, msg: &str) {

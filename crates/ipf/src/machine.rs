@@ -335,6 +335,24 @@ impl CodeArena {
         self.bundles[idx].slots[slot].op = op;
     }
 
+    /// FNV-1a checksum over the bundles in `[start, end)`, in their
+    /// textual (assembly) form. Used by the engine's verify-on-dispatch
+    /// integrity mode: a patched or corrupted slot changes the sum.
+    pub fn checksum_range(&self, start: u64, end: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut addr = start;
+        while addr < end {
+            if let Some(b) = self.bundle_at(addr) {
+                for byte in format!("{b}").bytes() {
+                    h ^= byte as u64;
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+            }
+            addr += Bundle::SIZE;
+        }
+        h
+    }
+
     /// Number of bundles.
     pub fn len(&self) -> usize {
         self.bundles.len()
