@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation (§6).
 //!
 //! ```text
-//! figures [fig5|fig6|fig7|fig8|table1|hot_vs_cold|misalign|paper_stats|cache|chaos|all]
+//! figures [fig5|fig6|fig7|fig8|table1|hot_vs_cold|misalign|paper_stats|cache|chaos|trace|all]
 //!         [--fast] [--seed=N]
 //! ```
 //!
@@ -10,9 +10,10 @@
 
 use bench::{
     cache_pressure, chaos_storm, figure5, figure6, figure7, figure8, hot_vs_cold, misalign_speedup,
-    paper_stats,
+    paper_stats, trace_overhead, trace_run,
 };
 use btgeneric::engine::Config;
+use btgeneric::trace::TraceConfig;
 
 fn hot_cfg() -> Config {
     // Full runs reach the heating threshold naturally; the published
@@ -182,6 +183,53 @@ fn print_chaos(div: u32, seed: u64) {
     }
 }
 
+fn print_trace(div: u32) {
+    let tr = trace_run(div.max(1) * 20, TraceConfig::on());
+    println!("== Observability: gcc lifecycle trace ==");
+    println!("  {}", tr.summary);
+    println!();
+    println!("-- top-10 hot paths (by attributed simulated cycles) --");
+    print!("{}", tr.hot_path);
+    let dir = std::path::Path::new("target/trace");
+    match std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(dir.join("gcc.folded"), &tr.collapsed))
+        .and_then(|()| std::fs::write(dir.join("gcc.trace.json"), &tr.chrome_json))
+    {
+        Ok(()) => {
+            println!();
+            println!(
+                "  wrote {} (collapsed stacks; feed to flamegraph tooling)",
+                dir.join("gcc.folded").display()
+            );
+            println!(
+                "  wrote {} (load in chrome://tracing or Perfetto)",
+                dir.join("gcc.trace.json").display()
+            );
+        }
+        Err(e) => eprintln!("  could not write trace artifacts: {e}"),
+    }
+    println!();
+    let o = trace_overhead(div.max(1) * 20);
+    println!("-- trace_overhead --");
+    println!("  tracing off:    {:>12} cycles", o.off_cycles);
+    println!(
+        "  masked (free):  {:>12} cycles (delta {})",
+        o.masked_cycles,
+        o.off_delta()
+    );
+    println!(
+        "  tracing on:     {:>12} cycles ({:+.3}% | {} events recorded, {} seen)",
+        o.on_cycles,
+        o.overhead() * 100.0,
+        o.events_recorded,
+        o.events_seen
+    );
+    if o.off_delta() != 0 || o.overhead() >= 0.02 {
+        eprintln!("trace: overhead contract violated");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
@@ -215,6 +263,7 @@ fn main() {
         "paper_stats" => print_paper_stats(div),
         "cache" => print_cache(div),
         "chaos" => print_chaos(div, seed),
+        "trace" => print_trace(div),
         "all" => {
             print_table1();
             println!();
@@ -241,6 +290,8 @@ fn main() {
             print_paper_stats(div);
             println!();
             print_cache(div);
+            println!();
+            print_trace(div);
             println!();
             print_chaos(div, seed);
         }

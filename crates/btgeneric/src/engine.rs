@@ -11,6 +11,7 @@ use crate::layout::{self, region, StubKind};
 use crate::state::{self, GR_PAYLOAD0, GR_STATE};
 use crate::stats::Stats;
 use crate::templates::{AccessMode, MisalignPlan};
+use crate::trace::{EventData, EventKind, Phase, Rung, SpanToken, TraceConfig, Tracer};
 use ia32::cpu::Cpu;
 use ia32::interp::{Event, Interp};
 use ia32::mem::{GuestMem, MemFaultKind, Prot};
@@ -94,6 +95,9 @@ pub struct Config {
     /// Base re-promotion backoff (simulated cycles) after a demotion;
     /// doubles per strike.
     pub blacklist_backoff_cycles: u64,
+    /// Observability knobs: lifecycle tracing and per-block profiling
+    /// (off by default — zero cost when disabled).
+    pub trace: TraceConfig,
 }
 
 impl Default for Config {
@@ -124,6 +128,7 @@ impl Default for Config {
             block_failure_cap: 3,
             spec_retry_cap: 32,
             blacklist_backoff_cycles: 100_000,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -276,6 +281,9 @@ pub struct Engine {
     pub stats: Stats,
     /// Attached fault-injection schedule (None = no chaos).
     pub chaos: Option<FaultPlan>,
+    /// The lifecycle tracer / flight recorder (inert unless
+    /// `Config::trace.enabled`).
+    pub tracer: Tracer,
     blacklist: Blacklist,
     blocks: Vec<BlockInfo>,
     by_eip: HashMap<u32, u32>,
@@ -327,6 +335,7 @@ impl Engine {
             cfg,
             stats: Stats::default(),
             chaos: None,
+            tracer: Tracer::new(cfg.trace),
             blacklist: Blacklist::new(cfg.blacklist_backoff_cycles),
             blocks: Vec::new(),
             by_eip: HashMap::new(),
@@ -470,6 +479,68 @@ impl Engine {
             .map(|&id| self.blocks[id as usize].entry)
     }
 
+    /// Offers one lifecycle event to the tracer, charging
+    /// [`TraceConfig::event_cycles`] to the `OTHER` region iff the event
+    /// was actually recorded — the honest, visible cost of a trace
+    /// write. With tracing disabled this is a single branch and charges
+    /// nothing, so an untraced run is cycle-identical to a build that
+    /// never had tracing (the zero-cost-when-off contract).
+    pub(crate) fn trace_emit(&mut self, data: EventData) {
+        if !self.cfg.trace.enabled {
+            return;
+        }
+        if self.tracer.offer(self.machine.cycles, data) {
+            self.machine
+                .charge(region::OTHER, self.cfg.trace.event_cycles);
+        }
+    }
+
+    /// Opens a traced phase span (`None` when tracing is off).
+    fn trace_phase_enter(&mut self, phase: Phase) -> Option<SpanToken> {
+        if !self.cfg.trace.enabled {
+            return None;
+        }
+        let (token, recorded) = self.tracer.phase_enter(self.machine.cycles, phase);
+        if recorded {
+            self.machine
+                .charge(region::OTHER, self.cfg.trace.event_cycles);
+        }
+        Some(token)
+    }
+
+    /// Closes a traced phase span opened by [`Engine::trace_phase_enter`].
+    fn trace_phase_exit(&mut self, token: Option<SpanToken>) {
+        let Some(token) = token else {
+            return;
+        };
+        if self.tracer.phase_exit(self.machine.cycles, token) {
+            self.machine
+                .charge(region::OTHER, self.cfg.trace.event_cycles);
+        }
+    }
+
+    /// Feeds the profile table (free: profiles are engine bookkeeping,
+    /// only ring writes are charged).
+    fn trace_profile(&mut self, f: impl FnOnce(&mut Tracer)) {
+        if self.cfg.trace.enabled {
+            f(&mut self.tracer);
+        }
+    }
+
+    /// Cycles accumulated so far in machine region `r`.
+    fn region_cycle(&self, r: u32) -> u64 {
+        self.machine.region_cycles.get(&r).copied().unwrap_or(0)
+    }
+
+    /// Renders the tracer's human-readable report: recorder counters,
+    /// per-kind observed counts, and the top-10 hot-path table.
+    pub fn trace_summary(&self) -> String {
+        let mut s = self.tracer.summary();
+        s.push('\n');
+        s.push_str(&self.tracer.hot_path_table(10));
+        s
+    }
+
     /// Installs a hot trace as the new version of `block_id` (forwarding
     /// the cold entry to it).
     pub(crate) fn install_hot(
@@ -482,6 +553,7 @@ impl Engine {
     ) {
         let prev = self.blocks[block_id as usize].entry;
         self.forward(prev, entry);
+        let commit_points = hot.recovery.len() as u64;
         let b = &mut self.blocks[block_id as usize];
         b.entry = entry;
         b.range = range;
@@ -504,6 +576,12 @@ impl Engine {
         if self.mem.read(slot, 8) == Ok(eip as u64) {
             let _ = self.mem.write(slot + 8, 8, entry);
         }
+        self.trace_emit(EventData::BlockPromoted {
+            id: block_id,
+            eip,
+            commit_points,
+        });
+        self.trace_profile(|t| t.profile_lifecycle(eip, EventKind::BlockPromoted));
     }
 
     /// Returns the entry address for `eip`, translating a cold block if
@@ -523,6 +601,14 @@ impl Engine {
             self.stats.faults_injected += 1;
             self.stats.interp_fallbacks += 1;
             self.stats.ladder_recoveries += 1;
+            self.trace_emit(EventData::FaultInjected {
+                kind: FaultKind::Translate,
+            });
+            self.trace_emit(EventData::LadderRung {
+                rung: Rung::Interpret,
+                eip,
+            });
+            self.trace_emit(EventData::InterpFallback { eip });
             return Ok(self.emit_interp_stub(eip));
         }
         if self.cfg.max_cache_bundles > 0
@@ -653,6 +739,12 @@ impl Engine {
         b.hot = None;
         self.stats.evictions += 1;
         self.stats.evicted_bundles += freed;
+        self.trace_emit(EventData::BlockEvicted {
+            id,
+            eip,
+            bundles: freed,
+        });
+        self.trace_profile(|t| t.profile_lifecycle(eip, EventKind::BlockEvicted));
     }
 
     /// Re-points every branch slot in the bundle at `addr` that targets
@@ -684,7 +776,22 @@ impl Engine {
 
     /// Cold-translates the block at `eip` (a specific version), updating
     /// the registry and patching pending links via the forwarding rule.
+    /// Bracketed by a [`Phase::ColdTranslate`] trace span.
     fn translate_cold(
+        &mut self,
+        os: &mut dyn BtOs,
+        eip: u32,
+        kind: BlockKind,
+        inline_fp: bool,
+        overrides: HashMap<u16, AccessMode>,
+    ) -> Result<u64, GuestException> {
+        let span = self.trace_phase_enter(Phase::ColdTranslate);
+        let r = self.translate_cold_inner(os, eip, kind, inline_fp, overrides);
+        self.trace_phase_exit(span);
+        r
+    }
+
+    fn translate_cold_inner(
         &mut self,
         os: &mut dyn BtOs,
         eip: u32,
@@ -771,6 +878,11 @@ impl Engine {
                 // Unlowerable block: a stub that single-steps from here
                 // (the bottom rung of the degradation ladder).
                 self.stats.interp_fallbacks += 1;
+                self.trace_emit(EventData::LadderRung {
+                    rung: Rung::Interpret,
+                    eip,
+                });
+                self.trace_emit(EventData::InterpFallback { eip });
                 return Ok(self.emit_interp_stub(eip));
             }
         };
@@ -888,6 +1000,13 @@ impl Engine {
                 self.links_into.entry(id).or_default().push(br);
             }
         }
+        self.trace_emit(EventData::BlockTranslated {
+            id,
+            eip,
+            stage2: kind == BlockKind::ColdV2,
+            bundles: n_bundles,
+        });
+        self.trace_profile(|t| t.profile_lifecycle(eip, EventKind::BlockTranslated));
         Ok(entry)
     }
 
@@ -1019,6 +1138,7 @@ impl Engine {
         let mut eip = cpu.eip;
         let mut remaining = max_slots;
         'dispatch: loop {
+            self.trace_profile(|t| t.profile_dispatch(eip));
             // Fault injection is consulted at the dispatch boundary:
             // the precise EIP is known and all guest state is in its
             // canonical home, so every injected failure is recoverable.
@@ -1055,10 +1175,28 @@ impl Engine {
             self.machine.set_ip(entry, 0);
             loop {
                 let before = self.machine.inst_count;
+                // Profiled runs attribute executed COLD/HOT region
+                // cycles to the current dispatch target (chained
+                // successors included — a documented approximation).
+                let exec0 = if self.cfg.trace.enabled {
+                    (
+                        self.region_cycle(region::COLD),
+                        self.region_cycle(region::HOT),
+                    )
+                } else {
+                    (0, 0)
+                };
                 let stop = {
                     let mut bus = MemBus(&mut self.mem);
                     self.machine.run(&mut bus, remaining)
                 };
+                if self.cfg.trace.enabled {
+                    let dc = self.region_cycle(region::COLD) - exec0.0;
+                    let dh = self.region_cycle(region::HOT) - exec0.1;
+                    if dc | dh != 0 {
+                        self.tracer.profile_exec(eip, dc, dh);
+                    }
+                }
                 let used = self.machine.inst_count - before;
                 remaining = remaining.saturating_sub(used);
                 if remaining == 0 {
@@ -1259,6 +1397,7 @@ impl Engine {
                 let id = payload as u32;
                 let rec = self.machine.gr[state::GR_PAYLOAD1.0 as usize] as u32;
                 self.stats.deopts += 1;
+                self.trace_emit(EventData::CommitPointTaken { id, recovery: rec });
                 let cpu = match &self.blocks[id as usize].hot {
                     Some(h) => h.reconstruct_at(&self.machine, rec),
                     None => None,
@@ -1300,6 +1439,8 @@ impl Engine {
         self.stats.interp_cycles += self.cfg.interp_step_cycles;
         self.machine
             .charge(region::OTHER, self.cfg.interp_step_cycles);
+        let step_cycles = self.cfg.interp_step_cycles;
+        self.trace_profile(|t| t.profile_interp(eip, step_cycles));
         let cpu = state::machine_to_cpu(&self.machine, eip);
         let mut interp = Interp::new();
         interp.cpu = cpu;
@@ -1657,6 +1798,7 @@ impl Engine {
     }
 
     fn run_hot_session(&mut self, os: &mut dyn BtOs) {
+        let span = self.trace_phase_enter(Phase::HotSession);
         // Injected budget exhaustion: the watchdog kills the whole
         // session before it starts; every candidate keeps its cold code.
         if self
@@ -1667,7 +1809,11 @@ impl Engine {
             self.stats.faults_injected += 1;
             self.stats.watchdog_aborts += 1;
             self.stats.ladder_recoveries += 1;
+            self.trace_emit(EventData::FaultInjected {
+                kind: FaultKind::HotBudget,
+            });
             self.candidates.clear();
+            self.trace_phase_exit(span);
             return;
         }
         let budget = self.cfg.hot_session_budget;
@@ -1687,6 +1833,7 @@ impl Engine {
                 break;
             }
         }
+        self.trace_phase_exit(span);
         let _ = os;
     }
 
@@ -1723,7 +1870,7 @@ impl Engine {
             }
             None => self.reconstruct(site, slot),
         };
-        if let Some(id) = id {
+        let rung = if let Some(id) = id {
             let is_spec = matches!(err, EngineError::NatConsumption { .. });
             if is_spec && self.blocks[id as usize].kind == BlockKind::Hot {
                 // Failed speculation: bounded retries, then rebuild
@@ -1734,11 +1881,17 @@ impl Engine {
                     b.inline_fp = true;
                     self.stats.spec_retry_exhaustions += 1;
                     self.demote_block(os, id);
+                    Rung::Demote
+                } else {
+                    Rung::Retry
                 }
             } else {
-                self.note_failure(os, id);
+                self.note_failure(os, id)
             }
-        }
+        } else {
+            Rung::Retry
+        };
+        self.trace_emit(EventData::LadderRung { rung, eip: cpu.eip });
         state::cpu_to_machine(&cpu, &mut self.machine);
         ExitAction::Dispatch(cpu.eip)
     }
@@ -1747,22 +1900,25 @@ impl Engine {
     /// is simply retried (a transient fault may clear); past it the
     /// block is demoted (hot) or evicted (cold), its EIP blacklisted,
     /// and the next dispatch rebuilds fresh code from the unchanged
-    /// guest bytes.
-    fn note_failure(&mut self, os: &mut dyn BtOs, id: u32) {
+    /// guest bytes. Returns the rung taken (for the trace).
+    fn note_failure(&mut self, os: &mut dyn BtOs, id: u32) -> Rung {
         let b = &mut self.blocks[id as usize];
         if b.evicted {
-            return;
+            return Rung::Retry;
         }
         b.failures += 1;
         if b.failures <= self.cfg.block_failure_cap {
-            return;
+            return Rung::Retry;
         }
         if b.kind == BlockKind::Hot {
             self.demote_block(os, id);
+            Rung::Demote
         } else {
             let eip = self.blocks[id as usize].eip;
-            self.blacklist.strike(eip, self.machine.cycles);
+            let until = self.blacklist.strike(eip, self.machine.cycles);
+            self.trace_emit(EventData::Blacklisted { eip, until });
             self.evict_block(id);
+            Rung::Evict
         }
     }
 
@@ -1772,7 +1928,11 @@ impl Engine {
     fn demote_block(&mut self, os: &mut dyn BtOs, id: u32) {
         let eip = self.blocks[id as usize].eip;
         self.stats.demotions += 1;
-        self.blacklist.strike(eip, self.machine.cycles);
+        let until = self.blacklist.strike(eip, self.machine.cycles);
+        let strikes = self.blacklist.strikes(eip);
+        self.trace_emit(EventData::BlockDemoted { id, eip, strikes });
+        self.trace_emit(EventData::Blacklisted { eip, until });
+        self.trace_profile(|t| t.profile_lifecycle(eip, EventKind::BlockDemoted));
         if self.by_eip.get(&eip) == Some(&id) {
             let inline_fp = self.blocks[id as usize].inline_fp;
             let overrides = self.blocks[id as usize].misalign_overrides.clone();
@@ -1798,6 +1958,9 @@ impl Engine {
             if let Some(victim) = self.pick_victim(&mut plan, true) {
                 self.stats.faults_injected += 1;
                 self.stats.ladder_recoveries += 1;
+                self.trace_emit(EventData::FaultInjected {
+                    kind: FaultKind::MisalignStorm,
+                });
                 let n = self.cfg.hot_misalign_tolerance + 1;
                 self.stats.misalign_faults += n as u64;
                 self.machine
@@ -1820,6 +1983,9 @@ impl Engine {
         if plan.roll(FaultKind::SmcInvalidate) {
             self.stats.faults_injected += 1;
             self.stats.smc_events += 1;
+            self.trace_emit(EventData::FaultInjected {
+                kind: FaultKind::SmcInvalidate,
+            });
             self.machine.charge(region::OTHER, self.cfg.fix_cycles);
             let ids = self.blocks_by_page.remove(&(eip >> 12)).unwrap_or_default();
             for id in ids {
@@ -1840,6 +2006,9 @@ impl Engine {
         if plan.roll(FaultKind::BitFlip) {
             if let Some(victim) = self.pick_victim(&mut plan, false) {
                 self.stats.faults_injected += 1;
+                self.trace_emit(EventData::FaultInjected {
+                    kind: FaultKind::BitFlip,
+                });
                 let entry = self.blocks[victim as usize].range.0;
                 self.machine.arena.patch_slot(
                     entry,

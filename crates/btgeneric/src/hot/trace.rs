@@ -14,6 +14,7 @@ use crate::state::{GR_PAYLOAD0, GR_STATE, GR_XMMFMT};
 use crate::templates::{
     self, AccessMode, AlignCache, EmitCtx, FpCtx, IlItem, MisalignPlan, Sink, XmmCtx,
 };
+use crate::trace::EventData;
 use ia32::inst::Inst as I32;
 use ipf::inst::{Op, Target};
 use std::collections::{HashMap, HashSet};
@@ -359,6 +360,11 @@ pub fn promote(engine: &mut Engine, block_id: u32) {
         }
         return;
     };
+    engine.trace_emit(EventData::TraceSelected {
+        id: block_id,
+        eip: engine.block(block_id).eip,
+        steps: trace.steps.len() as u32,
+    });
     if build_and_install(engine, block_id, &trace).is_none()
         && std::env::var_os("EL_DEBUG_HOT").is_some()
     {

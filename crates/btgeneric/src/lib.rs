@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # BTGeneric — the OS-independent core of the IA-32 Execution Layer
 //!
 //! The paper's primary contribution: a two-phase dynamic binary
@@ -17,3 +18,4 @@ pub mod layout;
 pub mod state;
 pub mod stats;
 pub mod templates;
+pub mod trace;

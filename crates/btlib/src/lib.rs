@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # BTLib — the OS abstraction layer of the IA-32 Execution Layer
 //!
 //! The thin, OS-specific glue of paper §3: it loads BTGeneric, performs
@@ -30,6 +31,7 @@ use btgeneric::btos::{
     BTOS_MINOR,
 };
 use btgeneric::engine::{Config, Engine, Outcome};
+pub use btgeneric::trace::{EventKind, EventMask, TraceConfig, TraceEvent, Tracer};
 use ia32::asm::Image;
 use ia32::cpu::Cpu;
 use ia32::mem::{GuestMem, Prot};
@@ -267,6 +269,42 @@ impl<O: BtOs> Process<O> {
     /// and figures output.
     pub fn cache_report(&self) -> String {
         self.engine.stats.cache_summary()
+    }
+
+    /// The engine's lifecycle tracer: the event ring, recorder
+    /// counters, and the per-block [`ProfileTable`](
+    /// btgeneric::trace::ProfileTable). Inert (empty) unless the
+    /// process was launched with [`TraceConfig::enabled`].
+    pub fn tracer(&self) -> &Tracer {
+        &self.engine.tracer
+    }
+
+    /// Human-readable trace report: recorder counters plus the top-10
+    /// hot-path table.
+    ///
+    /// ```rust
+    /// use btlib::{Process, SimOs, TraceConfig};
+    /// use btgeneric::engine::Config;
+    /// use ia32::asm::{Asm, Image};
+    /// use ia32::regs::{EAX, EBX};
+    ///
+    /// let mut a = Asm::new(0x40_0000);
+    /// a.mov_ri(EAX, 1); // SYS_exit
+    /// a.mov_ri(EBX, 0);
+    /// a.int(0x80);
+    /// let image = Image::from_asm(&a);
+    ///
+    /// let cfg = Config {
+    ///     trace: TraceConfig::on(),
+    ///     ..Config::default()
+    /// };
+    /// let mut p = Process::launch_with(&image, SimOs::new(), cfg).unwrap();
+    /// p.run(1_000_000);
+    /// assert!(p.tracer().recorded() > 0);
+    /// println!("{}", p.trace_summary());
+    /// ```
+    pub fn trace_summary(&self) -> String {
+        self.engine.trace_summary()
     }
 }
 

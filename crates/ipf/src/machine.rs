@@ -631,6 +631,12 @@ impl Machine {
 
     fn close_group(&mut self, extra_bubble: u32) {
         if !self.group.active {
+            // A bubble landing on an already-closed group must still be
+            // attributed to a region, or sum(region_cycles) would drift
+            // below `cycles`.
+            if extra_bubble > 0 {
+                *self.region_cycles.entry(self.group.region).or_default() += extra_bubble as u64;
+            }
             self.next_cycle += extra_bubble as u64;
             self.cycles = self.next_cycle;
             return;

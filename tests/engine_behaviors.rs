@@ -2,7 +2,9 @@
 //! side-exit accounting, the indirect-branch lookup table under
 //! collisions, and instruction-budget handling.
 
+use btgeneric::chaos::FaultPlan;
 use btgeneric::engine::Outcome;
+use btgeneric::stats::TimeDistribution;
 use btlib::{Process, SimOs};
 use ia32::asm::{Asm, Image};
 use ia32::inst::AluOp;
@@ -83,6 +85,36 @@ fn cache_flush_fallback_preserves_correctness() {
         "the tiny cache must have flushed"
     );
     assert_eq!(p.engine.stats.evictions, 0);
+}
+
+#[test]
+fn region_cycles_account_for_every_engine_cycle() {
+    // Cycle-attribution audit: every simulated cycle the engine spends
+    // must land in exactly one region (hot/cold/overhead/other/...), so
+    // the per-region attribution sums to the machine's total clock even
+    // under cache eviction, the degradation ladder, and fault
+    // injection. Figures 6/7 depend on this invariant.
+    let img = churn_image();
+    let mut cfg = hot_config();
+    cfg.max_cache_bundles = 150;
+    let mut p = Process::launch_with(&img, SimOs::new(), cfg).expect("launch");
+    p.engine.chaos = Some(FaultPlan::storm(5));
+    match p.run(200_000_000) {
+        Outcome::Halted(_) => {}
+        other => panic!("{other:?}"),
+    }
+    assert!(
+        p.engine.stats.evictions > 0 && p.engine.stats.faults_injected > 0,
+        "the run must exercise eviction and the ladder"
+    );
+    let m = &p.engine.machine;
+    let sum: u64 = m.region_cycles.values().sum();
+    assert_eq!(sum, m.cycles, "region attribution must cover the clock");
+    // And every charged region is one of the Figure 6/7 categories —
+    // nothing leaks into an unreported bucket.
+    let dist = TimeDistribution::from_region_cycles(&m.region_cycles);
+    assert_eq!(dist.total(), m.cycles);
+    assert!(dist.hot > 0 && dist.cold > 0 && dist.overhead > 0);
 }
 
 #[test]

@@ -1,0 +1,208 @@
+//! The observability layer at system level: the lifecycle event stream
+//! must be byte-identical across same-seed runs (chaos included), the
+//! ring buffer must keep flight-recorder semantics under overflow,
+//! every injected fault must surface as a `TraceEvent` in order, and a
+//! fully-masked tracer must be cycle-identical to tracing off.
+
+use btgeneric::chaos::{FaultKind, FaultPlan};
+use btgeneric::engine::{Config, Outcome};
+use btgeneric::trace::{EventData, EventKind, EventMask, TraceConfig};
+use btlib::{Process, SimOs, SimOsFaults};
+use ia32::asm::{Asm, Image};
+use ia32::inst::{Addr, AluOp};
+use ia32::regs::*;
+use ia32::Cond;
+
+const DATA: u32 = 0x50_0000;
+const ENTRY: u32 = 0x40_0000;
+
+/// An outer loop over a chain of `n` tiny blocks: lots of distinct
+/// blocks (translation traffic) that all get warm (hot traffic).
+fn chain_image(n: u32, iters: i32) -> Image {
+    let mut a = Asm::new(ENTRY);
+    a.mov_ri(EAX, 0);
+    a.mov_ri(ECX, iters);
+    let top = a.label();
+    a.bind(top);
+    for k in 0..n {
+        let next = a.label();
+        a.alu_ri(AluOp::Add, EAX, k as i32 + 1);
+        a.alu_ri(AluOp::Xor, EAX, 0x1111);
+        a.jmp(next);
+        a.bind(next);
+    }
+    a.dec(ECX);
+    a.jcc(Cond::Ne, top);
+    a.mov_store(Addr::abs(DATA), EAX);
+    a.hlt();
+    Image::from_asm(&a).with_bss(DATA, 0x1_0000)
+}
+
+fn storm_cfg(trace: TraceConfig) -> Config {
+    Config {
+        heat_threshold: 16,
+        hot_candidates: 1,
+        verify_on_dispatch: true,
+        hot_session_budget: 100_000,
+        trace,
+        ..Config::default()
+    }
+}
+
+/// Runs the chain workload under a full `FaultPlan::storm` with the
+/// given trace config and returns the halted process.
+fn storm_run(img: &Image, seed: u64, trace: TraceConfig) -> Process<SimOs> {
+    let plan = FaultPlan::storm(seed);
+    let os = SimOs::with_faults(SimOsFaults {
+        fail_allocs: plan.os_alloc_failures,
+        fail_syscalls: 0,
+    });
+    let mut p = Process::launch_with(img, os, storm_cfg(trace)).expect("launch");
+    p.engine.chaos = Some(plan);
+    assert!(matches!(p.run(200_000_000), Outcome::Halted(_)));
+    p
+}
+
+/// A ring big enough to hold every event the storm produces.
+fn roomy() -> TraceConfig {
+    TraceConfig {
+        enabled: true,
+        capacity: 1 << 16,
+        ..TraceConfig::default()
+    }
+}
+
+/// Same seed, same workload, same config: the rendered event stream is
+/// byte-identical — the tracer composes with the chaos harness's
+/// determinism guarantee.
+#[test]
+fn trace_stream_is_byte_identical_across_runs() {
+    let img = chain_image(20, 50);
+    let a = storm_run(&img, 1234, roomy());
+    let b = storm_run(&img, 1234, roomy());
+    assert!(a.engine.stats.faults_injected > 0, "the storm must fire");
+    let ta = a.tracer().render_text();
+    assert!(!ta.is_empty(), "the run must record events");
+    assert_eq!(
+        ta,
+        b.tracer().render_text(),
+        "same seed must render a byte-identical trace"
+    );
+    assert_eq!(a.engine.machine.cycles, b.engine.machine.cycles);
+    assert_eq!(a.engine.stats, b.engine.stats);
+}
+
+/// Every engine-side fault injection surfaces as a `FaultInjected`
+/// event, and the stream is densely sequenced in non-decreasing cycle
+/// order.
+#[test]
+fn every_injected_fault_appears_as_an_event_in_order() {
+    let img = chain_image(20, 50);
+    let p = storm_run(&img, 9, roomy());
+    let t = p.tracer();
+    assert_eq!(t.dropped(), 0, "the roomy ring must hold the whole run");
+    assert_eq!(t.sampled_out(), 0);
+
+    let evs: Vec<_> = t.events().collect();
+    for (i, ev) in evs.iter().enumerate() {
+        assert_eq!(ev.seq, i as u64, "seqs must be dense from zero");
+    }
+    for w in evs.windows(2) {
+        assert!(
+            w[0].cycle <= w[1].cycle,
+            "the simulated clock must never run backwards"
+        );
+    }
+
+    let faults: Vec<FaultKind> = evs
+        .iter()
+        .filter_map(|e| match e.data {
+            EventData::FaultInjected { kind } => Some(kind),
+            _ => None,
+        })
+        .collect();
+    assert!(!faults.is_empty(), "the storm must fire");
+    assert_eq!(
+        faults.len() as u64,
+        p.engine.stats.faults_injected,
+        "every delivered injection must appear in the stream"
+    );
+    assert_eq!(
+        t.observed(EventKind::FaultInjected),
+        p.engine.stats.faults_injected
+    );
+
+    // Kinds injected unconditionally on a successful roll match the
+    // plan's counters exactly; victim-picking kinds can roll true with
+    // no live victim, so the stream is a lower bound there.
+    let plan = p.engine.chaos.as_ref().expect("the plan survives the run");
+    let count = |k: FaultKind| faults.iter().filter(|&&f| f == k).count() as u64;
+    for k in [
+        FaultKind::Translate,
+        FaultKind::SmcInvalidate,
+        FaultKind::HotBudget,
+    ] {
+        assert_eq!(count(k), plan.injected[k as usize], "{}", k.name());
+    }
+    for k in [FaultKind::MisalignStorm, FaultKind::BitFlip] {
+        assert!(count(k) <= plan.injected[k as usize], "{}", k.name());
+    }
+}
+
+/// A tiny ring under heavy lifecycle churn: the drop counter ticks and
+/// the survivors are exactly the last `capacity` events, oldest first.
+#[test]
+fn ring_wraparound_keeps_the_latest_history() {
+    let img = chain_image(24, 40);
+    let cfg = Config {
+        heat_threshold: 16,
+        hot_candidates: 1,
+        max_cache_bundles: 150,
+        trace: TraceConfig {
+            enabled: true,
+            capacity: 32,
+            ..TraceConfig::default()
+        },
+        ..Config::default()
+    };
+    let mut p = Process::launch_with(&img, SimOs::new(), cfg).expect("launch");
+    assert!(matches!(p.run(200_000_000), Outcome::Halted(_)));
+    let t = p.tracer();
+    assert_eq!(t.recorded(), 32, "the ring must fill");
+    assert!(t.dropped() > 0, "churn must overflow the tiny ring");
+    assert_eq!(t.seen(), t.recorded() as u64 + t.dropped());
+    let first = t.seen() - 32;
+    for (i, ev) in t.events().enumerate() {
+        assert_eq!(
+            ev.seq,
+            first + i as u64,
+            "survivors must be the most recent history, oldest first"
+        );
+    }
+}
+
+/// The zero-cost contract at system level: an enabled tracer whose mask
+/// rejects everything charges nothing — the run is cycle-identical to
+/// tracing off, fault storm included, while the per-kind observation
+/// counters still tick.
+#[test]
+fn masked_tracing_is_cycle_identical_to_off() {
+    let img = chain_image(20, 50);
+    let off = storm_run(&img, 77, TraceConfig::default());
+    let masked = storm_run(
+        &img,
+        77,
+        TraceConfig {
+            enabled: true,
+            event_mask: EventMask::NONE,
+            ..TraceConfig::default()
+        },
+    );
+    assert_eq!(off.engine.machine.cycles, masked.engine.machine.cycles);
+    assert_eq!(off.engine.stats, masked.engine.stats);
+    assert_eq!(masked.tracer().recorded(), 0);
+    assert!(
+        masked.tracer().observed(EventKind::FaultInjected) > 0,
+        "the enabled path must still observe what it does not record"
+    );
+}
