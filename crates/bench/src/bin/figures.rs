@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation (§6).
 //!
 //! ```text
-//! figures [fig5|fig6|fig7|fig8|table1|hot_vs_cold|misalign|paper_stats|cache|chaos|trace|all]
+//! figures [fig5|fig6|fig7|fig8|table1|hot_vs_cold|misalign|paper_stats|cache|indirect|chaos|trace|all]
 //!         [--fast] [--seed=N]
 //! ```
 //!
@@ -9,8 +9,8 @@
 //! `--seed=N` seeds the `chaos` fault-injection storm (default 1).
 
 use bench::{
-    cache_pressure, chaos_storm, figure5, figure6, figure7, figure8, hot_vs_cold, misalign_speedup,
-    paper_stats, trace_overhead, trace_run,
+    cache_pressure, chaos_storm, figure5, figure6, figure7, figure8, hot_vs_cold,
+    indirect_pressure, misalign_speedup, paper_stats, trace_overhead, trace_run,
 };
 use btgeneric::engine::Config;
 use btgeneric::trace::TraceConfig;
@@ -183,6 +183,73 @@ fn print_chaos(div: u32, seed: u64) {
     }
 }
 
+fn print_indirect(div: u32) {
+    // The acceleration's win amortizes one-time translation charges, so
+    // keep the workloads reasonably long even in `--fast` runs.
+    let sd = if div > 1 { 20 } else { 5 };
+    let ip = indirect_pressure(sd);
+    println!("== Indirect control-transfer acceleration (scale_div {sd}) ==");
+    println!("(inline caches + return shadow stack + devirtualized traces + 2-way table,");
+    println!(" vs. the same engine with enable_indirect_accel=false)");
+    println!(
+        "  {:<10} {:>9} {:>9}   {:>12} {:>12} {:>7}",
+        "workload", "miss/off", "miss/on", "cycles/off", "cycles/on", "ratio"
+    );
+    for r in &ip.rows {
+        println!(
+            "  {:<10} {:>9} {:>9}   {:>12} {:>12} {:>6.3}x",
+            r.name,
+            r.before.stats.indirect_misses,
+            r.after.stats.indirect_misses,
+            r.before.cycles,
+            r.after.cycles,
+            r.before.cycles as f64 / r.after.cycles.max(1) as f64
+        );
+        println!("             {}", r.after.stats.indirect_summary());
+    }
+    println!(
+        "  IndirectMiss round-trips reduced {:.1}%, cycle geomean {:.3}x",
+        ip.miss_reduction() * 100.0,
+        ip.cycle_geomean()
+    );
+    let rows_json: Vec<String> = ip
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"misses_off\": {}, \"misses_on\": {}, \
+                 \"cycles_off\": {}, \"cycles_on\": {}, \"ic_hits\": {}, \
+                 \"shadow_hits\": {}, \"demotions\": {}}}",
+                r.name,
+                r.before.stats.indirect_misses,
+                r.after.stats.indirect_misses,
+                r.before.cycles,
+                r.after.cycles,
+                r.after.stats.ic_hits,
+                r.after.stats.shadow_hits,
+                r.after.stats.indirect_demotions
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"scale_div\": {sd},\n  \"miss_reduction\": {:.4},\n  \
+         \"cycle_geomean\": {:.4},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        ip.miss_reduction(),
+        ip.cycle_geomean(),
+        rows_json.join(",\n")
+    );
+    match std::fs::write("BENCH_indirect.json", &json) {
+        Ok(()) => println!("  wrote BENCH_indirect.json"),
+        Err(e) => eprintln!("  could not write BENCH_indirect.json: {e}"),
+    }
+    if ip.miss_reduction() < 0.20 || ip.cycle_geomean() < 1.05 {
+        eprintln!(
+            "indirect: acceleration contract violated (need >=20% miss reduction, >=1.05x geomean)"
+        );
+        std::process::exit(1);
+    }
+}
+
 fn print_trace(div: u32) {
     let tr = trace_run(div.max(1) * 20, TraceConfig::on());
     println!("== Observability: gcc lifecycle trace ==");
@@ -262,6 +329,7 @@ fn main() {
         "misalign" => print_misalign(div),
         "paper_stats" => print_paper_stats(div),
         "cache" => print_cache(div),
+        "indirect" => print_indirect(div),
         "chaos" => print_chaos(div, seed),
         "trace" => print_trace(div),
         "all" => {
@@ -290,6 +358,8 @@ fn main() {
             print_paper_stats(div);
             println!();
             print_cache(div);
+            println!();
+            print_indirect(div);
             println!();
             print_trace(div);
             println!();

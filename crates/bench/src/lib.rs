@@ -37,7 +37,7 @@ pub fn run_el(w: &Workload, scale: u32, cfg: Config) -> ElRun {
 
 /// Like [`run_el`], but also returns the finished process so callers
 /// can inspect post-run state (the tracer, the blacklist, memory).
-fn run_el_keep(w: &Workload, scale: u32, cfg: Config) -> (ElRun, Process<SimOs>) {
+pub fn run_el_keep(w: &Workload, scale: u32, cfg: Config) -> (ElRun, Process<SimOs>) {
     let img = build_image(w, scale);
     let mut p = Process::launch_with(&img, SimOs::new(), cfg).expect("launch");
     match p.run(u64::MAX / 2) {
@@ -45,6 +45,7 @@ fn run_el_keep(w: &Workload, scale: u32, cfg: Config) -> (ElRun, Process<SimOs>)
         other => panic!("EL {} did not halt: {other:?}", w.name),
     }
     p.engine.collect_hot_exit_stats();
+    p.engine.collect_indirect_stats();
     let mut dist = TimeDistribution::from_region_cycles(&p.engine.machine.region_cycles);
     // Sysmark-model kernel/driver (native) and idle time: fractions of
     // the total wall time, added on top of the translated time.
@@ -260,6 +261,84 @@ pub fn cache_pressure(scale_div: u32, max_cache_bundles: usize) -> CachePressure
     }
 }
 
+/// One before/after pair of the indirect-acceleration experiment.
+#[derive(Clone, Debug)]
+pub struct IndirectRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Run with `enable_indirect_accel` off — byte-identical to the
+    /// pre-acceleration engine (legacy direct-mapped lookup, no inline
+    /// caches, no shadow stack, traces end at every call).
+    pub before: ElRun,
+    /// Run with the acceleration on (everything else identical).
+    pub after: ElRun,
+}
+
+/// The `indirect_pressure` experiment: the call-heavy kernels run with
+/// indirect acceleration off and on.
+#[derive(Clone, Debug)]
+pub struct IndirectPressure {
+    /// Per-workload pairs.
+    pub rows: Vec<IndirectRow>,
+}
+
+impl IndirectPressure {
+    /// Fractional reduction in `IndirectMiss` dispatcher round-trips
+    /// across the suite (1.0 = all misses eliminated).
+    pub fn miss_reduction(&self) -> f64 {
+        let before: u64 = self
+            .rows
+            .iter()
+            .map(|r| r.before.stats.indirect_misses)
+            .sum();
+        let after: u64 = self
+            .rows
+            .iter()
+            .map(|r| r.after.stats.indirect_misses)
+            .sum();
+        1.0 - after as f64 / before.max(1) as f64
+    }
+
+    /// Geometric-mean speedup in total simulated cycles (before/after;
+    /// > 1 means the acceleration pays).
+    pub fn cycle_geomean(&self) -> f64 {
+        let n = self.rows.len().max(1) as f64;
+        (self
+            .rows
+            .iter()
+            .map(|r| (r.before.cycles as f64 / r.after.cycles.max(1) as f64).ln())
+            .sum::<f64>()
+            / n)
+            .exp()
+    }
+}
+
+/// Runs the call-heavy kernels (eon, vcall_mono, callret) twice each:
+/// acceleration off (the honest pre-acceleration baseline, including
+/// the legacy single-way lookup hash) and on. Hot promotion is on a
+/// short fuse so the devirtualizing trace selector participates.
+pub fn indirect_pressure(scale_div: u32) -> IndirectPressure {
+    let on = Config {
+        heat_threshold: 64,
+        hot_candidates: 4,
+        ..Config::default()
+    };
+    let off = Config {
+        enable_indirect_accel: false,
+        ..on
+    };
+    let mut rows = Vec::new();
+    for w in workloads::indirect_kernels() {
+        let scale = (w.scale / scale_div).max(512);
+        rows.push(IndirectRow {
+            name: w.name,
+            before: run_el(&w, scale, off),
+            after: run_el(&w, scale, on),
+        });
+    }
+    IndirectPressure { rows }
+}
+
 /// One chaos trial: a workload run under a [`FaultPlan`] storm, with a
 /// clean run of the same configuration as the recovery-overhead
 /// baseline and the IA-32 hardware model as the correctness oracle.
@@ -325,6 +404,7 @@ pub fn chaos_run(w: &Workload, scale: u32, seed: u64) -> ChaosRun {
     p.engine.chaos = Some(plan);
     let survived = matches!(p.run(u64::MAX / 2), Outcome::Halted(_));
     p.engine.collect_hot_exit_stats();
+    p.engine.collect_indirect_stats();
     let result = p.engine.mem.read(RESULT as u64, 8).unwrap_or(0);
     let plan = p.engine.chaos.take().expect("plan stays attached");
     ChaosRun {
@@ -693,6 +773,47 @@ mod tests {
         assert!(
             tr.el.stats.hot_traces > 0,
             "experiment config must promote hot traces"
+        );
+    }
+
+    /// The indirect-acceleration acceptance bar: both runs stay
+    /// oracle-correct, IndirectMiss round-trips drop at least 20%, and
+    /// total simulated cycles improve at least 5% geomean across the
+    /// call-heavy kernels.
+    #[test]
+    fn indirect_acceleration_pays() {
+        let ip = indirect_pressure(20);
+        for r in &ip.rows {
+            let w = workloads::indirect_kernels()
+                .into_iter()
+                .find(|w| w.name == r.name)
+                .unwrap();
+            let scale = (w.scale / 20).max(512);
+            let hw = run_ia32_hw(&w, scale, ia32::timing::Timing::default());
+            assert_eq!(r.before.result, hw.result, "{}: accel-off diverged", r.name);
+            assert_eq!(r.after.result, hw.result, "{}: accel-on diverged", r.name);
+            eprintln!(
+                "{}: misses {} -> {}, cycles {} -> {} | {}",
+                r.name,
+                r.before.stats.indirect_misses,
+                r.after.stats.indirect_misses,
+                r.before.cycles,
+                r.after.cycles,
+                r.after.stats.indirect_summary()
+            );
+        }
+        let accel = |f: fn(&Stats) -> u64| ip.rows.iter().map(|r| f(&r.after.stats)).sum::<u64>();
+        assert!(accel(|s| s.ic_hits) > 0, "inline caches never hit");
+        assert!(accel(|s| s.shadow_hits) > 0, "shadow stack never hit");
+        assert!(
+            ip.miss_reduction() >= 0.20,
+            "IndirectMiss round-trips must drop >= 20%, got {:.1}%",
+            ip.miss_reduction() * 100.0
+        );
+        assert!(
+            ip.cycle_geomean() >= 1.05,
+            "cycle geomean must improve >= 5%, got {:.3}x",
+            ip.cycle_geomean()
         );
     }
 

@@ -85,6 +85,22 @@ pub struct Config {
     /// the watchdog aborts the session past it and keeps the cold
     /// code. 0 = unbounded.
     pub hot_session_budget: u64,
+    /// Indirect control-transfer acceleration: per-site inline caches,
+    /// the return-address shadow stack, hot-trace devirtualization, and
+    /// the 2-way mixed-hash lookup table. Off reproduces the original
+    /// shared direct-mapped table exactly (the before/after baseline
+    /// for `figures indirect`).
+    pub enable_indirect_accel: bool,
+    /// Inline-cache hit count at which a site is considered stable
+    /// enough for hot-trace devirtualization.
+    pub devirt_threshold: u64,
+    /// Executions after which a block whose inline cache hit on fewer
+    /// than half of them is declared megamorphic and demoted to the
+    /// plain table probe (checked when its promotion fails).
+    pub megamorphic_demote_uses: u64,
+    /// Shadow-stack pop misses (dispatcher round-trips) tolerated per
+    /// ret block before it is demoted to the plain table probe.
+    pub shadow_demote_misses: u32,
     /// Degradation-ladder failures tolerated per block before it is
     /// demoted (hot) or evicted (cold) and its EIP blacklisted.
     pub block_failure_cap: u32,
@@ -125,6 +141,10 @@ impl Default for Config {
             verify_on_dispatch: false,
             integrity_check_cycles: 35,
             hot_session_budget: 0,
+            enable_indirect_accel: true,
+            devirt_threshold: 16,
+            megamorphic_demote_uses: 32,
+            shadow_demote_misses: 8,
             block_failure_cap: 3,
             spec_retry_cap: 32,
             blacklist_backoff_cycles: 100_000,
@@ -219,6 +239,17 @@ pub struct BlockInfo {
     pub edge_counters: (u64, u64),
     /// Per-access misalignment-info slots.
     pub misinfo_base: u64,
+    /// Per-site inline-cache slot `(pred_eip, pred_entry, hit_count)`
+    /// for an indirect jmp/call terminator.
+    pub ic_slot: u64,
+    /// Demoted to the plain table probe: the block's inline cache or
+    /// shadow pop proved chronically wrong, so its translations carry
+    /// no per-site acceleration (see `Config::megamorphic_demote_uses`
+    /// and `Config::shadow_demote_misses`).
+    pub indirect_plain: bool,
+    /// Shadow-stack pop misses observed by the dispatcher for this
+    /// (ret-terminated) block.
+    pub pop_misses: u32,
     /// Number of indexed accesses.
     pub accesses: u16,
     /// Speculation seeds used at translation time.
@@ -311,9 +342,19 @@ pub struct Engine {
     /// End of the currently mapped prefix of the profile region (grown
     /// on demand through `BtOs::alloc_pages`).
     profile_mapped: u64,
+    /// Every allocated inline-cache slot address (one per profile slot,
+    /// shared overflow slot included once). Eviction, SMC invalidation,
+    /// and flushing scan this list to purge stale predictions;
+    /// `collect_indirect_stats` sums the per-site hit counters over it.
+    ic_slots: Vec<u64>,
 }
 
-const PROFILE_STRIDE: u64 = 24 + 64 * 8;
+/// Per-block profile slot: 8-byte use counter, two 8-byte edge
+/// counters, 64 misalignment-info words, then the 24-byte inline-cache
+/// slot `(pred_eip, pred_entry, hit_count)`.
+const IC_OFFSET: u64 = 24 + 64 * 8;
+
+const PROFILE_STRIDE: u64 = IC_OFFSET + 24;
 
 /// Granularity of on-demand profile-region mapping (page-aligned).
 const PROFILE_CHUNK: u64 = 0x1_0000;
@@ -327,6 +368,21 @@ impl Engine {
         let head = (layout::COUNTERS_BASE + PROFILE_STRIDE - layout::PROFILE_BASE)
             .next_multiple_of(PROFILE_CHUNK);
         mem.map(layout::PROFILE_BASE, head, Prot::rw());
+        // Empty-key the shadow stack and the shared overflow inline
+        // cache so freshly mapped (zeroed) slots can never match a
+        // guest EIP.
+        for i in 0..layout::SHADOW_ENTRIES {
+            let _ = mem.write(
+                layout::SHADOW_BASE + i * layout::SHADOW_ENTRY_SIZE,
+                8,
+                layout::LOOKUP_EMPTY_KEY,
+            );
+        }
+        let _ = mem.write(
+            layout::COUNTERS_BASE + IC_OFFSET,
+            8,
+            layout::LOOKUP_EMPTY_KEY,
+        );
         let arena = CodeArena::new(layout::TC_BASE);
         let machine = Machine::new(arena, cfg.timing);
         Engine {
@@ -349,7 +405,13 @@ impl Engine {
             links_into: HashMap::new(),
             pinned_block: None,
             profile_mapped: layout::PROFILE_BASE + head,
+            ic_slots: vec![layout::COUNTERS_BASE + IC_OFFSET],
         }
+    }
+
+    /// Every allocated inline-cache slot (coherence tests scan these).
+    pub fn ic_slots(&self) -> &[u64] {
+        &self.ic_slots
     }
 
     /// The re-promotion blacklist (inspection for tests/figures).
@@ -400,6 +462,8 @@ impl Engine {
             self.profile_mapped += PROFILE_CHUNK;
         }
         self.profile_cursor = end;
+        let _ = self.mem.write(p + IC_OFFSET, 8, layout::LOOKUP_EMPTY_KEY);
+        self.ic_slots.push(p + IC_OFFSET);
         p
     }
 
@@ -454,6 +518,40 @@ impl Engine {
                 layout::LOOKUP_EMPTY_KEY,
             );
         }
+        // All translated code is gone: no shadow-stack prediction or
+        // inline-cache entry may survive (their targets are arena
+        // addresses). Hit counters persist like use counters do.
+        for i in 0..layout::SHADOW_ENTRIES {
+            let _ = self.mem.write(
+                layout::SHADOW_BASE + i * layout::SHADOW_ENTRY_SIZE,
+                8,
+                layout::LOOKUP_EMPTY_KEY,
+            );
+        }
+        let _ = self.mem.write(layout::SHADOW_TOS, 8, 0);
+        for i in 0..self.ic_slots.len() {
+            let _ = self
+                .mem
+                .write(self.ic_slots[i], 8, layout::LOOKUP_EMPTY_KEY);
+        }
+    }
+
+    /// Harvests the indirect-acceleration memory cells into the
+    /// statistics. Idempotent like [`Engine::collect_hot_exit_stats`]:
+    /// every counter is *assigned* from its cell, and the inline-cache
+    /// hit total is an order-independent sum over all site slots.
+    pub fn collect_indirect_stats(&mut self) {
+        let cell = |mem: &GuestMem, a: u64| mem.read(a, 8).unwrap_or(0);
+        let mut ic_hits = 0;
+        for &s in &self.ic_slots {
+            ic_hits += cell(&self.mem, s + 16);
+        }
+        self.stats.ic_hits = ic_hits;
+        self.stats.ic_misses = cell(&self.mem, layout::CELL_IC_MISSES);
+        self.stats.shadow_hits = cell(&self.mem, layout::CELL_SHADOW_HITS);
+        self.stats.shadow_underflows = cell(&self.mem, layout::CELL_SHADOW_UNDERFLOWS);
+        self.stats.shadow_mispredicts = cell(&self.mem, layout::CELL_SHADOW_MISPREDICTS);
+        self.stats.devirt_guard_fails = cell(&self.mem, layout::CELL_DEVIRT_FAILS);
     }
 
     /// Harvests the hot side-exit counters into the statistics (call
@@ -569,12 +667,29 @@ impl Engine {
             self.blocks[block_id as usize].checksum =
                 self.machine.arena.checksum_range(range.0, range.1);
         }
-        // Refresh the indirect-branch lookup entry if it pointed at the
-        // old version (the forward keeps it correct, but direct is
-        // faster).
-        let slot = layout::lookup_slot(eip);
-        if self.mem.read(slot, 8) == Ok(eip as u64) {
-            let _ = self.mem.write(slot + 8, 8, entry);
+        // Refresh the indirect-branch lookup entry (and, under
+        // acceleration, any inline cache predicting this EIP) if it
+        // pointed at the old version — the forward keeps stale entries
+        // correct, but direct is faster.
+        if self.cfg.enable_indirect_accel {
+            let s0 = layout::lookup_slot(eip);
+            for w in 0..layout::LOOKUP_WAYS {
+                let s = s0 + w * layout::LOOKUP_ENTRY_SIZE;
+                if self.mem.read(s, 8) == Ok(eip as u64) {
+                    let _ = self.mem.write(s + 8, 8, entry);
+                }
+            }
+            for i in 0..self.ic_slots.len() {
+                let s = self.ic_slots[i];
+                if self.mem.read(s, 8) == Ok(eip as u64) {
+                    let _ = self.mem.write(s + 8, 8, entry);
+                }
+            }
+        } else {
+            let slot = layout::lookup_slot_legacy(eip);
+            if self.mem.read(slot, 8) == Ok(eip as u64) {
+                let _ = self.mem.write(slot + 8, 8, entry);
+            }
         }
         self.trace_emit(EventData::BlockPromoted {
             id: block_id,
@@ -697,15 +812,44 @@ impl Engine {
             }
             self.unlink_branch(from, &extents);
         }
-        // Purge the lookup entry — only if the slot both keys on this
+        // Purge lookup entries — only where the slot both keys on this
         // EIP and still targets the victim's code; a colliding or newer
-        // entry in the same direct-mapped slot must survive.
-        let slot = layout::lookup_slot(eip);
-        if self.mem.read(slot, 8) == Ok(eip as u64) {
-            let tgt = self.mem.read(slot + 8, 8).unwrap_or(0);
-            if in_extents(tgt, &extents) {
-                let _ = self.mem.write(slot, 8, layout::LOOKUP_EMPTY_KEY);
-                self.stats.lookup_purges += 1;
+        // entry in the same set must survive.
+        let (base_slot, ways) = if self.cfg.enable_indirect_accel {
+            (layout::lookup_slot(eip), layout::LOOKUP_WAYS)
+        } else {
+            (layout::lookup_slot_legacy(eip), 1)
+        };
+        for w in 0..ways {
+            let slot = base_slot + w * layout::LOOKUP_ENTRY_SIZE;
+            if self.mem.read(slot, 8) == Ok(eip as u64) {
+                let tgt = self.mem.read(slot + 8, 8).unwrap_or(0);
+                if in_extents(tgt, &extents) {
+                    let _ = self.mem.write(slot, 8, layout::LOOKUP_EMPTY_KEY);
+                    self.stats.lookup_purges += 1;
+                }
+            }
+        }
+        if self.cfg.enable_indirect_accel {
+            // The victim's code must be unreachable through every
+            // acceleration path: null shadow-stack predictions and
+            // inline-cache entries that name it. (Forwarded old
+            // generations are kept alive until eviction precisely so
+            // this is the only purge point.)
+            for i in 0..layout::SHADOW_ENTRIES {
+                let ea = layout::SHADOW_BASE + i * layout::SHADOW_ENTRY_SIZE;
+                let tgt = self.mem.read(ea + 8, 8).unwrap_or(0);
+                if in_extents(tgt, &extents) {
+                    let _ = self.mem.write(ea, 8, layout::LOOKUP_EMPTY_KEY);
+                }
+            }
+            for i in 0..self.ic_slots.len() {
+                let s = self.ic_slots[i];
+                let k = self.mem.read(s, 8).unwrap_or(layout::LOOKUP_EMPTY_KEY);
+                let tgt = self.mem.read(s + 8, 8).unwrap_or(0);
+                if k == eip as u64 || in_extents(tgt, &extents) {
+                    let _ = self.mem.write(s, 8, layout::LOOKUP_EMPTY_KEY);
+                }
             }
         }
         // Patch sites inside the reclaimed extents may be reused for
@@ -774,6 +918,67 @@ impl Engine {
         self.note_patched(addr);
     }
 
+    /// Inserts `eip -> entry` into the 2-way lookup table: a matching
+    /// way is updated in place, an empty way is filled, and a full set
+    /// demotes way 0 into way 1 and claims way 0 (newest-first
+    /// pseudo-LRU). `lookup_collisions` counts inserts into a set
+    /// already holding a live foreign key; `lookup_way_conflicts`
+    /// counts the displacements of a live entry.
+    fn lookup_insert(&mut self, eip: u32, entry: u64) {
+        let s0 = layout::lookup_slot(eip);
+        let s1 = s0 + layout::LOOKUP_ENTRY_SIZE;
+        let k0 = self.mem.read(s0, 8).unwrap_or(layout::LOOKUP_EMPTY_KEY);
+        let k1 = self.mem.read(s1, 8).unwrap_or(layout::LOOKUP_EMPTY_KEY);
+        // Zero keys are freshly mapped, never-written entries.
+        let is_empty = |k: u64| k == layout::LOOKUP_EMPTY_KEY || k == 0;
+        let slot = if k0 == eip as u64 {
+            s0
+        } else if k1 == eip as u64 {
+            s1
+        } else if is_empty(k0) {
+            if !is_empty(k1) {
+                self.stats.lookup_collisions += 1;
+            }
+            s0
+        } else if is_empty(k1) {
+            self.stats.lookup_collisions += 1;
+            s1
+        } else {
+            self.stats.lookup_collisions += 1;
+            self.stats.lookup_way_conflicts += 1;
+            let t0 = self.mem.read(s0 + 8, 8).unwrap_or(0);
+            let _ = self.mem.write(s1, 8, k0);
+            let _ = self.mem.write(s1 + 8, 8, t0);
+            s0
+        };
+        let _ = self.mem.write(slot, 8, eip as u64);
+        let _ = self.mem.write(slot + 8, 8, entry);
+    }
+
+    /// Purges every lookup way keyed on `eip` (SMC invalidation), and
+    /// under acceleration also empties inline caches predicting it so
+    /// the next transfer retrains through the dispatcher.
+    fn lookup_purge_eip(&mut self, eip: u32) {
+        if self.cfg.enable_indirect_accel {
+            let s0 = layout::lookup_slot(eip);
+            for w in 0..layout::LOOKUP_WAYS {
+                let s = s0 + w * layout::LOOKUP_ENTRY_SIZE;
+                if self.mem.read(s, 8) == Ok(eip as u64) {
+                    let _ = self.mem.write(s, 8, layout::LOOKUP_EMPTY_KEY);
+                }
+            }
+            for i in 0..self.ic_slots.len() {
+                let s = self.ic_slots[i];
+                if self.mem.read(s, 8) == Ok(eip as u64) {
+                    let _ = self.mem.write(s, 8, layout::LOOKUP_EMPTY_KEY);
+                }
+            }
+        } else {
+            let slot = layout::lookup_slot_legacy(eip);
+            let _ = self.mem.write(slot, 8, layout::LOOKUP_EMPTY_KEY);
+        }
+    }
+
     /// Cold-translates the block at `eip` (a specific version), updating
     /// the registry and patching pending links via the forwarding rule.
     /// Bracketed by a [`Phase::ColdTranslate`] trace span.
@@ -807,10 +1012,16 @@ impl Engine {
             });
         }
         let liveness = analyze(&region_g);
-        let (id, profile, prev_entry) = match self.by_eip.get(&eip) {
+        let (id, profile, prev_entry, indirect_plain, pop_misses) = match self.by_eip.get(&eip) {
             Some(&id) => {
                 let b = &self.blocks[id as usize];
-                (id, b.counter_addr, Some(b.entry))
+                (
+                    id,
+                    b.counter_addr,
+                    Some(b.entry),
+                    b.indirect_plain,
+                    b.pop_misses,
+                )
             }
             None => {
                 let id = self.blocks.len() as u32;
@@ -825,7 +1036,7 @@ impl Engine {
                         p
                     }
                 };
-                (id, profile, None)
+                (id, profile, None, false, 0)
             }
         };
         let spec = if self.cfg.enable_fp_spec {
@@ -870,6 +1081,9 @@ impl Engine {
             fuse: self.cfg.enable_fusion,
             inline_fp_checks: inline_fp || !self.cfg.enable_fp_spec,
             smc_check,
+            ic_slot: profile + IC_OFFSET,
+            accel: self.cfg.enable_indirect_accel,
+            plain: indirect_plain,
             base: self.machine.arena.end(),
         };
         let gen0 = match generate(&input) {
@@ -950,6 +1164,9 @@ impl Engine {
             counter_addr: profile,
             edge_counters: (profile + 8, profile + 16),
             misinfo_base: profile + 24,
+            ic_slot: profile + IC_OFFSET,
+            indirect_plain,
+            pop_misses,
             accesses: gen.accesses,
             spec,
             entry_mmx: gen.entry_mmx,
@@ -1297,12 +1514,52 @@ impl Engine {
             StubKind::IndirectMiss => {
                 let eip = payload as u32;
                 self.stats.indirect_misses += 1;
+                // Under acceleration, payload1 carries the missing
+                // site's inline-cache slot (0 for devirt guard exits
+                // without a site), or a `RET_MISS_TAG`-tagged block id
+                // for shadow-stack pop misses.
+                let mut site = if self.cfg.enable_indirect_accel {
+                    self.machine.gr[state::GR_PAYLOAD1.0 as usize]
+                } else {
+                    0
+                };
+                if site & layout::RET_MISS_TAG != 0 {
+                    // A ret block's shadow pop missed. Count it; a
+                    // chronically mispredicting ret block is demoted to
+                    // the plain table probe so it stops paying (and
+                    // re-missing) the pop on every execution.
+                    let id = (site & 0xFFFF_FFFF) as u32;
+                    site = 0;
+                    if (id as usize) < self.blocks.len() {
+                        self.blocks[id as usize].pop_misses += 1;
+                        if self.blocks[id as usize].pop_misses >= self.cfg.shadow_demote_misses
+                            && !self.blocks[id as usize].indirect_plain
+                        {
+                            self.demote_indirect(os, id);
+                        }
+                    }
+                }
                 match self.entry_of(os, eip) {
                     Ok(entry) => {
-                        // Fill the lookup table.
-                        let slot = layout::lookup_slot(eip);
-                        let _ = self.mem.write(slot, 8, eip as u64);
-                        let _ = self.mem.write(slot + 8, 8, entry);
+                        if self.cfg.enable_indirect_accel {
+                            self.lookup_insert(eip, entry);
+                            if site != 0 {
+                                // Retrain the site's inline cache to
+                                // its newest observed target.
+                                let _ = self.mem.write(site, 8, eip as u64);
+                                let _ = self.mem.write(site + 8, 8, entry);
+                                self.stats.ic_retrains += 1;
+                                self.trace_emit(EventData::IndirectRetrain { eip, site });
+                                self.trace_profile(|t| {
+                                    t.profile_lifecycle(eip, EventKind::IndirectRetrain)
+                                });
+                            }
+                        } else {
+                            // Fill the direct-mapped table.
+                            let slot = layout::lookup_slot_legacy(eip);
+                            let _ = self.mem.write(slot, 8, eip as u64);
+                            let _ = self.mem.write(slot + 8, 8, entry);
+                        }
                         ExitAction::Continue(entry)
                     }
                     Err(exc) => {
@@ -1690,9 +1947,8 @@ impl Engine {
             self.forward(entry, StubKind::Reenter.addr());
             let eip = self.blocks[id as usize].eip;
             self.by_eip.remove(&eip);
-            // Purge the lookup-table entry.
-            let slot_addr = layout::lookup_slot(eip);
-            let _ = self.mem.write(slot_addr, 8, layout::LOOKUP_EMPTY_KEY);
+            // Purge lookup + inline-cache entries keyed on this EIP.
+            self.lookup_purge_eip(eip);
         }
         self.mem.set_code_protect(addr, false);
         state::cpu_to_machine(&cpu, &mut self.machine);
@@ -1825,7 +2081,10 @@ impl Engine {
                 self.stats.blacklist_hits += 1;
                 continue;
             }
-            crate::hot::promote(self, id);
+            let built = crate::hot::promote(self, id);
+            if !built && self.cfg.enable_indirect_accel {
+                self.maybe_demote_megamorphic(os, id);
+            }
             if budget > 0 && self.overhead_cycles() - start > budget {
                 // The session blew its cycle budget: abort the rest,
                 // keeping their cold code (they can re-register later).
@@ -1944,6 +2203,58 @@ impl Engine {
         }
     }
 
+    /// A failed promotion is the checkpoint for megamorphic-site
+    /// demotion: if the block's inline cache has been trained (pred
+    /// set) but hit on fewer than half of a meaningful number of
+    /// executions, the site is polymorphic and the IC/shadow machinery
+    /// is pure per-execution overhead — demote to the plain probe.
+    fn maybe_demote_megamorphic(&mut self, os: &mut dyn BtOs, id: u32) {
+        let b = &self.blocks[id as usize];
+        if b.indirect_plain || b.evicted || b.kind == BlockKind::Hot {
+            return;
+        }
+        let slot = b.ic_slot;
+        let counter = b.counter_addr;
+        let pred = self.mem.read(slot, 8).unwrap_or(layout::LOOKUP_EMPTY_KEY);
+        if pred == layout::LOOKUP_EMPTY_KEY {
+            // Not an inline-cache-probing terminator (or never ran).
+            return;
+        }
+        let uses = self.mem.read(counter, 8).unwrap_or(0);
+        let hits = self.mem.read(slot + 16, 8).unwrap_or(0);
+        if uses >= self.cfg.megamorphic_demote_uses && hits * 2 < uses {
+            self.demote_indirect(os, id);
+        }
+    }
+
+    /// Demotes a block whose per-site acceleration keeps mispredicting
+    /// (megamorphic inline cache, or a ret whose shadow pops chronically
+    /// miss) to the plain 2-way table probe and retranslates it in
+    /// place. One-way: the block keeps its kind and profile slots; only
+    /// the accel emission changes. The stale prediction is emptied so
+    /// hot selection can never devirtualize through a site that no
+    /// longer maintains it.
+    fn demote_indirect(&mut self, os: &mut dyn BtOs, id: u32) {
+        let b = &self.blocks[id as usize];
+        if b.indirect_plain || b.evicted || b.kind == BlockKind::Hot {
+            return;
+        }
+        let eip = b.eip;
+        let kind = b.kind;
+        let inline_fp = b.inline_fp;
+        let overrides = b.misalign_overrides.clone();
+        let slot = b.ic_slot;
+        self.blocks[id as usize].indirect_plain = true;
+        let _ = self.mem.write(slot, 8, layout::LOOKUP_EMPTY_KEY);
+        let _ = self.mem.write(slot + 16, 8, 0);
+        self.stats.indirect_demotions += 1;
+        self.trace_emit(EventData::IndirectDemote { eip, id });
+        self.trace_profile(|t| t.profile_lifecycle(eip, EventKind::IndirectDemote));
+        if self.by_eip.get(&eip) == Some(&id) {
+            let _ = self.translate_cold(os, eip, kind, inline_fp, overrides);
+        }
+    }
+
     /// Consults the attached `FaultPlan` at a dispatch boundary and
     /// applies any injected faults. Every injection damages only
     /// *translations*, which the ladder rebuilds from unchanged guest
@@ -1995,8 +2306,7 @@ impl Engine {
                 if self.by_eip.get(&beip) == Some(&id) {
                     self.by_eip.remove(&beip);
                 }
-                let slot_addr = layout::lookup_slot(beip);
-                let _ = self.mem.write(slot_addr, 8, layout::LOOKUP_EMPTY_KEY);
+                self.lookup_purge_eip(beip);
             }
         }
         // Bit-flip: clobber a victim's entry bundle. Detected by the

@@ -14,7 +14,9 @@ pub use commit::HotData;
 use crate::engine::Engine;
 
 /// Promotes a heated block into a hot trace. On any internal limitation
-/// the block simply stays cold (correctness is never at stake).
-pub fn promote(engine: &mut Engine, block_id: u32) {
-    trace::promote(engine, block_id);
+/// the block simply stays cold (correctness is never at stake). Returns
+/// whether a trace was actually installed — the engine uses a failed
+/// promotion as the checkpoint for megamorphic-site demotion.
+pub fn promote(engine: &mut Engine, block_id: u32) -> bool {
+    trace::promote(engine, block_id)
 }

@@ -9,14 +9,14 @@ use super::sched;
 use crate::cold::discover::{discover, BlockEnd};
 use crate::cold::liveness::{analyze, Liveness};
 use crate::engine::Engine;
-use crate::layout::{region, StubKind};
-use crate::state::{GR_PAYLOAD0, GR_STATE, GR_XMMFMT};
+use crate::layout::{self, region, StubKind};
+use crate::state::{GR_PAYLOAD0, GR_PAYLOAD1, GR_STATE, GR_XMMFMT};
 use crate::templates::{
-    self, AccessMode, AlignCache, EmitCtx, FpCtx, IlItem, MisalignPlan, Sink, XmmCtx,
+    self, AccessMode, AlignCache, EmitCtx, FpCtx, IlItem, MisalignPlan, Sink, Term, XmmCtx,
 };
 use crate::trace::EventData;
 use ia32::inst::Inst as I32;
-use ipf::inst::{Op, Target};
+use ipf::inst::{CmpRel, Op, Target};
 use std::collections::{HashMap, HashSet};
 
 /// One step of a selected trace.
@@ -45,6 +45,29 @@ pub(super) enum Step {
         cond: ia32::Cond,
         /// Address of the Jcc.
         ip: u32,
+    },
+    /// A devirtualized control-transfer terminator the trace continues
+    /// through: a direct `call` (static target), or an indirect
+    /// `jmp`/`call`/`ret` whose dominant target the per-site profile
+    /// predicts. Indirect forms run under a guard comparing the actual
+    /// target against `predicted`, with a side exit to the
+    /// inline-cache retrain path on mismatch.
+    Terminator {
+        /// Instruction address.
+        ip: u32,
+        /// The terminator instruction.
+        inst: I32,
+        /// Encoded length.
+        len: u8,
+        /// Start of the containing basic block (liveness lookup).
+        block: u32,
+        /// Index within the block (liveness lookup).
+        idx: usize,
+        /// Predicted continuation EIP (exact for direct calls).
+        predicted: u32,
+        /// Per-site inline-cache slot to retrain on guard failure
+        /// (0 for site-less forms: direct call, `ret`).
+        ic_slot: u64,
     },
     /// A conditional branch leaving the trace when `cond` holds.
     SideExit {
@@ -143,6 +166,10 @@ pub(super) fn select(engine: &Engine, block_id: u32) -> Option<Trace> {
     let mut visited = HashSet::new();
     let mut cur = start;
     let mut total = 0usize;
+    // Selection-time return-address stack: a direct or devirtualized
+    // call pushes its return EIP so a later `ret` on the same trace
+    // continues through it exactly (still guarded at run time).
+    let mut ret_stack: Vec<u32> = Vec::new();
     let main_exit;
     'outer: loop {
         if visited.contains(&cur) || total >= budget {
@@ -252,9 +279,68 @@ pub(super) fn select(engine: &Engine, block_id: u32) -> Option<Trace> {
                         main_exit = *ip;
                         break 'outer;
                     }
-                    // Calls/returns/indirects end the trace before the
-                    // terminator (a cold block starting there runs it).
+                    // Calls/returns/indirects: devirtualize through the
+                    // dominant target when the profile trusts it,
+                    // otherwise end the trace before the terminator (a
+                    // cold block starting there runs it).
                     _ => {
+                        if engine.cfg.enable_indirect_accel {
+                            let next = ip + *len as u32;
+                            let devirt = match inst {
+                                // Direct call: static target, no guard.
+                                I32::Call { target } => {
+                                    ret_stack.push(next);
+                                    Some((*target, 0u64))
+                                }
+                                // Indirect jmp/call: trust the per-site
+                                // inline cache once it has proven
+                                // monomorphic — the IC must have hit on
+                                // a majority of the block's executions,
+                                // not just an absolute count (a site
+                                // rotating over k targets still hits
+                                // 1/k of the time and would eventually
+                                // cross any absolute threshold).
+                                I32::JmpInd { .. } | I32::CallInd { .. } => {
+                                    let slot = info.ic_slot;
+                                    let pred = engine
+                                        .mem
+                                        .read(slot, 8)
+                                        .unwrap_or(layout::LOOKUP_EMPTY_KEY);
+                                    let hits = engine.mem.read(slot + 16, 8).unwrap_or(0);
+                                    let uses = engine.mem.read(info.counter_addr, 8).unwrap_or(0);
+                                    if pred != layout::LOOKUP_EMPTY_KEY
+                                        && hits >= engine.cfg.devirt_threshold
+                                        && hits * 2 > uses
+                                    {
+                                        if matches!(inst, I32::CallInd { .. }) {
+                                            ret_stack.push(next);
+                                        }
+                                        Some((pred as u32, slot))
+                                    } else {
+                                        None
+                                    }
+                                }
+                                // Return: exact prediction from the
+                                // selection-time stack, if a matching
+                                // call is on this trace.
+                                I32::Ret { .. } => ret_stack.pop().map(|r| (r, 0u64)),
+                                _ => None,
+                            };
+                            if let Some((predicted, ic_slot)) = devirt {
+                                steps.push(Step::Terminator {
+                                    ip: *ip,
+                                    inst: *inst,
+                                    len: *len,
+                                    block: blk.start,
+                                    idx: i,
+                                    predicted,
+                                    ic_slot,
+                                });
+                                total += 1;
+                                cur = predicted;
+                                continue 'outer;
+                            }
+                        }
                         main_exit = *ip;
                         break 'outer;
                     }
@@ -351,23 +437,32 @@ struct ExitInfo {
     xmm_fmt: u8,
 }
 
+/// A devirtualization-guard side exit: restores FP/XMM state, bumps the
+/// failure counters, and leaves through the `IndirectMiss` stub so the
+/// dispatcher retrains the site's inline cache (`GR_PAYLOAD0`/`1` carry
+/// the actual target and the site slot).
+struct DevirtExit {
+    label: u32,
+    perm: [u8; 8],
+    xmm_fmt: u8,
+}
+
 /// Promotes `block_id` into a hot trace; on any limitation the block
 /// simply stays cold.
-pub fn promote(engine: &mut Engine, block_id: u32) {
+pub fn promote(engine: &mut Engine, block_id: u32) -> bool {
     let Some(trace) = select(engine, block_id) else {
         if std::env::var_os("EL_DEBUG_HOT").is_some() {
             eprintln!("promote {}: selection failed", block_id);
         }
-        return;
+        return false;
     };
     engine.trace_emit(EventData::TraceSelected {
         id: block_id,
         eip: engine.block(block_id).eip,
         steps: trace.steps.len() as u32,
     });
-    if build_and_install(engine, block_id, &trace).is_none()
-        && std::env::var_os("EL_DEBUG_HOT").is_some()
-    {
+    let built = build_and_install(engine, block_id, &trace).is_some();
+    if !built && std::env::var_os("EL_DEBUG_HOT").is_some() {
         eprintln!(
             "promote {}: build failed ({} steps, exit {:#x})",
             block_id,
@@ -375,6 +470,7 @@ pub fn promote(engine: &mut Engine, block_id: u32) {
             trace.main_exit
         );
     }
+    built
 }
 
 #[allow(clippy::too_many_lines)]
@@ -424,6 +520,7 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
 
     let mut body = Sink::new();
     let mut exits: Vec<ExitInfo> = Vec::new();
+    let mut devirt_exits: Vec<DevirtExit> = Vec::new();
     let mut perm_by_ip: HashMap<u32, [u8; 8]> = HashMap::new();
     let mut ia32_count = 0u64;
 
@@ -536,6 +633,83 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
                 ia32_count += 1;
                 i += 1;
             }
+            Step::Terminator {
+                ip,
+                inst,
+                len,
+                block,
+                idx,
+                predicted,
+                ic_slot,
+            } => {
+                guard = None;
+                perm_by_ip.insert(*ip, fp.perm);
+                let live = live_cache
+                    .entry(*block)
+                    .or_insert_with(|| analyze(&discover(&engine.mem, *block)))
+                    .live_after(*block, *idx);
+                let mut ctx = EmitCtx {
+                    ip: *ip,
+                    next_ip: ip + *len as u32,
+                    live_flags: live,
+                    fp: &mut fp,
+                    xmm: &mut xmm,
+                    misalign: &plan,
+                    align: &mut align,
+                };
+                match templates::emit(&mut body, inst, &mut ctx) {
+                    // Direct call: the template already pushed the
+                    // return address; the trace just falls through into
+                    // the (static) target.
+                    Ok(Some(Term::Call { .. })) => {}
+                    // Indirect: guard the computed target against the
+                    // prediction; on mismatch, hand the actual target
+                    // and the site slot to the retrain exit.
+                    Ok(Some(Term::Indirect { eip, .. })) => {
+                        let c = body.vg();
+                        body.mov_imm(c, *predicted as u64);
+                        let pm = body.vp();
+                        let pk = body.vp();
+                        body.emit(Op::Cmp {
+                            rel: CmpRel::Ne,
+                            pt: pm,
+                            pf: pk,
+                            a: eip,
+                            b: c,
+                        });
+                        body.emit_pred(
+                            pm,
+                            Op::AddImm {
+                                d: GR_PAYLOAD0,
+                                imm: 0,
+                                a: eip,
+                            },
+                        );
+                        body.emit_pred(
+                            pm,
+                            Op::Movl {
+                                d: GR_PAYLOAD1,
+                                imm: *ic_slot,
+                            },
+                        );
+                        let label = body.local_label();
+                        body.emit_pred(
+                            pm,
+                            Op::Br {
+                                target: Target::Label(label),
+                            },
+                        );
+                        devirt_exits.push(DevirtExit {
+                            label,
+                            perm: fp.perm,
+                            xmm_fmt: xmm.fmt,
+                        });
+                    }
+                    _ => return None,
+                }
+                ia32_count += 1;
+                i += 1;
+            }
             Step::SideExit {
                 cond, target, ip, ..
             } => {
@@ -565,7 +739,11 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
 
     // Collect ILs; the scheduler cannot handle in-body labels (templates
     // with loops are excluded from traces, so Bind never appears).
-    let exit_label_ids: HashSet<u32> = exits.iter().map(|e| e.label).collect();
+    let exit_label_ids: HashSet<u32> = exits
+        .iter()
+        .map(|e| e.label)
+        .chain(devirt_exits.iter().map(|e| e.label))
+        .collect();
     let mut ils: Vec<HotIl> = Vec::new();
     for item in &body.items {
         match item {
@@ -661,8 +839,12 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
         && fp.tos() == fp.entry_tos
         && fp.perm == [0, 1, 2, 3, 4, 5, 6, 7]
         && xmm.fmt == xmm.entry_fmt;
-    let exit_labels: HashMap<u32, ipf::asm::Label> =
-        exits.iter().map(|e| (e.label, cb.label())).collect();
+    let exit_labels: HashMap<u32, ipf::asm::Label> = exits
+        .iter()
+        .map(|e| e.label)
+        .chain(devirt_exits.iter().map(|e| e.label))
+        .map(|l| (l, cb.label()))
+        .collect();
     for (inst, stop) in &scheduled {
         let mut inst = *inst;
         if let Some(Target::Label(l)) = inst.op.target() {
@@ -705,6 +887,20 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
             e.xmm_fmt,
             spec.xmm_fmt,
         );
+    }
+    // Devirtualization-guard failures: count them (as premature exits
+    // and as guard fails), restore FP/XMM state, then leave through the
+    // IndirectMiss stub — GR_PAYLOAD0/1 were loaded on the guarded
+    // path, so the dispatcher retrains the site's inline cache.
+    for e in &devirt_exits {
+        cb.bind(exit_labels[&e.label]);
+        emit_exit_counter(&mut cb, exit_counter);
+        emit_exit_counter(&mut cb, layout::CELL_DEVIRT_FAILS);
+        emit_exit_prologue(&mut cb, e.perm, e.xmm_fmt, spec.xmm_fmt);
+        cb.push(Op::Br {
+            target: Target::Abs(StubKind::IndirectMiss.addr()),
+        });
+        cb.stop();
     }
 
     let (bundles, _labels, placements) = cb.assemble_with_placements(engine.machine.arena.end());
@@ -802,6 +998,32 @@ fn emit_exit(
     if let Some(l) = label {
         cb.bind(l);
     }
+    emit_exit_prologue(cb, perm, xmm_fmt, entry_fmt);
+    match engine.entry_of_existing(target) {
+        Some(addr) => {
+            cb.push(Op::Br {
+                target: Target::Abs(addr),
+            });
+            cb.stop();
+        }
+        None => {
+            cb.push(Op::Movl {
+                d: GR_PAYLOAD0,
+                imm: target as u64,
+            });
+            cb.stop();
+            cb.push(Op::Br {
+                target: Target::Abs(StubKind::Untranslated.addr()),
+            });
+            cb.stop();
+        }
+    }
+}
+
+/// The state-restore half of an exit block: FXCHG-permutation restore
+/// and XMM format-status writeback (shared by target exits and
+/// devirtualization-guard exits).
+fn emit_exit_prologue(cb: &mut ipf::asm::CodeBuilder, perm: [u8; 8], xmm_fmt: u8, entry_fmt: u8) {
     // Restore the identity FP mapping (value of physical p lives in
     // FR perm[p]); swap chains via the reserved temp f63.
     if perm != [0, 1, 2, 3, 4, 5, 6, 7] {
@@ -840,24 +1062,5 @@ fn emit_exit(
             a: ipf::regs::R0,
         });
         cb.stop();
-    }
-    match engine.entry_of_existing(target) {
-        Some(addr) => {
-            cb.push(Op::Br {
-                target: Target::Abs(addr),
-            });
-            cb.stop();
-        }
-        None => {
-            cb.push(Op::Movl {
-                d: GR_PAYLOAD0,
-                imm: target as u64,
-            });
-            cb.stop();
-            cb.push(Op::Br {
-                target: Target::Abs(StubKind::Untranslated.addr()),
-            });
-            cb.stop();
-        }
     }
 }

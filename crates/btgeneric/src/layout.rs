@@ -29,8 +29,14 @@ pub const PROFILE_SIZE: u64 = 0x100_0000;
 /// Base of the indirect-branch lookup table (inside the profile region).
 pub const LOOKUP_BASE: u64 = PROFILE_BASE;
 
-/// Number of direct-mapped lookup-table entries (must be a power of 2).
+/// Total lookup-table entries (must be a power of 2).
 pub const LOOKUP_ENTRIES: u64 = 4096;
+
+/// Associativity of the lookup table when indirect acceleration is on.
+pub const LOOKUP_WAYS: u64 = 2;
+
+/// Number of 2-way sets.
+pub const LOOKUP_SETS: u64 = LOOKUP_ENTRIES / LOOKUP_WAYS;
 
 /// Bytes per lookup entry: `(eip: u64, target: u64)`.
 pub const LOOKUP_ENTRY_SIZE: u64 = 16;
@@ -39,8 +45,43 @@ pub const LOOKUP_ENTRY_SIZE: u64 = 16;
 /// `u64::MAX`, so inline lookup code can never match an empty slot.
 pub const LOOKUP_EMPTY_KEY: u64 = u64::MAX;
 
-/// Start of per-block profile slots (counters), after the lookup table.
-pub const COUNTERS_BASE: u64 = LOOKUP_BASE + LOOKUP_ENTRIES * LOOKUP_ENTRY_SIZE;
+/// Base of the simulated return-address shadow stack (a 64-entry ring
+/// of `(ret_eip: u64, target_entry: u64)` pairs), after the table.
+pub const SHADOW_BASE: u64 = LOOKUP_BASE + LOOKUP_ENTRIES * LOOKUP_ENTRY_SIZE;
+
+/// Shadow-stack ring depth (power of 2 so the emitted pop can mask).
+pub const SHADOW_ENTRIES: u64 = 64;
+
+/// Bytes per shadow entry: `(ret_eip: u64, target_entry: u64)`.
+pub const SHADOW_ENTRY_SIZE: u64 = 16;
+
+/// Top-of-stack ring index cell (one u64).
+pub const SHADOW_TOS: u64 = SHADOW_BASE + SHADOW_ENTRIES * SHADOW_ENTRY_SIZE;
+
+/// Memory cells bumped by emitted code on indirect events; harvested
+/// into `Stats` by `Engine::collect_indirect_stats`. Kept adjacent to
+/// `SHADOW_TOS` so the shadow pop sequence reaches them with one add.
+pub const CELL_SHADOW_HITS: u64 = SHADOW_TOS + 8;
+/// Shadow pops that found an empty (consumed or never-seeded) slot.
+pub const CELL_SHADOW_UNDERFLOWS: u64 = SHADOW_TOS + 16;
+/// Shadow pops whose recorded return EIP did not match the actual one.
+pub const CELL_SHADOW_MISPREDICTS: u64 = SHADOW_TOS + 24;
+/// Inline-cache misses (site fell through to the shared table probe).
+pub const CELL_IC_MISSES: u64 = SHADOW_TOS + 32;
+/// Hot-trace devirtualization guard failures (side exits taken).
+pub const CELL_DEVIRT_FAILS: u64 = SHADOW_TOS + 40;
+
+/// Start of per-block profile slots (counters), after the lookup table,
+/// shadow stack, and event cells.
+pub const COUNTERS_BASE: u64 = SHADOW_TOS + 48;
+
+/// Tag bit in the `IndirectMiss` payload1 marking a shadow-stack pop
+/// miss: the low 32 bits then carry the *ret block's* id (not an
+/// inline-cache slot address), so the dispatcher can count per-block
+/// pop misses and demote chronically mispredicting ret blocks back to
+/// a plain table probe. Bit 62 cannot collide with a slot address
+/// (profile memory sits far below 2^62).
+pub const RET_MISS_TAG: u64 = 1 << 62;
 
 /// Why translated code exited to the translator.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -142,9 +183,24 @@ pub mod region {
     pub const IDLE: u32 = 5;
 }
 
-/// The address of the direct-mapped lookup-table entry for `eip`.
+/// Set index for `eip` in the 2-way table. XOR-folding the high bits
+/// in keeps targets 2^14 bytes apart (common for page- or
+/// table-aligned function pointers) from aliasing, which the old
+/// `eip >> 2` index did.
+pub fn lookup_hash(eip: u32) -> u64 {
+    let e = eip as u64;
+    (e ^ (e >> 12)) & (LOOKUP_SETS - 1)
+}
+
+/// The address of way 0 of the lookup set for `eip` (way 1 is at
+/// `+LOOKUP_ENTRY_SIZE`).
 pub fn lookup_slot(eip: u32) -> u64 {
-    // Simple direct-mapped hash on the low bits (entries are 16 bytes).
+    LOOKUP_BASE + lookup_hash(eip) * LOOKUP_WAYS * LOOKUP_ENTRY_SIZE
+}
+
+/// The pre-acceleration direct-mapped slot for `eip`, still used when
+/// `Config::enable_indirect_accel` is off (the before/after baseline).
+pub fn lookup_slot_legacy(eip: u32) -> u64 {
     LOOKUP_BASE + ((eip as u64 >> 2) & (LOOKUP_ENTRIES - 1)) * LOOKUP_ENTRY_SIZE
 }
 
@@ -165,11 +221,29 @@ mod tests {
     #[test]
     fn lookup_slots_in_region() {
         for eip in [0u32, 4, 0x40_0000, 0xFFFF_FFFF] {
-            let s = lookup_slot(eip);
-            assert!(s >= LOOKUP_BASE);
-            assert!(s < COUNTERS_BASE);
-            assert_eq!(s % 16, 0);
+            for s in [lookup_slot(eip), lookup_slot_legacy(eip)] {
+                assert!(s >= LOOKUP_BASE);
+                assert!(s + LOOKUP_WAYS * LOOKUP_ENTRY_SIZE <= SHADOW_BASE);
+                assert_eq!(s % 16, 0);
+            }
         }
+    }
+
+    #[test]
+    fn lookup_hash_mixes_high_bits() {
+        // The legacy `>> 2` index aliases addresses exactly 16 KiB
+        // apart; the mixed hash must separate them.
+        let (a, b) = (0x40_1000u32, 0x40_1000 + (1 << 14));
+        assert_eq!(lookup_slot_legacy(a), lookup_slot_legacy(b));
+        assert_ne!(lookup_slot(a), lookup_slot(b));
+    }
+
+    #[test]
+    fn shadow_region_disjoint_from_table_and_counters() {
+        const { assert!(SHADOW_BASE >= LOOKUP_BASE + LOOKUP_SETS * LOOKUP_WAYS * LOOKUP_ENTRY_SIZE) };
+        const { assert!(SHADOW_TOS == SHADOW_BASE + SHADOW_ENTRIES * SHADOW_ENTRY_SIZE) };
+        const { assert!(COUNTERS_BASE > CELL_DEVIRT_FAILS) };
+        const { assert!(COUNTERS_BASE < PROFILE_BASE + PROFILE_SIZE) };
     }
 
     #[test]

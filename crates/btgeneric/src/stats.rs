@@ -32,6 +32,36 @@ pub struct Stats {
     pub heat_events: u64,
     /// Indirect-branch lookup misses handled.
     pub indirect_misses: u64,
+    /// Inline-cache hits across all indirect jmp/call sites (summed
+    /// from the per-site hit counters by `collect_indirect_stats`).
+    pub ic_hits: u64,
+    /// Inline-cache misses (site fell through to the shared table).
+    pub ic_misses: u64,
+    /// Inline-cache retrains performed by the dispatcher (a missing
+    /// site was repointed at its newest observed target).
+    pub ic_retrains: u64,
+    /// Return-address shadow-stack hits (`ret` branched straight to the
+    /// predicted translated entry).
+    pub shadow_hits: u64,
+    /// Shadow-stack pops that found an empty slot (ring wrapped, entry
+    /// consumed, or prediction not yet seeded).
+    pub shadow_underflows: u64,
+    /// Shadow-stack pops whose recorded return EIP did not match the
+    /// actual one (stack switch, `ret` to a different frame, hot-trace
+    /// call folding).
+    pub shadow_mispredicts: u64,
+    /// Lookup-table inserts into a set already holding a live foreign
+    /// key (table-pressure signal).
+    pub lookup_collisions: u64,
+    /// Lookup-table inserts that displaced a live entry because every
+    /// way of the set was taken.
+    pub lookup_way_conflicts: u64,
+    /// Hot-trace devirtualization guards that failed (side exit back
+    /// through the retrain path).
+    pub devirt_guard_fails: u64,
+    /// Blocks demoted to the plain table probe because their inline
+    /// cache proved megamorphic or their shadow pops kept missing.
+    pub indirect_demotions: u64,
     /// Misalignment probes that fired (stage 1 -> stage 2 regens).
     pub misalign_retrains: u64,
     /// OS-handled misalignment faults taken.
@@ -115,13 +145,35 @@ impl Stats {
     pub fn cache_summary(&self) -> String {
         format!(
             "evictions {} ({} bundles), unlinks {}, lookup purges {}, \
-             flushes {}, fast dispatches {}",
+             lookup collisions {}, flushes {}, fast dispatches {}",
             self.evictions,
             self.evicted_bundles,
             self.chain_unlinks,
             self.lookup_purges,
+            self.lookup_collisions,
             self.cache_flushes,
             self.dispatch_fast_hits
+        )
+    }
+
+    /// One-line indirect control-transfer summary (inline caches,
+    /// shadow stack, table pressure, devirtualization) for
+    /// bench/figures output.
+    pub fn indirect_summary(&self) -> String {
+        format!(
+            "indirect misses {}, ic {}/{}/{} (hit/miss/retrain), \
+             shadow {}/{}/{} (hit/underflow/mispredict), \
+             way conflicts {}, devirt guard fails {}, demotions {}",
+            self.indirect_misses,
+            self.ic_hits,
+            self.ic_misses,
+            self.ic_retrains,
+            self.shadow_hits,
+            self.shadow_underflows,
+            self.shadow_mispredicts,
+            self.lookup_way_conflicts,
+            self.devirt_guard_fails,
+            self.indirect_demotions
         )
     }
 

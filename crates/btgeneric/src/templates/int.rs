@@ -2,7 +2,7 @@
 
 use super::flags_emit::{arith_flags, cond_from_flags, logic_flags, ArithKind};
 use super::mem::{ea, guest_load, guest_store, read_gpr, snapshot, write_gpr};
-use super::{EmitCtx, Sink, Term, Unsupported};
+use super::{EmitCtx, IndKind, Sink, Term, Unsupported};
 use crate::layout::StubKind;
 use crate::state::{self, GR_EFLAGS, GR_ONE};
 use ia32::flags;
@@ -492,7 +492,10 @@ pub(super) fn emit_int(
         I32::Jmp { target } => return Ok(Some(Term::Jump { target: *target })),
         I32::JmpInd { src } => {
             let t = read_rm(sink, ctx, src, Size::D);
-            return Ok(Some(Term::Indirect { eip: t }));
+            return Ok(Some(Term::Indirect {
+                eip: t,
+                kind: IndKind::Jump,
+            }));
         }
         I32::Jcc { cond, target } => {
             let (pt, _) = cond_from_flags(sink, *cond);
@@ -506,14 +509,20 @@ pub(super) fn emit_int(
             let ret = sink.vg();
             sink.mov_imm(ret, ctx.next_ip as u64);
             push32(sink, ctx, ret);
-            return Ok(Some(Term::Jump { target: *target }));
+            return Ok(Some(Term::Call {
+                target: *target,
+                ret: ctx.next_ip,
+            }));
         }
         I32::CallInd { src } => {
             let t = read_rm(sink, ctx, src, Size::D);
             let ret = sink.vg();
             sink.mov_imm(ret, ctx.next_ip as u64);
             push32(sink, ctx, ret);
-            return Ok(Some(Term::Indirect { eip: t }));
+            return Ok(Some(Term::Indirect {
+                eip: t,
+                kind: IndKind::Call { ret: ctx.next_ip },
+            }));
         }
         I32::Ret { pop } => {
             let esp = state::guest_gpr(4);
@@ -527,7 +536,10 @@ pub(super) fn emit_int(
             let new32 = trunc(sink, new, Size::D);
             sink.mov(esp, new32);
             ctx.align.invalidate_gpr(4);
-            return Ok(Some(Term::Indirect { eip: t }));
+            return Ok(Some(Term::Indirect {
+                eip: t,
+                kind: IndKind::Ret,
+            }));
         }
         I32::Setcc { cond, dst } => {
             let (pt, pf) = cond_from_flags(sink, *cond);

@@ -202,6 +202,23 @@ impl Sink {
     }
 }
 
+/// What flavor of guest control transfer produced a `Term::Indirect`.
+/// Cold codegen uses it to pick the acceleration strategy: jmp/call
+/// sites get a per-site inline cache, calls additionally push onto the
+/// simulated return-address shadow stack, and `ret` pops it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IndKind {
+    /// `jmp r/m32`.
+    Jump,
+    /// `call r/m32`; `ret` is the return EIP pushed on the guest stack.
+    Call {
+        /// Return EIP (the instruction after the call).
+        ret: u32,
+    },
+    /// `ret` / `ret imm16`.
+    Ret,
+}
+
 /// Control-flow outcome of translating one IA-32 instruction.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Term {
@@ -209,6 +226,14 @@ pub enum Term {
     Jump {
         /// Target EIP.
         target: u32,
+    },
+    /// Direct `call target`: like `Jump`, but codegen may also push a
+    /// shadow-stack prediction for the matching `ret`.
+    Call {
+        /// Target EIP.
+        target: u32,
+        /// Return EIP (the instruction after the call).
+        ret: u32,
     },
     /// Conditional branch: `taken_pred` selects `taken`.
     CondJump {
@@ -223,6 +248,8 @@ pub enum Term {
     Indirect {
         /// Register holding the target EIP.
         eip: Gr,
+        /// Which guest instruction produced it.
+        kind: IndKind,
     },
     /// `HLT`.
     Halt,

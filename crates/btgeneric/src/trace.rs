@@ -48,7 +48,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// Number of distinct [`EventKind`]s.
-pub const NUM_EVENT_KINDS: usize = 11;
+pub const NUM_EVENT_KINDS: usize = 13;
 
 /// The kind of a lifecycle event (one bit each in an [`EventMask`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -78,6 +78,12 @@ pub enum EventKind {
     InterpFallback = 9,
     /// A translation/session phase span was entered or exited.
     Phase = 10,
+    /// The dispatcher retrained an indirect-branch inline cache (the
+    /// site's prediction was repointed at its newest observed target).
+    IndirectRetrain = 11,
+    /// A block was demoted to the plain table probe (megamorphic
+    /// inline cache or chronically missing shadow pops).
+    IndirectDemote = 12,
 }
 
 impl EventKind {
@@ -94,6 +100,8 @@ impl EventKind {
         EventKind::LadderRung,
         EventKind::InterpFallback,
         EventKind::Phase,
+        EventKind::IndirectRetrain,
+        EventKind::IndirectDemote,
     ];
 
     /// Short display name (reports, chrome trace).
@@ -110,6 +118,8 @@ impl EventKind {
             EventKind::LadderRung => "ladder",
             EventKind::InterpFallback => "interp",
             EventKind::Phase => "phase",
+            EventKind::IndirectRetrain => "ind-retrain",
+            EventKind::IndirectDemote => "ind-demote",
         }
     }
 
@@ -324,6 +334,21 @@ pub enum EventData {
         /// Guest EIP of the fallback entry.
         eip: u32,
     },
+    /// The dispatcher retrained an indirect-branch inline cache.
+    IndirectRetrain {
+        /// Target guest EIP the site now predicts.
+        eip: u32,
+        /// Profile address of the retrained per-site IC slot (0 when
+        /// the miss came from a site-less path such as `ret`).
+        site: u64,
+    },
+    /// A block's per-site acceleration was demoted to the plain probe.
+    IndirectDemote {
+        /// Guest EIP of the demoted block.
+        eip: u32,
+        /// Block id.
+        id: u32,
+    },
     /// A phase span opened.
     PhaseEnter {
         /// The phase.
@@ -352,6 +377,8 @@ impl EventData {
             EventData::FaultInjected { .. } => EventKind::FaultInjected,
             EventData::LadderRung { .. } => EventKind::LadderRung,
             EventData::InterpFallback { .. } => EventKind::InterpFallback,
+            EventData::IndirectRetrain { .. } => EventKind::IndirectRetrain,
+            EventData::IndirectDemote { .. } => EventKind::IndirectDemote,
             EventData::PhaseEnter { .. } | EventData::PhaseExit { .. } => EventKind::Phase,
         }
     }
@@ -414,6 +441,12 @@ impl std::fmt::Display for TraceEvent {
                 write!(f, "ladder       {} @ {eip:#x}", rung.name())
             }
             EventData::InterpFallback { eip } => write!(f, "interp       @ {eip:#x}"),
+            EventData::IndirectRetrain { eip, site } => {
+                write!(f, "ind-retrain  -> {eip:#x} (site {site:#x})")
+            }
+            EventData::IndirectDemote { eip, id } => {
+                write!(f, "ind-demote   block {id} @ {eip:#x}")
+            }
             EventData::PhaseEnter { phase } => write!(f, "phase-enter  {}", phase.name()),
             EventData::PhaseExit { phase, cycles } => {
                 write!(f, "phase-exit   {} ({cycles} cy)", phase.name())
@@ -839,6 +872,16 @@ impl Tracer {
                 EventData::InterpFallback { eip } => {
                     (format!("interp {eip:#x}"), "i", format!("\"eip\":{eip}"))
                 }
+                EventData::IndirectRetrain { eip, site } => (
+                    format!("ind-retrain {eip:#x}"),
+                    "i",
+                    format!("\"eip\":{eip},\"site\":{site}"),
+                ),
+                EventData::IndirectDemote { eip, id } => (
+                    format!("ind-demote {eip:#x}"),
+                    "i",
+                    format!("\"eip\":{eip},\"id\":{id}"),
+                ),
             };
             let _ = write!(
                 out,

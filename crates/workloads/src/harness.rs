@@ -128,6 +128,11 @@ mod tests {
         all.extend(crate::spec_fp());
         all.push(crate::sysmark());
         all.push(crate::misalign_heavy());
+        all.extend(
+            crate::indirect_kernels()
+                .into_iter()
+                .filter(|w| w.name != "eon"),
+        );
         for w in &all {
             let scale = (w.scale / 50).max(64);
             let native = run_native(w, scale, ipf::Timing::default());

@@ -480,6 +480,114 @@ fn eon_native(cb: &mut CodeBuilder, iters: u32) {
     });
 }
 
+/// vcall_mono: two monomorphic indirect call sites whose targets sit
+/// exactly 16 KiB apart, so they alias in a direct-mapped lookup table
+/// indexed by `(eip >> 2) & 4095` (slots repeat every 16 KiB). A
+/// single shared slot thrashes between them — every call is a
+/// dispatcher round-trip — while per-site inline caches and a 2-way
+/// table hold both predictions indefinitely.
+fn vcall_mono_ia32(a: &mut Asm, iters: u32) {
+    let start = a.label();
+    a.jmp(start);
+    let fa = a.here();
+    a.alu_ri(AluOp::Add, EDI, 3);
+    a.ret();
+    // Pad the second method to the aliasing distance.
+    while a.here() < fa + 16384 {
+        a.nop();
+    }
+    let fb = a.here();
+    a.alu_ri(AluOp::Add, EDI, 5);
+    a.ret();
+    a.bind(start);
+    a.mov_ri(ECX, iters as i32);
+    a.mov_ri(EDI, 0);
+    a.mov_ri(EBX, fa as i32);
+    a.mov_ri(EDX, fb as i32);
+    let top = a.label();
+    a.bind(top);
+    a.call_r(EBX); // site 1: always method A
+    a.call_r(EDX); // site 2: always method B
+    a.dec(ECX);
+    a.jcc(Cond::Ne, top);
+    a.mov_store(Addr::abs(RESULT), EDI);
+    a.hlt();
+}
+
+fn vcall_mono_native(cb: &mut CodeBuilder, iters: u32) {
+    // A native compiler devirtualizes the monomorphic calls outright.
+    native_loop(cb, iters, |cb| {
+        cb.push(Op::AddImm {
+            d: n(10),
+            imm: 8,
+            a: n(10),
+        });
+        cb.stop();
+    });
+}
+
+/// callret: nested direct call/ret chains in a hot loop. Every `ret`
+/// exercises the return-address path, and a trace selector that stops
+/// at calls fragments the whole loop body; one that follows calls and
+/// predicts returns covers it with a single hot trace.
+fn callret_ia32(a: &mut Asm, iters: u32) {
+    let f1 = a.label();
+    let f2 = a.label();
+    let f3 = a.label();
+    let start = a.label();
+    a.jmp(start);
+    a.bind(f3);
+    a.alu_ri(AluOp::Add, EDI, 1);
+    a.ret();
+    a.bind(f2);
+    a.alu_ri(AluOp::Add, EDI, 2);
+    a.call(f3);
+    a.alu_ri(AluOp::Xor, EDI, 0x11);
+    a.ret();
+    a.bind(f1);
+    a.alu_ri(AluOp::Add, EDI, 4);
+    a.call(f2);
+    a.alu_ri(AluOp::Xor, EDI, 0x22);
+    a.ret();
+    a.bind(start);
+    a.mov_ri(ECX, iters as i32);
+    a.mov_ri(EDI, 0);
+    let top = a.label();
+    a.bind(top);
+    a.call(f1);
+    a.call(f1);
+    a.dec(ECX);
+    a.jcc(Cond::Ne, top);
+    a.mov_store(Addr::abs(RESULT), EDI);
+    a.hlt();
+}
+
+fn callret_native(cb: &mut CodeBuilder, iters: u32) {
+    // Per f1 call: edi = ((edi + 4 + 2 + 1) ^ 0x11) ^ 0x22, twice.
+    native_loop(cb, iters, |cb| {
+        for _ in 0..2 {
+            cb.push(Op::AddImm {
+                d: n(10),
+                imm: 7,
+                a: n(10),
+            });
+            cb.stop();
+            cb.push(Op::XorImm {
+                d: n(10),
+                imm: 0x11,
+                a: n(10),
+            });
+            cb.stop();
+            cb.push(Op::XorImm {
+                d: n(10),
+                imm: 0x22,
+                a: n(10),
+            });
+            cb.stop();
+        }
+    });
+}
+
 /// gcc: a large, flat code footprint — many blocks, each executed a few
 /// times (translation overhead and dispatch dominate).
 fn gcc_ia32(a: &mut Asm, iters: u32) {
@@ -693,6 +801,18 @@ pub fn all() -> Vec<Workload> {
 /// The 1236 s → 133 s misalignment experiment workload.
 pub fn misalign_heavy() -> Workload {
     wl("misalign", misalign_ia32, misalign_native, 40_000)
+}
+
+/// The call-heavy kernels of the indirect-pressure experiment: the
+/// Figure-5 eon dispatcher plus two kernels aimed at the indirect
+/// control-transfer machinery (lookup-table aliasing and deep direct
+/// call/ret nesting).
+pub fn indirect() -> Vec<Workload> {
+    vec![
+        wl("eon", eon_ia32, eon_native, 30_000),
+        wl("vcall_mono", vcall_mono_ia32, vcall_mono_native, 30_000),
+        wl("callret", callret_ia32, callret_native, 30_000),
+    ]
 }
 
 /// `fp` re-uses these helpers.

@@ -92,6 +92,12 @@ pub fn misalign_heavy() -> Workload {
     int::misalign_heavy()
 }
 
+/// Call-heavy kernels for the indirect control-transfer experiment
+/// (eon plus two kernels aimed at the acceleration machinery).
+pub fn indirect_kernels() -> Vec<Workload> {
+    int::indirect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -387,3 +387,78 @@ fn chaos_runs_are_deterministic() {
     assert_eq!(r1, r2);
     assert_eq!(r1, oracle(&img), "and still oracle-correct");
 }
+
+/// The indirect-acceleration structures (inline caches, shadow stack,
+/// 2-way table, demotion counters) must not introduce nondeterminism:
+/// a call/ret-heavy workload under a fault storm produces byte-identical
+/// `Stats` — including every indirect counter — on a re-run with the
+/// same seed, and never diverges from the oracle. Three fixed seeds.
+#[test]
+fn indirect_accel_chaos_is_deterministic_and_oracle_correct() {
+    let img = image(|a| {
+        a.mov_ri(ECX, 300);
+        a.mov_ri(EAX, 0);
+        let top = a.label();
+        a.bind(top);
+        // Alternate between two indirect-call targets, then return.
+        a.mov_rr(EBX, ECX);
+        a.alu_ri(AluOp::And, EBX, 1);
+        a.inst(ia32::Inst::ImulRmImm {
+            dst: EBX,
+            src: ia32::inst::Rm::Reg(EBX),
+            imm: 0x100,
+        });
+        a.alu_ri(AluOp::Add, EBX, 0x40_1000);
+        a.call_r(EBX);
+        a.dec(ECX);
+        a.jcc(Cond::Ne, top);
+        a.mov_store(Addr::abs(DATA), EAX);
+        a.hlt();
+        while a.here() < 0x40_1000 {
+            a.nop();
+        }
+        a.alu_ri(AluOp::Add, EAX, 3);
+        a.ret();
+        while a.here() < 0x40_1100 {
+            a.nop();
+        }
+        a.alu_ri(AluOp::Add, EAX, 7);
+        a.ret();
+    });
+    let want = oracle(&img);
+    for seed in [11u64, 22, 33] {
+        let run = || {
+            let plan = FaultPlan::storm(seed);
+            let os = SimOs::with_faults(SimOsFaults {
+                fail_allocs: plan.os_alloc_failures,
+                fail_syscalls: 0,
+            });
+            let cfg = Config {
+                heat_threshold: 16,
+                hot_candidates: 2,
+                verify_on_dispatch: true,
+                hot_session_budget: 100_000,
+                ..Config::default()
+            };
+            let mut p = Process::launch_with(&img, os, cfg).expect("launch");
+            p.engine.chaos = Some(plan);
+            assert!(matches!(p.run(200_000_000), Outcome::Halted(_)));
+            p.engine.collect_indirect_stats();
+            (
+                p.engine.stats.clone(),
+                p.engine.machine.cycles,
+                guest_result(&p),
+            )
+        };
+        let (s1, c1, r1) = run();
+        let (s2, c2, r2) = run();
+        assert_eq!(s1, s2, "seed {seed}: statistics must be byte-identical");
+        assert_eq!(c1, c2, "seed {seed}: cycle counts must be byte-identical");
+        assert_eq!(r1, r2, "seed {seed}: results must match across runs");
+        assert_eq!(r1, want, "seed {seed}: diverged from the oracle");
+        assert!(
+            s1.shadow_hits + s1.ic_hits + s1.indirect_misses > 0,
+            "seed {seed}: the indirect machinery must have been exercised"
+        );
+    }
+}

@@ -331,3 +331,112 @@ fn gettick_syscall_works_translated() {
     let mut p = Process::launch_with(&img, SimOs::new(), cold_config()).unwrap();
     assert_eq!(p.run(1_000_000), Outcome::Exited(1), "ticks are monotonic");
 }
+
+/// Every prediction the indirect-acceleration structures hold — shared
+/// lookup-table ways, shadow-stack return predictions, per-site inline
+/// caches — must point into a *live* translated extent, even after the
+/// cache has churned through many evictions and retranslations. A
+/// stale prediction is a branch into reclaimed memory.
+#[test]
+fn indirect_predictions_stay_coherent_under_eviction() {
+    use btgeneric::layout;
+
+    // Calls through a register (two alternating targets) plus a filler
+    // chain that keeps the tiny cache evicting; a low heat threshold
+    // also drags blocks through promotion/demotion.
+    let mut a = Asm::new(0x40_0000);
+    a.mov_ri(ECX, 300);
+    a.mov_ri(EAX, 0);
+    let top = a.label();
+    a.bind(top);
+    a.mov_rr(EBX, ECX);
+    a.alu_ri(AluOp::And, EBX, 1);
+    a.inst(ia32::Inst::ImulRmImm {
+        dst: EBX,
+        src: ia32::inst::Rm::Reg(EBX),
+        imm: 0x100,
+    });
+    a.alu_ri(AluOp::Add, EBX, 0x40_1000);
+    a.call_r(EBX);
+    for k in 0..10 {
+        let l = a.label();
+        a.alu_ri(AluOp::Add, EAX, k);
+        a.jmp(l);
+        a.bind(l);
+    }
+    a.dec(ECX);
+    a.jcc(Cond::Ne, top);
+    a.mov_store(ia32::inst::Addr::abs(DATA), EAX);
+    a.hlt();
+    while a.here() < 0x40_1000 {
+        a.nop();
+    }
+    a.alu_ri(AluOp::Add, EAX, 3);
+    a.ret();
+    while a.here() < 0x40_1100 {
+        a.nop();
+    }
+    a.alu_ri(AluOp::Add, EAX, 7);
+    a.ret();
+    let img = Image::from_asm(&a).with_bss(DATA, 0x1000);
+
+    let mut cfg = hot_config();
+    cfg.max_cache_bundles = 150;
+    let mut p = differential(&img, cfg, &[(DATA, 8)], "indirect-coherence");
+    p.engine.collect_indirect_stats();
+    assert!(p.engine.stats.evictions > 0, "cache must be under pressure");
+    assert!(
+        p.engine.stats.shadow_hits + p.engine.stats.ic_hits > 0,
+        "the acceleration must have been exercised"
+    );
+
+    let live: Vec<(u64, u64)> = p
+        .engine
+        .blocks()
+        .iter()
+        .filter(|b| !b.evicted)
+        .flat_map(|b| b.extents.iter().copied())
+        .collect();
+    let in_live = |t: u64| live.iter().any(|&(s, e)| t >= s && t < e);
+
+    for set in 0..layout::LOOKUP_SETS {
+        for way in 0..layout::LOOKUP_WAYS {
+            let ea =
+                layout::LOOKUP_BASE + (set * layout::LOOKUP_WAYS + way) * layout::LOOKUP_ENTRY_SIZE;
+            let key = p.engine.mem.read(ea, 8).unwrap();
+            // The table starts zero-filled; 0 and the explicit empty
+            // key both mean "no prediction here".
+            if key == layout::LOOKUP_EMPTY_KEY || key == 0 {
+                continue;
+            }
+            let target = p.engine.mem.read(ea + 8, 8).unwrap();
+            assert!(
+                in_live(target),
+                "lookup set {set} way {way}: stale target {target:#x} for eip {key:#x}"
+            );
+        }
+    }
+    for i in 0..layout::SHADOW_ENTRIES {
+        let ea = layout::SHADOW_BASE + i * layout::SHADOW_ENTRY_SIZE;
+        let key = p.engine.mem.read(ea, 8).unwrap();
+        if key == layout::LOOKUP_EMPTY_KEY {
+            continue;
+        }
+        let target = p.engine.mem.read(ea + 8, 8).unwrap();
+        assert!(
+            in_live(target),
+            "shadow slot {i}: stale prediction {target:#x} for ret eip {key:#x}"
+        );
+    }
+    for &slot in p.engine.ic_slots() {
+        let pred = p.engine.mem.read(slot, 8).unwrap();
+        if pred == layout::LOOKUP_EMPTY_KEY {
+            continue;
+        }
+        let target = p.engine.mem.read(slot + 8, 8).unwrap();
+        assert!(
+            in_live(target),
+            "inline cache {slot:#x}: stale entry {target:#x} for eip {pred:#x}"
+        );
+    }
+}
