@@ -382,7 +382,13 @@ fn chaos_cfg() -> Config {
 /// Runs `w` once clean and once under [`FaultPlan::storm`], checking
 /// the storm run's final guest state against the IA-32 hardware model.
 pub fn chaos_run(w: &Workload, scale: u32, seed: u64) -> ChaosRun {
-    let cfg = chaos_cfg();
+    chaos_run_cfg(w, scale, seed, chaos_cfg())
+}
+
+/// [`chaos_run`] under an explicit engine configuration — the hot-IR
+/// determinism suite runs the same storm with `enable_hot_ir` on and
+/// off and demands byte-identical statistics per configuration.
+pub fn chaos_run_cfg(w: &Workload, scale: u32, seed: u64, cfg: Config) -> ChaosRun {
     let img = build_image(w, scale);
     let oracle = run_ia32_hw(w, scale, ia32::timing::Timing::default()).result;
 
@@ -815,6 +821,56 @@ mod tests {
             "cycle geomean must improve >= 5%, got {:.3}x",
             ip.cycle_geomean()
         );
+    }
+
+    /// The hot-IR acceptance gate (mirrors the engine-level
+    /// `chaos::indirect_accel_chaos_is_deterministic_and_oracle_correct`
+    /// at workload scale): every kernel — the twelve Figure-5 INT
+    /// kernels plus the three call-heavy indirect kernels — under a
+    /// seeded fault storm with `enable_hot_ir` on must halt with the
+    /// hardware-model result, and two runs of the same (kernel, seed)
+    /// pair must produce byte-identical statistics and cycle counts.
+    #[test]
+    fn hot_ir_chaos_is_deterministic_and_oracle_correct() {
+        let mut kernels = workloads::spec_int();
+        kernels.extend(workloads::indirect_kernels());
+        assert_eq!(kernels.len(), 15, "the suite covers all 15 kernels");
+        let cfg = Config {
+            enable_hot_ir: true,
+            ..chaos_cfg()
+        };
+        let mut ir_traces = 0u64;
+        for w in &kernels {
+            let scale = (w.scale / 400).max(512);
+            for seed in [11u64, 22, 33] {
+                let a = chaos_run_cfg(w, scale, seed, cfg);
+                let b = chaos_run_cfg(w, scale, seed, cfg);
+                assert!(a.survived, "{} seed {seed}: storm run died", w.name);
+                assert!(
+                    a.oracle_ok,
+                    "{} seed {seed}: diverged from the oracle",
+                    w.name
+                );
+                assert_eq!(
+                    a.stats, b.stats,
+                    "{} seed {seed}: statistics must be byte-identical",
+                    w.name
+                );
+                assert_eq!(
+                    a.injected, b.injected,
+                    "{} seed {seed}: fault schedules must replay identically",
+                    w.name
+                );
+                assert_eq!(
+                    a.recovery_overhead.to_bits(),
+                    b.recovery_overhead.to_bits(),
+                    "{} seed {seed}: cycle counts must be byte-identical",
+                    w.name
+                );
+                ir_traces += a.stats.hot_ir_traces;
+            }
+        }
+        assert!(ir_traces > 0, "the IR pipeline never compiled a trace");
     }
 
     #[test]

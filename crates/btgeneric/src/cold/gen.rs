@@ -157,7 +157,11 @@ fn prescan_fp(blk: &DiscBlock) -> (bool, bool, bool) {
 
 /// Emits a counter increment `[addr] += 1`, optionally under `qp`,
 /// returning the incremented value's register.
-fn emit_counter_inc(sink: &mut Sink, qp: Option<ipf::regs::Pr>, addr: u64) -> ipf::regs::Gr {
+pub(crate) fn emit_counter_inc(
+    sink: &mut Sink,
+    qp: Option<ipf::regs::Pr>,
+    addr: u64,
+) -> ipf::regs::Gr {
     let qp = qp.unwrap_or(ipf::regs::P0);
     let a = sink.vg();
     sink.emit_pred(qp, Op::Movl { d: a, imm: addr });
@@ -189,7 +193,7 @@ fn emit_counter_inc(sink: &mut Sink, qp: Option<ipf::regs::Pr>, addr: u64) -> ip
 /// constant return slot; when the table has no entry yet the pair is
 /// pushed empty, the matching `ret` underflows once, the dispatcher
 /// fills the table, and later pushes predict.
-fn emit_shadow_push(sink: &mut Sink, ret: u32) {
+pub(crate) fn emit_shadow_push(sink: &mut Sink, ret: u32) {
     let sb = sink.vg();
     sink.emit(Op::Movl {
         d: sb,
@@ -368,7 +372,7 @@ fn emit_shadow_push(sink: &mut Sink, ret: u32) {
 /// stale slot. A miss bumps the underflow/mispredict cells and drains
 /// to the `IndirectMiss` stub with a `RET_MISS_TAG`-tagged block id, so
 /// the dispatcher can count per-block pop misses and demote the block.
-fn emit_shadow_pop(sink: &mut Sink, eip: ipf::regs::Gr, block_id: u32) {
+pub(crate) fn emit_shadow_pop(sink: &mut Sink, eip: ipf::regs::Gr, block_id: u32) {
     let sb = sink.vg();
     sink.emit(Op::Movl {
         d: sb,
@@ -488,7 +492,7 @@ fn emit_shadow_pop(sink: &mut Sink, eip: ipf::regs::Gr, block_id: u32) {
 /// a hit (also bumping the site's hit counter, which hot-phase
 /// devirtualization reads as a stability signal). Falls through to the
 /// shared table on miss.
-fn emit_ic_probe(sink: &mut Sink, eip: ipf::regs::Gr, ic_slot: u64) {
+pub(crate) fn emit_ic_probe(sink: &mut Sink, eip: ipf::regs::Gr, ic_slot: u64) {
     let s = sink.vg();
     sink.emit(Op::Movl { d: s, imm: ic_slot });
     let pk = sink.vg();
@@ -564,7 +568,7 @@ fn emit_ic_probe(sink: &mut Sink, eip: ipf::regs::Gr, ic_slot: u64) {
 /// mixed hash from `layout::lookup_hash`, then the `IndirectMiss`
 /// stub. `ic_slot` (0 for rets) rides in payload1 so the dispatcher
 /// can retrain the site's inline cache.
-fn emit_table_probe2(sink: &mut Sink, eip: ipf::regs::Gr, ic_slot: u64) {
+pub(crate) fn emit_table_probe2(sink: &mut Sink, eip: ipf::regs::Gr, ic_slot: u64) {
     let hs = sink.vg();
     sink.emit(Op::ShrImm {
         d: hs,

@@ -91,6 +91,14 @@ pub struct Config {
     /// shared direct-mapped table exactly (the before/after baseline
     /// for `figures indirect`).
     pub enable_indirect_accel: bool,
+    /// Hot-phase typed-IR pipeline: traces are lowered to the explicit
+    /// IR (`hot/ir.rs`) and run through const/copy propagation,
+    /// cross-block EFlags elimination, liveness, and constraint-driven
+    /// register allocation. Also lets traces end *through* an
+    /// unpredictable indirect terminator with inline dispatch instead
+    /// of failing promotion. Off = the original template-stitching
+    /// path (the degradation ladder's demote rung).
+    pub enable_hot_ir: bool,
     /// Inline-cache hit count at which a site is considered stable
     /// enough for hot-trace devirtualization.
     pub devirt_threshold: u64,
@@ -142,6 +150,7 @@ impl Default for Config {
             integrity_check_cycles: 35,
             hot_session_budget: 0,
             enable_indirect_accel: true,
+            enable_hot_ir: true,
             devirt_threshold: 16,
             megamorphic_demote_uses: 32,
             shadow_demote_misses: 8,
@@ -151,6 +160,16 @@ impl Default for Config {
             trace: TraceConfig::default(),
         }
     }
+}
+
+/// Whether an indirect site whose inline cache hit `hits` times over
+/// `uses` executions counts as monomorphic. The single shared predicate
+/// for both the devirtualization gate (hot selection) and the
+/// megamorphic demotion check, so the boundary `hits * 2 == uses`
+/// (exactly 50%) belongs to exactly one side: it *is* monomorphic —
+/// promoted by the gate, never demoted.
+pub(crate) fn site_is_monomorphic(hits: u64, uses: u64) -> bool {
+    hits.saturating_mul(2) >= uses
 }
 
 /// A translator-internal failure (organic or injected) that the
@@ -2222,7 +2241,7 @@ impl Engine {
         }
         let uses = self.mem.read(counter, 8).unwrap_or(0);
         let hits = self.mem.read(slot + 16, 8).unwrap_or(0);
-        if uses >= self.cfg.megamorphic_demote_uses && hits * 2 < uses {
+        if uses >= self.cfg.megamorphic_demote_uses && !site_is_monomorphic(hits, uses) {
             self.demote_indirect(os, id);
         }
     }
@@ -2421,4 +2440,31 @@ enum MisEmu {
     /// The faulting bundle is not an emulable memory op — the code is
     /// not what the translator emitted; residue for the ladder.
     Residue,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::site_is_monomorphic;
+
+    /// Regression test for the gate/demotion boundary: the devirt gate
+    /// used `hits*2 > uses` while megamorphic demotion used
+    /// `hits*2 < uses`, so a site at exactly 50% was neither promoted
+    /// nor demoted and re-attempted promotion forever. The shared
+    /// predicate assigns the boundary to the monomorphic side.
+    #[test]
+    fn monomorphic_boundary_is_promoted_not_demoted() {
+        // Exactly 50%: monomorphic (promoted by the devirt gate, and
+        // `maybe_demote_megamorphic` must leave it alone).
+        assert!(site_is_monomorphic(8, 16));
+        assert!(site_is_monomorphic(1, 2));
+        // Strictly above and below.
+        assert!(site_is_monomorphic(9, 16));
+        assert!(!site_is_monomorphic(7, 16));
+        // A site never probed (cold call site warming up) counts as
+        // monomorphic: no evidence of polymorphism yet.
+        assert!(site_is_monomorphic(0, 0));
+        // The multiply saturates instead of wrapping to a false
+        // "megamorphic" verdict.
+        assert!(site_is_monomorphic(u64::MAX, u64::MAX));
+    }
 }

@@ -1,0 +1,226 @@
+//! Per-op liveness analysis over the typed trace IR.
+//!
+//! A trace body is straight-line code with embedded side exits: a
+//! predicated branch's not-taken path *is* the continuation, so
+//! virtual-register liveness is an ordinary backward scan. Side exits
+//! still matter for EFLAGS: every branch (and every op that can fault)
+//! is an observation point where the architectural EFLAGS home must
+//! hold the committed value, because the exit path — or the fault
+//! recovery walk — reads all guest state.
+
+use super::ir::IrInst;
+use ipf::inst::Reg;
+use ipf::regs::P0;
+use std::collections::{BTreeSet, HashMap};
+
+/// A virtual register key: `(class, number)` with class 0 = general,
+/// 1 = floating, 2 = predicate. Branch registers are never virtual.
+pub(super) type VirtKey = (u8, u16);
+
+/// Maps a register to its virtual key, if virtual.
+pub(super) fn virt_key(r: Reg) -> Option<VirtKey> {
+    match r {
+        Reg::G(g) if g.is_virtual() => Some((0, g.0)),
+        Reg::F(f) if f.is_virtual() => Some((1, f.0)),
+        Reg::P(p) if p.is_virtual() => Some((2, p.0)),
+        _ => None,
+    }
+}
+
+/// The result of one liveness pass.
+pub(super) struct Liveness {
+    /// Virtual registers live *after* each op, sorted (deterministic).
+    pub live_out: Vec<Vec<VirtKey>>,
+    /// Whether the EFLAGS home is observable *after* each op.
+    pub eflags_out: Vec<bool>,
+    /// Every position referencing each virtual (qp, uses, and defs),
+    /// ascending.
+    pub refs: HashMap<VirtKey, Vec<usize>>,
+}
+
+impl Liveness {
+    /// Whether `key` is live after op `i`.
+    pub fn live_after(&self, i: usize, key: VirtKey) -> bool {
+        self.live_out[i].binary_search(&key).is_ok()
+    }
+
+    /// The first reference to `key` strictly after position `i`.
+    pub fn next_ref_after(&self, key: VirtKey, i: usize) -> Option<usize> {
+        let v = self.refs.get(&key)?;
+        let p = v.partition_point(|&x| x <= i);
+        v.get(p).copied()
+    }
+}
+
+/// Computes per-op live sets backward over the trace.
+pub(super) fn analyze(ir: &[IrInst]) -> Liveness {
+    let n = ir.len();
+    let mut live_out: Vec<Vec<VirtKey>> = vec![Vec::new(); n];
+    let mut eflags_out = vec![false; n];
+    let mut live: BTreeSet<VirtKey> = BTreeSet::new();
+    // The trace's main exit (or inline dispatch) observes all state.
+    let mut ef = true;
+    for i in (0..n).rev() {
+        live_out[i] = live.iter().copied().collect();
+        eflags_out[i] = ef;
+        let x = &ir[i];
+        // Unpredicated defs kill; predicated defs merge (value live
+        // through).
+        if x.inst.qp == P0 {
+            x.inst.op.visit_regs(&mut |r, is_def| {
+                if is_def {
+                    if let Some(k) = virt_key(r) {
+                        live.remove(&k);
+                    }
+                }
+            });
+            if x.fx.writes_eflags && !x.fx.reads_eflags {
+                ef = false;
+            }
+        }
+        if let Some(k) = virt_key(Reg::P(x.inst.qp)) {
+            live.insert(k);
+        }
+        x.inst.op.visit_regs(&mut |r, is_def| {
+            if !is_def {
+                if let Some(k) = virt_key(r) {
+                    live.insert(k);
+                }
+            }
+        });
+        if x.fx.reads_eflags || x.fx.is_branch || x.fx.can_fault {
+            ef = true;
+        }
+    }
+
+    let mut refs: HashMap<VirtKey, Vec<usize>> = HashMap::new();
+    for (i, x) in ir.iter().enumerate() {
+        let note = |r: Reg, refs: &mut HashMap<VirtKey, Vec<usize>>| {
+            if let Some(k) = virt_key(r) {
+                let v = refs.entry(k).or_default();
+                if v.last() != Some(&i) {
+                    v.push(i);
+                }
+            }
+        };
+        note(Reg::P(x.inst.qp), &mut refs);
+        x.inst.op.visit_regs(&mut |r, _| note(r, &mut refs));
+    }
+
+    Liveness {
+        live_out,
+        eflags_out,
+        refs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hot::ir;
+    use crate::hot::trace::HotIl;
+    use crate::layout::StubKind;
+    use crate::state::{guest_gpr, GR_EFLAGS};
+    use ipf::inst::{Op, Target};
+    use ipf::regs::{Gr, Pr, R0};
+
+    fn ils_to_ir(ops: Vec<ipf::Inst>) -> Vec<super::super::ir::IrInst> {
+        ir::annotate(
+            &ops.into_iter()
+                .map(|inst| HotIl {
+                    inst,
+                    ia32_ip: 0,
+                    rec: None,
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn virtual_dies_after_last_use_across_side_exit() {
+        let v = Gr(300);
+        let p = Pr(400);
+        let ir = ils_to_ir(vec![
+            // v = guest0 + 1
+            ipf::Inst::new(Op::AddImm {
+                d: v,
+                imm: 1,
+                a: guest_gpr(0),
+            }),
+            // p = (v == 0); side exit if p
+            ipf::Inst::new(Op::Cmp {
+                rel: ipf::inst::CmpRel::Eq,
+                pt: p,
+                pf: ipf::regs::P0,
+                a: v,
+                b: R0,
+            }),
+            ipf::Inst::pred(
+                p,
+                Op::Br {
+                    target: Target::Abs(StubKind::Untranslated.addr()),
+                },
+            ),
+            // guest1 = v (last use of v)
+            ipf::Inst::new(Op::AddImm {
+                d: guest_gpr(1),
+                imm: 0,
+                a: v,
+            }),
+            ipf::Inst::new(Op::AddImm {
+                d: guest_gpr(2),
+                imm: 7,
+                a: R0,
+            }),
+        ]);
+        let lv = analyze(&ir);
+        let vk = (0u8, 300u16);
+        assert!(lv.live_after(0, vk), "v live across the side exit");
+        assert!(lv.live_after(2, vk), "v still live after the branch");
+        assert!(!lv.live_after(3, vk), "v dead after its last use");
+        assert!(!lv.live_after(4, vk));
+        assert_eq!(lv.refs[&vk], vec![0, 1, 3]);
+        assert_eq!(lv.next_ref_after(vk, 1), Some(3));
+        assert_eq!(
+            lv.refs[&(2, 400)].last(),
+            Some(&2),
+            "qp counts as a reference"
+        );
+    }
+
+    #[test]
+    fn eflags_live_before_branch_and_fault_points() {
+        let g0 = guest_gpr(0);
+        let ir = ils_to_ir(vec![
+            // EFLAGS def #0: dead (overwritten before any observer).
+            ipf::Inst::new(Op::AddImm {
+                d: GR_EFLAGS,
+                imm: 1,
+                a: R0,
+            }),
+            // EFLAGS def #1: live (the load below can fault).
+            ipf::Inst::new(Op::AddImm {
+                d: GR_EFLAGS,
+                imm: 2,
+                a: R0,
+            }),
+            ipf::Inst::new(Op::Ld {
+                sz: 4,
+                d: g0,
+                addr: g0,
+                spec: false,
+            }),
+            // EFLAGS def #2: live (trace exit observes).
+            ipf::Inst::new(Op::AddImm {
+                d: GR_EFLAGS,
+                imm: 3,
+                a: R0,
+            }),
+        ]);
+        let lv = analyze(&ir);
+        assert!(!lv.eflags_out[0], "first def is dead before the second");
+        assert!(lv.eflags_out[1], "faulting load observes EFLAGS");
+        assert!(!lv.eflags_out[2], "dead again before the final rewrite");
+        assert!(lv.eflags_out[3], "trace end observes EFLAGS");
+    }
+}

@@ -3,9 +3,19 @@
 //! templates, IA-32-specific optimizations, dependency-graph scheduling
 //! with renaming and commit points, and recovery maps for precise
 //! exceptions.
+//!
+//! With `Config::enable_hot_ir` (the default) selected traces compile
+//! through a typed IR (`ir`) with explicit per-op effects, per-op
+//! liveness (`liveness`), constraint-driven register allocation with
+//! spilling (`regalloc`), and a backend scheduling pass over the
+//! allocated code; the original template-stitching pipeline remains as
+//! the off-state and in-promotion fallback.
 
 mod commit;
+mod ir;
+mod liveness;
 mod opt;
+mod regalloc;
 mod sched;
 mod trace;
 

@@ -262,6 +262,230 @@ fn reg_key(r: Reg) -> Option<(u8, u16)> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Typed-IR passes (the `enable_hot_ir` pipeline).
+// ---------------------------------------------------------------------------
+
+use super::ir::{self, IrInst, MemEffect};
+use super::liveness;
+use crate::state::GR_EFLAGS;
+
+/// Runs local value numbering on typed IR (shared with the template
+/// path); effects are recomputed afterwards.
+pub(super) fn lvn_ir(irs: &mut Vec<IrInst>) {
+    let mut ils: Vec<HotIl> = irs.drain(..).map(IrInst::into_hotil).collect();
+    lvn(&mut ils);
+    *irs = ir::annotate_owned(ils);
+}
+
+/// Runs dead-code elimination on typed IR (shared with the template
+/// path); effects are recomputed afterwards.
+pub(super) fn dce_ir(irs: &mut Vec<IrInst>) {
+    let mut ils: Vec<HotIl> = irs.drain(..).map(IrInst::into_hotil).collect();
+    dce(&mut ils);
+    *irs = ir::annotate_owned(ils);
+}
+
+/// The `addl` long-immediate range templates use for `mov_imm`; folds
+/// outside it materialize through `movl` instead.
+fn fits_addl(v: u64) -> bool {
+    let s = v as i64;
+    (-0x1F_FFFF..=0x1F_FFFF).contains(&s)
+}
+
+/// Constant and copy propagation over the typed IR.
+///
+/// Facts are only learned from unpredicated defs of single-definition
+/// virtuals (a predicated def merges, a redefinition invalidates), so a
+/// recorded constant or copy source is valid at every later use. Folds
+/// are deliberately minimal — the address arithmetic templates emit:
+/// `movl`/`addl`-materialized constants, `add` with a constant operand,
+/// immediate-add chains, and shifts of constants.
+pub(super) fn propagate(irs: &mut [IrInst]) {
+    let mut def_count: HashMap<u16, u32> = HashMap::new();
+    for x in irs.iter() {
+        x.inst.op.visit_regs(&mut |r, is_def| {
+            if is_def {
+                if let Reg::G(g) = r {
+                    if g.is_virtual() {
+                        *def_count.entry(g.0).or_default() += 1;
+                    }
+                }
+            }
+        });
+    }
+    let single = |g: Gr, dc: &HashMap<u16, u32>| dc.get(&g.0).copied() == Some(1);
+
+    let mut konst: HashMap<u16, u64> = HashMap::new();
+    let mut copy: HashMap<u16, u16> = HashMap::new();
+    for x in irs.iter_mut() {
+        // Copy-propagate uses first (sources are single-def, so the
+        // replacement is valid wherever the original was).
+        x.inst.op.map_regs(&mut |r, is_def| match r {
+            Reg::G(g) if !is_def && g.is_virtual() => match copy.get(&g.0) {
+                Some(&s) => Reg::G(Gr(s)),
+                None => r,
+            },
+            _ => r,
+        });
+
+        // Fold constants into the op.
+        let kof = |g: Gr, k: &HashMap<u16, u64>| {
+            if g.0 == 0 {
+                Some(0)
+            } else if g.is_virtual() {
+                k.get(&g.0).copied()
+            } else {
+                None
+            }
+        };
+        let mut rewrite: Option<Op> = None;
+        match x.inst.op {
+            Op::Add { d, a, b } => match (kof(a, &konst), kof(b, &konst)) {
+                (Some(va), Some(vb)) => {
+                    let v = va.wrapping_add(vb);
+                    rewrite = Some(if fits_addl(v) {
+                        Op::AddImm {
+                            d,
+                            imm: v as i64,
+                            a: ipf::regs::R0,
+                        }
+                    } else {
+                        Op::Movl { d, imm: v }
+                    });
+                }
+                (Some(va), None) if fits_addl(va) => {
+                    rewrite = Some(Op::AddImm {
+                        d,
+                        imm: va as i64,
+                        a: b,
+                    });
+                }
+                (None, Some(vb)) if fits_addl(vb) => {
+                    rewrite = Some(Op::AddImm {
+                        d,
+                        imm: vb as i64,
+                        a,
+                    });
+                }
+                _ => {}
+            },
+            Op::AddImm { d, imm, a } => {
+                if let Some(va) = kof(a, &konst) {
+                    let v = va.wrapping_add(imm as u64);
+                    if a.0 != 0 {
+                        rewrite = Some(if fits_addl(v) {
+                            Op::AddImm {
+                                d,
+                                imm: v as i64,
+                                a: ipf::regs::R0,
+                            }
+                        } else {
+                            Op::Movl { d, imm: v }
+                        });
+                    }
+                }
+            }
+            Op::ShlImm { d, a, count } => {
+                if let Some(va) = kof(a, &konst) {
+                    let v = va.wrapping_shl(count as u32);
+                    rewrite = Some(if fits_addl(v) {
+                        Op::AddImm {
+                            d,
+                            imm: v as i64,
+                            a: ipf::regs::R0,
+                        }
+                    } else {
+                        Op::Movl { d, imm: v }
+                    });
+                }
+            }
+            _ => {}
+        }
+        if let Some(op) = rewrite {
+            x.inst.op = op;
+        }
+
+        // Learn facts from this op.
+        if x.inst.qp == P0 {
+            match x.inst.op {
+                Op::Movl { d, imm } if d.is_virtual() && single(d, &def_count) => {
+                    konst.insert(d.0, imm);
+                }
+                Op::AddImm { d, imm, a } if a.0 == 0 && d.is_virtual() && single(d, &def_count) => {
+                    konst.insert(d.0, imm as u64);
+                }
+                Op::AddImm { d, imm: 0, a }
+                    if a.is_virtual()
+                        && d.is_virtual()
+                        && single(d, &def_count)
+                        && single(a, &def_count) =>
+                {
+                    let src = copy.get(&a.0).copied().unwrap_or(a.0);
+                    copy.insert(d.0, src);
+                }
+                _ => {}
+            }
+        }
+    }
+    for x in irs.iter_mut() {
+        x.fx = ir::Effects::of(&x.inst);
+    }
+}
+
+/// Cross-block EFLAGS elimination: deletes lazy-flags materializations
+/// whose result is overwritten before any observation point. The
+/// observation points are branches (side exits, the inline dispatch)
+/// and ops that can fault (the recovery walk reads all guest state);
+/// between those, only the final write into the EFLAGS home survives.
+/// Deleting a write removes its reads, which can cascade through the
+/// read-modify-write chains lazy flags build, so the pass iterates to a
+/// fixpoint.
+pub(super) fn eflags_elim(irs: &mut Vec<IrInst>) {
+    loop {
+        let lv = liveness::analyze(irs);
+        let mut keep = vec![true; irs.len()];
+        let mut removed = false;
+        for (i, x) in irs.iter().enumerate() {
+            if !x.fx.writes_eflags || lv.eflags_out[i] {
+                continue;
+            }
+            if x.fx.is_branch || x.fx.can_fault || x.fx.mem == MemEffect::Store {
+                continue;
+            }
+            // Deletable only if every def is the (dead) EFLAGS home or
+            // a virtual nothing reads afterwards.
+            let mut only_dead = true;
+            x.inst.op.visit_regs(&mut |r, is_def| {
+                if !is_def {
+                    return;
+                }
+                let dead = match r {
+                    Reg::G(g) if g == GR_EFLAGS => true,
+                    _ => match liveness::virt_key(r) {
+                        Some(k) => !lv.live_after(i, k),
+                        None => false,
+                    },
+                };
+                only_dead &= dead;
+            });
+            if only_dead {
+                keep[i] = false;
+                removed = true;
+            }
+        }
+        if !removed {
+            return;
+        }
+        let mut idx = 0;
+        irs.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,5 +681,133 @@ mod tests {
         ];
         dce(&mut ils);
         assert_eq!(ils.len(), 3);
+    }
+
+    #[test]
+    fn propagate_folds_constant_address_chains() {
+        let mut s = Sink::new();
+        let (v1, v2, v3) = (s.vg(), s.vg(), s.vg());
+        let g = crate::state::guest_gpr(0);
+        let mut irs = ir::annotate(&[
+            il(ipf::Inst::new(Op::Movl { d: v1, imm: 0x1000 })),
+            il(ipf::Inst::new(Op::AddImm {
+                d: v2,
+                imm: 8,
+                a: v1,
+            })),
+            il(ipf::Inst::new(Op::Add { d: v3, a: g, b: v2 })),
+            il(ipf::Inst::new(Op::St {
+                sz: 4,
+                addr: v3,
+                val: g,
+            })),
+        ]);
+        propagate(&mut irs);
+        assert!(
+            matches!(irs[2].inst.op, Op::AddImm { imm: 0x1008, a, .. } if a == g),
+            "constant chain folded into the add: {:?}",
+            irs[2].inst.op
+        );
+        dce_ir(&mut irs);
+        assert_eq!(irs.len(), 2, "dead constant producers cleaned up");
+    }
+
+    #[test]
+    fn propagate_forwards_copies() {
+        let mut s = Sink::new();
+        let (v1, v2) = (s.vg(), s.vg());
+        let g = crate::state::guest_gpr(0);
+        let mut irs = ir::annotate(&[
+            il(ipf::Inst::new(Op::AddImm {
+                d: v1,
+                imm: 3,
+                a: g,
+            })),
+            il(ipf::Inst::new(Op::AddImm {
+                d: v2,
+                imm: 0,
+                a: v1,
+            })),
+            il(ipf::Inst::new(Op::St {
+                sz: 4,
+                addr: v2,
+                val: g,
+            })),
+        ]);
+        propagate(&mut irs);
+        assert!(
+            matches!(irs[2].inst.op, Op::St { addr, .. } if addr == v1),
+            "store reads through the copy"
+        );
+    }
+
+    #[test]
+    fn eflags_elim_drops_overwritten_materializations() {
+        use crate::state::GR_EFLAGS;
+        let g = crate::state::guest_gpr(0);
+        let mut irs = ir::annotate(&[
+            // Dead: overwritten before any observer.
+            il(ipf::Inst::new(Op::AddImm {
+                d: GR_EFLAGS,
+                imm: 1,
+                a: R0,
+            })),
+            // Live: the faulting store observes it.
+            il(ipf::Inst::new(Op::AddImm {
+                d: GR_EFLAGS,
+                imm: 2,
+                a: R0,
+            })),
+            il(ipf::Inst::new(Op::St {
+                sz: 4,
+                addr: g,
+                val: g,
+            })),
+            // Live: trace exit observes it.
+            il(ipf::Inst::new(Op::AddImm {
+                d: GR_EFLAGS,
+                imm: 3,
+                a: R0,
+            })),
+        ]);
+        eflags_elim(&mut irs);
+        assert_eq!(irs.len(), 3, "only the unobserved write is deleted");
+        assert!(
+            matches!(irs[0].inst.op, Op::AddImm { imm: 2, .. }),
+            "the pre-fault write survives"
+        );
+    }
+
+    #[test]
+    fn eflags_elim_cascades_through_rmw_chains() {
+        use crate::state::GR_EFLAGS;
+        let mut s = Sink::new();
+        let v1 = s.vg();
+        let g = crate::state::guest_gpr(0);
+        let mut irs = ir::annotate(&[
+            // A lazy-flags RMW chain: compute a flag bit, merge it in.
+            il(ipf::Inst::new(Op::AddImm {
+                d: v1,
+                imm: 1,
+                a: g,
+            })),
+            il(ipf::Inst::new(Op::Dep {
+                d: GR_EFLAGS,
+                src: v1,
+                target: GR_EFLAGS,
+                pos: 0,
+                len: 1,
+            })),
+            // Full overwrite before any observer kills the chain.
+            il(ipf::Inst::new(Op::AddImm {
+                d: GR_EFLAGS,
+                imm: 0,
+                a: R0,
+            })),
+        ]);
+        eflags_elim(&mut irs);
+        dce_ir(&mut irs);
+        assert_eq!(irs.len(), 1, "merge deleted, then its input is dead");
+        assert!(matches!(irs[0].inst.op, Op::AddImm { d, .. } if d == GR_EFLAGS));
     }
 }

@@ -65,7 +65,18 @@ fn latency(op: &Op) -> u32 {
 /// Computes a schedule: a permutation of IL indices respecting
 /// dependences, with priorities by critical-path height.
 pub(super) fn schedule(ils: &[HotIl]) -> Vec<usize> {
-    let n = ils.len();
+    let insts: Vec<ipf::Inst> = ils.iter().map(|il| il.inst).collect();
+    build_order(&insts, &is_arch_state_def)
+}
+
+/// The dependence-graph construction and list scheduling shared by the
+/// virtual-IL frontend ([`schedule`]) and the allocated-IR backend
+/// ([`schedule_allocated`]). `is_state` classifies which register defs
+/// the commit-barrier discipline pins: before allocation every
+/// non-virtual register is architectural state, afterwards the renaming
+/// pools are physical but still exempt.
+fn build_order(insts: &[ipf::Inst], is_state: &dyn Fn(Reg) -> bool) -> Vec<usize> {
+    let n = insts.len();
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut npreds: Vec<u32> = vec![0; n];
     let edge = |from: usize, to: usize, succs: &mut Vec<Vec<usize>>, npreds: &mut Vec<u32>| {
@@ -82,12 +93,12 @@ pub(super) fn schedule(ils: &[HotIl]) -> Vec<usize> {
     let mut last_barrier: Option<usize> = None;
     let mut state_writes_since: Vec<usize> = Vec::new();
 
-    for (i, il) in ils.iter().enumerate() {
-        let op = &il.inst.op;
+    for (i, inst) in insts.iter().enumerate() {
+        let op = &inst.op;
         // Register dependences (including the qualifying predicate).
         let mut reads: Vec<Reg> = op.uses();
-        if il.inst.qp != P0 {
-            reads.push(Reg::P(il.inst.qp));
+        if inst.qp != P0 {
+            reads.push(Reg::P(inst.qp));
         }
         for r in &reads {
             let k = reg_slot(*r);
@@ -98,7 +109,7 @@ pub(super) fn schedule(ils: &[HotIl]) -> Vec<usize> {
         }
         // Predicated ops merge into their destination: treat their defs
         // as read-modify-write so the prior value orders first.
-        if il.inst.qp != P0 {
+        if inst.qp != P0 {
             for r in op.defs() {
                 let k = reg_slot(r);
                 if let Some(&d) = last_def.get(&k) {
@@ -151,7 +162,7 @@ pub(super) fn schedule(ils: &[HotIl]) -> Vec<usize> {
             last_barrier = Some(i);
             state_writes_since.clear();
         }
-        let writes_state = op.defs().iter().any(|r| is_arch_state_def(*r));
+        let writes_state = op.defs().iter().any(|r| is_state(*r));
         if writes_state {
             if let Some(b) = last_barrier {
                 edge(b, i, &mut succs, &mut npreds);
@@ -160,7 +171,7 @@ pub(super) fn schedule(ils: &[HotIl]) -> Vec<usize> {
         }
     }
     // Everything sinks before the final instruction if it is a branch.
-    if n > 0 && ils[n - 1].inst.op.is_branch() {
+    if n > 0 && insts[n - 1].op.is_branch() {
         for i in 0..n - 1 {
             if succs[i].is_empty() {
                 edge(i, n - 1, &mut succs, &mut npreds);
@@ -172,7 +183,7 @@ pub(super) fn schedule(ils: &[HotIl]) -> Vec<usize> {
     // signify the relative importance of scheduling them early").
     let mut height = vec![0u32; n];
     for i in (0..n).rev() {
-        let lat = latency(&ils[i].inst.op);
+        let lat = latency(&insts[i].op);
         for &s in &succs[i] {
             height[i] = height[i].max(height[s] + lat);
         }
@@ -196,7 +207,7 @@ pub(super) fn schedule(ils: &[HotIl]) -> Vec<usize> {
                 if earliest[i] > cycle {
                     continue;
                 }
-                let unit = ils[i].inst.op.unit();
+                let unit = insts[i].op.unit();
                 let fits = match unit {
                     Unit::M => m < 2,
                     Unit::I => iu < 2,
@@ -219,7 +230,7 @@ pub(super) fn schedule(ils: &[HotIl]) -> Vec<usize> {
             order.push(i);
             cycle_of[i] = cycle;
             picked_any = true;
-            match ils[i].inst.op.unit() {
+            match insts[i].op.unit() {
                 Unit::M => m += 1,
                 Unit::I | Unit::L => iu += 1,
                 Unit::A => {
@@ -242,7 +253,7 @@ pub(super) fn schedule(ils: &[HotIl]) -> Vec<usize> {
             }
             // A scheduled branch ends the cycle (taken branches skip the
             // rest of the group).
-            if ils[i].inst.op.is_branch() {
+            if insts[i].op.is_branch() {
                 break;
             }
         }
@@ -415,6 +426,145 @@ pub(super) fn allocate(ils: &[HotIl], order: &[usize]) -> Option<Vec<(ipf::Inst,
         last.1 = true;
     }
     Some(out)
+}
+
+/// Pre-allocation scheduling for the typed-IR pipeline: the same
+/// dependence graph and list scheduling as the template frontend, run
+/// over still-virtual code. Reordering happens here, where renaming
+/// has not yet introduced false WAR/WAW dependences between unrelated
+/// computations that happen to share a pool register — the allocator
+/// then assigns registers in this order, and the backend pass below
+/// only has spill traffic left to place.
+pub(super) fn schedule_ir(insts: &[ipf::Inst]) -> Vec<usize> {
+    build_order(insts, &is_arch_state_def)
+}
+
+/// Backend pass for the typed-IR pipeline: inserts stop bits over
+/// fully allocated IR (physical registers, spill traffic included).
+/// The instruction order is kept exactly as the allocator produced it
+/// — reordering already happened in [`schedule_ir`], before renaming;
+/// re-running list scheduling here would only see the false WAR/WAW
+/// dependences that register reuse introduces and could unwind the
+/// good schedule.
+///
+/// Returns `(instruction, stop bit, source IR index)` triples; the
+/// source index is `None` for spill traffic.
+pub(super) fn schedule_allocated(
+    alloc: &[super::regalloc::AllocInst],
+) -> Vec<(ipf::Inst, bool, Option<usize>)> {
+    let mut out: Vec<(ipf::Inst, bool, Option<usize>)> = Vec::with_capacity(alloc.len());
+    let mut group_defs: Vec<(u8, u16)> = Vec::new();
+    for (i, a) in alloc.iter().enumerate() {
+        let inst = a.inst;
+        let mut conflict = false;
+        let mut regs: Vec<(u8, u16)> = Vec::new();
+        inst.op.visit_regs(&mut |r, _| regs.push(reg_slot(r)));
+        regs.push(reg_slot(Reg::P(inst.qp)));
+        for k in &regs {
+            if group_defs.contains(k) {
+                conflict = true;
+            }
+        }
+        if conflict {
+            if let Some(prev) = out.last_mut() {
+                prev.1 = true;
+            }
+            group_defs.clear();
+        }
+        inst.op.visit_regs(&mut |r, is_def| {
+            if is_def {
+                group_defs.push(reg_slot(r));
+            }
+        });
+        let is_branch = inst.op.is_branch();
+        out.push((inst, false, alloc[i].src));
+        if is_branch {
+            out.last_mut().expect("pushed").1 = true;
+            group_defs.clear();
+        }
+    }
+    if let Some(last) = out.last_mut() {
+        last.1 = true;
+    }
+    out
+}
+
+/// Statically evaluates a stop-bit-delimited instruction stream under
+/// the machine's group-issue model: a group issues when all its read
+/// operands are ready (`read_ready_max`), occupies `max` of the unit
+/// width caps, and its writes become ready `latency` cycles after
+/// issue. Used to compare compiled variants of the same trace — the
+/// list scheduler's `earliest` is latency-blind, so two correct
+/// schedules of equivalent code can differ in real issue stalls that
+/// only this walk (or the machine itself) sees.
+pub(super) fn static_cost(code: &[(ipf::Inst, bool, Option<usize>)]) -> u64 {
+    // Machine latencies (default timing), including the cases the
+    // scheduler's height heuristic rounds down to 1.
+    fn lat(op: &Op) -> u32 {
+        match op {
+            Op::MovToBr { .. } | Op::MovFromBr { .. } | Op::Fcmp { .. } => 2,
+            _ => latency(op),
+        }
+    }
+    let mut ready: HashMap<(u8, u16), u64> = HashMap::new();
+    let mut next_cycle = 0u64;
+    let mut k = 0usize;
+    while k < code.len() {
+        let mut reads_max = 0u64;
+        let (mut m, mut iu, mut f, mut b, mut slots) = (0u32, 0u32, 0u32, 0u32, 0u32);
+        let mut writes: Vec<((u8, u16), u32)> = Vec::new();
+        loop {
+            let (inst, stop, _) = &code[k];
+            if inst.qp != P0 {
+                if let Some(&t) = ready.get(&reg_slot(Reg::P(inst.qp))) {
+                    reads_max = reads_max.max(t);
+                }
+            }
+            inst.op.visit_regs(&mut |r, is_def| {
+                let key = reg_slot(r);
+                if is_def {
+                    writes.push((key, lat(&inst.op)));
+                } else if let Some(&t) = ready.get(&key) {
+                    reads_max = reads_max.max(t);
+                }
+            });
+            match inst.op.unit() {
+                Unit::M => m += 1,
+                Unit::I | Unit::L => iu += 1,
+                Unit::F => f += 1,
+                Unit::B => b += 1,
+                Unit::A => {
+                    if m <= iu {
+                        m += 1;
+                    } else {
+                        iu += 1;
+                    }
+                }
+            }
+            slots += 1;
+            k += 1;
+            if *stop || k >= code.len() {
+                break;
+            }
+        }
+        let issue = next_cycle.max(reads_max);
+        let width = [
+            m.div_ceil(2),
+            iu.div_ceil(2),
+            f.div_ceil(2),
+            b.div_ceil(3),
+            slots.div_ceil(6),
+            1,
+        ]
+        .into_iter()
+        .max()
+        .unwrap() as u64;
+        for (key, l) in writes {
+            ready.insert(key, issue + l as u64);
+        }
+        next_cycle = issue + width;
+    }
+    next_cycle
 }
 
 #[cfg(test)]

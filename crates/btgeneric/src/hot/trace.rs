@@ -4,13 +4,15 @@
 //! collected during the cold code run").
 
 use super::commit::{HotData, RecEntry};
+use super::ir;
 use super::opt;
+use super::regalloc;
 use super::sched;
 use crate::cold::discover::{discover, BlockEnd};
 use crate::cold::liveness::{analyze, Liveness};
 use crate::engine::Engine;
 use crate::layout::{self, region, StubKind};
-use crate::state::{GR_PAYLOAD0, GR_PAYLOAD1, GR_STATE, GR_XMMFMT};
+use crate::state::{GR_PAYLOAD0, GR_PAYLOAD1, GR_XMMFMT};
 use crate::templates::{
     self, AccessMode, AlignCache, EmitCtx, FpCtx, IlItem, MisalignPlan, Sink, Term, XmmCtx,
 };
@@ -68,6 +70,36 @@ pub(super) enum Step {
         /// Per-site inline-cache slot to retrain on guard failure
         /// (0 for site-less forms: direct call, `ret`).
         ic_slot: u64,
+    },
+    /// A non-devirtualizable indirect terminator the trace ends
+    /// *through* (typed-IR pipeline only): the terminator's target
+    /// computation and stack effects run on the trace, followed by an
+    /// inline dispatch. A `ret` (and any plain site) goes straight to
+    /// the shared 2-way table probe — return addresses are typically
+    /// low-degree, so the probe hits at about half the cost of the
+    /// shadow-stack push/pop pairing, and matches what cold demotion
+    /// converges to. Non-plain `jmp`/`call` sites keep the inline-cache
+    /// probe (plus the shadow push for calls, so a still-cold callee
+    /// ret finds its entry). Ending through the terminator keeps
+    /// promotion successful at rotating (megamorphic) sites, which
+    /// otherwise fail the devirt gate, fail promotion, and churn
+    /// through demotion.
+    IndirectEnd {
+        /// Instruction address.
+        ip: u32,
+        /// The terminator instruction.
+        inst: I32,
+        /// Encoded length.
+        len: u8,
+        /// Start of the containing basic block (liveness lookup).
+        block: u32,
+        /// Index within the block (liveness lookup).
+        idx: usize,
+        /// Per-site inline-cache slot (0 for `ret`).
+        ic_slot: u64,
+        /// Site goes straight to the plain 2-way table probe (demoted,
+        /// slot-less, or profile-proven megamorphic `jmp`/`call`).
+        plain: bool,
     },
     /// A conditional branch leaving the trace when `cond` holds.
     SideExit {
@@ -310,7 +342,7 @@ pub(super) fn select(engine: &Engine, block_id: u32) -> Option<Trace> {
                                     let uses = engine.mem.read(info.counter_addr, 8).unwrap_or(0);
                                     if pred != layout::LOOKUP_EMPTY_KEY
                                         && hits >= engine.cfg.devirt_threshold
-                                        && hits * 2 > uses
+                                        && crate::engine::site_is_monomorphic(hits, uses)
                                     {
                                         if matches!(inst, I32::CallInd { .. }) {
                                             ret_stack.push(next);
@@ -340,6 +372,49 @@ pub(super) fn select(engine: &Engine, block_id: u32) -> Option<Trace> {
                                 cur = predicted;
                                 continue 'outer;
                             }
+                            // Not devirtualizable (megamorphic site or
+                            // unmatched ret): with the typed-IR pipeline
+                            // the trace ends *through* the terminator —
+                            // its work plus the inline dispatch run hot,
+                            // and promotion succeeds instead of churning
+                            // through megamorphic demotion.
+                            if engine.cfg.enable_hot_ir
+                                && matches!(
+                                    inst,
+                                    I32::JmpInd { .. } | I32::CallInd { .. } | I32::Ret { .. }
+                                )
+                            {
+                                // A jmp/call site with no allocated IC
+                                // slot dispatches like a demoted one.
+                                // A site the profile already proves
+                                // megamorphic gets the same treatment
+                                // up front: its inline cache would miss
+                                // on (k-1)/k of executions, so the
+                                // probe is pure overhead — go straight
+                                // to the 2-way table.
+                                let is_ret = matches!(inst, I32::Ret { .. });
+                                let megamorphic = !is_ret && info.ic_slot != 0 && {
+                                    let hits = engine.mem.read(info.ic_slot + 16, 8).unwrap_or(0);
+                                    let uses = engine.mem.read(info.counter_addr, 8).unwrap_or(0);
+                                    uses >= engine.cfg.megamorphic_demote_uses
+                                        && !crate::engine::site_is_monomorphic(hits, uses)
+                                };
+                                let plain = info.indirect_plain
+                                    || megamorphic
+                                    || (info.ic_slot == 0 && !is_ret);
+                                steps.push(Step::IndirectEnd {
+                                    ip: *ip,
+                                    inst: *inst,
+                                    len: *len,
+                                    block: blk.start,
+                                    idx: i,
+                                    ic_slot: info.ic_slot,
+                                    plain,
+                                });
+                                total += 1;
+                                main_exit = *ip;
+                                break 'outer;
+                            }
                         }
                         main_exit = *ip;
                         break 'outer;
@@ -364,7 +439,11 @@ pub(super) fn select(engine: &Engine, block_id: u32) -> Option<Trace> {
             }
         }
     }
-    if total < 2 {
+    // A trace ending through an indirect terminator pays off even when
+    // short (a lone `ret` block promotes to an inline shadow pop);
+    // anything else needs at least two steps to beat cold chaining.
+    let ends_indirect = matches!(steps.last(), Some(Step::IndirectEnd { .. }));
+    if total < 2 && !ends_indirect {
         if std::env::var_os("EL_DEBUG_HOT").is_some() {
             eprintln!(
                 "select {}: too short ({} steps, stopped at {:#x})",
@@ -374,9 +453,10 @@ pub(super) fn select(engine: &Engine, block_id: u32) -> Option<Trace> {
         return None;
     }
     // Loop unrolling (paper: "If a loop is identified, it may be
-    // unrolled").
+    // unrolled"). A trace ending in an inline dispatch has no
+    // fallthrough to duplicate into.
     let mut unrolled = false;
-    if main_exit == start && total * 2 <= budget + 4 {
+    if !ends_indirect && main_exit == start && total * 2 <= budget + 4 {
         let copy = steps.clone();
         let bcopy = blocks.clone();
         steps.extend(copy);
@@ -456,6 +536,27 @@ pub fn promote(engine: &mut Engine, block_id: u32) -> bool {
         }
         return false;
     };
+    // A ret-terminated trace only earns its translation charge when the
+    // dispatcher still routes returns to this block — which is exactly
+    // when its cold code keeps running (callers' traces fold
+    // predictable rets inline, starving the cold block). Cold code
+    // re-fires the Heat stub every `heat_threshold` executions, so
+    // defer to the second registration: blocks folded away never
+    // re-register and stay cold for free; live return targets come
+    // back one threshold window later and promote then.
+    if matches!(
+        trace.steps.last(),
+        Some(Step::IndirectEnd {
+            inst: I32::Ret { .. },
+            ..
+        })
+    ) && engine.block(block_id).registrations < 2
+    {
+        if std::env::var_os("EL_DEBUG_HOT").is_some() {
+            eprintln!("promote {block_id}: ret trace deferred to re-registration");
+        }
+        return false;
+    }
     engine.trace_emit(EventData::TraceSelected {
         id: block_id,
         eip: engine.block(block_id).eip,
@@ -526,6 +627,7 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
 
     let mut i = 0usize;
     let mut guard: Option<ipf::regs::Pr> = None;
+    let mut ends_indirect = false;
     while i < trace.steps.len() {
         match &trace.steps[i] {
             Step::Guard { cond, ip, .. } => {
@@ -710,6 +812,89 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
                 ia32_count += 1;
                 i += 1;
             }
+            Step::IndirectEnd {
+                ip,
+                inst,
+                len,
+                block,
+                idx,
+                ic_slot,
+                plain,
+            } => {
+                guard = None;
+                perm_by_ip.insert(*ip, fp.perm);
+                // The inline dispatch hands control to arbitrary
+                // translated entries, so speculative FP/XMM state must
+                // sit at its canonical entry configuration. Otherwise
+                // end the trace *before* the terminator instead —
+                // `trace.main_exit` already points at it, so the normal
+                // exit path below recreates the legacy behavior.
+                if fp.tos() != fp.entry_tos
+                    || fp.perm != [0, 1, 2, 3, 4, 5, 6, 7]
+                    || xmm.fmt != xmm.entry_fmt
+                    || fp.cur_mmx != fp.entry_mmx
+                {
+                    break;
+                }
+                let live = live_cache
+                    .entry(*block)
+                    .or_insert_with(|| analyze(&discover(&engine.mem, *block)))
+                    .live_after(*block, *idx);
+                let mut ctx = EmitCtx {
+                    ip: *ip,
+                    next_ip: ip + *len as u32,
+                    live_flags: live,
+                    fp: &mut fp,
+                    xmm: &mut xmm,
+                    misalign: &plan,
+                    align: &mut align,
+                };
+                let Ok(Some(Term::Indirect { eip, kind })) =
+                    templates::emit(&mut body, inst, &mut ctx)
+                else {
+                    return None;
+                };
+                // The same inline dispatch cold blocks end with: hit
+                // paths branch straight to translated entries, the miss
+                // path leaves through the IndirectMiss stub with the
+                // payload registers loaded.
+                body.set_ip(*ip);
+                match kind {
+                    // Rets (and plain sites) go straight to the 2-way
+                    // table: the return-address stream is low-degree in
+                    // practice, the probe hits inline, and this is the
+                    // state cold demotion converges to anyway — without
+                    // a cold block's dispatch and counter overhead.
+                    templates::IndKind::Ret => {
+                        crate::cold::gen::emit_table_probe2(&mut body, eip, 0);
+                    }
+                    templates::IndKind::Call { ret } if !*plain => {
+                        // The shadow push keeps a still-cold callee
+                        // ret's pop from underflowing while it warms.
+                        crate::cold::gen::emit_shadow_push(&mut body, ret);
+                        crate::cold::gen::emit_ic_probe(&mut body, eip, *ic_slot);
+                        crate::cold::gen::emit_table_probe2(&mut body, eip, *ic_slot);
+                    }
+                    templates::IndKind::Jump if !*plain => {
+                        crate::cold::gen::emit_ic_probe(&mut body, eip, *ic_slot);
+                        crate::cold::gen::emit_table_probe2(&mut body, eip, *ic_slot);
+                    }
+                    templates::IndKind::Call { ret } => {
+                        // Even a plain (megamorphic) call site keeps
+                        // seeding the shadow stack: its callees' rets
+                        // may still be cold and popping, and chronic
+                        // underflow would demote them for no reason.
+                        crate::cold::gen::emit_shadow_push(&mut body, ret);
+                        crate::cold::gen::emit_table_probe2(&mut body, eip, 0);
+                    }
+                    templates::IndKind::Jump => {
+                        crate::cold::gen::emit_table_probe2(&mut body, eip, 0);
+                    }
+                }
+                ends_indirect = true;
+                ia32_count += 1;
+                i += 1;
+            }
             Step::SideExit {
                 cond, target, ip, ..
             } => {
@@ -737,90 +922,38 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
         }
     }
 
-    // Collect ILs; the scheduler cannot handle in-body labels (templates
-    // with loops are excluded from traces, so Bind never appears).
+    // A truncated trace that emitted nothing (a lone indirect terminator
+    // whose FP gate failed) would install an empty self-loop.
+    if ia32_count == 0 {
+        return None;
+    }
+
+    // Collect ILs (validation + fault-stub state injection, shared with
+    // the IR path).
     let exit_label_ids: HashSet<u32> = exits
         .iter()
         .map(|e| e.label)
         .chain(devirt_exits.iter().map(|e| e.label))
         .collect();
-    let mut ils: Vec<HotIl> = Vec::new();
-    for item in &body.items {
-        match item {
-            IlItem::Bind(_) => return None,
-            IlItem::Inst(e) => {
-                if let Some(Target::Label(l)) = e.inst.op.target() {
-                    if !exit_label_ids.contains(&l) {
-                        return None;
-                    }
-                }
-                ils.push(HotIl {
-                    inst: e.inst,
-                    ia32_ip: e.meta.ia32_ip,
-                    rec: None,
-                });
+    let ils = ir::collect(&body, &exit_label_ids)?;
+
+    // Compile. The typed-IR pipeline (propagation, EFLAGS elimination,
+    // per-op liveness, constraint-driven allocation with spilling,
+    // backend scheduling) falls back to the template pipeline within
+    // the same promotion when a constraint cannot be satisfied; with
+    // `enable_hot_ir` off only the template pipeline runs.
+    let mut used_ir = false;
+    let (compiled, recovery) = if engine.cfg.enable_hot_ir {
+        match compile_ir(&ils, &perm_by_ip) {
+            Some(r) => {
+                used_ir = true;
+                r
             }
+            None => compile_template(ils, &perm_by_ip)?,
         }
-    }
-
-    // Fault-raising stub branches need the state register set.
-    let fault_stubs = [
-        StubKind::DivZero.addr(),
-        StubKind::FpStackFault.addr(),
-        StubKind::InterpStep.addr(),
-    ];
-    let mut with_state: Vec<HotIl> = Vec::with_capacity(ils.len() + 4);
-    for il in ils {
-        if let Op::Br {
-            target: Target::Abs(t),
-        } = il.inst.op
-        {
-            if fault_stubs.contains(&t) {
-                with_state.push(HotIl {
-                    inst: ipf::Inst::pred(
-                        il.inst.qp,
-                        Op::Movl {
-                            d: GR_STATE,
-                            imm: il.ia32_ip as u64,
-                        },
-                    ),
-                    ia32_ip: il.ia32_ip,
-                    rec: None,
-                });
-            }
-        }
-        with_state.push(il);
-    }
-    let mut ils = with_state;
-
-    // Optimization passes (paper: value tracking, address CSE,
-    // dead-code elimination).
-    opt::lvn(&mut ils);
-    opt::dce(&mut ils);
-
-    // Recovery entries for faulty micro-ops (commit points).
-    let mut recovery: Vec<RecEntry> = Vec::new();
-    let mut rec_index: HashMap<u32, u32> = HashMap::new();
-    for il in &mut ils {
-        if il.inst.op.can_fault() {
-            let idx = *rec_index.entry(il.ia32_ip).or_insert_with(|| {
-                let idx = recovery.len() as u32;
-                recovery.push(RecEntry {
-                    ia32_ip: il.ia32_ip,
-                    perm: perm_by_ip
-                        .get(&il.ia32_ip)
-                        .copied()
-                        .unwrap_or([0, 1, 2, 3, 4, 5, 6, 7]),
-                });
-                idx
-            });
-            il.rec = Some(idx);
-        }
-    }
-
-    // Schedule (reorder + stop bits) and allocate registers.
-    let order = sched::schedule(&ils);
-    let scheduled = sched::allocate(&ils, &order)?;
+    } else {
+        compile_template(ils, &perm_by_ip)?
+    };
 
     // Head: speculation checks.
     let mut head = Sink::new();
@@ -835,7 +968,8 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
     let self_eip = engine.block(block_id).eip;
     let body_start = cb.label();
     cb.bind(body_start);
-    let direct_loop = trace.main_exit == self_eip
+    let direct_loop = !ends_indirect
+        && trace.main_exit == self_eip
         && fp.tos() == fp.entry_tos
         && fp.perm == [0, 1, 2, 3, 4, 5, 6, 7]
         && xmm.fmt == xmm.entry_fmt;
@@ -845,7 +979,7 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
         .chain(devirt_exits.iter().map(|e| e.label))
         .map(|l| (l, cb.label()))
         .collect();
-    for (inst, stop) in &scheduled {
+    for (inst, stop, _) in &compiled {
         let mut inst = *inst;
         if let Some(Target::Label(l)) = inst.op.target() {
             inst.op.set_target(Target::Label(exit_labels[&l].0));
@@ -859,7 +993,11 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
     // Exits. Side exits bump the (otherwise retired) taken-edge slot so
     // the premature-exit rate of traces is measurable (paper: ~6%).
     let exit_counter = engine.block(block_id).edge_counters.0;
-    if direct_loop {
+    if ends_indirect {
+        // The body already ends in the inline dispatch: hit paths
+        // branch straight to translated entries, the miss path left
+        // through the IndirectMiss stub. No fallthrough exit exists.
+    } else if direct_loop {
         cb.push(Op::Br {
             target: Target::Label(body_start.0),
         });
@@ -918,13 +1056,13 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
         None => (engine.machine.arena.end(), bundles, placements),
     };
 
-    // Recovery map: scheduled IL k was pushed at head_len + k.
+    // Recovery map: compiled instruction k was pushed at head_len + k.
     let mut hot = HotData {
         recovery,
         by_slot: HashMap::new(),
     };
-    for (k, _) in scheduled.iter().enumerate() {
-        if let Some(rec) = ils[order[k]].rec {
+    for (k, (_, _, rec)) in compiled.iter().enumerate() {
+        if let Some(rec) = *rec {
             let (bidx, slot) = placements[head_len + k];
             if bidx != usize::MAX {
                 hot.by_slot
@@ -944,9 +1082,39 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
         ia32_count * engine.cfg.cold_xlate_cycles * engine.cfg.hot_xlate_factor,
     );
     engine.stats.hot_traces += 1;
+    if used_ir {
+        engine.stats.hot_ir_traces += 1;
+    }
     engine.stats.hot_ia32_insts += ia32_count;
-    engine.stats.hot_native_insts += scheduled.len() as u64;
+    engine.stats.hot_native_insts += compiled.len() as u64;
     engine.stats.hot_commit_points += hot.recovery.len() as u64;
+    if std::env::var_os("EL_DEBUG_HOT").is_some() {
+        let shape: Vec<String> = trace
+            .steps
+            .iter()
+            .map(|s| match s {
+                Step::Inst { ip, .. } => format!("i{ip:#x}"),
+                Step::Guard { ip, .. } => format!("g{ip:#x}"),
+                Step::SideExit { ip, .. } => format!("x{ip:#x}"),
+                Step::Terminator { ip, predicted, .. } => format!("T{ip:#x}->{predicted:#x}"),
+                Step::IndirectEnd {
+                    ip, inst, plain, ..
+                } => {
+                    format!("E{ip:#x}:{inst:?}(plain={plain})")
+                }
+            })
+            .collect();
+        eprintln!(
+            "install blk{} eip={:#x} exit={:#x} native={} groups={} bundles={} [{}]",
+            block_id,
+            engine.block(block_id).eip,
+            trace.main_exit,
+            compiled.len(),
+            compiled.iter().filter(|(_, s, _)| *s).count(),
+            n_bundles,
+            shape.join(" ")
+        );
+    }
     engine.install_hot(
         block_id,
         entry,
@@ -956,6 +1124,134 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
     );
     let _ = trace.unrolled;
     Some(())
+}
+
+/// Assigns recovery indices (commit points) to faulty ops: one
+/// [`RecEntry`] per faulting IA-32 instruction, carrying the FP
+/// rotation captured at emission time.
+fn assign_recovery<T>(
+    items: &mut [T],
+    get: impl Fn(&T) -> (bool, u32),
+    set: impl Fn(&mut T, u32),
+    perm_by_ip: &HashMap<u32, [u8; 8]>,
+) -> Vec<RecEntry> {
+    let mut recovery: Vec<RecEntry> = Vec::new();
+    let mut rec_index: HashMap<u32, u32> = HashMap::new();
+    for it in items.iter_mut() {
+        let (faulty, ip) = get(it);
+        if faulty {
+            let idx = *rec_index.entry(ip).or_insert_with(|| {
+                let idx = recovery.len() as u32;
+                recovery.push(RecEntry {
+                    ia32_ip: ip,
+                    perm: perm_by_ip
+                        .get(&ip)
+                        .copied()
+                        .unwrap_or([0, 1, 2, 3, 4, 5, 6, 7]),
+                });
+                idx
+            });
+            set(it, idx);
+        }
+    }
+    recovery
+}
+
+/// Fully lowered trace code: one `(instruction, stop bit, recovery
+/// index)` triple per emitted slot.
+type CompiledCode = Vec<(ipf::Inst, bool, Option<u32>)>;
+
+/// The original template-stitching pipeline: shared LVN/DCE, recovery
+/// assignment, dependency scheduling over virtual ILs, then FIFO pool
+/// allocation with stop bits. Kept bit-for-bit as the `enable_hot_ir`
+/// off-state (the degradation ladder's known-good rung) and as the
+/// in-promotion fallback when the IR pipeline's constraints fail.
+fn compile_template(
+    mut ils: Vec<HotIl>,
+    perm_by_ip: &HashMap<u32, [u8; 8]>,
+) -> Option<(CompiledCode, Vec<RecEntry>)> {
+    // Optimization passes (paper: value tracking, address CSE,
+    // dead-code elimination).
+    opt::lvn(&mut ils);
+    opt::dce(&mut ils);
+    let recovery = assign_recovery(
+        &mut ils,
+        |il| (il.inst.op.can_fault(), il.ia32_ip),
+        |il, idx| il.rec = Some(idx),
+        perm_by_ip,
+    );
+    let order = sched::schedule(&ils);
+    let scheduled = sched::allocate(&ils, &order)?;
+    Some((
+        scheduled
+            .iter()
+            .enumerate()
+            .map(|(k, &(inst, stop))| (inst, stop, ils[order[k]].rec))
+            .collect(),
+        recovery,
+    ))
+}
+
+/// The typed-IR pipeline: constant/copy propagation, shared LVN,
+/// cross-block EFLAGS elimination, shared DCE, recovery assignment,
+/// per-op liveness with constraint-driven allocation (spilling under
+/// general-register pressure), and the backend scheduler over the
+/// allocated code. `None` when a constraint cannot be satisfied.
+fn compile_ir(
+    ils: &[HotIl],
+    perm_by_ip: &HashMap<u32, [u8; 8]>,
+) -> Option<(CompiledCode, Vec<RecEntry>)> {
+    let base = ir::annotate(ils);
+    // Const/copy propagation rewrites the value graph, which reshapes
+    // the dependence heights the list scheduler packs by — sometimes
+    // into groups that stall longer at issue than the unpropagated
+    // code's. Compile both variants and keep the one the machine's
+    // issue model prices cheaper; ties go to the unpropagated schedule
+    // (bit-identical to what the template pipeline would pick).
+    let propagated = {
+        let mut irs = base.clone();
+        opt::propagate(&mut irs);
+        compile_ir_variant(irs, perm_by_ip)
+    };
+    let plain = compile_ir_variant(base, perm_by_ip);
+    match (propagated, plain) {
+        (Some(a), Some(b)) => Some(if a.0 < b.0 { (a.1, a.2) } else { (b.1, b.2) }),
+        (Some(a), None) => Some((a.1, a.2)),
+        (None, Some(b)) => Some((b.1, b.2)),
+        (None, None) => None,
+    }
+}
+
+/// Runs the shared tail of the IR pipeline (LVN, EFlags elimination,
+/// DCE, pre-allocation scheduling, register allocation, backend stop
+/// insertion) and returns the statically priced result.
+fn compile_ir_variant(
+    mut irs: Vec<ir::IrInst>,
+    perm_by_ip: &HashMap<u32, [u8; 8]>,
+) -> Option<(u64, CompiledCode, Vec<RecEntry>)> {
+    opt::lvn_ir(&mut irs);
+    opt::eflags_elim(&mut irs);
+    opt::dce_ir(&mut irs);
+    let recovery = assign_recovery(
+        &mut irs,
+        |x| (x.fx.can_fault, x.ia32_ip),
+        |x, idx| x.rec = Some(idx),
+        perm_by_ip,
+    );
+    // Reorder while still virtual (no false dependences), then allocate
+    // in the scheduled order — the new program order for liveness and
+    // every later pass.
+    let insts: Vec<ipf::Inst> = irs.iter().map(|x| x.inst).collect();
+    let order = sched::schedule_ir(&insts);
+    let irs: Vec<ir::IrInst> = order.iter().map(|&k| irs[k].clone()).collect();
+    let alloc = regalloc::allocate(&irs)?;
+    let scheduled = sched::schedule_allocated(&alloc);
+    let cost = sched::static_cost(&scheduled);
+    let out = scheduled
+        .into_iter()
+        .map(|(inst, stop, src)| (inst, stop, src.and_then(|s| irs[s].rec)))
+        .collect();
+    Some((cost, out, recovery))
 }
 
 /// Emits a side-exit counter increment (uses caller-saved hot scratch).

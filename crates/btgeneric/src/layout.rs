@@ -71,9 +71,17 @@ pub const CELL_IC_MISSES: u64 = SHADOW_TOS + 32;
 /// Hot-trace devirtualization guard failures (side exits taken).
 pub const CELL_DEVIRT_FAILS: u64 = SHADOW_TOS + 40;
 
+/// Base of the hot-phase register-allocator spill area: a small block
+/// of always-mapped u64 slots the constraint-driven allocator spills
+/// general registers to under pressure (`hot/regalloc.rs`).
+pub const SPILL_BASE: u64 = SHADOW_TOS + 48;
+
+/// Number of spill slots. Traces needing more stay cold.
+pub const SPILL_SLOTS: u64 = 16;
+
 /// Start of per-block profile slots (counters), after the lookup table,
-/// shadow stack, and event cells.
-pub const COUNTERS_BASE: u64 = SHADOW_TOS + 48;
+/// shadow stack, event cells, and the spill area.
+pub const COUNTERS_BASE: u64 = SPILL_BASE + SPILL_SLOTS * 8;
 
 /// Tag bit in the `IndirectMiss` payload1 marking a shadow-stack pop
 /// miss: the low 32 bits then carry the *ret block's* id (not an
@@ -220,10 +228,16 @@ mod tests {
 
     #[test]
     fn lookup_slots_in_region() {
+        // Each probe's actual footprint must stay inside the table:
+        // `lookup_slot` reads a whole set, the legacy slot is
+        // direct-mapped and reads one entry.
         for eip in [0u32, 4, 0x40_0000, 0xFFFF_FFFF] {
-            for s in [lookup_slot(eip), lookup_slot_legacy(eip)] {
+            for (s, probe) in [
+                (lookup_slot(eip), LOOKUP_WAYS * LOOKUP_ENTRY_SIZE),
+                (lookup_slot_legacy(eip), LOOKUP_ENTRY_SIZE),
+            ] {
                 assert!(s >= LOOKUP_BASE);
-                assert!(s + LOOKUP_WAYS * LOOKUP_ENTRY_SIZE <= SHADOW_BASE);
+                assert!(s + probe <= SHADOW_BASE);
                 assert_eq!(s % 16, 0);
             }
         }

@@ -20,6 +20,9 @@ pub struct Stats {
     pub cold_native_insts: u64,
     /// Hot traces generated.
     pub hot_traces: u64,
+    /// Hot traces compiled through the typed-IR pipeline (liveness +
+    /// constraint-driven regalloc) rather than the template path.
+    pub hot_ir_traces: u64,
     /// IA-32 instructions covered by hot traces.
     pub hot_ia32_insts: u64,
     /// Native instructions emitted by hot translation.
