@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation (§6).
 //!
 //! ```text
-//! figures [fig5|fig6|fig7|fig8|table1|hot_vs_cold|misalign|paper_stats|cache|indirect|ir|chaos|trace|all]
+//! figures [fig5|fig6|fig7|fig8|table1|hot_vs_cold|misalign|paper_stats|cache|indirect|ir|chaos|hostile|trace|all]
 //!         [--fast] [--seed=N]
 //! ```
 //!
@@ -9,7 +9,7 @@
 //! `--seed=N` seeds the `chaos` fault-injection storm (default 1).
 
 use bench::{
-    cache_pressure, chaos_storm, figure5, figure6, figure7, figure8, hot_vs_cold,
+    cache_pressure, chaos_storm, figure5, figure6, figure7, figure8, hostile_suite, hot_vs_cold,
     indirect_pressure, misalign_speedup, paper_stats, trace_overhead, trace_run,
 };
 use btgeneric::engine::Config;
@@ -325,6 +325,115 @@ fn print_ir(_div: u32) {
     }
 }
 
+/// The hostile-guest acceptance run: three kernels (signal storm,
+/// guest JIT, nested handlers) x three seeds under the combined
+/// signal + fault storm. Exits nonzero when any trial dies, diverges
+/// from the signal-free oracle, fails to replay byte-identically,
+/// never gets interrupted, leaks a signal frame, or lets the guest
+/// JIT thrash unboundedly.
+fn print_hostile(div: u32, seed: u64) {
+    // `--fast` shrinks every kernel to the 512-iteration floor.
+    let sd = if div > 1 { 200 } else { 20 };
+    let hs = hostile_suite(sd, seed);
+    println!("== Hostile guests: async signals, SMC storms, re-entrant recovery ==");
+    println!(
+        "(seeds {seed}..{}, scale_div {sd}; every gate is fatal)",
+        seed + 2
+    );
+    for r in &hs.runs {
+        println!(
+            "  {:<14} seed {:#x}  {} / {} / {}  overhead {:.2}x",
+            r.name,
+            r.seed,
+            if r.survived { "survived" } else { "DIED" },
+            if r.oracle_ok {
+                "oracle ok"
+            } else {
+                "ORACLE MISMATCH"
+            },
+            if r.deterministic {
+                "replayed"
+            } else {
+                "NONDETERMINISTIC"
+            },
+            r.recovery_overhead
+        );
+        println!(
+            "        sigreturns {}/{} delivered, {} deferred | {}",
+            r.sigreturns,
+            r.stats.signals_delivered,
+            r.sig_deferrals,
+            r.stats.hostile_summary()
+        );
+    }
+    let rows_json: Vec<String> = hs
+        .runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"seed\": {}, \"survived\": {}, \
+                 \"oracle_ok\": {}, \"deterministic\": {}, \"overhead\": {:.4}, \
+                 \"signals_delivered\": {}, \"sigreturns\": {}, \"sig_deferrals\": {}, \
+                 \"smc_blacklists\": {}, \"smc_extent_orphans\": {}, \
+                 \"smc_extent_keeps\": {}, \"reentrant_recoveries\": {}, \
+                 \"recovery_depth_max\": {}}}",
+                r.name,
+                r.seed,
+                r.survived,
+                r.oracle_ok,
+                r.deterministic,
+                r.recovery_overhead,
+                r.stats.signals_delivered,
+                r.sigreturns,
+                r.sig_deferrals,
+                r.stats.smc_blacklists,
+                r.stats.smc_extent_orphans,
+                r.stats.smc_extent_keeps,
+                r.stats.reentrant_recoveries,
+                r.stats.recovery_depth_max
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"scale_div\": {sd},\n  \"seed\": {seed},\n  \
+         \"signals_delivered\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        hs.signals_delivered(),
+        rows_json.join(",\n")
+    );
+    match std::fs::write("BENCH_hostile.json", &json) {
+        Ok(()) => println!("  wrote BENCH_hostile.json"),
+        Err(e) => eprintln!("  could not write BENCH_hostile.json: {e}"),
+    }
+    let mut bad = false;
+    if !hs.survived() {
+        eprintln!("hostile: a run died");
+        bad = true;
+    }
+    if !hs.oracle_ok() {
+        eprintln!("hostile: a run diverged from the signal-free oracle");
+        bad = true;
+    }
+    if !hs.deterministic() {
+        eprintln!("hostile: a run failed to replay byte-identically");
+        bad = true;
+    }
+    if hs.signals_delivered() == 0 {
+        eprintln!("hostile: the storms never delivered a signal");
+        bad = true;
+    }
+    if !hs.sigreturns_reconciled() {
+        eprintln!("hostile: a delivered signal never sigreturned (leaked frame)");
+        bad = true;
+    }
+    if !hs.guest_jit_bounded() {
+        eprintln!("hostile: guest_jit governor never tripped or retranslations unbounded");
+        bad = true;
+    }
+    if bad {
+        std::process::exit(1);
+    }
+}
+
 fn print_trace(div: u32) {
     let tr = trace_run(div.max(1) * 20, TraceConfig::on());
     println!("== Observability: gcc lifecycle trace ==");
@@ -407,6 +516,7 @@ fn main() {
         "indirect" => print_indirect(div),
         "ir" => print_ir(div),
         "chaos" => print_chaos(div, seed),
+        "hostile" => print_hostile(div, seed),
         "trace" => print_trace(div),
         "all" => {
             print_table1();
@@ -442,6 +552,8 @@ fn main() {
             print_trace(div);
             println!();
             print_chaos(div, seed);
+            println!();
+            print_hostile(div, seed);
         }
         other => {
             eprintln!("unknown figure: {other}");

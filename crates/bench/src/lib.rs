@@ -5,11 +5,14 @@
 //! ("Xeon") model — and regenerates every table and figure of the
 //! paper's evaluation (§6). The `figures` binary prints them.
 
+use btgeneric::btos::{BtOs, SyscallOutcome};
 use btgeneric::chaos::{FaultKind, FaultPlan, NUM_KINDS};
 use btgeneric::engine::{Config, Outcome};
 use btgeneric::stats::{Stats, TimeDistribution};
 use btgeneric::trace::{EventMask, TraceConfig};
-use btlib::{Process, SimOs, SimOsFaults};
+use btlib::{Process, SignalPlan, SimOs, SimOsFaults};
+use ia32::interp::{Event, Interp};
+use ia32::mem::GuestMem;
 use workloads::harness::{build_image, run_ia32_hw, run_native};
 use workloads::{Workload, RESULT};
 
@@ -379,6 +382,53 @@ fn chaos_cfg() -> Config {
     }
 }
 
+/// Final [`RESULT`] checksum of `w` under the reference interpreter
+/// with a [`SimOs`] servicing its syscalls — the oracle for kernels
+/// with `uses_os` set, which the bare [`run_ia32_hw`] loop cannot run.
+/// No signal plan is attached: asynchronous delivery must be
+/// transparent to the final state, so the signal-free interpreter run
+/// defines correctness for the signal-stormed engine run too.
+///
+/// # Panics
+///
+/// Panics if the kernel traps or fails to finish.
+pub fn run_sim_oracle(w: &Workload, scale: u32) -> u64 {
+    let img = build_image(w, scale);
+    let mut mem = GuestMem::new();
+    let cpu = img.load(&mut mem);
+    let mut interp = Interp::new();
+    interp.cpu = cpu;
+    let mut os = SimOs::new();
+    let mut steps = 0u64;
+    loop {
+        steps += 1;
+        assert!(steps < 500_000_000, "{}: oracle ran away", w.name);
+        match interp.step(&mut mem) {
+            Ok(Event::Continue) => {}
+            Ok(Event::Halt) => break,
+            Ok(Event::Syscall { vector }) => {
+                assert_eq!(vector, 0x80, "{}: unexpected vector", w.name);
+                match os.syscall(&mut interp.cpu, &mut mem) {
+                    SyscallOutcome::Continue => {}
+                    SyscallOutcome::Exit(_) => break,
+                }
+            }
+            Err(t) => panic!("{}: oracle trapped: {t:?}", w.name),
+        }
+    }
+    mem.read(RESULT as u64, 8).unwrap_or(0)
+}
+
+/// The correctness oracle for `w`: the interpreter + [`SimOs`] loop
+/// when the kernel needs an OS, the hardware-model run otherwise.
+fn oracle_result(w: &Workload, scale: u32) -> u64 {
+    if w.uses_os {
+        run_sim_oracle(w, scale)
+    } else {
+        run_ia32_hw(w, scale, ia32::timing::Timing::default()).result
+    }
+}
+
 /// Runs `w` once clean and once under [`FaultPlan::storm`], checking
 /// the storm run's final guest state against the IA-32 hardware model.
 pub fn chaos_run(w: &Workload, scale: u32, seed: u64) -> ChaosRun {
@@ -390,7 +440,7 @@ pub fn chaos_run(w: &Workload, scale: u32, seed: u64) -> ChaosRun {
 /// off and demands byte-identical statistics per configuration.
 pub fn chaos_run_cfg(w: &Workload, scale: u32, seed: u64, cfg: Config) -> ChaosRun {
     let img = build_image(w, scale);
-    let oracle = run_ia32_hw(w, scale, ia32::timing::Timing::default()).result;
+    let oracle = oracle_result(w, scale);
 
     // Clean baseline for the recovery-overhead ratio.
     let mut clean = Process::launch_with(&img, SimOs::new(), cfg).expect("launch");
@@ -469,20 +519,179 @@ impl ChaosStorm {
     }
 }
 
-/// Runs the storm over gcc and mcf. Each workload gets its own plan
-/// seeded from `seed` so the two trials draw independent streams.
+/// Runs the storm over gcc and mcf (the two most translation-heavy INT
+/// workloads) plus the three hostile kernels, so every storm also
+/// exercises asynchronous signals, guest-JIT SMC, and nested handlers.
+/// Each workload gets its own plan seeded from `seed` so the trials
+/// draw independent streams.
 pub fn chaos_storm(scale_div: u32, seed: u64) -> ChaosStorm {
-    let all = workloads::spec_int();
+    let mut roster: Vec<Workload> = workloads::spec_int()
+        .into_iter()
+        .filter(|w| w.name == "gcc" || w.name == "mcf")
+        .collect();
+    roster.extend(workloads::hostile_kernels());
     let mut runs = Vec::new();
-    for (i, name) in ["gcc", "mcf"].iter().enumerate() {
-        let w = all
-            .iter()
-            .find(|w| w.name == *name)
-            .expect("workload exists");
+    for (i, w) in roster.iter().enumerate() {
         let scale = (w.scale / scale_div).max(512);
         runs.push(chaos_run(w, scale, seed.wrapping_add(i as u64)));
     }
     ChaosStorm { runs }
+}
+
+/// One hostile-guest trial: a kernel under a seeded asynchronous
+/// signal plan *and* a full fault storm (whose `AsyncSignal` rolls add
+/// immediately-due signals on top of the plan), run twice for the
+/// determinism check, against the signal-free interpreter oracle.
+#[derive(Clone, Debug)]
+pub struct HostileRun {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Plan seed for this trial.
+    pub seed: u64,
+    /// Iteration scale (the bound for the guest-JIT sublinearity gate:
+    /// one SMC write per iteration).
+    pub scale: u32,
+    /// Both storm runs halted cleanly.
+    pub survived: bool,
+    /// Final [`RESULT`] matches the signal-free interpreter oracle.
+    pub oracle_ok: bool,
+    /// The two storm runs produced byte-identical statistics, cycle
+    /// counts, and results.
+    pub deterministic: bool,
+    /// Storm-run cycles over clean-run cycles.
+    pub recovery_overhead: f64,
+    /// `sigreturn` syscalls the OS serviced (must reconcile with
+    /// `stats.signals_delivered` at halt).
+    pub sigreturns: u64,
+    /// Due deliveries the OS deferred at the nesting-depth cap.
+    pub sig_deferrals: u64,
+    /// Storm-run translator statistics.
+    pub stats: Stats,
+}
+
+impl HostileRun {
+    /// Every delivered signal's handler ran to its `sigreturn` by halt
+    /// (no frame was lost or leaked).
+    pub fn sigreturns_reconciled(&self) -> bool {
+        self.sigreturns == self.stats.signals_delivered
+    }
+}
+
+/// The hostile-guest configuration: the chaos config with the typed-IR
+/// hot pipeline on, so mid-trace delivery exercises the IR recovery
+/// maps.
+fn hostile_cfg() -> Config {
+    Config {
+        enable_hot_ir: true,
+        ..chaos_cfg()
+    }
+}
+
+/// One engine run of the hostile storm: returns (survived, result,
+/// cycles, stats, sigreturns, sig_deferrals).
+fn hostile_once(w: &Workload, scale: u32, seed: u64) -> (bool, u64, u64, Stats, u64, u64) {
+    let img = build_image(w, scale);
+    let plan = FaultPlan::storm(seed);
+    // Two dozen planned arrivals spread over a window sized to the
+    // run; chaos `AsyncSignal` rolls push extra immediately-due ones.
+    let signals = SignalPlan::seeded(seed, 24, u64::from(scale) * 32);
+    let os = SimOs::with_faults(SimOsFaults {
+        fail_allocs: plan.os_alloc_failures,
+        fail_syscalls: 0,
+    })
+    .with_signals(signals);
+    let mut p = Process::launch_with(&img, os, hostile_cfg()).expect("launch");
+    p.engine.chaos = Some(plan);
+    let survived = matches!(p.run(u64::MAX / 2), Outcome::Halted(_));
+    let result = p.engine.mem.read(RESULT as u64, 8).unwrap_or(0);
+    (
+        survived,
+        result,
+        p.engine.machine.cycles,
+        p.engine.stats.clone(),
+        p.os.sigreturns,
+        p.os.sig_deferrals,
+    )
+}
+
+/// Runs one hostile trial (twice, for the determinism check).
+pub fn hostile_run(w: &Workload, scale: u32, seed: u64) -> HostileRun {
+    let oracle = run_sim_oracle(w, scale);
+    let (_, clean) = run_el_keep(w, scale, hostile_cfg());
+    let clean_cycles = clean.engine.machine.cycles.max(1);
+    let a = hostile_once(w, scale, seed);
+    let b = hostile_once(w, scale, seed);
+    HostileRun {
+        name: w.name,
+        seed,
+        scale,
+        survived: a.0 && b.0,
+        oracle_ok: a.1 == oracle,
+        deterministic: a.1 == b.1 && a.2 == b.2 && a.3 == b.3 && a.4 == b.4 && a.5 == b.5,
+        recovery_overhead: a.2 as f64 / clean_cycles as f64,
+        sigreturns: a.4,
+        sig_deferrals: a.5,
+        stats: a.3,
+    }
+}
+
+/// The full hostile-guest suite: each of the three kernels at three
+/// seeds derived from `seed`.
+#[derive(Clone, Debug)]
+pub struct HostileSuite {
+    /// Per-(kernel, seed) trials.
+    pub runs: Vec<HostileRun>,
+}
+
+impl HostileSuite {
+    /// Every trial halted cleanly, twice.
+    pub fn survived(&self) -> bool {
+        self.runs.iter().all(|r| r.survived)
+    }
+
+    /// Every trial matched the signal-free oracle.
+    pub fn oracle_ok(&self) -> bool {
+        self.runs.iter().all(|r| r.oracle_ok)
+    }
+
+    /// Every trial replayed byte-identically.
+    pub fn deterministic(&self) -> bool {
+        self.runs.iter().all(|r| r.deterministic)
+    }
+
+    /// Every trial's delivered signals all `sigreturn`ed.
+    pub fn sigreturns_reconciled(&self) -> bool {
+        self.runs.iter().all(HostileRun::sigreturns_reconciled)
+    }
+
+    /// Signals delivered across the suite (the storms must actually
+    /// interrupt something).
+    pub fn signals_delivered(&self) -> u64 {
+        self.runs.iter().map(|r| r.stats.signals_delivered).sum()
+    }
+
+    /// The guest-JIT gates: every `guest_jit` trial tripped the thrash
+    /// governor at least once, and its retranslation count stayed
+    /// sublinear in the SMC write count (one write per iteration — a
+    /// governorless engine retranslates the patched stub every call).
+    pub fn guest_jit_bounded(&self) -> bool {
+        self.runs.iter().filter(|r| r.name == "guest_jit").all(|r| {
+            r.stats.smc_blacklists > 0 && r.stats.cold_blocks < u64::from(r.scale) / 4 + 64
+        })
+    }
+}
+
+/// Runs the hostile suite: three kernels x three seeds derived from
+/// `seed`.
+pub fn hostile_suite(scale_div: u32, seed: u64) -> HostileSuite {
+    let mut runs = Vec::new();
+    for w in workloads::hostile_kernels() {
+        let scale = (w.scale / scale_div).max(512);
+        for i in 0..3u64 {
+            runs.push(hostile_run(&w, scale, seed.wrapping_add(i)));
+        }
+    }
+    HostileSuite { runs }
 }
 
 /// Result of running gcc with the observability layer fully on: the
@@ -871,6 +1080,45 @@ mod tests {
             }
         }
         assert!(ir_traces > 0, "the IR pipeline never compiled a trace");
+    }
+
+    /// The hostile-guest acceptance bar: every (kernel, seed) trial
+    /// survives the combined signal + fault storm twice with
+    /// byte-identical statistics, matches the signal-free oracle,
+    /// actually gets interrupted, reconciles every delivered signal
+    /// with a `sigreturn`, and the guest JIT stays bounded.
+    #[test]
+    fn hostile_suite_survives_and_is_transparent() {
+        let hs = hostile_suite(200, 0x51C);
+        for r in &hs.runs {
+            eprintln!(
+                "{} seed {:#x}: ok={}{}{}, overhead {:.2}x, deferrals {}, sigreturns {} | {}",
+                r.name,
+                r.seed,
+                u8::from(r.survived),
+                u8::from(r.oracle_ok),
+                u8::from(r.deterministic),
+                r.recovery_overhead,
+                r.sig_deferrals,
+                r.sigreturns,
+                r.stats.hostile_summary()
+            );
+        }
+        assert!(hs.survived(), "a hostile run died");
+        assert!(hs.oracle_ok(), "a hostile run diverged from the oracle");
+        assert!(hs.deterministic(), "a hostile run failed to replay");
+        assert!(
+            hs.signals_delivered() > 0,
+            "the storms never delivered a signal"
+        );
+        assert!(
+            hs.sigreturns_reconciled(),
+            "a delivered signal never sigreturned"
+        );
+        assert!(
+            hs.guest_jit_bounded(),
+            "guest_jit: governor never tripped or retranslations unbounded"
+        );
     }
 
     #[test]

@@ -18,8 +18,11 @@ pub const BTOS_MAJOR: u16 = 2;
 /// BTGeneric's BTOS API minor version. BTLib may be newer (backward
 /// compatible) but not older than the translator requires.
 /// Minor 2 added [`BtOs::alloc_pages`] (recoverable translator-side
-/// allocation).
-pub const BTOS_MINOR: u16 = 2;
+/// allocation). Minor 3 added the asynchronous-signal surface
+/// ([`BtOs::poll_signal`] / [`BtOs::signal_due`] /
+/// [`BtOs::signals_pending`] / [`BtOs::raise_signal`]); all four
+/// default to "no signals", matching pre-2.3 BTLib behaviour.
+pub const BTOS_MINOR: u16 = 3;
 /// The oldest BTLib minor version this BTGeneric can work with.
 pub const BTOS_MIN_COMPAT_MINOR: u16 = 0;
 
@@ -174,6 +177,38 @@ pub trait BtOs {
     fn alloc_pages(&mut self, mem: &mut GuestMem, addr: u64, len: u64) -> bool {
         mem.map(addr, len, Prot::rw());
         true
+    }
+
+    /// Consumes the next deliverable asynchronous signal whose arrival
+    /// cycle is at or before `now`, returning the registered handler
+    /// EIP. Consuming enters the handler (the OS layer tracks nesting
+    /// depth until the matching `sigreturn`); signals at the depth
+    /// limit stay queued. Default: no signal facility.
+    fn poll_signal(&mut self, now: u64) -> Option<u32> {
+        let _ = now;
+        None
+    }
+
+    /// Non-consuming peek: would [`BtOs::poll_signal`] deliver at
+    /// `now`? The engine uses this mid-trace to decide whether a
+    /// commit-point hunt is worth starting.
+    fn signal_due(&self, now: u64) -> bool {
+        let _ = now;
+        false
+    }
+
+    /// True while any signal is queued (even if not yet due): the
+    /// engine then bounds execution bursts to its signal quantum so
+    /// arrival cycles are honored promptly.
+    fn signals_pending(&self) -> bool {
+        false
+    }
+
+    /// Enqueues one signal arriving immediately (the chaos harness's
+    /// `AsyncSignal` injection point). Returns false if the guest has
+    /// no handler registered (the signal is discarded).
+    fn raise_signal(&mut self) -> bool {
+        false
     }
 
     /// Diagnostic logging channel.

@@ -32,7 +32,7 @@ fn xorshift(x: &mut u64) -> u64 {
 }
 
 /// Number of engine-side fault kinds.
-pub const NUM_KINDS: usize = 5;
+pub const NUM_KINDS: usize = 6;
 
 /// A named injection point the engine consults.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -54,6 +54,10 @@ pub enum FaultKind {
     /// Hot-session budget exhaustion: the optimization session is
     /// aborted by the watchdog and the cold code kept.
     HotBudget = 4,
+    /// An asynchronous signal raised against the guest (delivered
+    /// through the OS layer's pending queue; the engine interrupts at
+    /// the next commit point or state boundary).
+    AsyncSignal = 5,
 }
 
 impl FaultKind {
@@ -64,6 +68,7 @@ impl FaultKind {
         FaultKind::SmcInvalidate,
         FaultKind::BitFlip,
         FaultKind::HotBudget,
+        FaultKind::AsyncSignal,
     ];
 
     /// Short display name (figures output).
@@ -74,6 +79,7 @@ impl FaultKind {
             FaultKind::SmcInvalidate => "smc-write",
             FaultKind::BitFlip => "bit-flip",
             FaultKind::HotBudget => "hot-budget",
+            FaultKind::AsyncSignal => "async-signal",
         }
     }
 }
@@ -145,6 +151,7 @@ impl FaultPlan {
             .with(FaultKind::SmcInvalidate, 70, 25)
             .with(FaultKind::BitFlip, 50, 20)
             .with(FaultKind::HotBudget, 400, 8)
+            .with(FaultKind::AsyncSignal, 40, 16)
             .with_os_faults(8, 4)
     }
 

@@ -17,7 +17,7 @@ use ia32::interp::{Event, Interp};
 use ia32::mem::{GuestMem, MemFaultKind, Prot};
 use ipf::inst::{FFmt, FXfer, Op, Target};
 use ipf::machine::{Bus, BusError, CodeArena, MachFault, Machine, StopReason};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Engine configuration — the knobs the benchmarks and ablations turn.
 #[derive(Clone, Copy, Debug)]
@@ -119,6 +119,33 @@ pub struct Config {
     /// Base re-promotion backoff (simulated cycles) after a demotion;
     /// doubles per strike.
     pub blacklist_backoff_cycles: u64,
+    /// Native-instruction quantum used while asynchronous signals are
+    /// pending: the machine runs at most this many slots before the
+    /// engine re-checks the signal queue. Has no effect (and no cost)
+    /// when the OS layer reports no pending signals.
+    pub signal_quantum: u64,
+    /// Single-step budget for hunting the next recovery-mapped commit
+    /// point after a quantum expires inside a hot trace. Exhausting it
+    /// defers delivery to the next dispatch boundary.
+    pub signal_step_cap: u32,
+    /// Simulated cost of delivering one asynchronous signal (frame
+    /// push + state spill).
+    pub signal_deliver_cycles: u64,
+    /// SMC-thrash governor: invalidation events tolerated per guest
+    /// code page within `smc_thrash_window` cycles before the page is
+    /// blacklisted to interpret-only execution. 0 disables the
+    /// governor.
+    pub smc_thrash_threshold: u32,
+    /// Sliding window (simulated cycles) for the SMC-thrash counter.
+    pub smc_thrash_window: u64,
+    /// Base un-blacklist backoff (simulated cycles) for an SMC-thrashed
+    /// page; doubles per strike like the block blacklist.
+    pub smc_backoff_cycles: u64,
+    /// Hard floor for re-entrant recovery: when failures nest this deep
+    /// (an `EngineError` raised while already recovering), the ladder
+    /// stops retrying/demoting and single-steps through the
+    /// interpreter instead.
+    pub max_recovery_depth: u32,
     /// Observability knobs: lifecycle tracing and per-block profiling
     /// (off by default — zero cost when disabled).
     pub trace: TraceConfig,
@@ -157,6 +184,13 @@ impl Default for Config {
             block_failure_cap: 3,
             spec_retry_cap: 32,
             blacklist_backoff_cycles: 100_000,
+            signal_quantum: 4096,
+            signal_step_cap: 512,
+            signal_deliver_cycles: 400,
+            smc_thrash_threshold: 8,
+            smc_thrash_window: 250_000,
+            smc_backoff_cycles: 150_000,
+            max_recovery_depth: 3,
             trace: TraceConfig::default(),
         }
     }
@@ -292,8 +326,26 @@ pub struct BlockInfo {
     /// FNV-1a checksum of the latest generation's bundles (maintained
     /// only under `Config::verify_on_dispatch`).
     pub checksum: u64,
+    /// Guest source byte span `[start, end)` this block was translated
+    /// from (per-extent SMC invalidation checks it).
+    pub src_range: (u32, u32),
+    /// FNV-1a checksum of the source bytes at translation time. A store
+    /// to the block's page orphans the block only when this changes.
+    pub src_fnv: u64,
     /// Hot recovery data (commit maps), if this is a hot block.
     pub hot: Option<crate::hot::HotData>,
+}
+
+/// FNV-1a over guest source bytes (the per-extent SMC invalidation
+/// key; same construction as the arena's bundle checksum).
+pub(crate) fn src_checksum(mem: &GuestMem, range: (u32, u32)) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for addr in range.0..range.1 {
+        let byte = mem.fetch(addr as u64, 1).map(|b| b[0]).unwrap_or(0);
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// Adapts [`GuestMem`] to the machine's bus.
@@ -340,7 +392,20 @@ pub struct Engine {
     profile_cursor: u64,
     candidates: Vec<u32>,
     blocks_by_page: HashMap<u32, Vec<u32>>,
-    smc_pages: HashMap<u32, ()>,
+    smc_pages: HashSet<u32>,
+    /// SMC-thrash governor state: page -> (window start, invalidation
+    /// events inside the window).
+    smc_window: HashMap<u32, (u64, u32)>,
+    /// Pages blacklisted to interpret-only by the SMC-thrash governor
+    /// (exponential un-blacklist backoff, keyed by page number).
+    smc_blacklist: Blacklist,
+    /// Cached interpreter stubs by guest EIP (interpret-only pages
+    /// re-enter the same EIPs on every step; cleared on flush).
+    interp_stubs: HashMap<u32, u64>,
+    /// Dynamic nesting depth of recovery operations (degradation
+    /// ladder, SMC invalidation). > 0 while already recovering; a
+    /// failure at depth >= 1 is re-entrant.
+    recovery_depth: u32,
     /// Pages holding translated code (write-protected until SMC fires).
     protected_pages: Vec<u32>,
     /// Profile slot per guest EIP, persistent across retranslation and
@@ -417,7 +482,11 @@ impl Engine {
             profile_cursor: layout::COUNTERS_BASE + PROFILE_STRIDE,
             candidates: Vec::new(),
             blocks_by_page: HashMap::new(),
-            smc_pages: HashMap::new(),
+            smc_pages: HashSet::new(),
+            smc_window: HashMap::new(),
+            smc_blacklist: Blacklist::new(cfg.smc_backoff_cycles),
+            interp_stubs: HashMap::new(),
+            recovery_depth: 0,
             protected_pages: Vec::new(),
             profile_of: HashMap::new(),
             pending_exits: HashMap::new(),
@@ -525,6 +594,7 @@ impl Engine {
         self.blocks_by_page.clear();
         self.pending_exits.clear();
         self.links_into.clear();
+        self.interp_stubs.clear();
         self.pinned_block = None;
         for page in self.protected_pages.drain(..) {
             self.mem.set_code_protect((page as u64) << 12, false);
@@ -587,6 +657,17 @@ impl Engine {
             }
         }
         self.stats.hot_side_exits = side;
+    }
+
+    /// Every live hot trace's recovery map, keyed by the trace's guest
+    /// EIP — the surface the exhaustive commit-point sweep test walks
+    /// to round-trip `reconstruct_at` against the interpreter oracle.
+    pub fn hot_recovery_maps(&self) -> Vec<(u32, &crate::hot::HotData)> {
+        self.blocks
+            .iter()
+            .filter(|b| !b.evicted && b.kind == BlockKind::Hot)
+            .filter_map(|b| b.hot.as_ref().map(|h| (b.eip, h)))
+            .collect()
     }
 
     /// Entry address for `eip` if already translated (no translation).
@@ -723,6 +804,17 @@ impl Engine {
     pub fn entry_of(&mut self, os: &mut dyn BtOs, eip: u32) -> Result<u64, GuestException> {
         if let Some(&id) = self.by_eip.get(&eip) {
             return Ok(self.blocks[id as usize].entry);
+        }
+        // SMC-thrashed pages are interpret-only until their backoff
+        // expires: retranslating code the guest is busy rewriting is
+        // pure churn (the thrash governor's bound on retranslation
+        // storms).
+        if self
+            .smc_blacklist
+            .is_blocked(eip >> 12, self.machine.cycles)
+        {
+            self.stats.smc_interp_blocks += 1;
+            return Ok(self.interp_stub_for(eip));
         }
         // Injected transient translation failure (the guest code page
         // faulted under the translator's reader): single-step this
@@ -910,6 +1002,36 @@ impl Engine {
         self.trace_profile(|t| t.profile_lifecycle(eip, EventKind::BlockEvicted));
     }
 
+    /// Scans the freshly installed code in `[start, end)` for branches
+    /// chained straight to another live block's entry and records each
+    /// as an inbound edge of its target, so eviction can un-link it.
+    /// Cold translation registers its trampolines one by one as it
+    /// patches them; hot installation chains exits at emission time and
+    /// registers them all here in one pass. An unregistered chain is a
+    /// use-after-free in waiting: evicting the target releases — and
+    /// eventually reuses — the arena space the branch still lands in.
+    pub(crate) fn register_inbound_links(&mut self, start: u64, end: u64, skip: u32) {
+        let entry_to_id: HashMap<u64, u32> = self
+            .blocks
+            .iter()
+            .filter(|b| !b.evicted && b.id != skip)
+            .map(|b| (b.entry, b.id))
+            .collect();
+        let mut addr = start;
+        while addr < end {
+            if let Some(b) = self.machine.arena.bundle_at(addr) {
+                for s in &b.slots {
+                    if let Some(Target::Abs(t)) = s.op.target() {
+                        if let Some(&tid) = entry_to_id.get(&t) {
+                            self.links_into.entry(tid).or_default().push(addr);
+                        }
+                    }
+                }
+            }
+            addr += ipf::Bundle::SIZE;
+        }
+    }
+
     /// Re-points every branch slot in the bundle at `addr` that targets
     /// one of `extents` back at the Untranslated stub.
     fn unlink_branch(&mut self, addr: u64, extents: &[(u64, u64)]) {
@@ -1024,12 +1146,14 @@ impl Engine {
         overrides: HashMap<u16, AccessMode>,
     ) -> Result<u64, GuestException> {
         let region_g = discover(&self.mem, eip);
-        if region_g.block_at(eip).is_none() {
+        let Some(disc) = region_g.block_at(eip) else {
             return Err(GuestException::PageFault {
                 addr: eip,
                 write: false,
             });
-        }
+        };
+        let src_range = (eip, disc.end_ip());
+        let src_fnv = src_checksum(&self.mem, src_range);
         let liveness = analyze(&region_g);
         let (id, profile, prev_entry, indirect_plain, pop_misses) = match self.by_eip.get(&eip) {
             Some(&id) => {
@@ -1076,7 +1200,7 @@ impl Engine {
         };
         // SMC-aware prologue for pages that have already modified code.
         let page = eip >> 12;
-        let smc_check = if self.smc_pages.contains_key(&page) {
+        let smc_check = if self.smc_pages.contains(&page) {
             let snapshot = self.mem.read(eip as u64, 8).unwrap_or(0);
             Some((eip as u64, snapshot))
         } else {
@@ -1158,7 +1282,7 @@ impl Engine {
         // Write-protect the source page for SMC detection (unless it is
         // already in explicit-check mode).
         if self.mem.prot_of(eip as u64).map(|p| p.write) == Some(true)
-            && !self.smc_pages.contains_key(&page)
+            && !self.smc_pages.contains(&page)
         {
             self.mem.set_code_protect(eip as u64, true);
             self.protected_pages.push(page);
@@ -1197,6 +1321,8 @@ impl Engine {
             failures: 0,
             spec_failures: 0,
             checksum: 0,
+            src_range,
+            src_fnv,
             hot: None,
         };
         if let Some(prev) = prev_entry {
@@ -1265,6 +1391,18 @@ impl Engine {
             addr += ipf::Bundle::SIZE;
         }
         None
+    }
+
+    /// Returns (emitting on first use) the interpreter stub for `eip`.
+    /// Interpret-only pages re-dispatch the same EIPs on every single
+    /// step, so stubs are cached per EIP (cleared on cache flush).
+    fn interp_stub_for(&mut self, eip: u32) -> u64 {
+        if let Some(&addr) = self.interp_stubs.get(&eip) {
+            return addr;
+        }
+        let addr = self.emit_interp_stub(eip);
+        self.interp_stubs.insert(eip, addr);
+        addr
     }
 
     /// Emits a tiny stub that single-steps the instruction at `eip`.
@@ -1381,6 +1519,20 @@ impl Engine {
             if self.chaos.is_some() {
                 self.inject_faults(os, eip);
             }
+            // Asynchronous signal delivery at the dispatch boundary: all
+            // guest state is canonical and EIP is precise, so a pending
+            // signal can be delivered without any reconstruction.
+            if let Some(handler) = os.poll_signal(self.machine.cycles) {
+                let cpu = state::machine_to_cpu(&self.machine, eip);
+                match self.deliver_signal(handler, cpu) {
+                    ExitAction::Dispatch(e) => {
+                        eip = e;
+                        continue 'dispatch;
+                    }
+                    ExitAction::Done(out) => return out,
+                    ExitAction::Continue(_) => unreachable!("signal delivery never resumes"),
+                }
+            }
             // Chained-dispatch fast path: a registry hit needs no
             // translation work and only minimal state traffic, so it is
             // charged a reduced round-trip cost. Under
@@ -1422,9 +1574,18 @@ impl Engine {
                 } else {
                     (0, 0)
                 };
+                // With signals pending, bound the burst to the signal
+                // quantum so a long-running hot trace reaches a stop
+                // near the arrival cycle instead of at the next natural
+                // exit (which a tight loop may never take).
+                let step = if os.signals_pending() {
+                    remaining.min(self.cfg.signal_quantum)
+                } else {
+                    remaining
+                };
                 let stop = {
                     let mut bus = MemBus(&mut self.mem);
-                    self.machine.run(&mut bus, remaining)
+                    self.machine.run(&mut bus, step)
                 };
                 if self.cfg.trace.enabled {
                     let dc = self.region_cycle(region::COLD) - exec0.0;
@@ -1435,13 +1596,29 @@ impl Engine {
                 }
                 let used = self.machine.inst_count - before;
                 remaining = remaining.saturating_sub(used);
-                if remaining == 0 {
-                    if let StopReason::InstLimit = stop {
-                        return Outcome::InstLimit;
-                    }
-                }
                 match stop {
-                    StopReason::InstLimit => return Outcome::InstLimit,
+                    StopReason::InstLimit => {
+                        if remaining == 0 {
+                            return Outcome::InstLimit;
+                        }
+                        // Signal-quantum expiry mid-trace. If a signal
+                        // is due, hunt forward to the next commit point
+                        // (or state boundary) and deliver there;
+                        // otherwise just resume — the machine restarts
+                        // at the exact next unexecuted slot.
+                        if os.signal_due(self.machine.cycles) {
+                            match self.hunt_commit_point(os, &mut remaining) {
+                                Some(ExitAction::Dispatch(new_eip)) => {
+                                    eip = new_eip;
+                                    continue 'dispatch;
+                                }
+                                Some(ExitAction::Done(out)) => return out,
+                                Some(ExitAction::Continue(_)) | None => {
+                                    // Keep hunting next quantum.
+                                }
+                            }
+                        }
+                    }
                     StopReason::ExternalBranch { target, from } => {
                         match self.handle_exit(os, target, from) {
                             ExitAction::Continue(addr) => {
@@ -1622,6 +1799,13 @@ impl Engine {
                 let id = payload as u32;
                 self.stats.smc_events += 1;
                 let eip = self.blocks[id as usize].eip;
+                // Snapshot-mode pages are unprotected, so their writes
+                // never reach `handle_smc_store` — the prologue
+                // detection is their governor feed. A thrashing page
+                // goes back to interpret-only instead of retranslating.
+                if self.note_smc_disturbance(eip >> 12) {
+                    return ExitAction::Dispatch(eip);
+                }
                 let _ = self.translate_cold(os, eip, BlockKind::ColdV1, false, HashMap::new());
                 ExitAction::Dispatch(eip)
             }
@@ -1743,6 +1927,17 @@ impl Engine {
                 }
             }
             Err(trap) => {
+                // A store onto a write-protected code page is translator
+                // housekeeping, not a guest-visible exception: the guest
+                // mapped this page writable. Delivering it as a page
+                // fault would run the guest's handler for a fault that
+                // does not exist architecturally (and its `sigreturn`
+                // would pop a frame nobody pushed).
+                if let ia32::Fault::Mem(m) = trap.fault {
+                    if m.kind == MemFaultKind::SmcWrite {
+                        return self.smc_from_interp(os, eip, m.addr);
+                    }
+                }
                 let exc = match trap.fault {
                     ia32::Fault::Mem(m) => GuestException::PageFault {
                         addr: m.addr as u32,
@@ -1951,17 +2146,76 @@ impl Engine {
 
     /// A store hit a write-protected translated-code page. The store has
     /// NOT executed. Reconstruct the precise state at the storing
-    /// instruction, invalidate the page's translations (the current
-    /// block may be one of them), single-step the storing instruction in
-    /// the reference interpreter with protection lifted (full IA-32
-    /// semantics, e.g. for `xchg`/`push`), restore protection, and
-    /// re-dispatch — the next entry retranslates from the fresh bytes.
+    /// instruction, single-step it in the reference interpreter with
+    /// protection lifted (full IA-32 semantics, e.g. for `xchg`/`push`),
+    /// then invalidate *per extent*: only blocks whose source bytes
+    /// actually changed (FNV recheck against the translation-time
+    /// checksum) are orphaned — a guest JIT patching one function does
+    /// not throw away its neighbors on the same page. Hot traces span
+    /// guest blocks beyond their recorded source range, so they are
+    /// orphaned unconditionally. A thrash governor counts disturbances
+    /// per page and demotes chronically rewritten pages to
+    /// interpret-only with exponential backoff.
+    ///
+    /// Runs under the re-entrant recovery guard: an SMC fault taken
+    /// while already recovering (e.g. on the handler's own page during
+    /// signal delivery) descends rather than recursing unboundedly.
     fn handle_smc_store(&mut self, os: &mut dyn BtOs, ip: u64, slot: u8, addr: u64) -> ExitAction {
+        self.recovery_enter();
         self.stats.smc_events += 1;
         let cpu = self.reconstruct(ip, slot);
         let page = (addr >> 12) as u32;
+        self.mem.set_code_protect(addr, false);
+        state::cpu_to_machine(&cpu, &mut self.machine);
+        let act = self.interp_one(os, cpu.eip);
+        self.smc_invalidate_extents(page);
+        // The governor may blacklist the page (leaving it unprotected
+        // and interpret-only); otherwise re-arm write protection.
+        if !self.note_smc_disturbance(page) {
+            self.mem.set_code_protect(addr, true);
+        }
+        self.recovery_exit();
+        act
+    }
+
+    /// An SMC store reached the interpreter escape hatch directly (the
+    /// ladder's interpret floor, or the interpret-only gate of a page
+    /// whose neighbor is still protected) and tripped write protection
+    /// there instead of in translated code. Same recipe as
+    /// [`Self::handle_smc_store`] minus the machine-state
+    /// reconstruction: the interpreter already had precise state.
+    fn smc_from_interp(&mut self, os: &mut dyn BtOs, eip: u32, addr: u64) -> ExitAction {
+        self.recovery_enter();
+        self.stats.smc_events += 1;
+        let page = (addr >> 12) as u32;
+        self.mem.set_code_protect(addr, false);
+        let act = self.interp_one(os, eip);
+        self.smc_invalidate_extents(page);
+        if !self.note_smc_disturbance(page) {
+            self.mem.set_code_protect(addr, true);
+        }
+        self.recovery_exit();
+        act
+    }
+
+    /// Post-store, compares each registered block's source bytes
+    /// against its translation-time checksum. Unchanged cold blocks
+    /// keep their translations (and their registration); changed blocks
+    /// and hot traces (whose source span exceeds their recorded range)
+    /// are orphaned.
+    fn smc_invalidate_extents(&mut self, page: u32) {
         let ids = self.blocks_by_page.remove(&page).unwrap_or_default();
+        let mut kept = Vec::new();
         for id in ids {
+            let b = &self.blocks[id as usize];
+            let stale =
+                b.kind == BlockKind::Hot || src_checksum(&self.mem, b.src_range) != b.src_fnv;
+            if !stale {
+                self.stats.smc_extent_keeps += 1;
+                kept.push(id);
+                continue;
+            }
+            self.stats.smc_extent_orphans += 1;
             let entry = self.blocks[id as usize].entry;
             self.forward(entry, StubKind::Reenter.addr());
             let eip = self.blocks[id as usize].eip;
@@ -1969,11 +2223,63 @@ impl Engine {
             // Purge lookup + inline-cache entries keyed on this EIP.
             self.lookup_purge_eip(eip);
         }
-        self.mem.set_code_protect(addr, false);
-        state::cpu_to_machine(&cpu, &mut self.machine);
-        let act = self.interp_one(os, cpu.eip);
-        self.mem.set_code_protect(addr, true);
-        act
+        if !kept.is_empty() {
+            self.blocks_by_page.insert(page, kept);
+        }
+    }
+
+    /// True when `eip` lives on a page the SMC governor has seen
+    /// thrash (blacklisted now, or in snapshot-check mode after the
+    /// backoff). Cold blocks on such pages carry a snapshot-check
+    /// prologue; hot traces have no per-entry staleness check, so the
+    /// selector must not walk onto these pages.
+    pub(crate) fn smc_churn_page(&self, eip: u32) -> bool {
+        self.smc_pages.contains(&(eip >> 12))
+    }
+
+    /// Counts one SMC disturbance against `page` for the thrash
+    /// governor. Over the threshold within the window, the page is
+    /// blacklisted to interpret-only with exponential backoff (all its
+    /// surviving translations orphaned, write protection dropped) and
+    /// `true` is returned. After the backoff expires, fresh translations
+    /// are built in snapshot-check mode (`smc_pages`), so the page never
+    /// pays the protection-fault storm again.
+    fn note_smc_disturbance(&mut self, page: u32) -> bool {
+        if self.cfg.smc_thrash_threshold == 0 {
+            return false;
+        }
+        let now = self.machine.cycles;
+        let w = self.smc_window.entry(page).or_insert((now, 0));
+        if now.saturating_sub(w.0) > self.cfg.smc_thrash_window {
+            *w = (now, 0);
+        }
+        w.1 += 1;
+        if w.1 < self.cfg.smc_thrash_threshold {
+            return false;
+        }
+        self.smc_window.remove(&page);
+        let _until = self.smc_blacklist.strike(page, now);
+        let strikes = self.smc_blacklist.strikes(page);
+        self.stats.smc_blacklists += 1;
+        self.trace_emit(EventData::SmcBlacklist { page, strikes });
+        // Orphan every surviving translation on the page: dispatches
+        // must miss `by_eip` so they reach the interpret-only gate.
+        let ids = self.blocks_by_page.remove(&page).unwrap_or_default();
+        for id in ids {
+            let entry = self.blocks[id as usize].entry;
+            self.forward(entry, StubKind::Reenter.addr());
+            let eip = self.blocks[id as usize].eip;
+            if self.by_eip.get(&eip) == Some(&id) {
+                self.by_eip.remove(&eip);
+            }
+            self.lookup_purge_eip(eip);
+        }
+        // Snapshot-check mode for post-backoff retranslations; writes
+        // to the unprotected page are then caught by the SmcFail
+        // prologue instead of protection faults.
+        self.smc_pages.insert(page);
+        self.mem.set_code_protect((page as u64) << 12, false);
+        true
     }
 
     fn fix_tos(&mut self, id: u32) {
@@ -2123,10 +2429,59 @@ impl Engine {
             .unwrap_or(0)
     }
 
+    /// Opens a recovery scope. Depth is tracked so a failure raised
+    /// *while already recovering* (re-entrant SMC, fault during a
+    /// rebuild, injected translation death inside a demotion) is
+    /// visible to the ladder instead of recursing blind.
+    fn recovery_enter(&mut self) {
+        self.recovery_depth += 1;
+        if self.recovery_depth > 1 {
+            self.stats.reentrant_recoveries += 1;
+        }
+        self.stats.recovery_depth_max = self
+            .stats
+            .recovery_depth_max
+            .max(self.recovery_depth as u64);
+    }
+
+    fn recovery_exit(&mut self) {
+        self.recovery_depth -= 1;
+    }
+
+    /// The degradation ladder entry point, re-entrancy-guarded: at
+    /// `max_recovery_depth` nested failures the engine stops trusting
+    /// translated code entirely and takes the interpret-only floor —
+    /// one precisely reconstructed instruction through the safety net,
+    /// which cannot itself raise an `EngineError`.
+    fn degrade(&mut self, os: &mut dyn BtOs, err: EngineError) -> ExitAction {
+        self.recovery_enter();
+        let act = if self.recovery_depth >= self.cfg.max_recovery_depth {
+            self.stats.ladder_recoveries += 1;
+            self.stats.interp_fallbacks += 1;
+            let (site, slot) = match err {
+                EngineError::NonStubBranch { from, .. } => (from, 0),
+                EngineError::NatConsumption { ip, slot }
+                | EngineError::MisalignResidue { ip, slot } => (ip, slot),
+            };
+            let cpu = self.reconstruct(site, slot);
+            self.trace_emit(EventData::LadderRung {
+                rung: Rung::Interpret,
+                eip: cpu.eip,
+            });
+            self.trace_emit(EventData::InterpFallback { eip: cpu.eip });
+            state::cpu_to_machine(&cpu, &mut self.machine);
+            self.interp_one(os, cpu.eip)
+        } else {
+            self.degrade_inner(os, err)
+        };
+        self.recovery_exit();
+        act
+    }
+
     /// The degradation ladder: maps a translator-internal failure to a
     /// precise guest state and a bounded recovery action (retry ->
     /// demote/evict + blacklist -> retranslate) — never a panic.
-    fn degrade(&mut self, os: &mut dyn BtOs, err: EngineError) -> ExitAction {
+    fn degrade_inner(&mut self, os: &mut dyn BtOs, err: EngineError) -> ExitAction {
         self.stats.ladder_recoveries += 1;
         let (site, slot) = match err {
             EngineError::NonStubBranch { from, .. } => (from, 0),
@@ -2212,6 +2567,30 @@ impl Engine {
         self.trace_emit(EventData::Blacklisted { eip, until });
         self.trace_profile(|t| t.profile_lifecycle(eip, EventKind::BlockDemoted));
         if self.by_eip.get(&eip) == Some(&id) {
+            // Injected translation death *during the demotion rebuild*:
+            // a failure inside a recovery action. Descend re-entrantly
+            // — evict and blacklist rather than loop demote→rebuild —
+            // under the depth guard so the descent is visible in
+            // `recovery_depth_max` / `reentrant_recoveries`.
+            if self
+                .chaos
+                .as_mut()
+                .is_some_and(|p| p.roll(FaultKind::Translate))
+            {
+                self.recovery_enter();
+                self.stats.faults_injected += 1;
+                self.stats.ladder_recoveries += 1;
+                self.trace_emit(EventData::FaultInjected {
+                    kind: FaultKind::Translate,
+                });
+                self.trace_emit(EventData::LadderRung {
+                    rung: Rung::Evict,
+                    eip,
+                });
+                self.evict_block(id);
+                self.recovery_exit();
+                return;
+            }
             let inline_fp = self.blocks[id as usize].inline_fp;
             let overrides = self.blocks[id as usize].misalign_overrides.clone();
             let _ = self.translate_cold(os, eip, BlockKind::ColdV2, inline_fp, overrides);
@@ -2350,6 +2729,16 @@ impl Engine {
                 // exactly what the checksum must catch.
             }
         }
+        // Asynchronous signal: enqueue one at the current cycle. The
+        // boundary poll right after injection (or a mid-trace commit
+        // point, if the guest is already executing) delivers it.
+        // Guests with no handler registered ignore the roll.
+        if plan.roll(FaultKind::AsyncSignal) && os.raise_signal() {
+            self.stats.faults_injected += 1;
+            self.trace_emit(EventData::FaultInjected {
+                kind: FaultKind::AsyncSignal,
+            });
+        }
         self.chaos = Some(plan);
     }
 
@@ -2374,6 +2763,113 @@ impl Engine {
         } else {
             Some(pool[plan.pick(pool.len())])
         }
+    }
+
+    /// Delivers an asynchronous signal to `handler` from the precise
+    /// interrupted state `cpu`. The frame is three words — `[esp]` =
+    /// interrupted EIP, `[esp+4]` = EFLAGS, `[esp+8]` = EAX — popped by
+    /// the guest's SIGRETURN syscall; the synchronous-trap frame (one
+    /// word, popped by `ret`) is unchanged. EFLAGS/EAX ride in the frame
+    /// because an async handler interrupts *between* instructions of
+    /// arbitrary code, so the handler prologue cannot know what is live.
+    fn deliver_signal(&mut self, handler: u32, mut cpu: Cpu) -> ExitAction {
+        self.machine
+            .charge(region::OTHER, self.cfg.signal_deliver_cycles);
+        let esp = cpu.esp().wrapping_sub(12);
+        let ok = self.mem.write(esp as u64, 4, cpu.eip as u64).is_ok()
+            && self.mem.write(esp as u64 + 4, 4, cpu.eflags as u64).is_ok()
+            && self.mem.write(esp as u64 + 8, 4, cpu.gpr[0] as u64).is_ok();
+        if !ok {
+            // Unwritable stack: the guest cannot take the signal.
+            return ExitAction::Done(Outcome::Terminated {
+                exc: GuestException::PageFault {
+                    addr: esp,
+                    write: true,
+                },
+                cpu: Box::new(cpu),
+            });
+        }
+        self.stats.signals_delivered += 1;
+        self.trace_emit(EventData::SignalDelivered {
+            eip: cpu.eip,
+            handler,
+        });
+        cpu.set_esp(esp);
+        cpu.eip = handler;
+        state::cpu_to_machine(&cpu, &mut self.machine);
+        ExitAction::Dispatch(handler)
+    }
+
+    /// Precise IA-32 state if the machine currently sits exactly on a
+    /// hot-trace commit point — the (bundle, slot) sites the recovery
+    /// maps already prove reconstructible for precise faults.
+    fn commit_point_state(&self) -> Option<Cpu> {
+        let id = self.block_at_addr(self.machine.ip)?;
+        let hot = self.blocks[id as usize].hot.as_ref()?;
+        hot.reconstruct(&self.machine, self.machine.ip, self.machine.slot)
+    }
+
+    /// Precise IA-32 state if `addr` is the entry of a live block: a
+    /// block entry is a state boundary (everything in its canonical
+    /// home, EIP = the block's EIP) — the same argument the degradation
+    /// ladder relies on.
+    fn entry_boundary_state(&self, addr: u64) -> Option<Cpu> {
+        let id = self.block_at_addr(addr)?;
+        let b = &self.blocks[id as usize];
+        if b.entry == addr && !b.evicted {
+            Some(state::machine_to_cpu(&self.machine, b.eip))
+        } else {
+            None
+        }
+    }
+
+    /// The signal quantum expired mid-trace with a signal due. Single-
+    /// step the machine (bounded by `signal_step_cap`) until it reaches
+    /// a site where precise IA-32 state exists — a hot-trace commit
+    /// point, a chained block entry, or any dispatcher exit — and
+    /// deliver there. Returns `None` if the cap ran out first (the
+    /// caller resumes and hunts again next quantum) and `Some(action)`
+    /// once the signal was delivered or execution left the trace.
+    fn hunt_commit_point(&mut self, os: &mut dyn BtOs, remaining: &mut u64) -> Option<ExitAction> {
+        for _ in 0..self.cfg.signal_step_cap {
+            if let Some(cpu) = self.commit_point_state() {
+                let handler = os.poll_signal(self.machine.cycles)?;
+                return Some(self.deliver_signal(handler, cpu));
+            }
+            if *remaining == 0 {
+                return Some(ExitAction::Done(Outcome::InstLimit));
+            }
+            let before = self.machine.inst_count;
+            let stop = {
+                let mut bus = MemBus(&mut self.mem);
+                self.machine.run(&mut bus, 1)
+            };
+            *remaining = remaining.saturating_sub(self.machine.inst_count - before);
+            match stop {
+                StopReason::InstLimit => {}
+                StopReason::ExternalBranch { target, from } => {
+                    match self.handle_exit(os, target, from) {
+                        ExitAction::Continue(addr) => {
+                            self.machine.set_ip(addr, 0);
+                            if let Some(cpu) = self.entry_boundary_state(addr) {
+                                let handler = os.poll_signal(self.machine.cycles)?;
+                                return Some(self.deliver_signal(handler, cpu));
+                            }
+                        }
+                        // A dispatch lands back at the loop top, where
+                        // the boundary poll delivers the signal.
+                        act @ (ExitAction::Dispatch(_) | ExitAction::Done(_)) => return Some(act),
+                    }
+                }
+                StopReason::Fault { fault, ip, slot } => {
+                    match self.handle_fault(os, fault, ip, slot) {
+                        ExitAction::Continue(_) => {}
+                        act @ (ExitAction::Dispatch(_) | ExitAction::Done(_)) => return Some(act),
+                    }
+                }
+            }
+        }
+        None
     }
 
     fn deliver(
@@ -2466,5 +2962,87 @@ mod tests {
         // The multiply saturates instead of wrapping to a false
         // "megamorphic" verdict.
         assert!(site_is_monomorphic(u64::MAX, u64::MAX));
+    }
+
+    use super::*;
+    use crate::btos::{Version, BTOS_MAJOR, BTOS_MINOR};
+
+    /// An OS layer that offers nothing: degradation must never need
+    /// cooperation from the personality to reach its floor.
+    struct NullOs;
+    impl BtOs for NullOs {
+        fn version(&self) -> Version {
+            Version {
+                major: BTOS_MAJOR,
+                minor: BTOS_MINOR,
+            }
+        }
+        fn syscall(&mut self, _: &mut Cpu, _: &mut GuestMem) -> SyscallOutcome {
+            SyscallOutcome::Exit(0)
+        }
+        fn exception(&mut self, _: GuestException, _: &Cpu) -> ExceptionOutcome {
+            ExceptionOutcome::Terminate
+        }
+    }
+
+    fn halt_engine() -> Engine {
+        let mut a = ia32::asm::Asm::new(0x40_0000);
+        a.hlt();
+        let image = ia32::asm::Image::from_asm(&a);
+        let mut mem = ia32::mem::GuestMem::new();
+        let cpu = image.load(&mut mem);
+        let mut engine = Engine::new(mem, Config::default());
+        state::cpu_to_machine(&cpu, &mut engine.machine);
+        engine
+    }
+
+    /// Below the depth cap the ladder hands back a dispatch (retry /
+    /// demote); *at* the cap it stops trusting translated code and
+    /// takes the interpret-only floor, counting the re-entrancy.
+    #[test]
+    fn ladder_floor_is_interpret_only_and_counts_reentrancy() {
+        let mut os = NullOs;
+
+        // First failure at depth 0: an ordinary ladder rung, not the
+        // floor. The unknown site reconstructs from the state register.
+        let mut engine = halt_engine();
+        let err = EngineError::NonStubBranch {
+            target: 0xdead,
+            from: 0xbeef,
+        };
+        match engine.degrade(&mut os, err) {
+            ExitAction::Dispatch(eip) => assert_eq!(eip, 0x40_0000),
+            _ => panic!("shallow failure must re-dispatch, not halt"),
+        }
+        assert_eq!(engine.stats.ladder_recoveries, 1);
+        assert_eq!(engine.stats.interp_fallbacks, 0, "floor not reached");
+        assert_eq!(engine.stats.reentrant_recoveries, 0);
+        assert_eq!(engine.stats.recovery_depth_max, 1);
+
+        // A failure raised while already max_recovery_depth-1 deep in
+        // recovery scopes: the ladder must not recurse into another
+        // rebuild; it interprets exactly one instruction (the hlt).
+        let mut engine = halt_engine();
+        engine.recovery_depth = engine.cfg.max_recovery_depth - 1;
+        let err = EngineError::NonStubBranch {
+            target: 0xdead,
+            from: 0xbeef,
+        };
+        match engine.degrade(&mut os, err) {
+            // The interpreter retires the hlt, so EIP sits past it.
+            ExitAction::Done(Outcome::Halted(cpu)) => assert_eq!(cpu.eip, 0x40_0001),
+            _ => panic!("floor must step the interpreter through the hlt"),
+        }
+        assert_eq!(
+            engine.stats.interp_fallbacks, 1,
+            "interpret-only floor taken"
+        );
+        assert!(engine.stats.reentrant_recoveries > 0);
+        assert_eq!(
+            engine.stats.recovery_depth_max,
+            u64::from(engine.cfg.max_recovery_depth)
+        );
+        // The scope unwound: the faked outer depth is all that remains.
+        assert_eq!(engine.recovery_depth, engine.cfg.max_recovery_depth - 1);
     }
 }

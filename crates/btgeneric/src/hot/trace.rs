@@ -208,6 +208,15 @@ pub(super) fn select(engine: &Engine, block_id: u32) -> Option<Trace> {
             main_exit = cur;
             break;
         }
+        // A page the SMC governor has flagged rewrites itself under the
+        // trace's feet. Cold blocks there are snapshot-checked on every
+        // entry; a hot trace would bake the current bytes in with no
+        // staleness check, so end the trace at the page boundary (or
+        // select nothing if it starts there).
+        if engine.smc_churn_page(cur) {
+            main_exit = cur;
+            break;
+        }
         visited.insert(cur);
         // The block must have run cold (we need its counters).
         let Some(info) = engine.blocks().iter().find(|b| b.eip == cur) else {
@@ -1077,6 +1086,7 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
     } else {
         engine.machine.arena.place(base, bundles, region::HOT)
     };
+    engine.register_inbound_links(entry, entry + n_bundles * ipf::Bundle::SIZE, block_id);
     engine.machine.charge(
         region::OVERHEAD,
         ia32_count * engine.cfg.cold_xlate_cycles * engine.cfg.hot_xlate_factor,
@@ -1297,6 +1307,15 @@ fn emit_exit(
     emit_exit_prologue(cb, perm, xmm_fmt, entry_fmt);
     match engine.entry_of_existing(target) {
         Some(addr) => {
+            // The payload load must survive chaining: if the target
+            // block is later evicted, eviction re-points this branch
+            // at the `Untranslated` stub, which reads the guest EIP
+            // from `GR_PAYLOAD0`.
+            cb.push(Op::Movl {
+                d: GR_PAYLOAD0,
+                imm: target as u64,
+            });
+            cb.stop();
             cb.push(Op::Br {
                 target: Target::Abs(addr),
             });

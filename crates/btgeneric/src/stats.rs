@@ -140,6 +140,27 @@ pub struct Stats {
     /// Cycles charged to single-stepped instructions (the `InterpStep`
     /// safety net), so fallback time reconciles against total cycles.
     pub interp_cycles: u64,
+    /// Asynchronous signals delivered to the guest handler (at a
+    /// dispatch boundary or a mid-trace commit point).
+    pub signals_delivered: u64,
+    /// Translations orphaned by an SMC write because their source
+    /// bytes actually changed (or they were hot traces, invalidated
+    /// conservatively).
+    pub smc_extent_orphans: u64,
+    /// Translations on an SMC-written page whose source bytes were
+    /// untouched and which therefore survived (per-extent invalidation
+    /// paying off).
+    pub smc_extent_keeps: u64,
+    /// Pages demoted to interpret-only by the SMC-thrash governor.
+    pub smc_blacklists: u64,
+    /// Dispatches served by the interpreter because the target page is
+    /// SMC-blacklisted (each is one guest instruction).
+    pub smc_interp_blocks: u64,
+    /// Recoveries entered while another recovery was already on the
+    /// stack (the re-entrant descent of the ladder).
+    pub reentrant_recoveries: u64,
+    /// Deepest nested-recovery depth observed.
+    pub recovery_depth_max: u64,
 }
 
 impl Stats {
@@ -196,6 +217,22 @@ impl Stats {
             self.integrity_evictions,
             self.watchdog_aborts,
             self.os_alloc_failures
+        )
+    }
+
+    /// One-line hostile-guest summary (async signals, per-extent SMC,
+    /// re-entrant recovery) for bench/figures output.
+    pub fn hostile_summary(&self) -> String {
+        format!(
+            "signals {}, smc orphans/keeps {}/{}, smc blacklists {}, \
+             interp-only dispatches {}, reentrant recoveries {} (max depth {})",
+            self.signals_delivered,
+            self.smc_extent_orphans,
+            self.smc_extent_keeps,
+            self.smc_blacklists,
+            self.smc_interp_blocks,
+            self.reentrant_recoveries,
+            self.recovery_depth_max
         )
     }
 }

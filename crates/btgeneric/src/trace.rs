@@ -48,7 +48,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// Number of distinct [`EventKind`]s.
-pub const NUM_EVENT_KINDS: usize = 13;
+pub const NUM_EVENT_KINDS: usize = 15;
 
 /// The kind of a lifecycle event (one bit each in an [`EventMask`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -84,6 +84,10 @@ pub enum EventKind {
     /// A block was demoted to the plain table probe (megamorphic
     /// inline cache or chronically missing shadow pops).
     IndirectDemote = 12,
+    /// An asynchronous signal was delivered to the guest handler.
+    SignalDelivered = 13,
+    /// The SMC-thrash governor demoted a page to interpret-only.
+    SmcBlacklist = 14,
 }
 
 impl EventKind {
@@ -102,6 +106,8 @@ impl EventKind {
         EventKind::Phase,
         EventKind::IndirectRetrain,
         EventKind::IndirectDemote,
+        EventKind::SignalDelivered,
+        EventKind::SmcBlacklist,
     ];
 
     /// Short display name (reports, chrome trace).
@@ -120,6 +126,8 @@ impl EventKind {
             EventKind::Phase => "phase",
             EventKind::IndirectRetrain => "ind-retrain",
             EventKind::IndirectDemote => "ind-demote",
+            EventKind::SignalDelivered => "signal",
+            EventKind::SmcBlacklist => "smc-blacklist",
         }
     }
 
@@ -349,6 +357,20 @@ pub enum EventData {
         /// Block id.
         id: u32,
     },
+    /// An asynchronous signal was delivered to the guest handler.
+    SignalDelivered {
+        /// Guest EIP that was interrupted (pushed in the frame).
+        eip: u32,
+        /// Handler EIP entered.
+        handler: u32,
+    },
+    /// The SMC-thrash governor demoted a page to interpret-only.
+    SmcBlacklist {
+        /// Guest page number (address >> 12).
+        page: u32,
+        /// Strikes recorded against the page so far.
+        strikes: u32,
+    },
     /// A phase span opened.
     PhaseEnter {
         /// The phase.
@@ -379,6 +401,8 @@ impl EventData {
             EventData::InterpFallback { .. } => EventKind::InterpFallback,
             EventData::IndirectRetrain { .. } => EventKind::IndirectRetrain,
             EventData::IndirectDemote { .. } => EventKind::IndirectDemote,
+            EventData::SignalDelivered { .. } => EventKind::SignalDelivered,
+            EventData::SmcBlacklist { .. } => EventKind::SmcBlacklist,
             EventData::PhaseEnter { .. } | EventData::PhaseExit { .. } => EventKind::Phase,
         }
     }
@@ -446,6 +470,12 @@ impl std::fmt::Display for TraceEvent {
             }
             EventData::IndirectDemote { eip, id } => {
                 write!(f, "ind-demote   block {id} @ {eip:#x}")
+            }
+            EventData::SignalDelivered { eip, handler } => {
+                write!(f, "signal       @ {eip:#x} -> handler {handler:#x}")
+            }
+            EventData::SmcBlacklist { page, strikes } => {
+                write!(f, "smc-blacklist page {page:#x} (strike {strikes})")
             }
             EventData::PhaseEnter { phase } => write!(f, "phase-enter  {}", phase.name()),
             EventData::PhaseExit { phase, cycles } => {
@@ -881,6 +911,16 @@ impl Tracer {
                     format!("ind-demote {eip:#x}"),
                     "i",
                     format!("\"eip\":{eip},\"id\":{id}"),
+                ),
+                EventData::SignalDelivered { eip, handler } => (
+                    format!("signal {eip:#x}"),
+                    "i",
+                    format!("\"eip\":{eip},\"handler\":{handler}"),
+                ),
+                EventData::SmcBlacklist { page, strikes } => (
+                    format!("smc-blacklist {page:#x}"),
+                    "i",
+                    format!("\"page\":{page},\"strikes\":{strikes}"),
                 ),
             };
             let _ = write!(

@@ -51,6 +51,51 @@ pub mod sys {
     /// `signal(handler_eip)` — registers the process-wide exception
     /// handler (the SimOs stand-in for sigaction).
     pub const SIGNAL: u32 = 48;
+    /// `sigreturn()` — returns from an *asynchronous* signal handler:
+    /// pops the 3-word frame the engine pushed (`[esp]` = interrupted
+    /// EIP, `[esp+4]` = EFLAGS, `[esp+8]` = EAX) and resumes the
+    /// interrupted code. Synchronous trap handlers keep the plain
+    /// 1-word `ret` ABI.
+    pub const SIGRETURN: u32 = 119;
+}
+
+/// xorshift64 step (the same in-tree generator the chaos plan uses).
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+/// A deterministic asynchronous-signal schedule: seeded arrival cycles
+/// plus a nesting bound. Signals whose arrival cycle has passed are
+/// delivered by the engine at its next safe interruption point (dispatch
+/// boundary or hot-trace commit point); signals arriving while the
+/// handler stack is at `max_depth` stay queued until a `sigreturn`
+/// unwinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignalPlan {
+    /// Arrival cycles, ascending.
+    pub arrivals: Vec<u64>,
+    /// Maximum handler nesting depth (1 = no nesting).
+    pub max_depth: u32,
+}
+
+impl SignalPlan {
+    /// `count` arrivals drawn uniformly from `[0, window)` by a seeded
+    /// xorshift64, sorted ascending. Depth defaults to 2 (one level of
+    /// nesting); override the field for deeper storms.
+    pub fn seeded(seed: u64, count: usize, window: u64) -> SignalPlan {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut arrivals: Vec<u64> = (0..count)
+            .map(|_| xorshift(&mut s) % window.max(1))
+            .collect();
+        arrivals.sort_unstable();
+        SignalPlan {
+            arrivals,
+            max_depth: 2,
+        }
+    }
 }
 
 /// Deterministic OS-side fault injection: how many upcoming requests of
@@ -81,6 +126,20 @@ pub struct SimOs {
     pub denied_allocs: u64,
     /// Syscalls failed with EAGAIN so far.
     pub denied_syscalls: u64,
+    /// Pending asynchronous-signal arrival cycles, ascending (consumed
+    /// from the front). Signals never expire: one queued before the
+    /// guest registers a handler delivers once registration happens.
+    pub pending_signals: std::collections::VecDeque<u64>,
+    /// Current handler nesting depth (poll increments, sigreturn
+    /// decrements).
+    pub sig_depth: u32,
+    /// Maximum handler nesting depth.
+    pub sig_max_depth: u32,
+    /// `sigreturn` syscalls serviced.
+    pub sigreturns: u64,
+    /// Polls that found a due signal blocked by the depth cap (each
+    /// deferred delivery counts once per poll).
+    pub sig_deferrals: u64,
     tick: u64,
 }
 
@@ -101,6 +160,11 @@ impl SimOs {
             faults: SimOsFaults::default(),
             denied_allocs: 0,
             denied_syscalls: 0,
+            pending_signals: std::collections::VecDeque::new(),
+            sig_depth: 0,
+            sig_max_depth: 2,
+            sigreturns: 0,
+            sig_deferrals: 0,
             tick: 0,
         }
     }
@@ -111,6 +175,15 @@ impl SimOs {
             faults,
             ..SimOs::new()
         }
+    }
+
+    /// Arms a deterministic asynchronous-signal schedule (builder
+    /// style, composes with [`SimOs::with_faults`]).
+    #[must_use]
+    pub fn with_signals(mut self, plan: SignalPlan) -> SimOs {
+        self.pending_signals = plan.arrivals.into();
+        self.sig_max_depth = plan.max_depth.max(1);
+        self
     }
 
     /// Captured stdout as UTF-8 (lossy).
@@ -169,6 +242,25 @@ impl BtOs for SimOs {
                 self.handler = if a1 == 0 { None } else { Some(a1) };
                 cpu.gpr[EAX.num() as usize] = 0;
             }
+            sys::SIGRETURN => {
+                // Pop the async frame the engine pushed at delivery and
+                // resume the interrupted instruction stream exactly.
+                let esp = cpu.esp();
+                let (Ok(eip), Ok(eflags), Ok(eax)) = (
+                    mem.read(esp as u64, 4),
+                    mem.read(esp as u64 + 4, 4),
+                    mem.read(esp as u64 + 8, 4),
+                ) else {
+                    cpu.gpr[EAX.num() as usize] = -14i32 as u32; // EFAULT
+                    return SyscallOutcome::Continue;
+                };
+                cpu.eip = eip as u32;
+                cpu.eflags = eflags as u32;
+                cpu.gpr[EAX.num() as usize] = eax as u32;
+                cpu.set_esp(esp.wrapping_add(12));
+                self.sig_depth = self.sig_depth.saturating_sub(1);
+                self.sigreturns += 1;
+            }
             _ => cpu.gpr[EAX.num() as usize] = -38i32 as u32, // ENOSYS
         }
         SyscallOutcome::Continue
@@ -189,6 +281,42 @@ impl BtOs for SimOs {
             return false;
         }
         mem.map(addr, len, Prot::rw());
+        true
+    }
+
+    fn poll_signal(&mut self, now: u64) -> Option<u32> {
+        let handler = self.handler?;
+        let due = *self.pending_signals.front()? <= now;
+        if !due {
+            return None;
+        }
+        if self.sig_depth >= self.sig_max_depth {
+            self.sig_deferrals += 1;
+            return None;
+        }
+        self.pending_signals.pop_front();
+        self.sig_depth += 1;
+        Some(handler)
+    }
+
+    fn signal_due(&self, now: u64) -> bool {
+        self.handler.is_some()
+            && self.sig_depth < self.sig_max_depth
+            && self.pending_signals.front().is_some_and(|&a| a <= now)
+    }
+
+    fn signals_pending(&self) -> bool {
+        self.handler.is_some()
+            && self.sig_depth < self.sig_max_depth
+            && !self.pending_signals.is_empty()
+    }
+
+    fn raise_signal(&mut self) -> bool {
+        if self.handler.is_none() {
+            return false;
+        }
+        // Immediately due, regardless of the current cycle.
+        self.pending_signals.push_front(0);
         true
     }
 
@@ -434,5 +562,116 @@ mod tests {
         a.hlt();
         let image = Image::from_asm(&a);
         assert!(Process::launch(&image, OldLib).is_err());
+    }
+
+    /// Two-pass build of a counting loop with an async handler: the
+    /// handler bumps a side cell and `sigreturn`s; the loop's checksum
+    /// must be identical with and without signals (transparency).
+    fn signal_loop_image(spin: i32) -> Image {
+        const COUNT: u32 = 0x50_0800;
+        let build = |haddr: i32| {
+            let mut a = Asm::new(0x40_0000);
+            let handler = a.label();
+            a.mov_ri(EAX, sys::SIGNAL as i32);
+            a.mov_ri(EBX, haddr);
+            a.int(0x80);
+            a.mov_ri(ECX, 20_000);
+            a.mov_ri(ESI, 0);
+            let top = a.label();
+            a.bind(top);
+            a.alu_rr(AluOp::Add, ESI, ECX);
+            a.alu_rr(AluOp::Xor, ESI, ECX);
+            a.dec(ECX);
+            a.jcc(ia32::Cond::Ne, top);
+            a.mov_store(ia32::inst::Addr::abs(0x50_0000), ESI);
+            a.hlt();
+            a.bind(handler);
+            // Nesting window: spin before touching the count cell.
+            if spin > 0 {
+                a.mov_ri(EAX, spin);
+                let hs = a.label();
+                a.bind(hs);
+                a.dec(EAX);
+                a.jcc(ia32::Cond::Ne, hs);
+            }
+            a.mov_load(EAX, ia32::inst::Addr::abs(COUNT));
+            a.inc(EAX);
+            a.mov_store(ia32::inst::Addr::abs(COUNT), EAX);
+            a.mov_ri(EAX, sys::SIGRETURN as i32);
+            a.int(0x80);
+            (a.label_addr(handler), a)
+        };
+        let (h, _) = build(0);
+        let (h2, a) = build(h as i32);
+        assert_eq!(h, h2, "layout stable");
+        Image::from_asm(&a).with_bss(0x50_0000, 0x1000)
+    }
+
+    fn run_signal_loop(image: &Image, plan: Option<SignalPlan>) -> (u64, u64, Process<SimOs>) {
+        let mut os = SimOs::new();
+        if let Some(plan) = plan {
+            os = os.with_signals(plan);
+        }
+        let mut p = Process::launch(image, os).unwrap();
+        match p.run(100_000_000) {
+            Outcome::Halted(_) => {}
+            other => panic!("signal loop did not halt: {other:?}"),
+        }
+        let result = p.engine.mem.read(0x50_0000, 4).unwrap();
+        let count = p.engine.mem.read(0x50_0800, 4).unwrap();
+        (result, count, p)
+    }
+
+    #[test]
+    fn async_signals_deliver_and_reconcile() {
+        let image = signal_loop_image(0);
+        let (clean, zero, _) = run_signal_loop(&image, None);
+        assert_eq!(zero, 0, "no signals, no handler runs");
+        let (result, count, p) = run_signal_loop(&image, Some(SignalPlan::seeded(7, 8, 60_000)));
+        assert!(
+            p.engine.stats.signals_delivered > 0,
+            "the plan never interrupted the loop"
+        );
+        assert_eq!(
+            p.os.sigreturns, p.engine.stats.signals_delivered,
+            "every delivered signal must sigreturn (no leaked frames)"
+        );
+        assert_eq!(count, p.os.sigreturns, "handler ran once per delivery");
+        assert_eq!(result, clean, "delivery must be transparent to the loop");
+        assert_eq!(p.os.sig_depth, 0, "all frames unwound at halt");
+    }
+
+    #[test]
+    fn nesting_is_depth_bounded_and_deferrals_drain() {
+        let image = signal_loop_image(400);
+        let (clean, _, _) = run_signal_loop(&image, None);
+        // A burst of near-simultaneous arrivals against a slow handler:
+        // the depth cap (2) must defer the excess, and every deferred
+        // signal still delivers once the stack unwinds.
+        let plan = SignalPlan::seeded(3, 12, 2_000);
+        let (result, count, p) = run_signal_loop(&image, Some(plan));
+        assert!(p.os.sig_deferrals > 0, "the burst never hit the depth cap");
+        assert_eq!(
+            p.engine.stats.signals_delivered, 12,
+            "all 12 eventually deliver"
+        );
+        assert_eq!(p.os.sigreturns, 12);
+        assert_eq!(count, 12);
+        assert_eq!(result, clean, "nested delivery must stay transparent");
+    }
+
+    #[test]
+    fn seeded_signal_plans_replay() {
+        let a = SignalPlan::seeded(9, 16, 100_000);
+        let b = SignalPlan::seeded(9, 16, 100_000);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.arrivals.len(), 16);
+        assert!(a.arrivals.windows(2).all(|w| w[0] <= w[1]), "ascending");
+        assert!(a.arrivals.iter().all(|&c| c < 100_000), "inside the window");
+        assert_ne!(
+            a.arrivals,
+            SignalPlan::seeded(10, 16, 100_000).arrivals,
+            "seed changes the schedule"
+        );
     }
 }

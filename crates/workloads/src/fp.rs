@@ -621,6 +621,8 @@ fn wl(
         scale,
         native_fraction: 0.0,
         idle_fraction: 0.0,
+        writable_code: false,
+        uses_os: false,
     }
 }
 

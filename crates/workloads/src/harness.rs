@@ -19,6 +19,9 @@ pub fn build_image(w: &Workload, scale: u32) -> Image {
     let mut a = Asm::new(0x40_0000);
     (w.build_ia32)(&mut a, scale);
     let mut img = Image::from_asm(&a).with_bss(DATA, DATA_SIZE);
+    if w.writable_code {
+        img = img.with_writable_code();
+    }
     for (addr, bytes) in (w.data)() {
         img = img.with_data(addr, bytes);
     }

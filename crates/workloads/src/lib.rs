@@ -19,6 +19,7 @@
 
 pub mod fp;
 pub mod harness;
+pub mod hostile;
 pub mod int;
 pub mod sysmark;
 
@@ -51,6 +52,13 @@ pub struct Workload {
     pub native_fraction: f64,
     /// Idle-time fraction (Sysmark model).
     pub idle_fraction: f64,
+    /// The image's code segment stays writable at load time (guest-JIT
+    /// kernels that patch their own instructions need this).
+    pub writable_code: bool,
+    /// The kernel makes system calls (signal registration, sigreturn):
+    /// it needs an OS personality behind it and cannot run under the
+    /// bare [`harness::run_ia32_hw`] interpreter loop.
+    pub uses_os: bool,
 }
 
 impl std::fmt::Debug for Workload {
@@ -96,6 +104,13 @@ pub fn misalign_heavy() -> Workload {
 /// (eon plus two kernels aimed at the acceleration machinery).
 pub fn indirect_kernels() -> Vec<Workload> {
     int::indirect()
+}
+
+/// Hostile-guest kernels: asynchronous signal storms, a guest-side JIT
+/// rewriting its own code page, and nested signal handlers. All need an
+/// OS personality (they register handlers via `int 0x80`).
+pub fn hostile_kernels() -> Vec<Workload> {
+    hostile::all()
 }
 
 #[cfg(test)]

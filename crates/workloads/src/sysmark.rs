@@ -108,5 +108,7 @@ pub fn workload() -> Workload {
         scale: 30_000,
         native_fraction: 0.22,
         idle_fraction: 0.15,
+        writable_code: false,
+        uses_os: false,
     }
 }
