@@ -10,7 +10,7 @@
 
 use bench::{
     cache_pressure, chaos_storm, figure5, figure6, figure7, figure8, hostile_suite, hot_vs_cold,
-    indirect_pressure, misalign_speedup, paper_stats, trace_overhead, trace_run,
+    indirect_pressure, misalign_speedup, paper_stats, trace_overhead, trace_run, warm_start,
 };
 use btgeneric::engine::Config;
 use btgeneric::trace::TraceConfig;
@@ -481,6 +481,121 @@ fn print_trace(div: u32) {
     }
 }
 
+fn print_warmstart(div: u32) {
+    let ws = warm_start(div);
+    println!("== Warm start: persistent translation cache + pre-translation (scale_div {div}) ==");
+    println!("(cold-vs-warm simulated cycles to the first N native slots; warm runs load a");
+    println!(" saved image and statically pre-translate the entry CFG before first dispatch)");
+    println!(
+        "  {:<10} {:>12} {:>14} {:>14} {:>7}   {:>6} {:>6} {:>6}",
+        "workload", "budget", "cold cycles", "warm cycles", "ratio", "loaded", "reject", "pre"
+    );
+    for k in &ws.kernels {
+        println!(
+            "  {:<10} {:>12} {:>14} {:>14} {:>6.2}x   {:>6} {:>6} {:>6}{}",
+            k.name,
+            k.budget_slots,
+            k.cold_cycles,
+            k.warm_cycles,
+            k.ratio,
+            k.blocks_loaded,
+            k.blocks_rejected,
+            k.pretranslated,
+            if k.oracle_ok { "" } else { "  ORACLE MISMATCH" }
+        );
+    }
+    println!("  corrupted-image legs (gcc):");
+    for l in &ws.chaos {
+        println!(
+            "    {:<12} completed {} oracle {} wholesale {} rejected {} loaded {} -> {}",
+            l.kind,
+            l.completed,
+            l.oracle_ok,
+            l.wholesale_rejects,
+            l.blocks_rejected,
+            l.blocks_loaded,
+            if l.ok() { "ok" } else { "FAIL" }
+        );
+    }
+    let rows_json: Vec<String> = ws
+        .kernels
+        .iter()
+        .map(|k| {
+            format!(
+                "    {{\"name\": \"{}\", \"budget_slots\": {}, \"cold_cycles\": {}, \
+                 \"warm_cycles\": {}, \"ratio\": {:.4}, \"oracle_ok\": {}, \
+                 \"blocks_loaded\": {}, \"blocks_rejected\": {}, \"pretranslated\": {}}}",
+                k.name,
+                k.budget_slots,
+                k.cold_cycles,
+                k.warm_cycles,
+                k.ratio,
+                k.oracle_ok,
+                k.blocks_loaded,
+                k.blocks_rejected,
+                k.pretranslated
+            )
+        })
+        .collect();
+    let chaos_json: Vec<String> = ws
+        .chaos
+        .iter()
+        .map(|l| {
+            format!(
+                "    {{\"kind\": \"{}\", \"completed\": {}, \"oracle_ok\": {}, \
+                 \"wholesale_rejects\": {}, \"blocks_rejected\": {}, \"blocks_loaded\": {}, \
+                 \"ok\": {}}}",
+                l.kind,
+                l.completed,
+                l.oracle_ok,
+                l.wholesale_rejects,
+                l.blocks_rejected,
+                l.blocks_loaded,
+                l.ok()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"scale_div\": {div},\n  \"all_faster\": {},\n  \"oracle_ok\": {},\n  \
+         \"chaos_ok\": {},\n  \"kernels\": [\n{}\n  ],\n  \"chaos\": [\n{}\n  ]\n}}\n",
+        ws.all_faster(),
+        ws.oracle_ok(),
+        ws.chaos_ok(),
+        rows_json.join(",\n"),
+        chaos_json.join(",\n")
+    );
+    match std::fs::write("BENCH_warmstart.json", &json) {
+        Ok(()) => println!("  wrote BENCH_warmstart.json"),
+        Err(e) => eprintln!("  could not write BENCH_warmstart.json: {e}"),
+    }
+    // Fatal gates: warm must beat cold everywhere, by >= 1.5x on the
+    // translation-heavy gcc/mcf class, with oracle-correct warm runs
+    // and graceful degradation on every corrupted image.
+    let mut died = false;
+    if !ws.all_faster() {
+        eprintln!("warmstart: warm start must beat cold start on every kernel");
+        died = true;
+    }
+    for name in ["gcc", "mcf"] {
+        let r = ws.ratio_of(name);
+        if r < 1.5 {
+            eprintln!("warmstart: {name} warm-start ratio {r:.2}x below the 1.5x floor");
+            died = true;
+        }
+    }
+    if !ws.oracle_ok() {
+        eprintln!("warmstart: a warm run diverged from the interpreter oracle");
+        died = true;
+    }
+    if !ws.chaos_ok() {
+        eprintln!("warmstart: a corrupted-image leg failed to degrade gracefully");
+        died = true;
+    }
+    if died {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
@@ -518,6 +633,7 @@ fn main() {
         "chaos" => print_chaos(div, seed),
         "hostile" => print_hostile(div, seed),
         "trace" => print_trace(div),
+        "warmstart" => print_warmstart(div),
         "all" => {
             print_table1();
             println!();
@@ -554,6 +670,8 @@ fn main() {
             print_chaos(div, seed);
             println!();
             print_hostile(div, seed);
+            println!();
+            print_warmstart(div);
         }
         other => {
             eprintln!("unknown figure: {other}");

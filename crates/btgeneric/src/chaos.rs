@@ -332,6 +332,64 @@ pub fn misalign_residue_probe(engine: &mut Engine, os: &mut dyn BtOs, id: u32) -
     engine.stats.ladder_recoveries > before
 }
 
+/// How to damage an encoded warm-start image (see [`corrupt_image`]).
+///
+/// Deliberately *not* a [`FaultKind`]: images are corrupted offline,
+/// between runs, not injected mid-run from a `FaultPlan` — and adding a
+/// seventh in-run kind would perturb every seeded storm's fault
+/// sequence.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ImageFaultKind {
+    /// Flip one byte inside the header: the image must be rejected
+    /// wholesale (`Stats::image_rejects`), falling back to a fully
+    /// cold run.
+    Header,
+    /// Cut the record stream short (always leaving a partial body):
+    /// records past the cut are rejected individually and retranslated
+    /// on demand.
+    Truncate,
+    /// Flip one record's stored *source* checksum, re-sealing the
+    /// record trailer so it still parses: load-time source validation
+    /// rejects just that extent while the rest of the image loads.
+    StaleExtent,
+}
+
+/// Damages an encoded warm-start image in place, deterministically from
+/// `seed` — the offline counterpart of the in-run fault plan, covering
+/// the persistence layer's validation ladder. Returns `false` when the
+/// buffer is too small to damage meaningfully (no header, or no
+/// records to truncate/stale).
+pub fn corrupt_image(bytes: &mut Vec<u8>, kind: ImageFaultKind, seed: u64) -> bool {
+    let mut s = if seed == 0 { 0x9E37_79B9 } else { seed };
+    let hdr = crate::persist::HEADER_LEN;
+    match kind {
+        ImageFaultKind::Header => {
+            if bytes.len() < hdr {
+                return false;
+            }
+            let at = (xorshift(&mut s) as usize) % hdr;
+            bytes[at] ^= 1 << (xorshift(&mut s) % 8);
+            true
+        }
+        ImageFaultKind::Truncate => {
+            if bytes.len() <= hdr + 1 {
+                return false;
+            }
+            // Keep the header plus a nonempty partial body, so the
+            // damage exercises per-record rejection, not the wholesale
+            // header path.
+            let body = bytes.len() - hdr - 1;
+            let keep = hdr + 1 + (xorshift(&mut s) as usize) % body;
+            bytes.truncate(keep);
+            true
+        }
+        ImageFaultKind::StaleExtent => {
+            let nth = xorshift(&mut s) as usize;
+            crate::persist::flip_extent_checksum(bytes, nth)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,7 +20,11 @@ use ipf::machine::{Bus, BusError, CodeArena, MachFault, Machine, StopReason};
 use std::collections::{HashMap, HashSet};
 
 /// Engine configuration — the knobs the benchmarks and ablations turn.
-#[derive(Clone, Copy, Debug)]
+///
+/// No longer `Copy`: the warm-start fields (`save_image`,
+/// `load_image`) carry heap-allocated paths, so pass clones where a
+/// config is reused.
+#[derive(Clone, Debug)]
 pub struct Config {
     /// Heating threshold (power of two). 0 disables hot translation.
     pub heat_threshold: u64,
@@ -149,6 +153,23 @@ pub struct Config {
     /// Observability knobs: lifecycle tracing and per-block profiling
     /// (off by default — zero cost when disabled).
     pub trace: TraceConfig,
+    /// Serialize the translation cache into a warm-start image at this
+    /// path on a clean exit (`Halted`/`Exited`). See
+    /// [`crate::persist`].
+    pub save_image: Option<std::path::PathBuf>,
+    /// Load a warm-start image from this path before the first
+    /// dispatch. A stale or damaged image degrades (per extent or
+    /// wholesale) to ordinary on-demand translation — it never aborts
+    /// the run.
+    pub load_image: Option<std::path::PathBuf>,
+    /// Statically pre-translate the guest CFG reachable from the entry
+    /// point before the first dispatch, merging with any loaded image
+    /// (already-installed blocks are skipped).
+    pub pretranslate: bool,
+    /// Simulated cost of validating and installing one block from a
+    /// warm-start image (replaces the per-instruction
+    /// `cold_xlate_cycles` charge — the whole point of warm start).
+    pub image_load_cycles: u64,
 }
 
 impl Default for Config {
@@ -192,6 +213,10 @@ impl Default for Config {
             smc_backoff_cycles: 150_000,
             max_recovery_depth: 3,
             trace: TraceConfig::default(),
+            save_image: None,
+            load_image: None,
+            pretranslate: false,
+            image_load_cycles: 30,
         }
     }
 }
@@ -348,6 +373,26 @@ pub(crate) fn src_checksum(mem: &GuestMem, range: (u32, u32)) -> u64 {
     h
 }
 
+/// Why a cold translation is happening — decides what the block is
+/// charged and which speculation seed it is generated under.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum XlateOrigin {
+    /// Ordinary on-demand translation at dispatch time.
+    Demand,
+    /// Static pre-translation pass before first dispatch (full cold
+    /// cost, paid up front).
+    Pretranslate,
+    /// Materialization of a validated warm-start image record: reuse
+    /// the saved FP speculation seed and indirect-dispatch shape, and
+    /// charge only the flat `Config::image_load_cycles`.
+    Image {
+        /// FP speculation seed the block was originally generated under.
+        spec: SpecSeed,
+        /// Saved `indirect_plain` (demoted-to-plain indirect dispatch).
+        plain: bool,
+    },
+}
+
 /// Adapts [`GuestMem`] to the machine's bus.
 pub struct MemBus<'a>(pub &'a mut GuestMem);
 
@@ -431,6 +476,10 @@ pub struct Engine {
     /// and flushing scan this list to purge stale predictions;
     /// `collect_indirect_stats` sums the per-site hit counters over it.
     ic_slots: Vec<u64>,
+    /// Whether the warm-boot sequence (image load + pre-translation)
+    /// has already run; `run` performs it exactly once, before the
+    /// first dispatch.
+    warm_booted: bool,
 }
 
 /// Per-block profile slot: 8-byte use counter, two 8-byte edge
@@ -469,13 +518,13 @@ impl Engine {
         );
         let arena = CodeArena::new(layout::TC_BASE);
         let machine = Machine::new(arena, cfg.timing);
+        let tracer = Tracer::new(cfg.trace);
         Engine {
             mem,
             machine,
-            cfg,
             stats: Stats::default(),
             chaos: None,
-            tracer: Tracer::new(cfg.trace),
+            tracer,
             blacklist: Blacklist::new(cfg.blacklist_backoff_cycles),
             blocks: Vec::new(),
             by_eip: HashMap::new(),
@@ -485,6 +534,7 @@ impl Engine {
             smc_pages: HashSet::new(),
             smc_window: HashMap::new(),
             smc_blacklist: Blacklist::new(cfg.smc_backoff_cycles),
+            cfg,
             interp_stubs: HashMap::new(),
             recovery_depth: 0,
             protected_pages: Vec::new(),
@@ -494,6 +544,7 @@ impl Engine {
             pinned_block: None,
             profile_mapped: layout::PROFILE_BASE + head,
             ic_slots: vec![layout::COUNTERS_BASE + IC_OFFSET],
+            warm_booted: false,
         }
     }
 
@@ -1065,7 +1116,7 @@ impl Engine {
     /// pseudo-LRU). `lookup_collisions` counts inserts into a set
     /// already holding a live foreign key; `lookup_way_conflicts`
     /// counts the displacements of a live entry.
-    fn lookup_insert(&mut self, eip: u32, entry: u64) {
+    pub(crate) fn lookup_insert(&mut self, eip: u32, entry: u64) {
         let s0 = layout::lookup_slot(eip);
         let s1 = s0 + layout::LOOKUP_ENTRY_SIZE;
         let k0 = self.mem.read(s0, 8).unwrap_or(layout::LOOKUP_EMPTY_KEY);
@@ -1132,7 +1183,60 @@ impl Engine {
         overrides: HashMap<u16, AccessMode>,
     ) -> Result<u64, GuestException> {
         let span = self.trace_phase_enter(Phase::ColdTranslate);
-        let r = self.translate_cold_inner(os, eip, kind, inline_fp, overrides);
+        let r = self.translate_cold_inner(os, eip, kind, inline_fp, overrides, XlateOrigin::Demand);
+        self.trace_phase_exit(span);
+        r
+    }
+
+    /// Cold-translates `eip` ahead of first dispatch (static
+    /// pre-translation pass). Pays the full cold translation charge up
+    /// front; counts toward `pretranslated_blocks`.
+    pub(crate) fn translate_pre(
+        &mut self,
+        os: &mut dyn BtOs,
+        eip: u32,
+        kind: BlockKind,
+    ) -> Result<u64, GuestException> {
+        let span = self.trace_phase_enter(Phase::ColdTranslate);
+        let r = self.translate_cold_inner(
+            os,
+            eip,
+            kind,
+            false,
+            HashMap::new(),
+            XlateOrigin::Pretranslate,
+        );
+        self.trace_phase_exit(span);
+        r
+    }
+
+    /// Installs a block from a validated warm-start image record: the
+    /// deterministic cold generator is re-run at the current arena
+    /// position (this is the relocation mechanism — arena offsets, exit
+    /// trampolines, and chain links all re-derive from the new base),
+    /// the saved FP speculation seed and indirect-dispatch shape are
+    /// reused, and only `Config::image_load_cycles` is charged instead
+    /// of the full per-instruction translation cost.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn translate_image(
+        &mut self,
+        os: &mut dyn BtOs,
+        eip: u32,
+        kind: BlockKind,
+        inline_fp: bool,
+        overrides: HashMap<u16, AccessMode>,
+        spec: SpecSeed,
+        plain: bool,
+    ) -> Result<u64, GuestException> {
+        let span = self.trace_phase_enter(Phase::ColdTranslate);
+        let r = self.translate_cold_inner(
+            os,
+            eip,
+            kind,
+            inline_fp,
+            overrides,
+            XlateOrigin::Image { spec, plain },
+        );
         self.trace_phase_exit(span);
         r
     }
@@ -1144,6 +1248,7 @@ impl Engine {
         kind: BlockKind,
         inline_fp: bool,
         overrides: HashMap<u16, AccessMode>,
+        origin: XlateOrigin,
     ) -> Result<u64, GuestException> {
         let region_g = discover(&self.mem, eip);
         let Some(disc) = region_g.block_at(eip) else {
@@ -1179,13 +1284,20 @@ impl Engine {
                         p
                     }
                 };
-                (id, profile, None, false, 0)
+                let plain = match origin {
+                    XlateOrigin::Image { plain, .. } => plain,
+                    _ => false,
+                };
+                (id, profile, None, plain, 0)
             }
         };
-        let spec = if self.cfg.enable_fp_spec {
-            self.current_spec()
-        } else {
-            SpecSeed::default()
+        let spec = match origin {
+            // Image records carry the FP speculation seed the block was
+            // generated under — reusing it keeps the regenerated code
+            // byte-identical in shape to what was validated and saved.
+            XlateOrigin::Image { spec, .. } => spec,
+            _ if self.cfg.enable_fp_spec => self.current_spec(),
+            _ => SpecSeed::default(),
         };
         let default_mode = match kind {
             BlockKind::ColdV1 if self.cfg.enable_misalign_avoidance => AccessMode::Probe,
@@ -1244,14 +1356,30 @@ impl Engine {
             }
         };
         // Charge translation overhead (once — the free-list placement
-        // below re-bases the same deterministic generation).
-        self.machine.charge(
-            region::OVERHEAD,
-            gen0.ia32_insts.max(1) as u64 * self.cfg.cold_xlate_cycles,
-        );
-        self.stats.cold_blocks += 1;
-        self.stats.cold_ia32_insts += gen0.ia32_insts as u64;
-        self.stats.cold_native_insts += gen0.native_insts as u64;
+        // below re-bases the same deterministic generation). Blocks
+        // materialized from a warm-start image pay only the flat
+        // validate-and-install cost, not the per-instruction
+        // translation cost — that asymmetry is the entire warm-start
+        // speedup.
+        match origin {
+            XlateOrigin::Image { .. } => {
+                self.machine
+                    .charge(region::OVERHEAD, self.cfg.image_load_cycles);
+                self.stats.image_blocks_loaded += 1;
+            }
+            _ => {
+                self.machine.charge(
+                    region::OVERHEAD,
+                    gen0.ia32_insts.max(1) as u64 * self.cfg.cold_xlate_cycles,
+                );
+                self.stats.cold_blocks += 1;
+                self.stats.cold_ia32_insts += gen0.ia32_insts as u64;
+                self.stats.cold_native_insts += gen0.native_insts as u64;
+                if matches!(origin, XlateOrigin::Pretranslate) {
+                    self.stats.pretranslated_blocks += 1;
+                }
+            }
+        }
         let n_bundles = gen0.bundles.len() as u64;
         // Prefer filling an eviction hole over growing the arena. Code
         // addresses are position-dependent, so re-generate at the hole's
@@ -1507,7 +1635,51 @@ impl Engine {
     }
 
     /// Runs the guest from `cpu` until exit/trap/limit.
+    ///
+    /// On the first call this performs the warm-boot sequence: load a
+    /// warm-start image if [`Config::load_image`] is set (a stale or
+    /// damaged image degrades to on-demand translation, it never aborts
+    /// the run), then statically pre-translate the CFG reachable from
+    /// the entry point if [`Config::pretranslate`] is set. On a clean
+    /// exit (`Halted`/`Exited`), the translation cache is serialized to
+    /// [`Config::save_image`] if set.
     pub fn run(&mut self, os: &mut dyn BtOs, cpu: Cpu, max_slots: u64) -> Outcome {
+        if !self.warm_booted {
+            self.warm_booted = true;
+            // Install the entry state first so pre-translation sees the
+            // same FP speculation seeds the first dispatch would.
+            state::cpu_to_machine(&cpu, &mut self.machine);
+            if let Some(path) = self.cfg.load_image.clone() {
+                match std::fs::read(&path) {
+                    Ok(bytes) => {
+                        crate::persist::load(self, os, &bytes);
+                    }
+                    Err(_) => {
+                        // Missing/unreadable image: a warm start that
+                        // cannot happen, not an error — run cold.
+                        self.stats.image_rejects += 1;
+                    }
+                }
+            }
+            if self.cfg.pretranslate {
+                crate::persist::pretranslate(self, os, cpu.eip);
+            }
+        }
+        let out = self.run_inner(os, cpu, max_slots);
+        if matches!(out, Outcome::Halted(_) | Outcome::Exited(_)) {
+            if let Some(path) = self.cfg.save_image.clone() {
+                let image = crate::persist::snapshot(self);
+                let blocks = image.blocks.len() as u64;
+                if std::fs::write(&path, crate::persist::encode(&image)).is_ok() {
+                    self.stats.image_saves += 1;
+                    self.stats.image_blocks_saved += blocks;
+                }
+            }
+        }
+        out
+    }
+
+    fn run_inner(&mut self, os: &mut dyn BtOs, cpu: Cpu, max_slots: u64) -> Outcome {
         state::cpu_to_machine(&cpu, &mut self.machine);
         let mut eip = cpu.eip;
         let mut remaining = max_slots;

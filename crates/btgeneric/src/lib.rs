@@ -15,6 +15,7 @@ pub mod cold;
 pub mod engine;
 pub mod hot;
 pub mod layout;
+pub mod persist;
 pub mod state;
 pub mod stats;
 pub mod templates;

@@ -161,6 +161,23 @@ pub struct Stats {
     pub reentrant_recoveries: u64,
     /// Deepest nested-recovery depth observed.
     pub recovery_depth_max: u64,
+    /// Blocks materialized from a warm-start image (image hits).
+    pub image_blocks_loaded: u64,
+    /// Image records rejected individually — stale source checksum,
+    /// corrupted record, or no cache room (each degrades to on-demand
+    /// translation of just that extent).
+    pub image_blocks_rejected: u64,
+    /// Warm-start images rejected wholesale: unreadable file, bad
+    /// magic/version, corrupted header, or config/layout fingerprint
+    /// mismatch.
+    pub image_rejects: u64,
+    /// Warm-start images written on clean exit.
+    pub image_saves: u64,
+    /// Blocks serialized into saved images.
+    pub image_blocks_saved: u64,
+    /// Blocks translated by the static pre-translation pass (full cold
+    /// cost, paid before first dispatch).
+    pub pretranslated_blocks: u64,
 }
 
 impl Stats {
@@ -198,6 +215,21 @@ impl Stats {
             self.lookup_way_conflicts,
             self.devirt_guard_fails,
             self.indirect_demotions
+        )
+    }
+
+    /// One-line warm-start summary (image hits/rejects, pre-translation)
+    /// for bench/figures output.
+    pub fn persist_summary(&self) -> String {
+        format!(
+            "image loaded {}, rejected {} (wholesale {}), saved {} ({} blocks), \
+             pretranslated {}",
+            self.image_blocks_loaded,
+            self.image_blocks_rejected,
+            self.image_rejects,
+            self.image_saves,
+            self.image_blocks_saved,
+            self.pretranslated_blocks
         )
     }
 

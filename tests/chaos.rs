@@ -215,7 +215,7 @@ fn blacklisted_block_repromotes_only_after_backoff() {
     };
 
     // Which EIPs go hot organically?
-    let mut pa = Process::launch_with(&img, SimOs::new(), cfg).expect("launch");
+    let mut pa = Process::launch_with(&img, SimOs::new(), cfg.clone()).expect("launch");
     assert!(matches!(pa.run(100_000_000), Outcome::Halted(_)));
     let hot_eips: Vec<u32> = pa
         .engine
@@ -229,7 +229,7 @@ fn blacklisted_block_repromotes_only_after_backoff() {
     // Backoff far beyond the run length: promotion stays blocked.
     let blocked_cfg = Config {
         blacklist_backoff_cycles: 1 << 40,
-        ..cfg
+        ..cfg.clone()
     };
     let mut pb = Process::launch_with(&img, SimOs::new(), blocked_cfg).expect("launch");
     for &e in &hot_eips {

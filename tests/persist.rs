@@ -1,0 +1,256 @@
+//! Warm start end-to-end: a cold run saves a translation image, a
+//! warm run loads it and must produce the same guest-visible result
+//! as the interpreter oracle — including when the image on disk is
+//! corrupted, truncated, stale, or built under a different codegen
+//! configuration. A damaged image may cost performance, never
+//! correctness, and never a panic.
+
+use std::path::{Path, PathBuf};
+
+use btgeneric::chaos::{corrupt_image, ImageFaultKind};
+use btgeneric::engine::{Config, Outcome};
+use btlib::{Process, SimOs};
+use ia32::asm::{Asm, Image};
+use ia32::inst::{Addr, AluOp};
+use ia32::regs::*;
+use ia32::Cond;
+use ia32el::testkit::{run_interp, RunEnd};
+
+const DATA: u32 = 0x50_0000;
+const ENTRY: u32 = 0x40_0000;
+
+/// An outer loop over a chain of tiny blocks: enough distinct blocks
+/// that per-extent rejection (one bad record among many good ones) is
+/// observable.
+fn chain_image() -> Image {
+    let mut a = Asm::new(ENTRY);
+    a.mov_ri(EAX, 0);
+    a.mov_ri(ECX, 300);
+    let top = a.label();
+    a.bind(top);
+    for k in 0..8u32 {
+        let next = a.label();
+        a.alu_ri(AluOp::Add, EAX, k as i32 + 1);
+        a.alu_ri(AluOp::Xor, EAX, 0x1111);
+        a.jmp(next);
+        a.bind(next);
+    }
+    a.dec(ECX);
+    a.jcc(Cond::Ne, top);
+    a.mov_store(Addr::abs(DATA), EAX);
+    a.hlt();
+    Image::from_asm(&a).with_bss(DATA, 0x1_0000)
+}
+
+fn oracle(img: &Image) -> u64 {
+    let r = run_interp(img, 50_000_000);
+    assert_eq!(r.end, RunEnd::Halt, "oracle must halt");
+    r.mem.read(DATA as u64, 4).unwrap()
+}
+
+fn guest_result(p: &Process<SimOs>) -> u64 {
+    p.engine.mem.read(DATA as u64, 4).unwrap()
+}
+
+/// Per-test scratch path so parallel tests never share an image file.
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ia32el_persist_{}_{name}.img", std::process::id()))
+}
+
+fn base_cfg() -> Config {
+    Config {
+        heat_threshold: 64,
+        hot_candidates: 2,
+        ..Config::default()
+    }
+}
+
+/// Cold run that writes an image to `path` and returns its result.
+fn save_run(img: &Image, path: &Path) -> u64 {
+    let cfg = Config {
+        save_image: Some(path.to_path_buf()),
+        ..base_cfg()
+    };
+    let mut p = Process::launch_with(img, SimOs::new(), cfg).expect("launch");
+    assert!(matches!(p.run(u64::MAX / 2), Outcome::Halted(_)));
+    assert!(p.engine.stats.image_saves > 0, "autosave must fire");
+    assert!(
+        p.engine.stats.image_blocks_saved > 0,
+        "image must be non-empty"
+    );
+    guest_result(&p)
+}
+
+/// Warm run against whatever is on disk at `path`; returns the
+/// finished process for counter inspection.
+fn warm_run(img: &Image, path: &Path) -> Process<SimOs> {
+    let cfg = Config {
+        load_image: Some(path.to_path_buf()),
+        ..base_cfg()
+    };
+    let mut p = Process::launch_with(img, SimOs::new(), cfg).expect("launch");
+    assert!(matches!(p.run(u64::MAX / 2), Outcome::Halted(_)));
+    p
+}
+
+#[test]
+fn save_load_roundtrip_matches_oracle() {
+    let img = chain_image();
+    let want = oracle(&img);
+    let path = scratch("roundtrip");
+
+    let cold = save_run(&img, &path);
+    assert_eq!(cold, want, "cold run must match oracle");
+
+    let warm = warm_run(&img, &path);
+    assert_eq!(guest_result(&warm), want, "warm run must match oracle");
+    assert!(
+        warm.engine.stats.image_blocks_loaded > 0,
+        "image must be used"
+    );
+    assert_eq!(warm.engine.stats.image_rejects, 0);
+    assert_eq!(warm.engine.stats.image_blocks_rejected, 0);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn warm_runs_are_deterministic() {
+    let img = chain_image();
+    let path = scratch("determinism");
+    save_run(&img, &path);
+
+    let a = warm_run(&img, &path);
+    let b = warm_run(&img, &path);
+    assert_eq!(
+        a.engine.stats, b.engine.stats,
+        "two warm runs from the same image must be bit-identical"
+    );
+    assert_eq!(a.engine.machine.cycles, b.engine.machine.cycles);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Damages the saved image with `kind`, reruns warm, and checks the
+/// run completes with the oracle result. Returns the finished process
+/// so callers can assert the counter shape for their fault.
+fn damaged_run(kind: ImageFaultKind, tag: &str) -> Process<SimOs> {
+    let img = chain_image();
+    let want = oracle(&img);
+    let path = scratch(tag);
+    save_run(&img, &path);
+
+    let mut bytes = std::fs::read(&path).expect("image readable");
+    assert!(corrupt_image(&mut bytes, kind, 0x5EED), "fault must apply");
+    std::fs::write(&path, &bytes).expect("image writable");
+
+    let warm = warm_run(&img, &path);
+    assert_eq!(
+        guest_result(&warm),
+        want,
+        "{tag}: damaged image must not change the guest result"
+    );
+    let _ = std::fs::remove_file(&path);
+    warm
+}
+
+#[test]
+fn corrupted_header_rejects_wholesale() {
+    let p = damaged_run(ImageFaultKind::Header, "header");
+    assert!(
+        p.engine.stats.image_rejects > 0,
+        "wholesale reject expected"
+    );
+    assert_eq!(p.engine.stats.image_blocks_loaded, 0);
+}
+
+#[test]
+fn truncated_body_rejects_missing_records() {
+    let p = damaged_run(ImageFaultKind::Truncate, "truncate");
+    assert_eq!(p.engine.stats.image_rejects, 0, "header is intact");
+    assert!(
+        p.engine.stats.image_blocks_rejected > 0,
+        "cut-off records must be counted as rejected"
+    );
+}
+
+#[test]
+fn stale_extent_checksum_retranslates_only_that_extent() {
+    let p = damaged_run(ImageFaultKind::StaleExtent, "stale");
+    assert_eq!(p.engine.stats.image_rejects, 0, "header is intact");
+    assert!(
+        p.engine.stats.image_blocks_rejected >= 1,
+        "the stale extent must be rejected"
+    );
+    assert!(
+        p.engine.stats.image_blocks_loaded >= 1,
+        "the other extents must still load"
+    );
+}
+
+#[test]
+fn config_fingerprint_mismatch_rejects_wholesale() {
+    let img = chain_image();
+    let want = oracle(&img);
+    let path = scratch("fingerprint");
+
+    // Save under one code shape...
+    let cfg = Config {
+        save_image: Some(path.clone()),
+        enable_fusion: true,
+        ..base_cfg()
+    };
+    let mut p = Process::launch_with(&img, SimOs::new(), cfg).expect("launch");
+    assert!(matches!(p.run(u64::MAX / 2), Outcome::Halted(_)));
+    assert!(p.engine.stats.image_saves > 0);
+
+    // ...load under another: the image must be refused wholesale.
+    let cfg = Config {
+        load_image: Some(path.clone()),
+        enable_fusion: false,
+        ..base_cfg()
+    };
+    let mut p = Process::launch_with(&img, SimOs::new(), cfg).expect("launch");
+    assert!(matches!(p.run(u64::MAX / 2), Outcome::Halted(_)));
+    assert_eq!(guest_result(&p), want);
+    assert!(
+        p.engine.stats.image_rejects > 0,
+        "fingerprint must gate the load"
+    );
+    assert_eq!(p.engine.stats.image_blocks_loaded, 0);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn missing_image_is_a_clean_miss() {
+    let img = chain_image();
+    let want = oracle(&img);
+    let path = scratch("missing");
+    let _ = std::fs::remove_file(&path);
+
+    let warm = warm_run(&img, &path);
+    assert_eq!(guest_result(&warm), want);
+    assert!(
+        warm.engine.stats.image_rejects > 0,
+        "unreadable image counts as a reject"
+    );
+    assert_eq!(warm.engine.stats.image_blocks_loaded, 0);
+}
+
+#[test]
+fn pretranslation_covers_the_static_cfg() {
+    let img = chain_image();
+    let want = oracle(&img);
+    let cfg = Config {
+        pretranslate: true,
+        ..base_cfg()
+    };
+    let mut p = Process::launch_with(&img, SimOs::new(), cfg).expect("launch");
+    assert!(matches!(p.run(u64::MAX / 2), Outcome::Halted(_)));
+    assert_eq!(guest_result(&p), want);
+    assert!(
+        p.engine.stats.pretranslated_blocks > 0,
+        "the static walk must translate ahead of execution"
+    );
+}

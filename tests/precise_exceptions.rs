@@ -323,7 +323,7 @@ fn recovery_map_sweep_covers_every_commit_point() {
         let scale = (w.scale / 400).max(512);
         let img = workloads::harness::build_image(w, scale);
         let visited = interp_visited_eips(&img, 500_000_000);
-        for (cfgname, cfg) in [("hot", hot_config()), ("hot-ir", ir_cfg)] {
+        for (cfgname, cfg) in [("hot", hot_config()), ("hot-ir", ir_cfg.clone())] {
             let (trans, p) = run_translated(&img, cfg, 400_000_000);
             assert_eq!(
                 trans.end,
