@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation (§6).
 //!
 //! ```text
-//! figures [fig5|fig6|fig7|fig8|table1|hot_vs_cold|misalign|paper_stats|cache|indirect|ir|chaos|hostile|trace|all]
+//! figures [fig5|fig6|fig7|fig8|table1|hot_vs_cold|misalign|paper_stats|cache|indirect|ir|chaos|hostile|trace|warmstart|serving|all]
 //!         [--fast] [--seed=N]
 //! ```
 //!
@@ -10,7 +10,8 @@
 
 use bench::{
     cache_pressure, chaos_storm, figure5, figure6, figure7, figure8, hostile_suite, hot_vs_cold,
-    indirect_pressure, misalign_speedup, paper_stats, trace_overhead, trace_run, warm_start,
+    indirect_pressure, misalign_speedup, paper_stats, serving, trace_overhead, trace_run,
+    warm_start,
 };
 use btgeneric::engine::Config;
 use btgeneric::trace::TraceConfig;
@@ -596,6 +597,123 @@ fn print_warmstart(div: u32) {
     }
 }
 
+/// The multi-tenant serving acceptance run: N concurrent sessions over
+/// the 15 INT kernels share per-kernel translation namespaces through
+/// the sharded cache and a cooperative scheduler. Fatal gates: shared
+/// throughput >= 1.5x the N-isolated baseline at 500 sessions, dedup
+/// ratio <= 1.1, shared p99 dispatch latency <= 3x single-tenant, and
+/// zero cross-tenant divergence from the interpreter oracle.
+fn print_serving(div: u32) {
+    // Always the short-session regime: serving is a statement about
+    // start-up-dominated fleets, where cold translation is the cost
+    // being shared. `--fast` trims the fleet sizes, not the sessions.
+    let sd = 2_000;
+    let counts: &[usize] = if div > 1 {
+        &[100, 500]
+    } else {
+        &[100, 500, 2000]
+    };
+    let sv = serving(sd, counts);
+    println!("== Multi-tenant serving: shared sharded translation cache (scale_div {sd}) ==");
+    println!("(N sessions over 15 kernels; same-kernel cohorts share a namespace; the");
+    println!(" isolated baseline gives every session a private cache)");
+    println!(
+        "  {:>8} {:>13} {:>13} {:>7}  {:>6} {:>9}  {:>11} {:>7}",
+        "sessions",
+        "shared sl/Mcy",
+        "isol sl/Mcy",
+        "ratio",
+        "dedup",
+        "imported",
+        "p99 sh/iso",
+        "rounds"
+    );
+    for p in &sv.points {
+        println!(
+            "  {:>8} {:>13.1} {:>13.1} {:>6.2}x  {:>6.3} {:>9}  {:>5}/{:<5} {:>7}{}",
+            p.sessions,
+            p.slots_per_mcycle(),
+            p.iso_slots_per_mcycle(),
+            p.throughput_ratio(),
+            p.dedup(),
+            p.shared_installs,
+            p.hist.percentile(99.0),
+            p.iso_hist.percentile(99.0),
+            p.rounds,
+            if p.oracle_ok { "" } else { "  ORACLE MISMATCH" }
+        );
+        println!(
+            "           gen rejects {}, stale rejects {}, lock contention {}, unique EIPs {}",
+            p.gen_rejects, p.stale_rejects, p.lock_contention, p.unique_eips
+        );
+    }
+    let rows_json: Vec<String> = sv
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"sessions\": {}, \"shared_slots\": {}, \"shared_cycles\": {}, \
+                 \"isolated_slots\": {}, \"isolated_cycles\": {}, \"throughput_ratio\": {:.4}, \
+                 \"dedup\": {:.4}, \"organic_cold\": {}, \"shared_installs\": {}, \
+                 \"unique_eips\": {}, \"p99_shared\": {}, \"p99_isolated\": {}, \
+                 \"p50_shared\": {}, \"gen_rejects\": {}, \"stale_rejects\": {}, \
+                 \"lock_contention\": {}, \"oracle_ok\": {}, \"rounds\": {}}}",
+                p.sessions,
+                p.shared_slots,
+                p.shared_cycles,
+                p.isolated_slots,
+                p.isolated_cycles,
+                p.throughput_ratio(),
+                p.dedup(),
+                p.organic_cold,
+                p.shared_installs,
+                p.unique_eips,
+                p.hist.percentile(99.0),
+                p.iso_hist.percentile(99.0),
+                p.hist.percentile(50.0),
+                p.gen_rejects,
+                p.stale_rejects,
+                p.lock_contention,
+                p.oracle_ok,
+                p.rounds
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"scale_div\": {sd},\n  \"throughput_ok\": {},\n  \"dedup_ok\": {},\n  \
+         \"p99_ok\": {},\n  \"oracle_ok\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
+        sv.throughput_ok(),
+        sv.dedup_ok(),
+        sv.p99_ok(),
+        sv.oracle_ok(),
+        rows_json.join(",\n")
+    );
+    match std::fs::write("BENCH_serving.json", &json) {
+        Ok(()) => println!("  wrote BENCH_serving.json"),
+        Err(e) => eprintln!("  could not write BENCH_serving.json: {e}"),
+    }
+    let mut bad = false;
+    if !sv.throughput_ok() {
+        eprintln!("serving: shared throughput below the 1.5x floor at 500 sessions");
+        bad = true;
+    }
+    if !sv.dedup_ok() {
+        eprintln!("serving: cold-translation dedup ratio above 1.1");
+        bad = true;
+    }
+    if !sv.p99_ok() {
+        eprintln!("serving: shared p99 dispatch latency above 3x single-tenant");
+        bad = true;
+    }
+    if !sv.oracle_ok() {
+        eprintln!("serving: a tenant diverged from the interpreter oracle");
+        bad = true;
+    }
+    if bad {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
@@ -634,6 +752,7 @@ fn main() {
         "hostile" => print_hostile(div, seed),
         "trace" => print_trace(div),
         "warmstart" => print_warmstart(div),
+        "serving" => print_serving(div),
         "all" => {
             print_table1();
             println!();
@@ -672,6 +791,8 @@ fn main() {
             print_hostile(div, seed);
             println!();
             print_warmstart(div);
+            println!();
+            print_serving(div);
         }
         other => {
             eprintln!("unknown figure: {other}");

@@ -8,7 +8,7 @@
 use btgeneric::btos::{BtOs, SyscallOutcome};
 use btgeneric::chaos::{FaultKind, FaultPlan, NUM_KINDS};
 use btgeneric::engine::{Config, Outcome};
-use btgeneric::stats::{Stats, TimeDistribution};
+use btgeneric::stats::{DispatchHist, Stats, TimeDistribution};
 use btgeneric::trace::{EventMask, TraceConfig};
 use btlib::{Process, SignalPlan, SimOs, SimOsFaults};
 use ia32::interp::{Event, Interp};
@@ -1048,10 +1048,15 @@ pub fn warm_start(scale_div: u32) -> WarmStart {
         // timed warm leg loads the image only: static pre-translation
         // walks the *static* CFG, which over-approximates what a short
         // run executes, so its front-loaded cost belongs to the
-        // full-run leg below, not to the start-up window.
+        // full-run leg below, not to the start-up window. Profile
+        // restoration is excluded for the same reason: restored heat
+        // fires eager hot compiles (a ~20x charge) that can never
+        // amortize inside the window — re-heat is a long-run
+        // investment, measured in the full-run leg.
         let cold = run_budgeted(&w, scale, warm_cfg(), budget);
         let warm_run_cfg = Config {
             load_image: Some(path.clone()),
+            restore_profiles: false,
             ..warm_cfg()
         };
         let warm = run_budgeted(&w, scale, warm_run_cfg, budget);
@@ -1139,6 +1144,407 @@ pub fn warm_start(scale_div: u32) -> WarmStart {
         });
     }
     WarmStart { kernels, chaos }
+}
+
+/// One fleet size's shared-vs-isolated measurement (see [`serving`]).
+#[derive(Clone, Debug)]
+pub struct ServingPoint {
+    /// Concurrent guest sessions in the fleet.
+    pub sessions: usize,
+    /// Total simulated cycles across the shared-cache fleet.
+    pub shared_cycles: u64,
+    /// Total native slots executed across the shared-cache fleet.
+    pub shared_slots: u64,
+    /// Total cycles when every session runs with a private cache.
+    pub isolated_cycles: u64,
+    /// Total slots for the isolated baseline (same guest work).
+    pub isolated_slots: u64,
+    /// Organic cold translations across the fleet (dedup numerator).
+    pub organic_cold: u64,
+    /// Translations imported from the shared namespaces.
+    pub shared_installs: u64,
+    /// Unique EIPs published across all namespaces (dedup denominator).
+    pub unique_eips: u64,
+    /// Consults rejected by a stale generation tag or a denied page.
+    pub gen_rejects: u64,
+    /// Imports rejected by the source-bytes recheck.
+    pub stale_rejects: u64,
+    /// Shard lock acquisitions that had to block.
+    pub lock_contention: u64,
+    /// Merged dispatch-latency histogram of the shared fleet.
+    pub hist: DispatchHist,
+    /// Merged (count-weighted) histogram of the isolated baseline.
+    pub iso_hist: DispatchHist,
+    /// Every session's final checksum matched its kernel's oracle.
+    pub oracle_ok: bool,
+    /// Round-robin sweeps the scheduler ran.
+    pub rounds: u64,
+}
+
+impl ServingPoint {
+    /// Aggregate translated-slot throughput of the shared fleet over
+    /// the isolated baseline (> 1 means sharing pays).
+    pub fn throughput_ratio(&self) -> f64 {
+        let shared = self.shared_slots as f64 / self.shared_cycles.max(1) as f64;
+        let iso = self.isolated_slots as f64 / self.isolated_cycles.max(1) as f64;
+        shared / iso
+    }
+
+    /// Cold-translation dedup ratio: organic translations fleet-wide
+    /// over unique EIPs published (1.0 = every block translated once).
+    pub fn dedup(&self) -> f64 {
+        self.organic_cold as f64 / self.unique_eips.max(1) as f64
+    }
+
+    /// Shared-fleet slots per simulated megacycle.
+    pub fn slots_per_mcycle(&self) -> f64 {
+        self.shared_slots as f64 * 1e6 / self.shared_cycles.max(1) as f64
+    }
+
+    /// Isolated-baseline slots per simulated megacycle.
+    pub fn iso_slots_per_mcycle(&self) -> f64 {
+        self.isolated_slots as f64 * 1e6 / self.isolated_cycles.max(1) as f64
+    }
+
+    /// Shared p99 dispatch latency over the single-tenant p99.
+    pub fn p99_ratio(&self) -> f64 {
+        self.hist.percentile(99.0) as f64 / self.iso_hist.percentile(99.0).max(1) as f64
+    }
+}
+
+/// Results of the multi-tenant serving experiment (see [`serving`]).
+#[derive(Clone, Debug)]
+pub struct Serving {
+    /// One measurement per fleet size.
+    pub points: Vec<ServingPoint>,
+}
+
+impl Serving {
+    /// Every session of every fleet matched its interpreter oracle.
+    pub fn oracle_ok(&self) -> bool {
+        self.points.iter().all(|p| p.oracle_ok)
+    }
+
+    /// Dedup ratio within 1.1 at every fleet size.
+    pub fn dedup_ok(&self) -> bool {
+        self.points.iter().all(|p| p.dedup() <= 1.1)
+    }
+
+    /// Shared p99 dispatch latency within 3x single-tenant everywhere.
+    pub fn p99_ok(&self) -> bool {
+        self.points.iter().all(|p| p.p99_ratio() <= 3.0)
+    }
+
+    /// The headline gate: shared throughput at least 1.5x the isolated
+    /// baseline at the 500-session point (or the largest fleet run).
+    pub fn throughput_ok(&self) -> bool {
+        self.points
+            .iter()
+            .find(|p| p.sessions >= 500)
+            .or_else(|| self.points.last())
+            .is_some_and(|p| p.throughput_ratio() >= 1.5)
+    }
+}
+
+/// The serving configuration: heat instrumentation on (so profile
+/// sharing has real counters to merge) but the promotion threshold out
+/// of reach — hot translation is a ~20x charge that can never amortize
+/// inside one short serving session, with or without sharing. The
+/// isolated baseline uses the same config, so the comparison is pure
+/// cache economics.
+fn serving_cfg() -> Config {
+    Config {
+        heat_threshold: 1 << 30,
+        hot_candidates: 2,
+        ..Config::default()
+    }
+}
+
+/// Per-kernel baseline for the serving experiment: the built image, the
+/// oracle checksum, and one isolated run (exact for every isolated
+/// session of that kernel, by determinism).
+struct ServingKernel {
+    img: ia32::asm::Image,
+    oracle: u64,
+    iso_slots: u64,
+    iso_cycles: u64,
+    iso_hist: DispatchHist,
+}
+
+/// Scheduler quantum for the serving fleets, in native slots.
+const SERVING_QUANTUM: u64 = 4_000;
+/// Admission-control cap: live engines at any moment (bounds memory —
+/// a 2000-session fleet never holds more than this many guest images).
+const SERVING_MAX_LIVE: usize = 64;
+
+/// The multi-tenant serving experiment (`figures serving`): N sessions
+/// over the 15 INT kernels (session i runs kernel i mod 15), time-sliced
+/// by the cooperative scheduler, every same-kernel cohort sharing one
+/// [`btgeneric::serving::SharedCache`] namespace. The isolated
+/// baseline runs each kernel
+/// once privately and scales by cohort size (exact by determinism).
+/// Short sessions (high `scale_div`) put the fleet in the start-up
+/// regime the experiment is about: cold translation dominates, so
+/// sharing translations across the cohort is the whole win.
+pub fn serving(scale_div: u32, counts: &[usize]) -> Serving {
+    let cfg = serving_cfg();
+    let mut kernels = workloads::spec_int();
+    kernels.extend(workloads::indirect_kernels());
+    let bases: Vec<ServingKernel> = kernels
+        .iter()
+        .map(|w| {
+            // Serverless-style sessions: a far lower floor than the
+            // long-run experiments, so each session is start-up
+            // dominated — the regime where sharing translations is the
+            // whole economics.
+            let scale = (w.scale / scale_div).max(16);
+            let img = build_image(w, scale);
+            let oracle = oracle_result(w, scale);
+            let mut p = Process::launch_with(&img, SimOs::new(), cfg.clone()).expect("launch");
+            match p.run(u64::MAX / 2) {
+                Outcome::Halted(_) => {}
+                other => panic!("serving baseline {} died: {other:?}", w.name),
+            }
+            assert_eq!(
+                p.engine.mem.read(RESULT as u64, 8).unwrap_or(0),
+                oracle,
+                "{}: isolated baseline diverged from the oracle",
+                w.name
+            );
+            ServingKernel {
+                img,
+                oracle,
+                iso_slots: p.engine.machine.inst_count,
+                iso_cycles: p.engine.machine.cycles,
+                iso_hist: p.engine.stats.dispatch_hist,
+            }
+        })
+        .collect();
+    let points = counts
+        .iter()
+        .map(|&n| serving_point(&bases, n, &cfg))
+        .collect();
+    Serving { points }
+}
+
+/// Runs one shared fleet of `n` sessions and measures it against the
+/// precomputed isolated baseline.
+fn serving_point(bases: &[ServingKernel], n: usize, cfg: &Config) -> ServingPoint {
+    use btgeneric::serving::{namespace_key, SharedCache, DEFAULT_SHARDS};
+    use btlib::serve::Scheduler;
+
+    let shared = SharedCache::new(DEFAULT_SHARDS);
+    let mut sched: Scheduler<SimOs> = Scheduler::new(SERVING_QUANTUM, SERVING_MAX_LIVE);
+    let mut next = 0usize;
+    let mut done = 0usize;
+    let mut oracle_ok = true;
+    let mut shared_slots = 0u64;
+    let mut shared_cycles = 0u64;
+    let mut organic_cold = 0u64;
+    let mut shared_installs = 0u64;
+    let mut gen_rejects = 0u64;
+    let mut stale_rejects = 0u64;
+    let mut lock_contention = 0u64;
+    let mut hist = DispatchHist::default();
+    loop {
+        // Lazy admission: never materialize more than the live cap of
+        // guest images, even for a 2000-session fleet.
+        while next < n && sched.live() + sched.waiting() < SERVING_MAX_LIVE {
+            let k = next % bases.len();
+            let mut p =
+                Process::launch_with(&bases[k].img, SimOs::new(), cfg.clone()).expect("launch");
+            p.engine
+                .attach_shared(shared.tenant(namespace_key(cfg, k as u64 + 1)));
+            sched.admit(next as u64, p, u64::MAX / 2);
+            next += 1;
+        }
+        let more = sched.tick();
+        for (tag, p, out) in sched.take_completed() {
+            match out {
+                Outcome::Halted(_) => {}
+                other => panic!("serving session {tag} died: {other:?}"),
+            }
+            let k = &bases[tag as usize % bases.len()];
+            oracle_ok &= p.engine.mem.read(RESULT as u64, 8).unwrap_or(0) == k.oracle;
+            shared_slots += p.engine.machine.inst_count;
+            shared_cycles += p.engine.machine.cycles;
+            organic_cold += p.engine.stats.cold_blocks;
+            shared_installs += p.engine.stats.shared_installs;
+            gen_rejects += p.engine.stats.shared_gen_rejects;
+            stale_rejects += p.engine.stats.shared_stale_rejects;
+            lock_contention += p.engine.stats.shared_lock_contention;
+            hist.merge(&p.engine.stats.dispatch_hist);
+            done += 1;
+        }
+        if !more && next >= n {
+            break;
+        }
+    }
+    assert_eq!(done, n, "every admitted session must complete");
+
+    let mut isolated_slots = 0u64;
+    let mut isolated_cycles = 0u64;
+    let mut iso_hist = DispatchHist::default();
+    for (k, base) in bases.iter().enumerate() {
+        let cohort = n / bases.len() + usize::from(k < n % bases.len());
+        isolated_slots += base.iso_slots * cohort as u64;
+        isolated_cycles += base.iso_cycles * cohort as u64;
+        for _ in 0..cohort {
+            iso_hist.merge(&base.iso_hist);
+        }
+    }
+    ServingPoint {
+        sessions: n,
+        shared_cycles,
+        shared_slots,
+        isolated_cycles,
+        isolated_slots,
+        organic_cold,
+        shared_installs,
+        unique_eips: shared.unique_eips(),
+        gen_rejects,
+        stale_rejects,
+        lock_contention,
+        hist,
+        iso_hist,
+        oracle_ok,
+        rounds: sched.rounds(),
+    }
+}
+
+/// One multi-tenant chaos storm (see [`serving_chaos`]): per-session
+/// verdicts folded into fleet-level gates.
+#[derive(Clone, Debug)]
+pub struct ServingChaos {
+    /// Storm seed.
+    pub seed: u64,
+    /// Sessions in the fleet.
+    pub sessions: usize,
+    /// Every session halted cleanly (stormy and clean alike).
+    pub survived: bool,
+    /// Every session matched its kernel's interpreter oracle.
+    pub oracle_ok: bool,
+    /// Two runs of the same fleet produced byte-identical per-session
+    /// results, cycle counts, and statistics.
+    pub deterministic: bool,
+    /// Shared-namespace generation bumps (cross-tenant invalidations
+    /// must actually fire for the storm to mean anything).
+    pub gen_bumps: u64,
+    /// Consults rejected by generation tags or denied pages.
+    pub gen_rejects: u64,
+    /// Translations imported from shared namespaces despite the storm.
+    pub shared_installs: u64,
+    /// Engine-side faults delivered across the fleet.
+    pub faults: u64,
+}
+
+/// One run of the multi-tenant storm fleet: returns (all halted,
+/// per-session records in completion order, faults delivered).
+#[allow(clippy::type_complexity)]
+fn serving_chaos_once(
+    bases: &[(Workload, u32, ia32::asm::Image, u64)],
+    seed: u64,
+) -> (bool, Vec<(u64, u64, u64, Stats)>, u64) {
+    use btgeneric::serving::{namespace_key, SharedCache, DEFAULT_SHARDS};
+    use btlib::serve::Scheduler;
+
+    let cfg = chaos_cfg();
+    let shared = SharedCache::new(DEFAULT_SHARDS);
+    let mut sched: Scheduler<SimOs> = Scheduler::new(SERVING_QUANTUM, 16);
+    let n = bases.len() * 3;
+    for i in 0..n {
+        let k = i % bases.len();
+        let (_, _, img, _) = &bases[k];
+        // Even tenants get a full fault storm; odd tenants run clean in
+        // the same namespaces and must stay correct through their
+        // neighbours' invalidations.
+        let stormy = i % 2 == 0;
+        let plan = FaultPlan::storm(seed.wrapping_add(i as u64));
+        let os = if stormy {
+            SimOs::with_faults(SimOsFaults {
+                fail_allocs: plan.os_alloc_failures,
+                fail_syscalls: 0,
+            })
+        } else {
+            SimOs::new()
+        };
+        let mut p = Process::launch_with(img, os, cfg.clone()).expect("launch");
+        if stormy {
+            p.engine.chaos = Some(plan);
+        }
+        p.engine
+            .attach_shared(shared.tenant(namespace_key(&cfg, k as u64 + 1)));
+        sched.admit(i as u64, p, u64::MAX / 2);
+    }
+    let mut survived = true;
+    let mut records = Vec::new();
+    let mut faults = 0u64;
+    loop {
+        let more = sched.tick();
+        for (tag, p, out) in sched.take_completed() {
+            survived &= matches!(out, Outcome::Halted(_));
+            faults += p
+                .engine
+                .chaos
+                .as_ref()
+                .map_or(0, |plan| plan.injected.iter().sum::<u64>());
+            records.push((
+                tag,
+                p.engine.mem.read(RESULT as u64, 8).unwrap_or(0),
+                p.engine.machine.cycles,
+                p.engine.stats.clone(),
+            ));
+        }
+        if !more {
+            break;
+        }
+    }
+    (survived, records, faults)
+}
+
+/// The multi-tenant chaos storm: three sessions each of gcc, mcf, and
+/// the guest-JIT kernel share per-kernel namespaces while every even
+/// tenant runs under a full [`FaultPlan::storm`]. One tenant's SMC
+/// invalidations, evictions, and governor blacklists must never hand a
+/// neighbour a stale translation: every session (stormy or clean) must
+/// halt with its oracle checksum, and the whole fleet must replay
+/// byte-identically.
+pub fn serving_chaos(scale_div: u32, seed: u64) -> ServingChaos {
+    let mut roster: Vec<Workload> = workloads::spec_int()
+        .into_iter()
+        .filter(|w| w.name == "gcc" || w.name == "mcf")
+        .collect();
+    roster.extend(
+        workloads::hostile_kernels()
+            .into_iter()
+            .filter(|w| w.name == "guest_jit"),
+    );
+    let bases: Vec<(Workload, u32, ia32::asm::Image, u64)> = roster
+        .into_iter()
+        .map(|w| {
+            let scale = (w.scale / scale_div).max(512);
+            let img = build_image(&w, scale);
+            let oracle = oracle_result(&w, scale);
+            (w, scale, img, oracle)
+        })
+        .collect();
+    let (survived_a, a, faults) = serving_chaos_once(&bases, seed);
+    let (survived_b, b, _) = serving_chaos_once(&bases, seed);
+    let oracle_ok = a
+        .iter()
+        .all(|(tag, result, _, _)| *result == bases[*tag as usize % bases.len()].3);
+    let agg = |f: fn(&Stats) -> u64| a.iter().map(|(_, _, _, s)| f(s)).sum::<u64>();
+    ServingChaos {
+        seed,
+        sessions: a.len(),
+        survived: survived_a && survived_b,
+        oracle_ok,
+        deterministic: a == b,
+        gen_bumps: agg(|s| s.shared_gen_bumps),
+        gen_rejects: agg(|s| s.shared_gen_rejects),
+        shared_installs: agg(|s| s.shared_installs),
+        faults,
+    }
 }
 
 #[cfg(test)]
@@ -1381,6 +1787,84 @@ mod tests {
             hs.guest_jit_bounded(),
             "guest_jit: governor never tripped or retranslations unbounded"
         );
+    }
+
+    /// The multi-tenant serving smoke: a small fleet over all 15
+    /// kernels must dedup cold translation across same-kernel cohorts,
+    /// beat the isolated baseline on aggregate throughput, stay within
+    /// the dispatch-latency budget, and keep every tenant
+    /// oracle-correct.
+    #[test]
+    fn serving_shares_translations_and_stays_correct() {
+        let sv = serving(2_000, &[45]);
+        let p = &sv.points[0];
+        eprintln!(
+            "serving 45: {:.1} vs {:.1} slots/Mcy ({:.2}x), dedup {:.3} \
+             ({} organic / {} unique, {} imported), p99 {} vs {} cy, rounds {}",
+            p.slots_per_mcycle(),
+            p.iso_slots_per_mcycle(),
+            p.throughput_ratio(),
+            p.dedup(),
+            p.organic_cold,
+            p.unique_eips,
+            p.shared_installs,
+            p.hist.percentile(99.0),
+            p.iso_hist.percentile(99.0),
+            p.rounds
+        );
+        assert!(p.oracle_ok, "a tenant diverged from its oracle");
+        assert!(
+            p.shared_installs > 0,
+            "the fleet never imported a shared translation"
+        );
+        assert!(
+            p.dedup() <= 1.1,
+            "cold translation not deduplicated: {:.3}",
+            p.dedup()
+        );
+        assert!(
+            p.throughput_ratio() > 1.0,
+            "sharing must beat isolation even at 45 sessions: {:.3}x",
+            p.throughput_ratio()
+        );
+        assert!(
+            p.p99_ratio() <= 3.0,
+            "shared p99 dispatch latency blew the 3x budget: {:.2}x",
+            p.p99_ratio()
+        );
+    }
+
+    /// The multi-tenant chaos bar: stormy and clean tenants sharing
+    /// namespaces all halt oracle-correct, the cross-tenant
+    /// invalidation machinery actually fires, and the whole fleet
+    /// replays byte-identically — at three pinned seeds.
+    #[test]
+    fn serving_chaos_storms_stay_coherent() {
+        for seed in [0xA11CE, 0xB0B, 0xCAB1E] {
+            let sc = serving_chaos(400, seed);
+            eprintln!(
+                "serving_chaos seed {seed:#x}: {} sessions, faults {}, gen bumps {}, \
+                 gen rejects {}, imports {}",
+                sc.sessions, sc.faults, sc.gen_bumps, sc.gen_rejects, sc.shared_installs
+            );
+            assert!(sc.survived, "seed {seed:#x}: a tenant died");
+            assert!(
+                sc.oracle_ok,
+                "seed {seed:#x}: a tenant diverged from its oracle"
+            );
+            assert!(
+                sc.deterministic,
+                "seed {seed:#x}: the fleet failed to replay byte-identically"
+            );
+            assert!(
+                sc.gen_bumps > 0,
+                "seed {seed:#x}: no cross-tenant invalidation ever fired"
+            );
+            assert!(
+                sc.shared_installs > 0,
+                "seed {seed:#x}: the storm starved all sharing"
+            );
+        }
     }
 
     #[test]

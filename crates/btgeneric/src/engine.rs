@@ -170,6 +170,15 @@ pub struct Config {
     /// warm-start image (replaces the per-instruction
     /// `cold_xlate_cycles` charge — the whole point of warm start).
     pub image_load_cycles: u64,
+    /// Restore persisted hot-phase profiles (heat/edge counters,
+    /// inline-cache hints) when loading a warm-start image or
+    /// importing from a shared namespace. On (the default), a warm
+    /// boot resumes hot promotion where the saved profile left off —
+    /// the right policy for long-lived processes, where the promotion
+    /// investment amortizes. Off, translations still load but profile
+    /// from zero: the right policy for short-lived processes whose
+    /// start-up window can never amortize an eager hot compile.
+    pub restore_profiles: bool,
 }
 
 impl Default for Config {
@@ -217,6 +226,7 @@ impl Default for Config {
             load_image: None,
             pretranslate: false,
             image_load_cycles: 30,
+            restore_profiles: true,
         }
     }
 }
@@ -391,6 +401,17 @@ pub(crate) enum XlateOrigin {
         /// Saved `indirect_plain` (demoted-to-plain indirect dispatch).
         plain: bool,
     },
+    /// Materialization of a record imported from the shared
+    /// multi-tenant namespace ([`crate::serving`]): mechanically the
+    /// image path (saved seed and shape reused, flat
+    /// `Config::image_load_cycles` charge) — the record was published
+    /// by a peer tenant instead of loaded from disk.
+    Shared {
+        /// FP speculation seed the block was originally generated under.
+        spec: SpecSeed,
+        /// Saved `indirect_plain` (demoted-to-plain indirect dispatch).
+        plain: bool,
+    },
 }
 
 /// Adapts [`GuestMem`] to the machine's bus.
@@ -416,7 +437,93 @@ impl Bus for MemBus<'_> {
     }
 }
 
-/// The IA-32 Execution Layer engine.
+/// The shareable code-cache half of an engine: every registry and
+/// bookkeeping structure that describes *translations* rather than the
+/// guest running through them. This is the state the multi-tenant
+/// serving layer shares across sessions (at the generation-metadata
+/// level, through [`crate::serving::SharedCache`]): translated extents,
+/// the EIP registry, chain links, profile/heat allocation, and the SMC
+/// governor. Pulling it out of [`Engine`] makes the per-guest /
+/// shareable boundary explicit and gives invalidation paths a single
+/// seam to notify the shared namespace from.
+#[derive(Debug)]
+pub(crate) struct CodeCache {
+    /// The degradation ladder's re-promotion blacklist.
+    pub(crate) blacklist: Blacklist,
+    /// Every block ever translated, by id (including evicted ones).
+    pub(crate) blocks: Vec<BlockInfo>,
+    /// Live registry: guest EIP -> current block id.
+    pub(crate) by_eip: HashMap<u32, u32>,
+    /// Next free per-block profile slot.
+    pub(crate) profile_cursor: u64,
+    /// Blocks registered for hot promotion (never eviction victims).
+    pub(crate) candidates: Vec<u32>,
+    /// Guest page -> block ids with code on that page (SMC scoping).
+    pub(crate) blocks_by_page: HashMap<u32, Vec<u32>>,
+    /// Pages that have modified translated code at least once
+    /// (translations get an explicit snapshot-check prologue).
+    pub(crate) smc_pages: HashSet<u32>,
+    /// SMC-thrash governor state: page -> (window start, invalidation
+    /// events inside the window).
+    pub(crate) smc_window: HashMap<u32, (u64, u32)>,
+    /// Pages blacklisted to interpret-only by the SMC-thrash governor
+    /// (exponential un-blacklist backoff, keyed by page number).
+    pub(crate) smc_blacklist: Blacklist,
+    /// Cached interpreter stubs by guest EIP (interpret-only pages
+    /// re-enter the same EIPs on every step; cleared on flush).
+    pub(crate) interp_stubs: HashMap<u32, u64>,
+    /// Pages holding translated code (write-protected until SMC fires).
+    pub(crate) protected_pages: Vec<u32>,
+    /// Profile slot per guest EIP, persistent across retranslation and
+    /// eviction so re-heated blocks promote quickly.
+    pub(crate) profile_of: HashMap<u32, u64>,
+    /// Untranslated-exit trampolines waiting for a target, from the cold
+    /// generator's exit records: `target_eip -> trampoline addresses`.
+    /// Drained (patched into direct chained branches) when the target is
+    /// translated.
+    pub(crate) pending_exits: HashMap<u32, Vec<u64>>,
+    /// Reverse chain index: block id -> bundle addresses whose branch
+    /// was patched to point at (a generation of) that block. Used to
+    /// surgically un-link a victim's inbound edges on eviction.
+    pub(crate) links_into: HashMap<u32, Vec<u64>>,
+    /// End of the currently mapped prefix of the profile region (grown
+    /// on demand through `BtOs::alloc_pages`).
+    pub(crate) profile_mapped: u64,
+    /// Every allocated inline-cache slot address (one per profile slot,
+    /// shared overflow slot included once). Eviction, SMC invalidation,
+    /// and flushing scan this list to purge stale predictions;
+    /// `collect_indirect_stats` sums the per-site hit counters over it.
+    pub(crate) ic_slots: Vec<u64>,
+}
+
+/// The per-guest half of an engine: session-scoped state that must
+/// never be shared between tenants. The IA-32 register file, EFLAGS
+/// home, shadow return stack, and inline-cache training state live in
+/// the session's own `Machine`/`GuestMem` (fixed translator addresses
+/// inside per-guest memory); this struct carries the per-session
+/// scalars alongside them plus the session's attachment to a shared
+/// translation namespace.
+#[derive(Debug)]
+pub(crate) struct GuestContext {
+    /// Dynamic nesting depth of recovery operations (degradation
+    /// ladder, SMC invalidation). > 0 while already recovering; a
+    /// failure at depth >= 1 is re-entrant.
+    pub(crate) recovery_depth: u32,
+    /// Block whose code the engine may still patch or resume in the
+    /// current exit handling — never an eviction victim.
+    pub(crate) pinned_block: Option<u32>,
+    /// Whether the warm-boot sequence (image load + pre-translation)
+    /// has already run; `run` performs it exactly once, before the
+    /// first dispatch.
+    pub(crate) warm_booted: bool,
+    /// This session's handle into a shared, sharded translation-cache
+    /// namespace (None = single-tenant).
+    pub(crate) shared: Option<crate::serving::SharedTenant>,
+}
+
+/// The IA-32 Execution Layer engine: one guest session
+/// (`GuestContext` + its `GuestMem`/`Machine`) over a code cache
+/// (`CodeCache`) that may be backed by a shared namespace.
 pub struct Engine {
     /// Guest memory (application + translator data).
     pub mem: GuestMem,
@@ -431,55 +538,10 @@ pub struct Engine {
     /// The lifecycle tracer / flight recorder (inert unless
     /// `Config::trace.enabled`).
     pub tracer: Tracer,
-    blacklist: Blacklist,
-    blocks: Vec<BlockInfo>,
-    by_eip: HashMap<u32, u32>,
-    profile_cursor: u64,
-    candidates: Vec<u32>,
-    blocks_by_page: HashMap<u32, Vec<u32>>,
-    smc_pages: HashSet<u32>,
-    /// SMC-thrash governor state: page -> (window start, invalidation
-    /// events inside the window).
-    smc_window: HashMap<u32, (u64, u32)>,
-    /// Pages blacklisted to interpret-only by the SMC-thrash governor
-    /// (exponential un-blacklist backoff, keyed by page number).
-    smc_blacklist: Blacklist,
-    /// Cached interpreter stubs by guest EIP (interpret-only pages
-    /// re-enter the same EIPs on every step; cleared on flush).
-    interp_stubs: HashMap<u32, u64>,
-    /// Dynamic nesting depth of recovery operations (degradation
-    /// ladder, SMC invalidation). > 0 while already recovering; a
-    /// failure at depth >= 1 is re-entrant.
-    recovery_depth: u32,
-    /// Pages holding translated code (write-protected until SMC fires).
-    protected_pages: Vec<u32>,
-    /// Profile slot per guest EIP, persistent across retranslation and
-    /// eviction so re-heated blocks promote quickly.
-    profile_of: HashMap<u32, u64>,
-    /// Untranslated-exit trampolines waiting for a target, from the cold
-    /// generator's exit records: `target_eip -> trampoline addresses`.
-    /// Drained (patched into direct chained branches) when the target is
-    /// translated.
-    pending_exits: HashMap<u32, Vec<u64>>,
-    /// Reverse chain index: block id -> bundle addresses whose branch
-    /// was patched to point at (a generation of) that block. Used to
-    /// surgically un-link a victim's inbound edges on eviction.
-    links_into: HashMap<u32, Vec<u64>>,
-    /// Block whose code the engine may still patch or resume in the
-    /// current exit handling — never an eviction victim.
-    pinned_block: Option<u32>,
-    /// End of the currently mapped prefix of the profile region (grown
-    /// on demand through `BtOs::alloc_pages`).
-    profile_mapped: u64,
-    /// Every allocated inline-cache slot address (one per profile slot,
-    /// shared overflow slot included once). Eviction, SMC invalidation,
-    /// and flushing scan this list to purge stale predictions;
-    /// `collect_indirect_stats` sums the per-site hit counters over it.
-    ic_slots: Vec<u64>,
-    /// Whether the warm-boot sequence (image load + pre-translation)
-    /// has already run; `run` performs it exactly once, before the
-    /// first dispatch.
-    warm_booted: bool,
+    /// The shareable code-cache state.
+    pub(crate) cache: CodeCache,
+    /// The per-guest session state.
+    pub(crate) ctx: GuestContext,
 }
 
 /// Per-block profile slot: 8-byte use counter, two 8-byte edge
@@ -525,52 +587,57 @@ impl Engine {
             stats: Stats::default(),
             chaos: None,
             tracer,
-            blacklist: Blacklist::new(cfg.blacklist_backoff_cycles),
-            blocks: Vec::new(),
-            by_eip: HashMap::new(),
-            profile_cursor: layout::COUNTERS_BASE + PROFILE_STRIDE,
-            candidates: Vec::new(),
-            blocks_by_page: HashMap::new(),
-            smc_pages: HashSet::new(),
-            smc_window: HashMap::new(),
-            smc_blacklist: Blacklist::new(cfg.smc_backoff_cycles),
+            cache: CodeCache {
+                blacklist: Blacklist::new(cfg.blacklist_backoff_cycles),
+                blocks: Vec::new(),
+                by_eip: HashMap::new(),
+                profile_cursor: layout::COUNTERS_BASE + PROFILE_STRIDE,
+                candidates: Vec::new(),
+                blocks_by_page: HashMap::new(),
+                smc_pages: HashSet::new(),
+                smc_window: HashMap::new(),
+                smc_blacklist: Blacklist::new(cfg.smc_backoff_cycles),
+                interp_stubs: HashMap::new(),
+                protected_pages: Vec::new(),
+                profile_of: HashMap::new(),
+                pending_exits: HashMap::new(),
+                links_into: HashMap::new(),
+                profile_mapped: layout::PROFILE_BASE + head,
+                ic_slots: vec![layout::COUNTERS_BASE + IC_OFFSET],
+            },
+            ctx: GuestContext {
+                recovery_depth: 0,
+                pinned_block: None,
+                warm_booted: false,
+                shared: None,
+            },
             cfg,
-            interp_stubs: HashMap::new(),
-            recovery_depth: 0,
-            protected_pages: Vec::new(),
-            profile_of: HashMap::new(),
-            pending_exits: HashMap::new(),
-            links_into: HashMap::new(),
-            pinned_block: None,
-            profile_mapped: layout::PROFILE_BASE + head,
-            ic_slots: vec![layout::COUNTERS_BASE + IC_OFFSET],
-            warm_booted: false,
         }
     }
 
     /// Every allocated inline-cache slot (coherence tests scan these).
     pub fn ic_slots(&self) -> &[u64] {
-        &self.ic_slots
+        &self.cache.ic_slots
     }
 
     /// The re-promotion blacklist (inspection for tests/figures).
     pub fn blacklist(&self) -> &Blacklist {
-        &self.blacklist
+        &self.cache.blacklist
     }
 
     /// Mutable blacklist access (tests drive the policy directly).
     pub fn blacklist_mut(&mut self) -> &mut Blacklist {
-        &mut self.blacklist
+        &mut self.cache.blacklist
     }
 
     /// Block info by id.
     pub fn block(&self, id: u32) -> &BlockInfo {
-        &self.blocks[id as usize]
+        &self.cache.blocks[id as usize]
     }
 
     /// All blocks (stats/tests).
     pub fn blocks(&self) -> &[BlockInfo] {
-        &self.blocks
+        &self.cache.blocks
     }
 
     fn current_spec(&self) -> SpecSeed {
@@ -587,22 +654,22 @@ impl Engine {
     /// overflow slot at `COUNTERS_BASE` — colliding use counters cost
     /// profile quality, never correctness.
     fn alloc_profile(&mut self, os: &mut dyn BtOs) -> u64 {
-        let p = self.profile_cursor;
+        let p = self.cache.profile_cursor;
         let end = p + PROFILE_STRIDE;
         if end > layout::PROFILE_BASE + layout::PROFILE_SIZE {
             self.stats.os_alloc_failures += 1;
             return layout::COUNTERS_BASE;
         }
-        while end > self.profile_mapped {
-            if !os.alloc_pages(&mut self.mem, self.profile_mapped, PROFILE_CHUNK) {
+        while end > self.cache.profile_mapped {
+            if !os.alloc_pages(&mut self.mem, self.cache.profile_mapped, PROFILE_CHUNK) {
                 self.stats.os_alloc_failures += 1;
                 return layout::COUNTERS_BASE;
             }
-            self.profile_mapped += PROFILE_CHUNK;
+            self.cache.profile_mapped += PROFILE_CHUNK;
         }
-        self.profile_cursor = end;
+        self.cache.profile_cursor = end;
         let _ = self.mem.write(p + IC_OFFSET, 8, layout::LOOKUP_EMPTY_KEY);
-        self.ic_slots.push(p + IC_OFFSET);
+        self.cache.ic_slots.push(p + IC_OFFSET);
         p
     }
 
@@ -611,7 +678,7 @@ impl Engine {
     /// translator developer lives in.
     pub fn disassemble_block(&self, id: u32) -> String {
         use std::fmt::Write;
-        let Some(b) = self.blocks.get(id as usize) else {
+        let Some(b) = self.cache.blocks.get(id as usize) else {
             return String::from("<no such block>");
         };
         let mut out = String::new();
@@ -639,15 +706,15 @@ impl Engine {
     pub fn flush_cache(&mut self) {
         self.stats.cache_flushes += 1;
         self.machine.arena.truncate(layout::TC_BASE);
-        self.blocks.clear();
-        self.by_eip.clear();
-        self.candidates.clear();
-        self.blocks_by_page.clear();
-        self.pending_exits.clear();
-        self.links_into.clear();
-        self.interp_stubs.clear();
-        self.pinned_block = None;
-        for page in self.protected_pages.drain(..) {
+        self.cache.blocks.clear();
+        self.cache.by_eip.clear();
+        self.cache.candidates.clear();
+        self.cache.blocks_by_page.clear();
+        self.cache.pending_exits.clear();
+        self.cache.links_into.clear();
+        self.cache.interp_stubs.clear();
+        self.ctx.pinned_block = None;
+        for page in self.cache.protected_pages.drain(..) {
             self.mem.set_code_protect((page as u64) << 12, false);
         }
         // Clear the indirect-branch lookup table.
@@ -669,11 +736,15 @@ impl Engine {
             );
         }
         let _ = self.mem.write(layout::SHADOW_TOS, 8, 0);
-        for i in 0..self.ic_slots.len() {
+        for i in 0..self.cache.ic_slots.len() {
             let _ = self
                 .mem
-                .write(self.ic_slots[i], 8, layout::LOOKUP_EMPTY_KEY);
+                .write(self.cache.ic_slots[i], 8, layout::LOOKUP_EMPTY_KEY);
         }
+        // A flush drops every local translation at once: bump every
+        // shard generation so peers re-validate (conservatively) and
+        // this tenant's re-publishes re-seed the namespace.
+        self.shared_bump_all();
     }
 
     /// Harvests the indirect-acceleration memory cells into the
@@ -683,7 +754,7 @@ impl Engine {
     pub fn collect_indirect_stats(&mut self) {
         let cell = |mem: &GuestMem, a: u64| mem.read(a, 8).unwrap_or(0);
         let mut ic_hits = 0;
-        for &s in &self.ic_slots {
+        for &s in &self.cache.ic_slots {
             ic_hits += cell(&self.mem, s + 16);
         }
         self.stats.ic_hits = ic_hits;
@@ -702,7 +773,7 @@ impl Engine {
     /// double-counting `hot_side_exits`.
     pub fn collect_hot_exit_stats(&mut self) {
         let mut side = 0;
-        for b in &self.blocks {
+        for b in &self.cache.blocks {
             if b.kind == BlockKind::Hot && !b.evicted {
                 side += self.mem.read(b.edge_counters.0, 8).unwrap_or(0);
             }
@@ -714,7 +785,8 @@ impl Engine {
     /// EIP — the surface the exhaustive commit-point sweep test walks
     /// to round-trip `reconstruct_at` against the interpreter oracle.
     pub fn hot_recovery_maps(&self) -> Vec<(u32, &crate::hot::HotData)> {
-        self.blocks
+        self.cache
+            .blocks
             .iter()
             .filter(|b| !b.evicted && b.kind == BlockKind::Hot)
             .filter_map(|b| b.hot.as_ref().map(|h| (b.eip, h)))
@@ -723,9 +795,10 @@ impl Engine {
 
     /// Entry address for `eip` if already translated (no translation).
     pub fn entry_of_existing(&self, eip: u32) -> Option<u64> {
-        self.by_eip
+        self.cache
+            .by_eip
             .get(&eip)
-            .map(|&id| self.blocks[id as usize].entry)
+            .map(|&id| self.cache.blocks[id as usize].entry)
     }
 
     /// Offers one lifecycle event to the tracer, charging
@@ -800,10 +873,10 @@ impl Engine {
         hot: crate::hot::HotData,
         ia32_insts: usize,
     ) {
-        let prev = self.blocks[block_id as usize].entry;
+        let prev = self.cache.blocks[block_id as usize].entry;
         self.forward(prev, entry);
         let commit_points = hot.recovery.len() as u64;
-        let b = &mut self.blocks[block_id as usize];
+        let b = &mut self.cache.blocks[block_id as usize];
         b.entry = entry;
         b.range = range;
         b.extents.push(range);
@@ -814,8 +887,21 @@ impl Engine {
         b.failures = 0;
         b.spec_failures = 0;
         let eip = b.eip;
+        // The promoted candidate may be a stale generation whose cold
+        // registration was already swept (an SMC orphan between the
+        // heat event and this promotion). The trace itself is fresh —
+        // selection decoded current guest bytes — but it must be
+        // re-registered, or page invalidation sweeps will never find
+        // it and a later rewrite of its source would leave it running
+        // stale (reachable through the dispatch lookup table).
+        let page = eip >> 12;
+        let by_page = self.cache.blocks_by_page.entry(page).or_default();
+        if !by_page.contains(&block_id) {
+            by_page.push(block_id);
+        }
+        self.cache.by_eip.insert(eip, block_id);
         if self.cfg.verify_on_dispatch {
-            self.blocks[block_id as usize].checksum =
+            self.cache.blocks[block_id as usize].checksum =
                 self.machine.arena.checksum_range(range.0, range.1);
         }
         // Refresh the indirect-branch lookup entry (and, under
@@ -830,8 +916,8 @@ impl Engine {
                     let _ = self.mem.write(s + 8, 8, entry);
                 }
             }
-            for i in 0..self.ic_slots.len() {
-                let s = self.ic_slots[i];
+            for i in 0..self.cache.ic_slots.len() {
+                let s = self.cache.ic_slots[i];
                 if self.mem.read(s, 8) == Ok(eip as u64) {
                     let _ = self.mem.write(s + 8, 8, entry);
                 }
@@ -853,14 +939,15 @@ impl Engine {
     /// Returns the entry address for `eip`, translating a cold block if
     /// necessary.
     pub fn entry_of(&mut self, os: &mut dyn BtOs, eip: u32) -> Result<u64, GuestException> {
-        if let Some(&id) = self.by_eip.get(&eip) {
-            return Ok(self.blocks[id as usize].entry);
+        if let Some(&id) = self.cache.by_eip.get(&eip) {
+            return Ok(self.cache.blocks[id as usize].entry);
         }
         // SMC-thrashed pages are interpret-only until their backoff
         // expires: retranslating code the guest is busy rewriting is
         // pure churn (the thrash governor's bound on retranslation
         // storms).
         if self
+            .cache
             .smc_blacklist
             .is_blocked(eip >> 12, self.machine.cycles)
         {
@@ -897,6 +984,12 @@ impl Engine {
                 self.flush_cache();
             }
         }
+        // A local translation miss is the one place the shared
+        // multi-tenant namespace is consulted — the read-only dispatch
+        // fast path above never touches a shard lock.
+        if let Some(entry) = self.shared_consult(os, eip) {
+            return Ok(entry);
+        }
         self.translate_cold(os, eip, BlockKind::ColdV1, false, HashMap::new())
     }
 
@@ -926,16 +1019,17 @@ impl Engine {
         // longer in the registry) count as use 0; live blocks sort by
         // their profile use counter.
         let mut victims: Vec<(u64, u32)> = self
+            .cache
             .blocks
             .iter()
             .filter(|b| {
                 !b.evicted
                     && (include_hot == (b.kind == BlockKind::Hot))
-                    && Some(b.id) != self.pinned_block
-                    && !self.candidates.contains(&b.id)
+                    && Some(b.id) != self.ctx.pinned_block
+                    && !self.cache.candidates.contains(&b.id)
             })
             .map(|b| {
-                let uses = if self.by_eip.get(&b.eip) == Some(&b.id) {
+                let uses = if self.cache.by_eip.get(&b.eip) == Some(&b.id) {
                     self.mem.read(b.counter_addr, 8).unwrap_or(0)
                 } else {
                     0
@@ -959,7 +1053,7 @@ impl Engine {
     /// the arena free list.
     fn evict_block(&mut self, id: u32) {
         let (eip, extents) = {
-            let b = &self.blocks[id as usize];
+            let b = &self.cache.blocks[id as usize];
             (b.eip, b.extents.clone())
         };
         let in_extents =
@@ -968,7 +1062,7 @@ impl Engine {
         // (payload = target EIP) is still upstream of the branch, so
         // re-pointing the branch at the stub restores the original
         // dispatch semantics exactly.
-        for from in self.links_into.remove(&id).unwrap_or_default() {
+        for from in self.cache.links_into.remove(&id).unwrap_or_default() {
             if in_extents(from, &extents) {
                 continue; // self-link inside the victim: reclaimed anyway
             }
@@ -1005,8 +1099,8 @@ impl Engine {
                     let _ = self.mem.write(ea, 8, layout::LOOKUP_EMPTY_KEY);
                 }
             }
-            for i in 0..self.ic_slots.len() {
-                let s = self.ic_slots[i];
+            for i in 0..self.cache.ic_slots.len() {
+                let s = self.cache.ic_slots[i];
                 let k = self.mem.read(s, 8).unwrap_or(layout::LOOKUP_EMPTY_KEY);
                 let tgt = self.mem.read(s + 8, 8).unwrap_or(0);
                 if k == eip as u64 || in_extents(tgt, &extents) {
@@ -1016,28 +1110,29 @@ impl Engine {
         }
         // Patch sites inside the reclaimed extents may be reused for
         // unrelated code: drop them from both side tables.
-        for v in self.pending_exits.values_mut() {
+        for v in self.cache.pending_exits.values_mut() {
             v.retain(|&a| !in_extents(a, &extents));
         }
-        self.pending_exits.retain(|_, v| !v.is_empty());
-        for v in self.links_into.values_mut() {
+        self.cache.pending_exits.retain(|_, v| !v.is_empty());
+        for v in self.cache.links_into.values_mut() {
             v.retain(|&a| !in_extents(a, &extents));
         }
-        self.links_into.retain(|_, v| !v.is_empty());
+        self.cache.links_into.retain(|_, v| !v.is_empty());
         let mut freed = 0;
         for &(s, e) in &extents {
             freed += (e - s) / ipf::Bundle::SIZE;
             self.machine.arena.release(s, e);
         }
-        if self.by_eip.get(&eip) == Some(&id) {
-            self.by_eip.remove(&eip);
+        if self.cache.by_eip.get(&eip) == Some(&id) {
+            self.cache.by_eip.remove(&eip);
         }
-        self.blocks_by_page
+        self.cache
+            .blocks_by_page
             .entry(eip >> 12)
             .or_default()
             .retain(|&b| b != id);
-        self.candidates.retain(|&c| c != id);
-        let b = &mut self.blocks[id as usize];
+        self.cache.candidates.retain(|&c| c != id);
+        let b = &mut self.cache.blocks[id as usize];
         b.evicted = true;
         b.range = (0, 0);
         b.extents.clear();
@@ -1045,6 +1140,9 @@ impl Engine {
         b.hot = None;
         self.stats.evictions += 1;
         self.stats.evicted_bundles += freed;
+        // Tell the shared namespace: peers must never import a record
+        // whose publisher has reclaimed the backing extents (gen bump).
+        self.shared_invalidate(eip);
         self.trace_emit(EventData::BlockEvicted {
             id,
             eip,
@@ -1063,6 +1161,7 @@ impl Engine {
     /// eventually reuses — the arena space the branch still lands in.
     pub(crate) fn register_inbound_links(&mut self, start: u64, end: u64, skip: u32) {
         let entry_to_id: HashMap<u64, u32> = self
+            .cache
             .blocks
             .iter()
             .filter(|b| !b.evicted && b.id != skip)
@@ -1074,7 +1173,7 @@ impl Engine {
                 for s in &b.slots {
                     if let Some(Target::Abs(t)) = s.op.target() {
                         if let Some(&tid) = entry_to_id.get(&t) {
-                            self.links_into.entry(tid).or_default().push(addr);
+                            self.cache.links_into.entry(tid).or_default().push(addr);
                         }
                     }
                 }
@@ -1159,8 +1258,8 @@ impl Engine {
                     let _ = self.mem.write(s, 8, layout::LOOKUP_EMPTY_KEY);
                 }
             }
-            for i in 0..self.ic_slots.len() {
-                let s = self.ic_slots[i];
+            for i in 0..self.cache.ic_slots.len() {
+                let s = self.cache.ic_slots[i];
                 if self.mem.read(s, 8) == Ok(eip as u64) {
                     let _ = self.mem.write(s, 8, layout::LOOKUP_EMPTY_KEY);
                 }
@@ -1260,42 +1359,46 @@ impl Engine {
         let src_range = (eip, disc.end_ip());
         let src_fnv = src_checksum(&self.mem, src_range);
         let liveness = analyze(&region_g);
-        let (id, profile, prev_entry, indirect_plain, pop_misses) = match self.by_eip.get(&eip) {
-            Some(&id) => {
-                let b = &self.blocks[id as usize];
-                (
-                    id,
-                    b.counter_addr,
-                    Some(b.entry),
-                    b.indirect_plain,
-                    b.pop_misses,
-                )
-            }
-            None => {
-                let id = self.blocks.len() as u32;
-                // Profile slots are keyed by guest EIP and survive both
-                // eviction and flushing, so a re-translated block keeps
-                // its use counter and re-heats quickly.
-                let profile = match self.profile_of.get(&eip) {
-                    Some(&p) => p,
-                    None => {
-                        let p = self.alloc_profile(os);
-                        self.profile_of.insert(eip, p);
-                        p
-                    }
-                };
-                let plain = match origin {
-                    XlateOrigin::Image { plain, .. } => plain,
-                    _ => false,
-                };
-                (id, profile, None, plain, 0)
-            }
-        };
+        let (id, profile, prev_entry, indirect_plain, pop_misses) =
+            match self.cache.by_eip.get(&eip) {
+                Some(&id) => {
+                    let b = &self.cache.blocks[id as usize];
+                    (
+                        id,
+                        b.counter_addr,
+                        Some(b.entry),
+                        b.indirect_plain,
+                        b.pop_misses,
+                    )
+                }
+                None => {
+                    let id = self.cache.blocks.len() as u32;
+                    // Profile slots are keyed by guest EIP and survive both
+                    // eviction and flushing, so a re-translated block keeps
+                    // its use counter and re-heats quickly.
+                    let profile = match self.cache.profile_of.get(&eip) {
+                        Some(&p) => p,
+                        None => {
+                            let p = self.alloc_profile(os);
+                            self.cache.profile_of.insert(eip, p);
+                            p
+                        }
+                    };
+                    let plain = match origin {
+                        XlateOrigin::Image { plain, .. } | XlateOrigin::Shared { plain, .. } => {
+                            plain
+                        }
+                        _ => false,
+                    };
+                    (id, profile, None, plain, 0)
+                }
+            };
         let spec = match origin {
-            // Image records carry the FP speculation seed the block was
-            // generated under — reusing it keeps the regenerated code
-            // byte-identical in shape to what was validated and saved.
-            XlateOrigin::Image { spec, .. } => spec,
+            // Image and shared records carry the FP speculation seed
+            // the block was generated under — reusing it keeps the
+            // regenerated code byte-identical in shape to what was
+            // validated and saved/published.
+            XlateOrigin::Image { spec, .. } | XlateOrigin::Shared { spec, .. } => spec,
             _ if self.cfg.enable_fp_spec => self.current_spec(),
             _ => SpecSeed::default(),
         };
@@ -1312,7 +1415,7 @@ impl Engine {
         };
         // SMC-aware prologue for pages that have already modified code.
         let page = eip >> 12;
-        let smc_check = if self.smc_pages.contains(&page) {
+        let smc_check = if self.cache.smc_pages.contains(&page) {
             let snapshot = self.mem.read(eip as u64, 8).unwrap_or(0);
             Some((eip as u64, snapshot))
         } else {
@@ -1367,6 +1470,15 @@ impl Engine {
                     .charge(region::OVERHEAD, self.cfg.image_load_cycles);
                 self.stats.image_blocks_loaded += 1;
             }
+            XlateOrigin::Shared { .. } => {
+                // An import from the shared namespace pays the same
+                // flat validate-and-install cost as an image record —
+                // this asymmetry vs the per-instruction cold charge is
+                // the multi-tenant dedup win.
+                self.machine
+                    .charge(region::OVERHEAD, self.cfg.image_load_cycles);
+                self.stats.shared_installs += 1;
+            }
             _ => {
                 self.machine.charge(
                     region::OVERHEAD,
@@ -1410,17 +1522,17 @@ impl Engine {
         // Write-protect the source page for SMC detection (unless it is
         // already in explicit-check mode).
         if self.mem.prot_of(eip as u64).map(|p| p.write) == Some(true)
-            && !self.smc_pages.contains(&page)
+            && !self.cache.smc_pages.contains(&page)
         {
             self.mem.set_code_protect(eip as u64, true);
-            self.protected_pages.push(page);
+            self.cache.protected_pages.push(page);
         }
-        self.blocks_by_page.entry(page).or_default().push(id);
+        self.cache.blocks_by_page.entry(page).or_default().push(id);
 
         // Superseded generations stay allocated (their entries forward
         // here); eviction reclaims the whole list at once.
         let mut extents = match prev_entry {
-            Some(_) => std::mem::take(&mut self.blocks[id as usize].extents),
+            Some(_) => std::mem::take(&mut self.cache.blocks[id as usize].extents),
             None => Vec::new(),
         };
         extents.push(range);
@@ -1456,13 +1568,14 @@ impl Engine {
         if let Some(prev) = prev_entry {
             // Forward the old entry to the new version.
             self.forward(prev, entry);
-            self.blocks[id as usize] = info;
+            self.cache.blocks[id as usize] = info;
         } else {
-            self.blocks.push(info);
-            self.by_eip.insert(eip, id);
+            self.cache.blocks.push(info);
+            self.cache.by_eip.insert(eip, id);
         }
         if self.cfg.verify_on_dispatch {
-            self.blocks[id as usize].checksum = self.machine.arena.checksum_range(range.0, range.1);
+            self.cache.blocks[id as usize].checksum =
+                self.machine.arena.checksum_range(range.0, range.1);
         }
         // Register this block's untranslated-target trampolines and
         // proactively chain the ones whose target already exists, so
@@ -1472,22 +1585,22 @@ impl Engine {
             let Some(br) = self.exit_branch_bundle(tramp, range.1) else {
                 continue;
             };
-            match self.by_eip.get(&texit).copied() {
+            match self.cache.by_eip.get(&texit).copied() {
                 Some(tid) => {
-                    let tentry = self.blocks[tid as usize].entry;
+                    let tentry = self.cache.blocks[tid as usize].entry;
                     self.patch_branch(br, StubKind::Untranslated.addr(), tentry);
-                    self.links_into.entry(tid).or_default().push(br);
+                    self.cache.links_into.entry(tid).or_default().push(br);
                 }
                 None => {
-                    self.pending_exits.entry(texit).or_default().push(br);
+                    self.cache.pending_exits.entry(texit).or_default().push(br);
                 }
             }
         }
         // Chain every trampoline that was already waiting for this EIP.
-        if let Some(waiting) = self.pending_exits.remove(&eip) {
+        if let Some(waiting) = self.cache.pending_exits.remove(&eip) {
             for br in waiting {
                 self.patch_branch(br, StubKind::Untranslated.addr(), entry);
-                self.links_into.entry(id).or_default().push(br);
+                self.cache.links_into.entry(id).or_default().push(br);
             }
         }
         self.trace_emit(EventData::BlockTranslated {
@@ -1497,7 +1610,295 @@ impl Engine {
             bundles: n_bundles,
         });
         self.trace_profile(|t| t.profile_lifecycle(eip, EventKind::BlockTranslated));
+        // Export the freshly validated generation metadata to the
+        // shared namespace so peer tenants skip this translation.
+        // Imports themselves are not re-published (their record is
+        // already current); organic retranslation after a generation
+        // bump is exactly how invalidated entries become current again.
+        if !matches!(origin, XlateOrigin::Shared { .. }) {
+            self.shared_publish(eip);
+        }
         Ok(entry)
+    }
+
+    /// Materializes a block imported from the shared multi-tenant
+    /// namespace: identical mechanics to [`Engine::translate_image`]
+    /// (deterministic regeneration at this tenant's arena position,
+    /// saved seed/shape reused, flat `Config::image_load_cycles`
+    /// charge), with the record coming from a peer tenant's publish.
+    #[allow(clippy::too_many_arguments)]
+    fn translate_shared(
+        &mut self,
+        os: &mut dyn BtOs,
+        eip: u32,
+        kind: BlockKind,
+        inline_fp: bool,
+        overrides: HashMap<u16, AccessMode>,
+        spec: SpecSeed,
+        plain: bool,
+    ) -> Result<u64, GuestException> {
+        let span = self.trace_phase_enter(Phase::ColdTranslate);
+        let r = self.translate_cold_inner(
+            os,
+            eip,
+            kind,
+            inline_fp,
+            overrides,
+            XlateOrigin::Shared { spec, plain },
+        );
+        self.trace_phase_exit(span);
+        r
+    }
+
+    /// Attaches this session to a shared multi-tenant translation
+    /// namespace (see [`crate::serving`]). From now on, translation
+    /// misses consult the namespace before paying the cold-translation
+    /// cost, fresh translations are published to it, and every local
+    /// invalidation path (SMC, eviction, governor blacklist, flush)
+    /// notifies it. Attach before the first dispatch; tenants of the
+    /// same namespace must run the same binary under the same config
+    /// (the namespace key — [`crate::serving::namespace_key`] — encodes
+    /// both, and the per-record source checksums enforce it).
+    pub fn attach_shared(&mut self, tenant: crate::serving::SharedTenant) {
+        self.ctx.shared = Some(tenant);
+    }
+
+    /// Consults the shared namespace for `eip` on a local translation
+    /// miss. A current entry is validated against *this* tenant's guest
+    /// bytes (the true correctness gate — the generation tag is only
+    /// the sharing-profitability gate) and materialized through the
+    /// image mechanics at this tenant's arena position, profile hints
+    /// included. Returns the installed entry, or `None` to fall through
+    /// to ordinary cold translation.
+    fn shared_consult(&mut self, os: &mut dyn BtOs, eip: u32) -> Option<u64> {
+        let tenant = self.ctx.shared.clone()?;
+        let mut contention = 0;
+        let consult = tenant.ns.consult(eip, &mut contention);
+        self.stats.shared_lock_contention += contention;
+        match consult {
+            crate::serving::Consult::Hit(e) => {
+                let b = e.block;
+                if src_checksum(&self.mem, b.src_range) != b.src_fnv {
+                    // Published under different guest bytes than ours
+                    // (or our copy has since been rewritten): never
+                    // materialize, regardless of what the tag says.
+                    self.stats.shared_stale_rejects += 1;
+                    return None;
+                }
+                let kind = if b.stage2 {
+                    BlockKind::ColdV2
+                } else {
+                    BlockKind::ColdV1
+                };
+                let overrides: HashMap<u16, AccessMode> = b.overrides.iter().copied().collect();
+                match self.translate_shared(
+                    os,
+                    eip,
+                    kind,
+                    b.inline_fp,
+                    overrides,
+                    b.spec,
+                    b.indirect_plain,
+                ) {
+                    Ok(entry) => {
+                        if self.cfg.enable_indirect_accel {
+                            self.lookup_insert(eip, entry);
+                        }
+                        if self.cfg.restore_profiles {
+                            if b.heat != 0 || b.edges != (0, 0) {
+                                self.restore_profile(eip, b.heat, b.edges);
+                            }
+                            if b.ic_pred != 0 {
+                                self.restore_ic_hint(eip, b.ic_pred, b.ic_hits);
+                            }
+                        }
+                        Some(entry)
+                    }
+                    Err(_) => {
+                        self.stats.shared_stale_rejects += 1;
+                        None
+                    }
+                }
+            }
+            crate::serving::Consult::GenStale | crate::serving::Consult::Denied => {
+                self.stats.shared_gen_rejects += 1;
+                None
+            }
+            crate::serving::Consult::Miss => None,
+        }
+    }
+
+    /// Publishes the current translation of `eip` (its generation
+    /// metadata + profile hints) to the shared namespace, if attached.
+    /// Hot traces are not published — like warm-start images, the
+    /// shared record is always the cold base a peer re-heats from.
+    fn shared_publish(&mut self, eip: u32) {
+        let Some(tenant) = self.ctx.shared.clone() else {
+            return;
+        };
+        let Some(&id) = self.cache.by_eip.get(&eip) else {
+            return;
+        };
+        let b = &self.cache.blocks[id as usize];
+        if b.evicted || b.kind == BlockKind::Hot {
+            return;
+        }
+        if src_checksum(&self.mem, b.src_range) != b.src_fnv {
+            // Already stale against our own memory: exporting it would
+            // only hand peers a guaranteed reject.
+            return;
+        }
+        let rec = crate::persist::record_of(self, b);
+        let mut contention = 0;
+        if tenant.ns.publish(rec, &mut contention) {
+            self.stats.shared_publishes += 1;
+        }
+        self.stats.shared_lock_contention += contention;
+    }
+
+    /// End-of-slice profile sync: pushes this tenant's current heat /
+    /// edge / inline-cache observations into the shared namespace
+    /// (max-merge, so sync order between tenants cannot flap the stored
+    /// profile). The scheduler calls this when a session is harvested,
+    /// so later tenants start with the hottest profile any peer earned.
+    pub fn shared_sync(&mut self) {
+        let Some(tenant) = self.ctx.shared.clone() else {
+            return;
+        };
+        let mut contention = 0;
+        for (&eip, &id) in &self.cache.by_eip {
+            let b = &self.cache.blocks[id as usize];
+            if b.evicted {
+                continue;
+            }
+            let heat = self.mem.read(b.counter_addr, 8).unwrap_or(0);
+            let taken = self.mem.read(b.edge_counters.0, 8).unwrap_or(0);
+            let fall = self.mem.read(b.edge_counters.1, 8).unwrap_or(0);
+            let pred = self
+                .mem
+                .read(b.ic_slot, 8)
+                .unwrap_or(layout::LOOKUP_EMPTY_KEY);
+            let hits = self.mem.read(b.ic_slot + 16, 8).unwrap_or(0);
+            let ic =
+                if pred != layout::LOOKUP_EMPTY_KEY && pred != 0 && site_is_monomorphic(hits, heat)
+                {
+                    (pred as u32, hits.min(u32::MAX as u64) as u32)
+                } else {
+                    (0, 0)
+                };
+            tenant.ns.refresh_profile(
+                eip,
+                heat,
+                (
+                    taken.min(u32::MAX as u64) as u32,
+                    fall.min(u32::MAX as u64) as u32,
+                ),
+                ic,
+                &mut contention,
+            );
+        }
+        self.stats.shared_lock_contention += contention;
+    }
+
+    /// Notifies the shared namespace that `eip`'s published record is
+    /// dead (eviction, ladder blacklist): entry pulled, shard
+    /// generation bumped.
+    fn shared_invalidate(&mut self, eip: u32) {
+        let Some(tenant) = self.ctx.shared.clone() else {
+            return;
+        };
+        let mut contention = 0;
+        if tenant.ns.invalidate(eip, &mut contention) {
+            self.stats.shared_gen_bumps += 1;
+        }
+        self.stats.shared_lock_contention += contention;
+    }
+
+    /// Notifies the shared namespace of an SMC invalidation of `page`:
+    /// every published record on the page is pulled and the affected
+    /// shard generations bumped.
+    fn shared_invalidate_page(&mut self, page: u32) {
+        let Some(tenant) = self.ctx.shared.clone() else {
+            return;
+        };
+        let mut contention = 0;
+        self.stats.shared_gen_bumps += tenant.ns.invalidate_page(page, &mut contention);
+        self.stats.shared_lock_contention += contention;
+    }
+
+    /// Notifies the shared namespace that the SMC-thrash governor
+    /// blacklisted `page`: publishing and importing for the page stop
+    /// until the namespace is rebuilt.
+    fn shared_deny_page(&mut self, page: u32) {
+        let Some(tenant) = self.ctx.shared.clone() else {
+            return;
+        };
+        let mut contention = 0;
+        self.stats.shared_gen_bumps += tenant.ns.deny_page(page, &mut contention);
+        self.stats.shared_lock_contention += contention;
+    }
+
+    /// Notifies the shared namespace of a full local cache flush: every
+    /// shard generation is bumped.
+    fn shared_bump_all(&mut self) {
+        let Some(tenant) = self.ctx.shared.clone() else {
+            return;
+        };
+        let mut contention = 0;
+        self.stats.shared_gen_bumps += tenant.ns.bump_all(&mut contention);
+        self.stats.shared_lock_contention += contention;
+    }
+
+    /// Restores persisted profile heat into `eip`'s live profile slots
+    /// (max-merge with whatever is already there), so a warm boot or a
+    /// shared-namespace import resumes hot-phase promotion where the
+    /// saved profile left off instead of re-profiling from zero.
+    pub(crate) fn restore_profile(&mut self, eip: u32, heat: u64, edges: (u32, u32)) -> bool {
+        let Some(&id) = self.cache.by_eip.get(&eip) else {
+            return false;
+        };
+        let b = &self.cache.blocks[id as usize];
+        if b.evicted {
+            return false;
+        }
+        let (counter, ec) = (b.counter_addr, b.edge_counters);
+        let cur = self.mem.read(counter, 8).unwrap_or(0);
+        let _ = self.mem.write(counter, 8, cur.max(heat));
+        let t = self.mem.read(ec.0, 8).unwrap_or(0);
+        let _ = self.mem.write(ec.0, 8, t.max(edges.0 as u64));
+        let f = self.mem.read(ec.1, 8).unwrap_or(0);
+        let _ = self.mem.write(ec.1, 8, f.max(edges.1 as u64));
+        self.stats.profile_heat_restored += 1;
+        true
+    }
+
+    /// Re-trains `eip`'s inline cache from a persisted monomorphic
+    /// target hint: the predicted EIP must already resolve to a
+    /// translated entry (callers install hints in a second pass, after
+    /// all records have had their chance to install). The hit count is
+    /// restored too, so the hot phase's devirtualization gate sees the
+    /// earned confidence instead of a cold counter.
+    pub(crate) fn restore_ic_hint(&mut self, eip: u32, pred: u32, hits: u32) -> bool {
+        if !self.cfg.enable_indirect_accel || pred == 0 {
+            return false;
+        }
+        let Some(target_entry) = self.entry_of_existing(pred) else {
+            return false;
+        };
+        let Some(&id) = self.cache.by_eip.get(&eip) else {
+            return false;
+        };
+        let b = &self.cache.blocks[id as usize];
+        if b.evicted || b.indirect_plain {
+            return false;
+        }
+        let slot = b.ic_slot;
+        let cur_hits = self.mem.read(slot + 16, 8).unwrap_or(0);
+        let _ = self.mem.write(slot, 8, pred as u64);
+        let _ = self.mem.write(slot + 8, 8, target_entry);
+        let _ = self.mem.write(slot + 16, 8, cur_hits.max(hits as u64));
+        self.stats.profile_ic_restored += 1;
+        true
     }
 
     /// Finds the bundle holding a trampoline's branch to the
@@ -1525,11 +1926,11 @@ impl Engine {
     /// Interpret-only pages re-dispatch the same EIPs on every single
     /// step, so stubs are cached per EIP (cleared on cache flush).
     fn interp_stub_for(&mut self, eip: u32) -> u64 {
-        if let Some(&addr) = self.interp_stubs.get(&eip) {
+        if let Some(&addr) = self.cache.interp_stubs.get(&eip) {
             return addr;
         }
         let addr = self.emit_interp_stub(eip);
-        self.interp_stubs.insert(eip, addr);
+        self.cache.interp_stubs.insert(eip, addr);
         addr
     }
 
@@ -1569,7 +1970,8 @@ impl Engine {
 
     /// Maps an arena address back to the owning block.
     fn block_at_addr(&self, addr: u64) -> Option<u32> {
-        self.blocks
+        self.cache
+            .blocks
             .iter()
             .find(|b| addr >= b.range.0 && addr < b.range.1)
             .map(|b| b.id)
@@ -1579,7 +1981,8 @@ impl Engine {
     /// live generation (the degradation ladder must attribute failures
     /// in superseded extents too — live extents are disjoint).
     fn block_at_addr_any(&self, addr: u64) -> Option<u32> {
-        self.blocks
+        self.cache
+            .blocks
             .iter()
             .find(|b| !b.evicted && b.extents.iter().any(|&(s, e)| addr >= s && addr < e))
             .map(|b| b.id)
@@ -1593,8 +1996,8 @@ impl Engine {
             return;
         }
         if let Some(id) = self.block_at_addr(addr) {
-            let (s, e) = self.blocks[id as usize].range;
-            self.blocks[id as usize].checksum = self.machine.arena.checksum_range(s, e);
+            let (s, e) = self.cache.blocks[id as usize].range;
+            self.cache.blocks[id as usize].checksum = self.machine.arena.checksum_range(s, e);
         }
     }
 
@@ -1603,12 +2006,12 @@ impl Engine {
     /// caller falls back to the slow path, which retranslates) and
     /// false is returned.
     fn verify_dispatch(&mut self, eip: u32) -> bool {
-        let Some(&id) = self.by_eip.get(&eip) else {
+        let Some(&id) = self.cache.by_eip.get(&eip) else {
             return true;
         };
         self.machine
             .charge(region::OTHER, self.cfg.integrity_check_cycles);
-        let b = &self.blocks[id as usize];
+        let b = &self.cache.blocks[id as usize];
         if self.machine.arena.checksum_range(b.range.0, b.range.1) == b.checksum {
             return true;
         }
@@ -1621,7 +2024,7 @@ impl Engine {
     /// Reconstructs the precise IA-32 state at a fault (paper §4).
     pub fn reconstruct(&self, ip: u64, slot: u8) -> Cpu {
         if let Some(id) = self.block_at_addr(ip) {
-            let b = &self.blocks[id as usize];
+            let b = &self.cache.blocks[id as usize];
             if let Some(hot) = &b.hot {
                 if let Some(cpu) = hot.reconstruct(&self.machine, ip, slot) {
                     return cpu;
@@ -1644,8 +2047,8 @@ impl Engine {
     /// exit (`Halted`/`Exited`), the translation cache is serialized to
     /// [`Config::save_image`] if set.
     pub fn run(&mut self, os: &mut dyn BtOs, cpu: Cpu, max_slots: u64) -> Outcome {
-        if !self.warm_booted {
-            self.warm_booted = true;
+        if !self.ctx.warm_booted {
+            self.ctx.warm_booted = true;
             // Install the entry state first so pre-translation sees the
             // same FP speculation seeds the first dispatch would.
             state::cpu_to_machine(&cpu, &mut self.machine);
@@ -1666,6 +2069,14 @@ impl Engine {
             }
         }
         let out = self.run_inner(os, cpu, max_slots);
+        self.autosave(&out);
+        out
+    }
+
+    /// Serializes the translation cache to [`Config::save_image`] on a
+    /// clean exit (shared by [`Engine::run`] and [`Engine::resume`] —
+    /// a time-sliced session saves when its final slice exits).
+    fn autosave(&mut self, out: &Outcome) {
         if matches!(out, Outcome::Halted(_) | Outcome::Exited(_)) {
             if let Some(path) = self.cfg.save_image.clone() {
                 let image = crate::persist::snapshot(self);
@@ -1676,63 +2087,102 @@ impl Engine {
                 }
             }
         }
-        out
     }
 
     fn run_inner(&mut self, os: &mut dyn BtOs, cpu: Cpu, max_slots: u64) -> Outcome {
-        state::cpu_to_machine(&cpu, &mut self.machine);
-        let mut eip = cpu.eip;
+        self.run_loop(os, Some(cpu), max_slots)
+    }
+
+    /// Continues a run that stopped on [`Outcome::InstLimit`] without
+    /// resetting machine state: the machine picks up at the exact next
+    /// unexecuted slot, mid-block, with no dispatch-boundary work (the
+    /// same mechanism the signal quantum already relies on). This is
+    /// what lets a cooperative scheduler (`btlib`'s serving layer)
+    /// time-slice thousands of sessions over shared translations.
+    /// Calling it before [`Engine::run`] has established machine state
+    /// is a caller bug; the guest would dispatch from EIP 0.
+    pub fn resume(&mut self, os: &mut dyn BtOs, max_slots: u64) -> Outcome {
+        let out = self.run_loop(os, None, max_slots);
+        self.autosave(&out);
+        out
+    }
+
+    fn run_loop(&mut self, os: &mut dyn BtOs, start: Option<Cpu>, max_slots: u64) -> Outcome {
+        // Resuming (start == None): machine state is live from the
+        // previous slice — re-importing the CPU or re-dispatching would
+        // clobber a mid-block stop. Skip the boundary section once and
+        // let the machine continue at its next unexecuted slot.
+        let mut resuming = start.is_none();
+        let mut eip = match start {
+            Some(cpu) => {
+                state::cpu_to_machine(&cpu, &mut self.machine);
+                cpu.eip
+            }
+            // Attribution EIP for traces until the next real dispatch:
+            // the state register holds the current block's guest EIP.
+            None => self.machine.gr[GR_STATE.0 as usize] as u32,
+        };
         let mut remaining = max_slots;
         'dispatch: loop {
-            self.trace_profile(|t| t.profile_dispatch(eip));
-            // Fault injection is consulted at the dispatch boundary:
-            // the precise EIP is known and all guest state is in its
-            // canonical home, so every injected failure is recoverable.
-            if self.chaos.is_some() {
-                self.inject_faults(os, eip);
-            }
-            // Asynchronous signal delivery at the dispatch boundary: all
-            // guest state is canonical and EIP is precise, so a pending
-            // signal can be delivered without any reconstruction.
-            if let Some(handler) = os.poll_signal(self.machine.cycles) {
-                let cpu = state::machine_to_cpu(&self.machine, eip);
-                match self.deliver_signal(handler, cpu) {
-                    ExitAction::Dispatch(e) => {
-                        eip = e;
-                        continue 'dispatch;
-                    }
-                    ExitAction::Done(out) => return out,
-                    ExitAction::Continue(_) => unreachable!("signal delivery never resumes"),
-                }
-            }
-            // Chained-dispatch fast path: a registry hit needs no
-            // translation work and only minimal state traffic, so it is
-            // charged a reduced round-trip cost. Under
-            // verify-on-dispatch a checksum mismatch evicts the target
-            // and falls back to the slow path (retranslation).
-            let fast = match self.entry_of_existing(eip) {
-                Some(e) if !self.cfg.verify_on_dispatch || self.verify_dispatch(eip) => Some(e),
-                _ => None,
-            };
-            let entry = if let Some(e) = fast {
-                self.machine
-                    .charge(region::OTHER, self.cfg.dispatch_fast_cycles);
-                self.stats.dispatch_fast_hits += 1;
-                e
+            if resuming {
+                resuming = false;
             } else {
-                self.machine.charge(region::OTHER, self.cfg.dispatch_cycles);
-                match self.entry_of(os, eip) {
-                    Ok(e) => e,
-                    Err(exc) => match self.deliver(os, exc, None) {
-                        Ok(new_eip) => {
-                            eip = new_eip;
+                self.trace_profile(|t| t.profile_dispatch(eip));
+                // Dispatch latency: cycles from this boundary to the
+                // resolved translated entry, translation work included.
+                let boundary_cycles = self.machine.cycles;
+                // Fault injection is consulted at the dispatch boundary:
+                // the precise EIP is known and all guest state is in its
+                // canonical home, so every injected failure is recoverable.
+                if self.chaos.is_some() {
+                    self.inject_faults(os, eip);
+                }
+                // Asynchronous signal delivery at the dispatch boundary: all
+                // guest state is canonical and EIP is precise, so a pending
+                // signal can be delivered without any reconstruction.
+                if let Some(handler) = os.poll_signal(self.machine.cycles) {
+                    let cpu = state::machine_to_cpu(&self.machine, eip);
+                    match self.deliver_signal(handler, cpu) {
+                        ExitAction::Dispatch(e) => {
+                            eip = e;
                             continue 'dispatch;
                         }
-                        Err(out) => return out,
-                    },
+                        ExitAction::Done(out) => return out,
+                        ExitAction::Continue(_) => unreachable!("signal delivery never resumes"),
+                    }
                 }
-            };
-            self.machine.set_ip(entry, 0);
+                // Chained-dispatch fast path: a registry hit needs no
+                // translation work and only minimal state traffic, so it is
+                // charged a reduced round-trip cost. Under
+                // verify-on-dispatch a checksum mismatch evicts the target
+                // and falls back to the slow path (retranslation).
+                let fast = match self.entry_of_existing(eip) {
+                    Some(e) if !self.cfg.verify_on_dispatch || self.verify_dispatch(eip) => Some(e),
+                    _ => None,
+                };
+                let entry = if let Some(e) = fast {
+                    self.machine
+                        .charge(region::OTHER, self.cfg.dispatch_fast_cycles);
+                    self.stats.dispatch_fast_hits += 1;
+                    e
+                } else {
+                    self.machine.charge(region::OTHER, self.cfg.dispatch_cycles);
+                    match self.entry_of(os, eip) {
+                        Ok(e) => e,
+                        Err(exc) => match self.deliver(os, exc, None) {
+                            Ok(new_eip) => {
+                                eip = new_eip;
+                                continue 'dispatch;
+                            }
+                            Err(out) => return out,
+                        },
+                    }
+                };
+                self.stats
+                    .dispatch_hist
+                    .record(self.machine.cycles - boundary_cycles);
+                self.machine.set_ip(entry, 0);
+            }
             loop {
                 let before = self.machine.inst_count;
                 // Profiled runs attribute executed COLD/HOT region
@@ -1822,9 +2272,9 @@ impl Engine {
         // Pin the block owning `from`: its bundles may be patched or
         // resumed below and must survive any eviction that entry_of
         // triggers while handling this exit.
-        self.pinned_block = self.block_at_addr(from);
+        self.ctx.pinned_block = self.block_at_addr(from);
         let act = self.handle_exit_stub(os, target, from);
-        self.pinned_block = None;
+        self.ctx.pinned_block = None;
         act
     }
 
@@ -1868,8 +2318,8 @@ impl Engine {
                         // exited) to go straight to the new block, and
                         // record the edge so eviction can un-link it.
                         self.patch_branch(from, StubKind::Untranslated.addr(), entry);
-                        if let Some(&tid) = self.by_eip.get(&eip) {
-                            self.links_into.entry(tid).or_default().push(from);
+                        if let Some(&tid) = self.cache.by_eip.get(&eip) {
+                            self.cache.links_into.entry(tid).or_default().push(from);
                         }
                         ExitAction::Continue(entry)
                     }
@@ -1898,10 +2348,11 @@ impl Engine {
                     // re-missing) the pop on every execution.
                     let id = (site & 0xFFFF_FFFF) as u32;
                     site = 0;
-                    if (id as usize) < self.blocks.len() {
-                        self.blocks[id as usize].pop_misses += 1;
-                        if self.blocks[id as usize].pop_misses >= self.cfg.shadow_demote_misses
-                            && !self.blocks[id as usize].indirect_plain
+                    if (id as usize) < self.cache.blocks.len() {
+                        self.cache.blocks[id as usize].pop_misses += 1;
+                        if self.cache.blocks[id as usize].pop_misses
+                            >= self.cfg.shadow_demote_misses
+                            && !self.cache.blocks[id as usize].indirect_plain
                         {
                             self.demote_indirect(os, id);
                         }
@@ -1939,20 +2390,20 @@ impl Engine {
             StubKind::Heat => {
                 let id = payload as u32;
                 self.stats.heat_events += 1;
-                let b = &mut self.blocks[id as usize];
+                let b = &mut self.cache.blocks[id as usize];
                 b.registrations += 1;
                 let twice = b.registrations >= 2;
                 let eip = b.eip;
                 // Demoted blocks sit out their re-promotion backoff:
                 // no candidacy until the blacklist releases them.
-                if self.blacklist.is_blocked(eip, self.machine.cycles) {
+                if self.cache.blacklist.is_blocked(eip, self.machine.cycles) {
                     self.stats.blacklist_hits += 1;
                     return ExitAction::Dispatch(eip);
                 }
-                if !self.candidates.contains(&id) {
-                    self.candidates.push(id);
+                if !self.cache.candidates.contains(&id) {
+                    self.cache.candidates.push(id);
                 }
-                if self.candidates.len() >= self.cfg.hot_candidates || twice {
+                if self.cache.candidates.len() >= self.cfg.hot_candidates || twice {
                     self.run_hot_session(os);
                 }
                 ExitAction::Dispatch(eip)
@@ -1960,8 +2411,8 @@ impl Engine {
             StubKind::MisalignRetrain => {
                 let id = payload as u32;
                 self.stats.misalign_retrains += 1;
-                let eip = self.blocks[id as usize].eip;
-                let overrides = self.blocks[id as usize].misalign_overrides.clone();
+                let eip = self.cache.blocks[id as usize].eip;
+                let overrides = self.cache.blocks[id as usize].misalign_overrides.clone();
                 let _ = self.translate_cold(os, eip, BlockKind::ColdV2, false, overrides);
                 // Continue at the interrupted instruction.
                 let cur = self.machine.gr[GR_STATE.0 as usize] as u32;
@@ -1970,7 +2421,7 @@ impl Engine {
             StubKind::SmcFail => {
                 let id = payload as u32;
                 self.stats.smc_events += 1;
-                let eip = self.blocks[id as usize].eip;
+                let eip = self.cache.blocks[id as usize].eip;
                 // Snapshot-mode pages are unprotected, so their writes
                 // never reach `handle_smc_store` — the prologue
                 // detection is their governor feed. A thrashing page
@@ -1986,16 +2437,16 @@ impl Engine {
                 self.stats.tos_fixes += 1;
                 self.machine.charge(region::OTHER, self.cfg.fix_cycles);
                 self.fix_tos(id);
-                ExitAction::Continue(self.blocks[id as usize].entry)
+                ExitAction::Continue(self.cache.blocks[id as usize].entry)
             }
             StubKind::TagFix => {
                 let id = payload as u32;
                 self.stats.tag_fixes += 1;
                 self.machine.charge(region::OTHER, self.cfg.fix_cycles);
                 // Rebuild the "special block" with inline checks.
-                let eip = self.blocks[id as usize].eip;
-                let overrides = self.blocks[id as usize].misalign_overrides.clone();
-                let kind = self.blocks[id as usize].kind;
+                let eip = self.cache.blocks[id as usize].eip;
+                let overrides = self.cache.blocks[id as usize].misalign_overrides.clone();
+                let kind = self.cache.blocks[id as usize].kind;
                 let _ = self.translate_cold(os, eip, kind, true, overrides);
                 ExitAction::Dispatch(eip)
             }
@@ -2003,15 +2454,15 @@ impl Engine {
                 let id = payload as u32;
                 self.stats.mmx_fixes += 1;
                 self.machine.charge(region::OTHER, self.cfg.fix_cycles);
-                self.fix_mmx_mode(self.blocks[id as usize].entry_mmx);
-                ExitAction::Continue(self.blocks[id as usize].entry)
+                self.fix_mmx_mode(self.cache.blocks[id as usize].entry_mmx);
+                ExitAction::Continue(self.cache.blocks[id as usize].entry)
             }
             StubKind::XmmFix => {
                 let id = payload as u32;
                 self.stats.xmm_fixes += 1;
                 self.machine.charge(region::OTHER, self.cfg.fix_cycles);
                 self.fix_xmm_formats(id);
-                ExitAction::Continue(self.blocks[id as usize].entry)
+                ExitAction::Continue(self.cache.blocks[id as usize].entry)
             }
             StubKind::DivZero => {
                 let eip = self.machine.gr[GR_STATE.0 as usize] as u32;
@@ -2030,7 +2481,7 @@ impl Engine {
                 let rec = self.machine.gr[state::GR_PAYLOAD1.0 as usize] as u32;
                 self.stats.deopts += 1;
                 self.trace_emit(EventData::CommitPointTaken { id, recovery: rec });
-                let cpu = match &self.blocks[id as usize].hot {
+                let cpu = match &self.cache.blocks[id as usize].hot {
                     Some(h) => h.reconstruct_at(&self.machine, rec),
                     None => None,
                 };
@@ -2050,7 +2501,7 @@ impl Engine {
                 self.interp_one(os, eip)
             }
             StubKind::Reenter => match self.block_at_addr(from) {
-                Some(id) => ExitAction::Dispatch(self.blocks[id as usize].eip),
+                Some(id) => ExitAction::Dispatch(self.cache.blocks[id as usize].eip),
                 None => {
                     let eip = self.machine.gr[GR_STATE.0 as usize] as u32;
                     ExitAction::Dispatch(eip)
@@ -2137,7 +2588,7 @@ impl Engine {
                 self.machine
                     .charge(region::OTHER, self.cfg.misalign_fault_cycles);
                 if let Some(id) = self.block_at_addr(ip) {
-                    let b = &mut self.blocks[id as usize];
+                    let b = &mut self.cache.blocks[id as usize];
                     b.misalign_faults += 1;
                     if b.kind == BlockKind::Hot
                         && b.misalign_faults > self.cfg.hot_misalign_tolerance
@@ -2161,6 +2612,12 @@ impl Engine {
                         let cpu = self.reconstruct(ip, slot);
                         self.deliver_action(os, exc, cpu)
                     }
+                    // A misaligned self-modifying store: the part-writes
+                    // already landed are idempotent (the interpreter
+                    // re-executes the whole store from unchanged
+                    // register state), so the ordinary SMC recovery
+                    // applies as if the store had not run at all.
+                    Err(MisEmu::Smc(addr)) => self.handle_smc_store(os, ip, slot, addr),
                     Err(MisEmu::Residue) => {
                         self.degrade(os, EngineError::MisalignResidue { ip, slot })
                     }
@@ -2272,11 +2729,12 @@ impl Engine {
                 for i in 0..sz as u64 {
                     self.mem
                         .write(a + i, 1, (v >> (i * 8)) & 0xFF)
-                        .map_err(|f| {
-                            MisEmu::Guest(GuestException::PageFault {
+                        .map_err(|f| match f.kind {
+                            MemFaultKind::SmcWrite => MisEmu::Smc(f.addr),
+                            _ => MisEmu::Guest(GuestException::PageFault {
                                 addr: f.addr as u32,
                                 write: true,
-                            })
+                            }),
                         })?;
                 }
             }
@@ -2299,11 +2757,12 @@ impl Engine {
                 for i in 0..n {
                     self.mem
                         .write(a + i, 1, (v >> (i * 8)) & 0xFF)
-                        .map_err(|f| {
-                            MisEmu::Guest(GuestException::PageFault {
+                        .map_err(|f| match f.kind {
+                            MemFaultKind::SmcWrite => MisEmu::Smc(f.addr),
+                            _ => MisEmu::Guest(GuestException::PageFault {
                                 addr: f.addr as u32,
                                 write: true,
-                            })
+                            }),
                         })?;
                 }
             }
@@ -2376,10 +2835,14 @@ impl Engine {
     /// and hot traces (whose source span exceeds their recorded range)
     /// are orphaned.
     fn smc_invalidate_extents(&mut self, page: u32) {
-        let ids = self.blocks_by_page.remove(&page).unwrap_or_default();
+        // The guest rewrote this page: whatever any tenant published
+        // for it is stale. Sweep the namespace first so a peer racing
+        // this invalidation sees the generation bump.
+        self.shared_invalidate_page(page);
+        let ids = self.cache.blocks_by_page.remove(&page).unwrap_or_default();
         let mut kept = Vec::new();
         for id in ids {
-            let b = &self.blocks[id as usize];
+            let b = &self.cache.blocks[id as usize];
             let stale =
                 b.kind == BlockKind::Hot || src_checksum(&self.mem, b.src_range) != b.src_fnv;
             if !stale {
@@ -2388,15 +2851,19 @@ impl Engine {
                 continue;
             }
             self.stats.smc_extent_orphans += 1;
-            let entry = self.blocks[id as usize].entry;
+            let entry = self.cache.blocks[id as usize].entry;
             self.forward(entry, StubKind::Reenter.addr());
-            let eip = self.blocks[id as usize].eip;
-            self.by_eip.remove(&eip);
+            let eip = self.cache.blocks[id as usize].eip;
+            // Guarded: an older orphaned generation must not clobber
+            // the mapping of a fresher block at the same EIP.
+            if self.cache.by_eip.get(&eip) == Some(&id) {
+                self.cache.by_eip.remove(&eip);
+            }
             // Purge lookup + inline-cache entries keyed on this EIP.
             self.lookup_purge_eip(eip);
         }
         if !kept.is_empty() {
-            self.blocks_by_page.insert(page, kept);
+            self.cache.blocks_by_page.insert(page, kept);
         }
     }
 
@@ -2406,7 +2873,7 @@ impl Engine {
     /// prologue; hot traces have no per-entry staleness check, so the
     /// selector must not walk onto these pages.
     pub(crate) fn smc_churn_page(&self, eip: u32) -> bool {
-        self.smc_pages.contains(&(eip >> 12))
+        self.cache.smc_pages.contains(&(eip >> 12))
     }
 
     /// Counts one SMC disturbance against `page` for the thrash
@@ -2421,7 +2888,7 @@ impl Engine {
             return false;
         }
         let now = self.machine.cycles;
-        let w = self.smc_window.entry(page).or_insert((now, 0));
+        let w = self.cache.smc_window.entry(page).or_insert((now, 0));
         if now.saturating_sub(w.0) > self.cfg.smc_thrash_window {
             *w = (now, 0);
         }
@@ -2429,33 +2896,36 @@ impl Engine {
         if w.1 < self.cfg.smc_thrash_threshold {
             return false;
         }
-        self.smc_window.remove(&page);
-        let _until = self.smc_blacklist.strike(page, now);
-        let strikes = self.smc_blacklist.strikes(page);
+        self.cache.smc_window.remove(&page);
+        let _until = self.cache.smc_blacklist.strike(page, now);
+        let strikes = self.cache.smc_blacklist.strikes(page);
         self.stats.smc_blacklists += 1;
         self.trace_emit(EventData::SmcBlacklist { page, strikes });
         // Orphan every surviving translation on the page: dispatches
         // must miss `by_eip` so they reach the interpret-only gate.
-        let ids = self.blocks_by_page.remove(&page).unwrap_or_default();
+        let ids = self.cache.blocks_by_page.remove(&page).unwrap_or_default();
         for id in ids {
-            let entry = self.blocks[id as usize].entry;
+            let entry = self.cache.blocks[id as usize].entry;
             self.forward(entry, StubKind::Reenter.addr());
-            let eip = self.blocks[id as usize].eip;
-            if self.by_eip.get(&eip) == Some(&id) {
-                self.by_eip.remove(&eip);
+            let eip = self.cache.blocks[id as usize].eip;
+            if self.cache.by_eip.get(&eip) == Some(&id) {
+                self.cache.by_eip.remove(&eip);
             }
             self.lookup_purge_eip(eip);
         }
         // Snapshot-check mode for post-backoff retranslations; writes
         // to the unprotected page are then caught by the SmcFail
         // prologue instead of protection faults.
-        self.smc_pages.insert(page);
+        self.cache.smc_pages.insert(page);
         self.mem.set_code_protect((page as u64) << 12, false);
+        // Deny the page in the shared namespace: peers must not import
+        // translations of code this guest is busy rewriting.
+        self.shared_deny_page(page);
         true
     }
 
     fn fix_tos(&mut self, id: u32) {
-        let b = &self.blocks[id as usize];
+        let b = &self.cache.blocks[id as usize];
         let want = b.spec.tos;
         let cur = (self.machine.gr[state::GR_FPTOP.0 as usize] & 7) as u8;
         if want == cur {
@@ -2504,7 +2974,7 @@ impl Engine {
     }
 
     fn fix_xmm_formats(&mut self, id: u32) {
-        let want = self.blocks[id as usize].spec.xmm_fmt;
+        let want = self.cache.blocks[id as usize].spec.xmm_fmt;
         let cur = self.machine.gr[state::GR_XMMFMT.0 as usize] as u8;
         for n in 0..8u8 {
             let w = want & (1 << n) != 0;
@@ -2565,16 +3035,16 @@ impl Engine {
             self.trace_emit(EventData::FaultInjected {
                 kind: FaultKind::HotBudget,
             });
-            self.candidates.clear();
+            self.cache.candidates.clear();
             self.trace_phase_exit(span);
             return;
         }
         let budget = self.cfg.hot_session_budget;
         let start = self.overhead_cycles();
-        let candidates = std::mem::take(&mut self.candidates);
+        let candidates = std::mem::take(&mut self.cache.candidates);
         for id in candidates {
-            let eip = self.blocks[id as usize].eip;
-            if self.blacklist.is_blocked(eip, self.machine.cycles) {
+            let eip = self.cache.blocks[id as usize].eip;
+            if self.cache.blacklist.is_blocked(eip, self.machine.cycles) {
                 self.stats.blacklist_hits += 1;
                 continue;
             }
@@ -2606,18 +3076,18 @@ impl Engine {
     /// rebuild, injected translation death inside a demotion) is
     /// visible to the ladder instead of recursing blind.
     fn recovery_enter(&mut self) {
-        self.recovery_depth += 1;
-        if self.recovery_depth > 1 {
+        self.ctx.recovery_depth += 1;
+        if self.ctx.recovery_depth > 1 {
             self.stats.reentrant_recoveries += 1;
         }
         self.stats.recovery_depth_max = self
             .stats
             .recovery_depth_max
-            .max(self.recovery_depth as u64);
+            .max(self.ctx.recovery_depth as u64);
     }
 
     fn recovery_exit(&mut self) {
-        self.recovery_depth -= 1;
+        self.ctx.recovery_depth -= 1;
     }
 
     /// The degradation ladder entry point, re-entrancy-guarded: at
@@ -2627,7 +3097,7 @@ impl Engine {
     /// which cannot itself raise an `EngineError`.
     fn degrade(&mut self, os: &mut dyn BtOs, err: EngineError) -> ExitAction {
         self.recovery_enter();
-        let act = if self.recovery_depth >= self.cfg.max_recovery_depth {
+        let act = if self.ctx.recovery_depth >= self.cfg.max_recovery_depth {
             self.stats.ladder_recoveries += 1;
             self.stats.interp_fallbacks += 1;
             let (site, slot) = match err {
@@ -2666,7 +3136,7 @@ impl Engine {
         // the recovery maps / state register reconstruct it.
         let cpu = match id {
             Some(id) => {
-                let b = &self.blocks[id as usize];
+                let b = &self.cache.blocks[id as usize];
                 if b.extents.iter().any(|&(s, _)| s == site) {
                     state::machine_to_cpu(&self.machine, b.eip)
                 } else {
@@ -2677,10 +3147,10 @@ impl Engine {
         };
         let rung = if let Some(id) = id {
             let is_spec = matches!(err, EngineError::NatConsumption { .. });
-            if is_spec && self.blocks[id as usize].kind == BlockKind::Hot {
+            if is_spec && self.cache.blocks[id as usize].kind == BlockKind::Hot {
                 // Failed speculation: bounded retries, then rebuild
                 // without the speculative assumptions (inline checks).
-                let b = &mut self.blocks[id as usize];
+                let b = &mut self.cache.blocks[id as usize];
                 b.spec_failures += 1;
                 if b.spec_failures > self.cfg.spec_retry_cap {
                     b.inline_fp = true;
@@ -2707,7 +3177,7 @@ impl Engine {
     /// and the next dispatch rebuilds fresh code from the unchanged
     /// guest bytes. Returns the rung taken (for the trace).
     fn note_failure(&mut self, os: &mut dyn BtOs, id: u32) -> Rung {
-        let b = &mut self.blocks[id as usize];
+        let b = &mut self.cache.blocks[id as usize];
         if b.evicted {
             return Rung::Retry;
         }
@@ -2719,8 +3189,8 @@ impl Engine {
             self.demote_block(os, id);
             Rung::Demote
         } else {
-            let eip = self.blocks[id as usize].eip;
-            let until = self.blacklist.strike(eip, self.machine.cycles);
+            let eip = self.cache.blocks[id as usize].eip;
+            let until = self.cache.blacklist.strike(eip, self.machine.cycles);
             self.trace_emit(EventData::Blacklisted { eip, until });
             self.evict_block(id);
             Rung::Evict
@@ -2731,14 +3201,18 @@ impl Engine {
     /// code and blacklists its EIP from re-promotion with exponential
     /// backoff.
     fn demote_block(&mut self, os: &mut dyn BtOs, id: u32) {
-        let eip = self.blocks[id as usize].eip;
+        let eip = self.cache.blocks[id as usize].eip;
         self.stats.demotions += 1;
-        let until = self.blacklist.strike(eip, self.machine.cycles);
-        let strikes = self.blacklist.strikes(eip);
+        let until = self.cache.blacklist.strike(eip, self.machine.cycles);
+        let strikes = self.cache.blacklist.strikes(eip);
+        // A ladder strike means this EIP's published record is suspect
+        // (repeated faults under it): pull it and bump the generation
+        // until a clean retranslation re-publishes.
+        self.shared_invalidate(eip);
         self.trace_emit(EventData::BlockDemoted { id, eip, strikes });
         self.trace_emit(EventData::Blacklisted { eip, until });
         self.trace_profile(|t| t.profile_lifecycle(eip, EventKind::BlockDemoted));
-        if self.by_eip.get(&eip) == Some(&id) {
+        if self.cache.by_eip.get(&eip) == Some(&id) {
             // Injected translation death *during the demotion rebuild*:
             // a failure inside a recovery action. Descend re-entrantly
             // — evict and blacklist rather than loop demote→rebuild —
@@ -2763,8 +3237,8 @@ impl Engine {
                 self.recovery_exit();
                 return;
             }
-            let inline_fp = self.blocks[id as usize].inline_fp;
-            let overrides = self.blocks[id as usize].misalign_overrides.clone();
+            let inline_fp = self.cache.blocks[id as usize].inline_fp;
+            let overrides = self.cache.blocks[id as usize].misalign_overrides.clone();
             let _ = self.translate_cold(os, eip, BlockKind::ColdV2, inline_fp, overrides);
         } else {
             // An orphaned generation (superseded via SMC): nothing to
@@ -2779,7 +3253,7 @@ impl Engine {
     /// executions, the site is polymorphic and the IC/shadow machinery
     /// is pure per-execution overhead — demote to the plain probe.
     fn maybe_demote_megamorphic(&mut self, os: &mut dyn BtOs, id: u32) {
-        let b = &self.blocks[id as usize];
+        let b = &self.cache.blocks[id as usize];
         if b.indirect_plain || b.evicted || b.kind == BlockKind::Hot {
             return;
         }
@@ -2805,7 +3279,7 @@ impl Engine {
     /// hot selection can never devirtualize through a site that no
     /// longer maintains it.
     fn demote_indirect(&mut self, os: &mut dyn BtOs, id: u32) {
-        let b = &self.blocks[id as usize];
+        let b = &self.cache.blocks[id as usize];
         if b.indirect_plain || b.evicted || b.kind == BlockKind::Hot {
             return;
         }
@@ -2814,13 +3288,13 @@ impl Engine {
         let inline_fp = b.inline_fp;
         let overrides = b.misalign_overrides.clone();
         let slot = b.ic_slot;
-        self.blocks[id as usize].indirect_plain = true;
+        self.cache.blocks[id as usize].indirect_plain = true;
         let _ = self.mem.write(slot, 8, layout::LOOKUP_EMPTY_KEY);
         let _ = self.mem.write(slot + 16, 8, 0);
         self.stats.indirect_demotions += 1;
         self.trace_emit(EventData::IndirectDemote { eip, id });
         self.trace_profile(|t| t.profile_lifecycle(eip, EventKind::IndirectDemote));
-        if self.by_eip.get(&eip) == Some(&id) {
+        if self.cache.by_eip.get(&eip) == Some(&id) {
             let _ = self.translate_cold(os, eip, kind, inline_fp, overrides);
         }
     }
@@ -2846,14 +3320,16 @@ impl Engine {
                 self.stats.misalign_faults += n as u64;
                 self.machine
                     .charge(region::OTHER, self.cfg.misalign_fault_cycles * n as u64);
-                self.blocks[victim as usize].misalign_faults += n;
-                if self.blocks[victim as usize].kind == BlockKind::Hot {
+                self.cache.blocks[victim as usize].misalign_faults += n;
+                if self.cache.blocks[victim as usize].kind == BlockKind::Hot {
                     self.demote_block(os, victim);
                 } else {
                     // Retrain: regenerate with detection and avoidance.
                     self.stats.misalign_retrains += 1;
-                    let veip = self.blocks[victim as usize].eip;
-                    let overrides = self.blocks[victim as usize].misalign_overrides.clone();
+                    let veip = self.cache.blocks[victim as usize].eip;
+                    let overrides = self.cache.blocks[victim as usize]
+                        .misalign_overrides
+                        .clone();
                     let _ = self.translate_cold(os, veip, BlockKind::ColdV2, false, overrides);
                 }
             }
@@ -2868,13 +3344,17 @@ impl Engine {
                 kind: FaultKind::SmcInvalidate,
             });
             self.machine.charge(region::OTHER, self.cfg.fix_cycles);
-            let ids = self.blocks_by_page.remove(&(eip >> 12)).unwrap_or_default();
+            let ids = self
+                .cache
+                .blocks_by_page
+                .remove(&(eip >> 12))
+                .unwrap_or_default();
             for id in ids {
-                let entry = self.blocks[id as usize].entry;
+                let entry = self.cache.blocks[id as usize].entry;
                 self.forward(entry, StubKind::Reenter.addr());
-                let beip = self.blocks[id as usize].eip;
-                if self.by_eip.get(&beip) == Some(&id) {
-                    self.by_eip.remove(&beip);
+                let beip = self.cache.blocks[id as usize].eip;
+                if self.cache.by_eip.get(&beip) == Some(&id) {
+                    self.cache.by_eip.remove(&beip);
                 }
                 self.lookup_purge_eip(beip);
             }
@@ -2889,7 +3369,7 @@ impl Engine {
                 self.trace_emit(EventData::FaultInjected {
                     kind: FaultKind::BitFlip,
                 });
-                let entry = self.blocks[victim as usize].range.0;
+                let entry = self.cache.blocks[victim as usize].range.0;
                 self.machine.arena.patch_slot(
                     entry,
                     0,
@@ -2917,8 +3397,9 @@ impl Engine {
     /// Picks a live, registered injection victim — preferring hot
     /// blocks when asked (so storms exercise demotion).
     fn pick_victim(&mut self, plan: &mut FaultPlan, prefer_hot: bool) -> Option<u32> {
-        let live = |b: &&BlockInfo| !b.evicted && self.by_eip.get(&b.eip) == Some(&b.id);
+        let live = |b: &&BlockInfo| !b.evicted && self.cache.by_eip.get(&b.eip) == Some(&b.id);
         let hot: Vec<u32> = self
+            .cache
             .blocks
             .iter()
             .filter(live)
@@ -2928,7 +3409,12 @@ impl Engine {
         let pool: Vec<u32> = if prefer_hot && !hot.is_empty() {
             hot
         } else {
-            self.blocks.iter().filter(live).map(|b| b.id).collect()
+            self.cache
+                .blocks
+                .iter()
+                .filter(live)
+                .map(|b| b.id)
+                .collect()
         };
         if pool.is_empty() {
             None
@@ -2977,7 +3463,7 @@ impl Engine {
     /// maps already prove reconstructible for precise faults.
     fn commit_point_state(&self) -> Option<Cpu> {
         let id = self.block_at_addr(self.machine.ip)?;
-        let hot = self.blocks[id as usize].hot.as_ref()?;
+        let hot = self.cache.blocks[id as usize].hot.as_ref()?;
         hot.reconstruct(&self.machine, self.machine.ip, self.machine.slot)
     }
 
@@ -2987,7 +3473,7 @@ impl Engine {
     /// ladder relies on.
     fn entry_boundary_state(&self, addr: u64) -> Option<Cpu> {
         let id = self.block_at_addr(addr)?;
-        let b = &self.blocks[id as usize];
+        let b = &self.cache.blocks[id as usize];
         if b.entry == addr && !b.evicted {
             Some(state::machine_to_cpu(&self.machine, b.eip))
         } else {
@@ -3105,6 +3591,11 @@ pub(crate) enum ExitAction {
 enum MisEmu {
     /// A real guest exception surfaced (unmapped page, …).
     Guest(GuestException),
+    /// A part-write hit a write-protected translated-code page: a
+    /// misaligned self-modifying store. Must take the SMC recovery
+    /// path, not a guest fault (the protection is ours, not the
+    /// guest's). Carries the faulting address.
+    Smc(u64),
     /// The faulting bundle is not an emulable memory op — the code is
     /// not what the translator emitted; residue for the ladder.
     Residue,
@@ -3195,7 +3686,7 @@ mod tests {
         // recovery scopes: the ladder must not recurse into another
         // rebuild; it interprets exactly one instruction (the hlt).
         let mut engine = halt_engine();
-        engine.recovery_depth = engine.cfg.max_recovery_depth - 1;
+        engine.ctx.recovery_depth = engine.cfg.max_recovery_depth - 1;
         let err = EngineError::NonStubBranch {
             target: 0xdead,
             from: 0xbeef,
@@ -3215,6 +3706,6 @@ mod tests {
             u64::from(engine.cfg.max_recovery_depth)
         );
         // The scope unwound: the faked outer depth is all that remains.
-        assert_eq!(engine.recovery_depth, engine.cfg.max_recovery_depth - 1);
+        assert_eq!(engine.ctx.recovery_depth, engine.cfg.max_recovery_depth - 1);
     }
 }

@@ -16,6 +16,7 @@ pub mod engine;
 pub mod hot;
 pub mod layout;
 pub mod persist;
+pub mod serving;
 pub mod state;
 pub mod stats;
 pub mod templates;

@@ -39,6 +39,20 @@
 //! cold generation inputs), so a warm process starts from warm cold
 //! code and re-heats through the ordinary profile counters.
 //!
+//! Since format version 2 the *profile* itself rides along: each record
+//! carries the block's heat (use counter), taken/fall-through edge
+//! counts, and — when the block's indirect site had proven monomorphic
+//! at save time — the inline-cache target hint with its hit count.
+//! [`load`] writes the counters back into the freshly allocated profile
+//! slots (`Stats::profile_heat_restored`) and, in a second pass once
+//! every record has installed, re-trains inline caches whose predicted
+//! target is itself a loaded block (`Stats::profile_ic_restored`). A
+//! warm boot therefore resumes hot-phase promotion where the saved
+//! process left off instead of re-profiling from zero — and a
+//! multi-tenant warm boot re-heats every tenant at once. The hints are
+//! validated by the same per-record checksums as the generation inputs;
+//! a stale record drops its profile along with everything else.
+//!
 //! # Validation ladder — never die on a stale image
 //!
 //! Wholesale rejection (`Stats::image_rejects`): bad magic, unknown
@@ -54,19 +68,19 @@
 //! translation, riding the existing degradation ladder. A damaged image
 //! can therefore never produce wrong execution, only a colder start.
 //!
-//! # Image format (version 1)
+//! # Image format (version 2)
 //!
 //! All integers little-endian. Header, then `block_count` records:
 //!
 //! ```text
 //! header (40 bytes):
 //!   0  magic        8B  "IA32EL01"
-//!   8  version      4B  = 1
+//!   8  version      4B  = 2
 //!   12 block_count  4B
 //!   16 fingerprint  8B  config/layout fingerprint (see `fingerprint`)
 //!   24 reserved     8B  = 0
 //!   32 header_fnv   8B  FNV-1a over bytes 0..32
-//! record (28 + 4*n_overrides + 8 bytes):
+//! record (48 + 4*n_overrides + 8 bytes):
 //!   0  eip          4B
 //!   4  src_start    4B  guest source span [start, end)
 //!   8  src_end      4B
@@ -77,9 +91,18 @@
 //!   25 spec_tos     1B
 //!   26 spec_xmm     1B
 //!   27 n_overrides  1B
-//!   28 overrides    4B each: idx u16, mode u8, gran u8
+//!   28 heat         4B  block use counter (saturated to u32)
+//!   32 edge_taken   4B  taken edge counter (saturated)
+//!   36 edge_fall    4B  fall-through edge counter (saturated)
+//!   40 ic_pred      4B  monomorphic indirect-target hint (0 = none)
+//!   44 ic_hits      4B  inline-cache hits backing the hint (saturated)
+//!   48 overrides    4B each: idx u16, mode u8, gran u8
 //!   .. record_fnv   8B  FNV-1a over this record's preceding bytes
 //! ```
+//!
+//! Version 1 images (no profile fields) are rejected wholesale with
+//! [`ImageError::BadVersion`]; the fingerprint also covers [`VERSION`],
+//! so even a hand-patched version field cannot smuggle one through.
 
 use crate::btos::BtOs;
 use crate::cold::discover::discover;
@@ -91,13 +114,13 @@ use std::collections::HashSet;
 
 /// Image format version written by [`encode`] and required by
 /// [`decode`].
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
 
 /// Size of the image header in bytes.
 pub const HEADER_LEN: usize = 40;
 
 /// Fixed-size prefix of a record, before the overrides array.
-const RECORD_FIXED: usize = 28;
+const RECORD_FIXED: usize = 48;
 
 const MAGIC: [u8; 8] = *b"IA32EL01";
 
@@ -149,8 +172,10 @@ pub fn fingerprint(cfg: &Config) -> u64 {
 
 /// One serialized cold block: the generation inputs needed to
 /// deterministically rebuild it, plus the source span and checksum that
-/// validate it against the guest binary at load time.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// validate it against the guest binary at load time, plus (since
+/// format version 2) the hot-phase profile hints that let a warm boot
+/// re-heat without re-profiling.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ImageBlock {
     /// Guest entry EIP.
     pub eip: u32,
@@ -170,6 +195,19 @@ pub struct ImageBlock {
     pub src_fnv: u64,
     /// IA-32 instructions covered (informational).
     pub ia32_insts: u32,
+    /// Block use counter at save time (heat; saturated to `u32` on
+    /// the wire).
+    pub heat: u64,
+    /// Taken / fall-through edge counters at save time (saturated).
+    pub edges: (u32, u32),
+    /// Monomorphic indirect-target hint: the inline cache's predicted
+    /// guest EIP, saved only when the site had proven monomorphic
+    /// (`0` = no hint).
+    pub ic_pred: u32,
+    /// Inline-cache hit count backing `ic_pred` (saturated) — restored
+    /// so the hot phase's devirtualization gate sees the earned
+    /// confidence, not a cold counter.
+    pub ic_hits: u32,
 }
 
 /// A decoded (or about-to-be-encoded) warm-start image.
@@ -270,24 +308,7 @@ pub fn snapshot(engine: &Engine) -> Image {
         if src_checksum(&engine.mem, b.src_range) != b.src_fnv {
             continue;
         }
-        let mut overrides: Vec<(u16, AccessMode)> =
-            b.misalign_overrides.iter().map(|(&i, &m)| (i, m)).collect();
-        overrides.sort_unstable_by_key(|&(i, _)| i);
-        // A hot trace is serialized as its cold *base* block: the
-        // BlockInfo still carries the cold generation inputs, and the
-        // warm process re-heats from the regenerated cold code (hot
-        // recovery maps themselves are not serializable — module docs).
-        blocks.push(ImageBlock {
-            eip: b.eip,
-            stage2: b.kind == BlockKind::ColdV2,
-            inline_fp: b.inline_fp,
-            indirect_plain: b.indirect_plain,
-            spec: b.spec,
-            overrides,
-            src_range: b.src_range,
-            src_fnv: b.src_fnv,
-            ia32_insts: b.ia32_insts as u32,
-        });
+        blocks.push(record_of(engine, b));
     }
     blocks.sort_unstable_by_key(|b| b.eip);
     Image {
@@ -296,9 +317,65 @@ pub fn snapshot(engine: &Engine) -> Image {
     }
 }
 
-/// Serializes an [`Image`] into the version-1 wire format.
+/// Builds the serialized record for one live block: its cold
+/// generation inputs plus the current profile hints read out of the
+/// engine's profile slots. Shared between [`snapshot`] and the shared
+/// serving cache's publish path (`Engine::shared_publish`) — both emit
+/// the exact same metadata, so a record imported from a peer tenant is
+/// indistinguishable from one loaded from a warm-start image.
+///
+/// The caller is responsible for validity checks (not evicted, not
+/// superseded, source checksum still current).
+pub(crate) fn record_of(engine: &Engine, b: &crate::engine::BlockInfo) -> ImageBlock {
+    let mut overrides: Vec<(u16, AccessMode)> =
+        b.misalign_overrides.iter().map(|(&i, &m)| (i, m)).collect();
+    overrides.sort_unstable_by_key(|&(i, _)| i);
+    let heat = engine.mem.read(b.counter_addr, 8).unwrap_or(0);
+    let taken = engine.mem.read(b.edge_counters.0, 8).unwrap_or(0);
+    let fall = engine.mem.read(b.edge_counters.1, 8).unwrap_or(0);
+    // The IC hint is only worth shipping when the site has proven
+    // monomorphic — a rotating site's last-seen target would just
+    // mistrain every importer.
+    let pred = engine
+        .mem
+        .read(b.ic_slot, 8)
+        .unwrap_or(layout::LOOKUP_EMPTY_KEY);
+    let hits = engine.mem.read(b.ic_slot + 16, 8).unwrap_or(0);
+    let (ic_pred, ic_hits) = if pred != layout::LOOKUP_EMPTY_KEY
+        && pred != 0
+        && crate::engine::site_is_monomorphic(hits, heat)
+    {
+        (pred as u32, hits.min(u32::MAX as u64) as u32)
+    } else {
+        (0, 0)
+    };
+    // A hot trace is serialized as its cold *base* block: the
+    // BlockInfo still carries the cold generation inputs, and the
+    // warm process re-heats from the regenerated cold code (hot
+    // recovery maps themselves are not serializable — module docs).
+    ImageBlock {
+        eip: b.eip,
+        stage2: b.kind == BlockKind::ColdV2,
+        inline_fp: b.inline_fp,
+        indirect_plain: b.indirect_plain,
+        spec: b.spec,
+        overrides,
+        src_range: b.src_range,
+        src_fnv: b.src_fnv,
+        ia32_insts: b.ia32_insts as u32,
+        heat,
+        edges: (
+            taken.min(u32::MAX as u64) as u32,
+            fall.min(u32::MAX as u64) as u32,
+        ),
+        ic_pred,
+        ic_hits,
+    }
+}
+
+/// Serializes an [`Image`] into the version-2 wire format.
 pub fn encode(image: &Image) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_LEN + image.blocks.len() * 48);
+    let mut out = Vec::with_capacity(HEADER_LEN + image.blocks.len() * 64);
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&(image.blocks.len() as u32).to_le_bytes());
@@ -321,6 +398,11 @@ pub fn encode(image: &Image) -> Vec<u8> {
         out.push(b.spec.tos);
         out.push(b.spec.xmm_fmt);
         out.push(b.overrides.len().min(255) as u8);
+        out.extend_from_slice(&(b.heat.min(u32::MAX as u64) as u32).to_le_bytes());
+        out.extend_from_slice(&b.edges.0.to_le_bytes());
+        out.extend_from_slice(&b.edges.1.to_le_bytes());
+        out.extend_from_slice(&b.ic_pred.to_le_bytes());
+        out.extend_from_slice(&b.ic_hits.to_le_bytes());
         for &(idx, mode) in b.overrides.iter().take(255) {
             let (code, gran) = mode_to_wire(mode);
             out.extend_from_slice(&idx.to_le_bytes());
@@ -428,6 +510,10 @@ pub fn decode(bytes: &[u8], expected_fingerprint: u64) -> Result<(Image, u64), I
                 src_range: (rd_u32(bytes, at + 4), rd_u32(bytes, at + 8)),
                 src_fnv: rd_u64(bytes, at + 16),
                 ia32_insts: rd_u32(bytes, at + 12),
+                heat: rd_u32(bytes, at + 28) as u64,
+                edges: (rd_u32(bytes, at + 32), rd_u32(bytes, at + 36)),
+                ic_pred: rd_u32(bytes, at + 40),
+                ic_hits: rd_u32(bytes, at + 44),
             });
         } else {
             rejected += 1;
@@ -467,6 +553,10 @@ pub fn load(engine: &mut Engine, os: &mut dyn BtOs, bytes: &[u8]) -> LoadSummary
     engine.stats.image_blocks_rejected += rejected;
     let mut loaded = 0u64;
     let accel = engine.cfg.enable_indirect_accel;
+    // IC hints are installed in a second pass once every record has had
+    // its chance to install: the predicted target must itself resolve
+    // to a translated entry.
+    let mut ic_hints: Vec<(u32, u32, u32)> = Vec::new();
     for b in &image.blocks {
         if engine.cfg.max_cache_bundles > 0
             && engine.machine.arena.live_len() >= engine.cfg.max_cache_bundles
@@ -509,12 +599,23 @@ pub fn load(engine: &mut Engine, os: &mut dyn BtOs, bytes: &[u8]) -> LoadSummary
                     // transfers into loaded blocks hit immediately.
                     engine.lookup_insert(b.eip, entry);
                 }
+                if engine.cfg.restore_profiles {
+                    if b.heat != 0 || b.edges != (0, 0) {
+                        engine.restore_profile(b.eip, b.heat, b.edges);
+                    }
+                    if b.ic_pred != 0 {
+                        ic_hints.push((b.eip, b.ic_pred, b.ic_hits));
+                    }
+                }
             }
             Err(_) => {
                 engine.stats.image_blocks_rejected += 1;
                 rejected += 1;
             }
         }
+    }
+    for (eip, pred, hits) in ic_hints {
+        engine.restore_ic_hint(eip, pred, hits);
     }
     LoadSummary {
         loaded,
@@ -630,6 +731,10 @@ mod tests {
                     src_range: (0x40_0000, 0x40_0010),
                     src_fnv: 0x1234_5678_9ABC_DEF0,
                     ia32_insts: 5,
+                    heat: 0,
+                    edges: (0, 0),
+                    ic_pred: 0,
+                    ic_hits: 0,
                 },
                 ImageBlock {
                     eip: 0x40_0010,
@@ -648,6 +753,10 @@ mod tests {
                     src_range: (0x40_0010, 0x40_0030),
                     src_fnv: 0xFEED_FACE_CAFE_F00D,
                     ia32_insts: 9,
+                    heat: 777,
+                    edges: (512, 265),
+                    ic_pred: 0x40_0000,
+                    ic_hits: 600,
                 },
             ],
         }

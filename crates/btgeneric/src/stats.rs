@@ -178,6 +178,103 @@ pub struct Stats {
     /// Blocks translated by the static pre-translation pass (full cold
     /// cost, paid before first dispatch).
     pub pretranslated_blocks: u64,
+    /// Blocks whose persisted profile heat / edge counters were written
+    /// back into live profile slots (warm-start image load or shared
+    /// namespace import) — the re-heat-without-re-profiling counter.
+    pub profile_heat_restored: u64,
+    /// Inline-cache sites re-trained from a persisted monomorphic
+    /// target hint (second-pass restore after all records installed).
+    pub profile_ic_restored: u64,
+    /// Blocks materialized from the shared multi-tenant namespace
+    /// instead of being cold-translated locally (flat
+    /// `image_load_cycles` charge each — the dedup win).
+    pub shared_installs: u64,
+    /// Translations this tenant published to the shared namespace.
+    pub shared_publishes: u64,
+    /// Shard-generation bumps this tenant caused in the shared
+    /// namespace (eviction, SMC page invalidation, governor blacklist,
+    /// cache flush).
+    pub shared_gen_bumps: u64,
+    /// Shared-namespace consults rejected by the generation-tag or
+    /// page-denial gate (a peer invalidated in that shard after
+    /// publish).
+    pub shared_gen_rejects: u64,
+    /// Shared-namespace hits rejected by the source-checksum gate (the
+    /// record does not match this tenant's guest bytes) or whose
+    /// regeneration failed.
+    pub shared_stale_rejects: u64,
+    /// Shard-lock acquisitions that found the lock already held
+    /// (opportunistic try-lock fell back to blocking).
+    pub shared_lock_contention: u64,
+    /// Dispatch-latency histogram: cycles from a dispatch boundary to
+    /// the resolved translated entry, including any translation work on
+    /// a miss.
+    pub dispatch_hist: DispatchHist,
+}
+
+/// Fixed-bucket dispatch-latency histogram: bucket `i` counts
+/// dispatches whose boundary-to-entry latency was in
+/// `[2^i, 2^(i+1))` cycles (bucket 0 additionally holds 0- and 1-cycle
+/// dispatches; the last bucket is open-ended). Powers of two cover the
+/// whole observed range — 18-cycle fast-path hits to multi-thousand
+/// cold translations — in 16 buckets with no allocation, keeping
+/// `Stats` cheap to clone and `Eq`-comparable for the determinism
+/// tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DispatchHist {
+    /// Per-bucket dispatch counts.
+    pub buckets: [u64; DispatchHist::BUCKETS],
+}
+
+impl Default for DispatchHist {
+    fn default() -> DispatchHist {
+        DispatchHist {
+            buckets: [0; DispatchHist::BUCKETS],
+        }
+    }
+}
+
+impl DispatchHist {
+    /// Number of fixed buckets.
+    pub const BUCKETS: usize = 16;
+
+    /// Records one dispatch that took `cycles` from boundary to entry.
+    pub fn record(&mut self, cycles: u64) {
+        let b = (63 - cycles.max(1).leading_zeros() as usize).min(Self::BUCKETS - 1);
+        self.buckets[b] += 1;
+    }
+
+    /// Total dispatches recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The given percentile (e.g. `50.0`, `99.0`) as an upper-bound
+    /// latency in cycles: the exclusive upper edge of the bucket
+    /// holding that rank (`2^(i+1)`). Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << Self::BUCKETS
+    }
+
+    /// Merges another histogram into this one (bucket-wise sum) — how
+    /// the serving bench aggregates per-session histograms.
+    pub fn merge(&mut self, other: &DispatchHist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
 }
 
 impl Stats {
@@ -249,6 +346,29 @@ impl Stats {
             self.integrity_evictions,
             self.watchdog_aborts,
             self.os_alloc_failures
+        )
+    }
+
+    /// One-line multi-tenant serving summary (shared-namespace traffic,
+    /// generation-tag activity, dispatch-latency percentiles) for
+    /// bench/figures output.
+    pub fn serving_summary(&self) -> String {
+        format!(
+            "shared installs {}, publishes {}, gen bumps {}, \
+             gen rejects {}, stale rejects {}, lock contention {}, \
+             profile restored {}/{} (heat/ic), \
+             dispatch p50/p99 {}/{}cy over {}",
+            self.shared_installs,
+            self.shared_publishes,
+            self.shared_gen_bumps,
+            self.shared_gen_rejects,
+            self.shared_stale_rejects,
+            self.shared_lock_contention,
+            self.profile_heat_restored,
+            self.profile_ic_restored,
+            self.dispatch_hist.percentile(50.0),
+            self.dispatch_hist.percentile(99.0),
+            self.dispatch_hist.count()
         )
     }
 

@@ -37,6 +37,8 @@ use ia32::cpu::Cpu;
 use ia32::mem::{GuestMem, Prot};
 use ia32::regs::{EAX, EBX, ECX, EDX};
 
+pub mod serve;
+
 /// Simulated Linux-like syscall numbers (`int 0x80` ABI: number in
 /// `EAX`, arguments in `EBX`, `ECX`, `EDX`).
 pub mod sys {
@@ -337,6 +339,10 @@ pub struct Process<O: BtOs> {
     pub cpu: Cpu,
     /// The negotiated BTOS version.
     pub btos_version: Version,
+    /// Whether the engine has dispatched at least once (set by
+    /// [`Process::run`] / [`Process::run_slice`]); later slices resume
+    /// mid-stream instead of re-launching from the loader CPU state.
+    started: bool,
 }
 
 /// Launch errors.
@@ -383,13 +389,31 @@ impl<O: BtOs> Process<O> {
             os,
             cpu,
             btos_version: version,
+            started: false,
         })
     }
 
     /// Runs the process for up to `max_slots` Itanium instruction slots.
     pub fn run(&mut self, max_slots: u64) -> Outcome {
+        self.started = true;
         let cpu = self.cpu.clone();
         self.engine.run(&mut self.os, cpu, max_slots)
+    }
+
+    /// Runs one cooperative time slice of up to `max_slots` slots.
+    ///
+    /// The first slice launches the process from the loader CPU state;
+    /// every later slice resumes exactly where the previous one stopped
+    /// (mid-block, via [`Engine::resume`]), so a scheduler can
+    /// interleave thousands of sessions without perturbing any of them.
+    /// Returns [`Outcome::InstLimit`] while the slice budget runs out
+    /// before the guest finishes.
+    pub fn run_slice(&mut self, max_slots: u64) -> Outcome {
+        if self.started {
+            self.engine.resume(&mut self.os, max_slots)
+        } else {
+            self.run(max_slots)
+        }
     }
 
     /// One-line translation-cache management summary (evictions,

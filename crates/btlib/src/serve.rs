@@ -1,0 +1,282 @@
+//! Cooperative multi-tenant serving: a round-robin quantum scheduler.
+//!
+//! One host process serves N guest sessions by time-slicing them over
+//! the engine's resume mechanism ([`crate::Process::run_slice`]): each
+//! session runs for up to a fixed quantum of Itanium instruction slots,
+//! yields at the engine's next safe point, and rejoins the back of the
+//! round-robin queue. Sessions attached to the same
+//! [`btgeneric::serving::SharedCache`] namespace reuse each other's
+//! translations, so the scheduler is the driver of the multi-tenant
+//! dedup story: admission order, slice order, and completion order are
+//! all strictly deterministic, which keeps whole-fleet runs replayable.
+//!
+//! Admission control bounds live memory: at most `max_live` sessions
+//! have launched engines at once; the rest wait in an admission queue
+//! and are seated in arrival order as seats free up. On completion a
+//! session's profile is synced back to its shared namespace
+//! ([`btgeneric::engine::Engine::shared_sync`]) so later tenants start
+//! from the hottest profile any peer earned.
+
+use crate::Process;
+use btgeneric::btos::BtOs;
+use btgeneric::engine::Outcome;
+use std::collections::VecDeque;
+
+/// One admitted session: a tagged process with a remaining slot budget.
+struct Session<O: BtOs> {
+    tag: u64,
+    process: Process<O>,
+    budget: u64,
+}
+
+/// A deterministic cooperative round-robin scheduler over
+/// [`Process`] sessions.
+///
+/// ```rust
+/// use btlib::{Process, SimOs};
+/// use btlib::serve::Scheduler;
+/// use ia32::asm::{Asm, Image};
+/// use ia32::regs::{EAX, EBX};
+///
+/// let mut a = Asm::new(0x40_0000);
+/// a.mov_ri(EAX, 1); // SYS_exit
+/// a.mov_ri(EBX, 5);
+/// a.int(0x80);
+/// let image = Image::from_asm(&a);
+///
+/// let mut sched = Scheduler::new(10_000, 64);
+/// for tag in 0..4 {
+///     let p = Process::launch(&image, SimOs::new()).unwrap();
+///     sched.admit(tag, p, 1_000_000);
+/// }
+/// sched.drain(1_000);
+/// let done = sched.take_completed();
+/// assert_eq!(done.len(), 4);
+/// assert!(done
+///     .iter()
+///     .all(|(_, _, out)| *out == btgeneric::engine::Outcome::Exited(5)));
+/// ```
+pub struct Scheduler<O: BtOs> {
+    quantum: u64,
+    max_live: usize,
+    live: VecDeque<Session<O>>,
+    waiting: VecDeque<Session<O>>,
+    completed: Vec<(u64, Process<O>, Outcome)>,
+    rounds: u64,
+    slices: u64,
+}
+
+impl<O: BtOs> Scheduler<O> {
+    /// A scheduler granting `quantum` slots per slice with at most
+    /// `max_live` simultaneously seated sessions. Both are clamped to
+    /// at least 1.
+    pub fn new(quantum: u64, max_live: usize) -> Scheduler<O> {
+        Scheduler {
+            quantum: quantum.max(1),
+            max_live: max_live.max(1),
+            live: VecDeque::new(),
+            waiting: VecDeque::new(),
+            completed: Vec::new(),
+            rounds: 0,
+            slices: 0,
+        }
+    }
+
+    /// Admits a session with a total slot budget. Sessions are seated
+    /// in admission order; `tag` is returned with the completed
+    /// process so callers can map results back. A session whose budget
+    /// runs dry completes with [`Outcome::InstLimit`].
+    pub fn admit(&mut self, tag: u64, process: Process<O>, budget: u64) {
+        self.waiting.push_back(Session {
+            tag,
+            process,
+            budget,
+        });
+    }
+
+    /// Seats waiting sessions while live seats are free.
+    fn fill(&mut self) {
+        while self.live.len() < self.max_live {
+            match self.waiting.pop_front() {
+                Some(s) => self.live.push_back(s),
+                None => break,
+            }
+        }
+    }
+
+    /// Runs one round-robin sweep: every currently seated session gets
+    /// one quantum slice (freshly seated sessions wait for the next
+    /// sweep). Returns `true` while sessions remain live or waiting.
+    pub fn tick(&mut self) -> bool {
+        self.fill();
+        if self.live.is_empty() {
+            return false;
+        }
+        self.rounds += 1;
+        for _ in 0..self.live.len() {
+            let mut s = self.live.pop_front().expect("sweep bound");
+            let slice = self.quantum.min(s.budget);
+            let out = s.process.run_slice(slice);
+            s.budget = s.budget.saturating_sub(slice);
+            self.slices += 1;
+            match out {
+                Outcome::InstLimit if s.budget > 0 => self.live.push_back(s),
+                out => {
+                    // Harvest: push the session's earned profile back
+                    // to its shared namespace before retiring it.
+                    s.process.engine.shared_sync();
+                    self.completed.push((s.tag, s.process, out));
+                }
+            }
+        }
+        !self.live.is_empty() || !self.waiting.is_empty()
+    }
+
+    /// Ticks until every session completes or `max_rounds` sweeps have
+    /// run; returns the number of sweeps executed.
+    pub fn drain(&mut self, max_rounds: u64) -> u64 {
+        let start = self.rounds;
+        while self.rounds - start < max_rounds && self.tick() {}
+        self.rounds - start
+    }
+
+    /// Sessions currently seated with live engines.
+    pub fn live(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Sessions admitted but not yet seated.
+    pub fn waiting(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Round-robin sweeps run so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Individual quantum slices granted so far.
+    pub fn slices(&self) -> u64 {
+        self.slices
+    }
+
+    /// Takes the completed sessions (tag, process, final outcome) in
+    /// completion order, leaving the scheduler's completion list empty.
+    pub fn take_completed(&mut self) -> Vec<(u64, Process<O>, Outcome)> {
+        std::mem::take(&mut self.completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimOs;
+    use ia32::asm::{Asm, Image};
+    use ia32::inst::AluOp;
+    use ia32::regs::{EAX, EBX, ECX, ESI};
+
+    /// A checksum loop that exits with the low byte of its result.
+    fn loop_image(iters: i32) -> Image {
+        let mut a = Asm::new(0x40_0000);
+        a.mov_ri(ECX, iters);
+        a.mov_ri(ESI, 0);
+        let top = a.label();
+        a.bind(top);
+        a.alu_rr(AluOp::Add, ESI, ECX);
+        a.alu_rr(AluOp::Xor, ESI, ECX);
+        a.dec(ECX);
+        a.jcc(ia32::Cond::Ne, top);
+        a.mov_store(ia32::inst::Addr::abs(0x50_0000), ESI);
+        a.mov_ri(EAX, crate::sys::EXIT as i32);
+        a.mov_rr(EBX, ESI);
+        a.int(0x80);
+        Image::from_asm(&a).with_bss(0x50_0000, 0x1000)
+    }
+
+    fn solo_result(image: &Image) -> (Outcome, u64) {
+        let mut p = Process::launch(image, SimOs::new()).unwrap();
+        let out = p.run(u64::MAX);
+        let sum = p.engine.mem.read(0x50_0000, 4).unwrap();
+        (out, sum)
+    }
+
+    #[test]
+    fn time_slicing_is_transparent() {
+        let image = loop_image(9_000);
+        let (solo_out, solo_sum) = solo_result(&image);
+        let mut sched = Scheduler::new(5_000, 8);
+        for tag in 0..8 {
+            let p = Process::launch(&image, SimOs::new()).unwrap();
+            sched.admit(tag, p, u64::MAX);
+        }
+        sched.drain(10_000);
+        let done = sched.take_completed();
+        assert_eq!(done.len(), 8);
+        for (_, p, out) in &done {
+            assert_eq!(*out, solo_out, "sliced outcome matches solo run");
+            assert_eq!(
+                p.engine.mem.read(0x50_0000, 4).unwrap(),
+                solo_sum,
+                "sliced checksum matches solo run"
+            );
+        }
+        assert!(
+            sched.slices() > done.len() as u64,
+            "quantum actually split sessions across sweeps"
+        );
+    }
+
+    #[test]
+    fn admission_control_bounds_live_sessions() {
+        let image = loop_image(4_000);
+        let mut sched = Scheduler::new(2_000, 3);
+        for tag in 0..10 {
+            let p = Process::launch(&image, SimOs::new()).unwrap();
+            sched.admit(tag, p, u64::MAX);
+        }
+        assert_eq!(sched.waiting(), 10);
+        assert!(sched.tick());
+        assert!(sched.live() <= 3, "seat cap respected");
+        sched.drain(10_000);
+        assert_eq!(sched.take_completed().len(), 10);
+        assert_eq!(sched.live() + sched.waiting(), 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_completes_with_inst_limit() {
+        let image = loop_image(1_000_000);
+        let mut sched = Scheduler::new(1_000, 2);
+        let p = Process::launch(&image, SimOs::new()).unwrap();
+        sched.admit(7, p, 5_000);
+        sched.drain(10_000);
+        let done = sched.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, 7);
+        assert_eq!(done[0].2, Outcome::InstLimit);
+    }
+
+    #[test]
+    fn completion_order_is_deterministic() {
+        let run = || {
+            let mut sched = Scheduler::new(3_000, 4);
+            for tag in 0..6u64 {
+                // Staggered lengths so completion order differs from
+                // admission order.
+                let p =
+                    Process::launch(&loop_image(2_000 + 3_000 * (tag as i32 % 3)), SimOs::new())
+                        .unwrap();
+                sched.admit(tag, p, u64::MAX);
+            }
+            sched.drain(10_000);
+            sched
+                .take_completed()
+                .into_iter()
+                .map(|(tag, _, out)| (tag, out))
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same fleet, same completion order");
+        assert_eq!(a.len(), 6);
+    }
+}

@@ -238,6 +238,100 @@ fn missing_image_is_a_clean_miss() {
     assert_eq!(warm.engine.stats.image_blocks_loaded, 0);
 }
 
+/// A hot loop around a monomorphic indirect call: enough iterations to
+/// cross `base_cfg`'s heat threshold and train the call site's inline
+/// cache, so the saved image carries both heat counters and an IC hint.
+fn hot_indirect_image() -> Image {
+    let mut a = Asm::new(ENTRY);
+    a.mov_ri(EAX, 0);
+    a.mov_ri(ECX, 400);
+    a.mov_ri(EBX, 0x40_1000);
+    let top = a.label();
+    a.bind(top);
+    a.call_r(EBX);
+    a.alu_ri(AluOp::Xor, EAX, 0x0F0F);
+    a.dec(ECX);
+    a.jcc(Cond::Ne, top);
+    a.mov_store(Addr::abs(DATA), EAX);
+    a.hlt();
+    while a.here() < 0x40_1000 {
+        a.nop();
+    }
+    a.alu_ri(AluOp::Add, EAX, 5);
+    a.ret();
+    Image::from_asm(&a).with_bss(DATA, 0x1_0000)
+}
+
+#[test]
+fn warm_boot_restores_profile_and_reheats() {
+    let img = hot_indirect_image();
+    let want = oracle(&img);
+    let path = scratch("profile");
+
+    // Cold run: profiles from zero, promotes, and saves heat counters
+    // plus the monomorphic IC hint alongside the translations.
+    let cfg = Config {
+        save_image: Some(path.clone()),
+        ..base_cfg()
+    };
+    let mut cold = Process::launch_with(&img, SimOs::new(), cfg).expect("launch");
+    assert!(matches!(cold.run(u64::MAX / 2), Outcome::Halted(_)));
+    assert_eq!(guest_result(&cold), want, "cold run must match oracle");
+    assert!(
+        cold.engine.stats.hot_traces > 0,
+        "workload must heat in the cold run"
+    );
+
+    // Warm run: the profile rides back in with the image...
+    let warm = warm_run(&img, &path);
+    assert_eq!(guest_result(&warm), want, "warm run must match oracle");
+    assert!(warm.engine.stats.image_blocks_loaded > 0);
+    assert!(
+        warm.engine.stats.profile_heat_restored > 0,
+        "saved heat counters must be written back into profile slots"
+    );
+    assert!(
+        warm.engine.stats.profile_ic_restored > 0,
+        "the monomorphic call site's IC hint must be re-trained"
+    );
+    // ...so the warm boot re-heats: promotion resumes from the saved
+    // counters and the run is strictly cheaper than profiling and
+    // translating from scratch.
+    assert!(
+        warm.engine.stats.hot_traces > 0,
+        "warm boot must still reach the hot phase"
+    );
+    assert!(
+        warm.engine.machine.cycles < cold.engine.machine.cycles,
+        "warm start with a restored profile must beat the cold run \
+         (warm {} vs cold {})",
+        warm.engine.machine.cycles,
+        cold.engine.machine.cycles
+    );
+
+    // With restore_profiles off the translations still load, but the
+    // profile starts from zero: no heat write-back, no IC re-training.
+    let cfg = Config {
+        load_image: Some(path.clone()),
+        restore_profiles: false,
+        ..base_cfg()
+    };
+    let mut flat = Process::launch_with(&img, SimOs::new(), cfg).expect("launch");
+    assert!(matches!(flat.run(u64::MAX / 2), Outcome::Halted(_)));
+    assert_eq!(guest_result(&flat), want, "gated run must match oracle");
+    assert!(flat.engine.stats.image_blocks_loaded > 0);
+    assert_eq!(
+        flat.engine.stats.profile_heat_restored, 0,
+        "restore_profiles: false must suppress heat write-back"
+    );
+    assert_eq!(
+        flat.engine.stats.profile_ic_restored, 0,
+        "restore_profiles: false must suppress IC hint re-training"
+    );
+
+    let _ = std::fs::remove_file(&path);
+}
+
 #[test]
 fn pretranslation_covers_the_static_cfg() {
     let img = chain_image();
