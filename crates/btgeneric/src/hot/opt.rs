@@ -486,6 +486,101 @@ pub(super) fn eflags_elim(irs: &mut Vec<IrInst>) {
     }
 }
 
+/// Dead guest-writeback elision: deletes an unpredicated,
+/// non-faulting write into a guest GPR home when the register's next
+/// event is an unconditional full redefinition, with no intervening
+/// read, branch, faulting op, or predicated op — nothing between the
+/// two writes can observe the first. Superinstruction fusion makes
+/// these common: the fused emitters elide temporaries *inside* an
+/// idiom, and this pass catches writebacks that become dead only once
+/// adjacent idioms land on the same trace. Only enabled alongside
+/// `enable_superinst`, keeping the baseline IR pipeline byte-for-byte
+/// unchanged.
+pub(super) fn elide_dead_guest_writes(irs: &mut Vec<IrInst>) {
+    use crate::state::GR_GUEST;
+    // The op's sole def is a physical guest GPR home that the op does
+    // not also read (a read-modify-write needs the prior value).
+    let guest_def = |x: &IrInst| -> Option<Gr> {
+        if x.inst.qp != P0
+            || x.fx.is_branch
+            || x.fx.can_fault
+            || x.fx.writes_eflags
+            || x.fx.mem != MemEffect::None
+        {
+            return None;
+        }
+        // Two passes: collect defs first, then look for a read of the
+        // def register — operand visit order must not hide an RMW.
+        let mut def = None;
+        let mut ok = true;
+        x.inst.op.visit_regs(&mut |r, is_def| {
+            if !is_def {
+                return;
+            }
+            match r {
+                Reg::G(g) if (GR_GUEST..GR_GUEST + 8).contains(&g.0) && def.is_none() => {
+                    def = Some(g);
+                }
+                _ => ok = false,
+            }
+        });
+        let g = def?;
+        if !ok {
+            return None;
+        }
+        let mut reads = false;
+        x.inst.op.visit_regs(&mut |r, is_def| {
+            if !is_def && r == Reg::G(g) {
+                reads = true;
+            }
+        });
+        if reads {
+            None
+        } else {
+            Some(g)
+        }
+    };
+    let mut keep = vec![true; irs.len()];
+    for i in 0..irs.len() {
+        let Some(g) = guest_def(&irs[i]) else {
+            continue;
+        };
+        // Reads are checked regardless of def order within an op, so a
+        // later read-modify-write of `g` counts as an observation.
+        let mut deletable = false;
+        for x in irs[i + 1..].iter() {
+            if x.fx.is_branch || x.fx.can_fault || x.inst.qp != P0 {
+                break;
+            }
+            let mut reads = false;
+            let mut redefs = false;
+            x.inst.op.visit_regs(&mut |r, is_def| {
+                if r == Reg::G(g) {
+                    if is_def {
+                        redefs = true;
+                    } else {
+                        reads = true;
+                    }
+                }
+            });
+            if reads {
+                break;
+            }
+            if redefs {
+                deletable = true;
+                break;
+            }
+        }
+        keep[i] = !deletable;
+    }
+    let mut idx = 0;
+    irs.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -628,6 +628,17 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
         block_id,
     };
 
+    // Learned superinstruction table (tiny; cloned out of the cache so
+    // the trace build carries no engine borrows).
+    let si_table = if engine.cfg.enable_superinst {
+        engine.cache.superinst.table.clone()
+    } else {
+        None
+    };
+    // Instructions absorbed into a fused template (everything past the
+    // idiom head): translated by the head's single template dispatch,
+    // so they are excluded from the per-instruction translation charge.
+    let mut si_absorbed: u64 = 0;
     let mut body = Sink::new();
     let mut exits: Vec<ExitInfo> = Vec::new();
     let mut devirt_exits: Vec<DevirtExit> = Vec::new();
@@ -661,6 +672,137 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
                     guard = None;
                 }
                 perm_by_ip.insert(*ip, fp.perm);
+                // Learned superinstruction peephole: match a mined
+                // idiom against the contiguous unguarded run ahead of
+                // the cursor (side exits appear as their Jcc). CmpJcc
+                // is left to the dedicated fusion below.
+                if let Some(table) = si_table.as_ref() {
+                    engine.stats.superinst_eligible_slots += 1;
+                    let mut window: Vec<(u32, I32, u8)> = Vec::new();
+                    let mut wmeta: Vec<(u32, usize)> = Vec::new();
+                    let mut wexit: Option<(u32, u32)> = None;
+                    if !*guarded {
+                        // Contiguity in guest memory is required: a
+                        // fused idiom restarts from its head IP after
+                        // a fault, which re-interprets *sequential*
+                        // guest bytes — a trace hop would diverge.
+                        let mut expect = *ip;
+                        for s in &trace.steps[i..] {
+                            if window.len() >= crate::superinst::MAX_CHAIN + 2 {
+                                break;
+                            }
+                            match s {
+                                Step::Inst {
+                                    ip,
+                                    inst,
+                                    len,
+                                    block,
+                                    idx,
+                                    guarded: false,
+                                } if *ip == expect => {
+                                    window.push((*ip, *inst, *len));
+                                    wmeta.push((*block, *idx));
+                                    expect = ip.wrapping_add(*len as u32);
+                                }
+                                Step::SideExit {
+                                    cond,
+                                    target,
+                                    block,
+                                    idx,
+                                    ip,
+                                } if *ip == expect => {
+                                    // Synthetic Jcc stand-in; the len
+                                    // is unused by the fused emitters.
+                                    window.push((
+                                        *ip,
+                                        I32::Jcc {
+                                            cond: *cond,
+                                            target: *target,
+                                        },
+                                        2,
+                                    ));
+                                    wmeta.push((*block, *idx));
+                                    wexit = Some((*target, *ip));
+                                    break;
+                                }
+                                _ => break,
+                            }
+                        }
+                    }
+                    let matched = if window.len() >= 2 {
+                        let mut live_after = |j: usize| {
+                            let (b, idx) = wmeta[j];
+                            live_cache
+                                .entry(b)
+                                .or_insert_with(|| analyze(&discover(&engine.mem, b)))
+                                .live_after(b, idx)
+                        };
+                        match crate::superinst::match_at(table, &window, 0, &mut live_after) {
+                            Some((kind, n)) if kind != crate::superinst::IdiomKind::CmpJcc => {
+                                Some((kind, n, live_after(n - 1)))
+                            }
+                            _ => None,
+                        }
+                    } else {
+                        None
+                    };
+                    if let Some((kind, n, live_idiom)) = matched {
+                        let last = n - 1;
+                        let idiom_end = window[last].0.wrapping_add(window[last].2 as u32);
+                        let mut ctx = EmitCtx {
+                            ip: *ip,
+                            next_ip: idiom_end,
+                            live_flags: live_idiom,
+                            fp: &mut fp,
+                            xmm: &mut xmm,
+                            misalign: &plan,
+                            align: &mut align,
+                        };
+                        match crate::superinst::emit_idiom(&mut body, &mut ctx, kind, &window[..n])
+                        {
+                            crate::superinst::FusedEmit::Plain => {
+                                engine.stats.superinst_hits += 1;
+                                engine.stats.superinst_fused_slots += n as u64;
+                                engine.stats.superinst_eligible_slots += (n - 1) as u64;
+                                si_absorbed += (n - 1) as u64;
+                                for w in &window[..n] {
+                                    perm_by_ip.insert(w.0, fp.perm);
+                                }
+                                ia32_count += n as u64;
+                                i += n;
+                                continue;
+                            }
+                            crate::superinst::FusedEmit::Branch(pt) => {
+                                let (target, _jip) =
+                                    wexit.expect("branch idioms end at the side exit");
+                                let label = body.local_label();
+                                body.emit_pred(
+                                    pt,
+                                    Op::Br {
+                                        target: Target::Label(label),
+                                    },
+                                );
+                                exits.push(ExitInfo {
+                                    label,
+                                    target,
+                                    perm: fp.perm,
+                                    xmm_fmt: xmm.fmt,
+                                });
+                                engine.stats.superinst_hits += 1;
+                                engine.stats.superinst_fused_slots += n as u64;
+                                engine.stats.superinst_eligible_slots += (n - 1) as u64;
+                                si_absorbed += (n - 1) as u64;
+                                for w in &window[..n] {
+                                    perm_by_ip.insert(w.0, fp.perm);
+                                }
+                                ia32_count += n as u64;
+                                i += n;
+                                continue;
+                            }
+                            crate::superinst::FusedEmit::Refused => {}
+                        }
+                    }
+                }
                 // Try fusing with a following side exit.
                 if let Some(Step::SideExit {
                     cond,
@@ -689,6 +831,14 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
                         if let Some(pt) =
                             templates::emit_fused_cmp_jcc(&mut body, inst, *cond, &mut ctx)
                         {
+                            if si_table
+                                .as_ref()
+                                .is_some_and(|t| t.active(crate::superinst::IdiomKind::CmpJcc))
+                            {
+                                engine.stats.superinst_hits += 1;
+                                engine.stats.superinst_fused_slots += 2;
+                                engine.stats.superinst_eligible_slots += 1;
+                            }
                             let label = body.local_label();
                             body.emit_pred(
                                 pt,
@@ -953,7 +1103,7 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
     // `enable_hot_ir` off only the template pipeline runs.
     let mut used_ir = false;
     let (compiled, recovery) = if engine.cfg.enable_hot_ir {
-        match compile_ir(&ils, &perm_by_ip) {
+        match compile_ir(&ils, &perm_by_ip, si_table.is_some()) {
             Some(r) => {
                 used_ir = true;
                 r
@@ -1087,9 +1237,14 @@ fn build_and_install(engine: &mut Engine, block_id: u32, trace: &Trace) -> Optio
         engine.machine.arena.place(base, bundles, region::HOT)
     };
     engine.register_inbound_links(entry, entry + n_bundles * ipf::Bundle::SIZE, block_id);
+    // Slots absorbed into a fused template skip the per-instruction
+    // trace walk (template selection, liveness and permission lookups,
+    // guard bookkeeping) but still ride the optimizer with the rest of
+    // the trace, so they pay half the per-instruction hot charge.
+    let full = engine.cfg.cold_xlate_cycles * engine.cfg.hot_xlate_factor;
     engine.machine.charge(
         region::OVERHEAD,
-        ia32_count * engine.cfg.cold_xlate_cycles * engine.cfg.hot_xlate_factor,
+        (ia32_count.max(1) * full).saturating_sub(si_absorbed * full / 2),
     );
     engine.stats.hot_traces += 1;
     if used_ir {
@@ -1210,6 +1365,7 @@ fn compile_template(
 fn compile_ir(
     ils: &[HotIl],
     perm_by_ip: &HashMap<u32, [u8; 8]>,
+    superinst: bool,
 ) -> Option<(CompiledCode, Vec<RecEntry>)> {
     let base = ir::annotate(ils);
     // Const/copy propagation rewrites the value graph, which reshapes
@@ -1221,9 +1377,9 @@ fn compile_ir(
     let propagated = {
         let mut irs = base.clone();
         opt::propagate(&mut irs);
-        compile_ir_variant(irs, perm_by_ip)
+        compile_ir_variant(irs, perm_by_ip, superinst)
     };
-    let plain = compile_ir_variant(base, perm_by_ip);
+    let plain = compile_ir_variant(base, perm_by_ip, superinst);
     match (propagated, plain) {
         (Some(a), Some(b)) => Some(if a.0 < b.0 { (a.1, a.2) } else { (b.1, b.2) }),
         (Some(a), None) => Some((a.1, a.2)),
@@ -1238,9 +1394,13 @@ fn compile_ir(
 fn compile_ir_variant(
     mut irs: Vec<ir::IrInst>,
     perm_by_ip: &HashMap<u32, [u8; 8]>,
+    superinst: bool,
 ) -> Option<(u64, CompiledCode, Vec<RecEntry>)> {
     opt::lvn_ir(&mut irs);
     opt::eflags_elim(&mut irs);
+    if superinst {
+        opt::elide_dead_guest_writes(&mut irs);
+    }
     opt::dce_ir(&mut irs);
     let recovery = assign_recovery(
         &mut irs,

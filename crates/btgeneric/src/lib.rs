@@ -19,5 +19,6 @@ pub mod persist;
 pub mod serving;
 pub mod state;
 pub mod stats;
+pub mod superinst;
 pub mod templates;
 pub mod trace;

@@ -1,0 +1,345 @@
+//! Synthesized superinstruction templates (ROADMAP item 4).
+//!
+//! Each emitter here is a *composition* of the hand-written per
+//! instruction templates in `int.rs`/`mem.rs`: it emits the same guest
+//! visible effects as the source idiom's instructions back to back,
+//! but with the intermediate writebacks elided when they are provably
+//! dead — the mov's zero-extending register writeback when the ALU
+//! overwrites the same register, the intermediate truncations inside a
+//! same-destination ALU chain, the push/pop ESP round trip.
+//!
+//! Every emitter obeys the paper's precise-exception discipline for a
+//! *single* instruction, applied to the whole idiom: all guest state
+//! writes are emitted after the last faulting micro-op, every op is
+//! tagged with the idiom's **head** IP (the caller does
+//! `sink.set_ip(head)`), and memory writes are pure functions of the
+//! entry state. A fault anywhere inside the fused sequence therefore
+//! re-enters the interpreter at the idiom head and replays it
+//! idempotently — the same recovery contract the engine already
+//! implements for single instructions.
+//!
+//! Which idioms may fire is decided by the mined table and the
+//! differential validation gate in [`crate::superinst`]; nothing here
+//! is reachable unless `Config::enable_superinst` is on.
+
+use super::flags_emit::{arith_flags, ArithKind};
+use super::int::{cond_to_rel, emit_alu, read_rmi, trunc, write_rm};
+use super::mem::{guest_store, read_gpr, write_gpr};
+use super::{EmitCtx, Sink};
+use crate::state;
+use ia32::inst::{AluOp, Inst as I32, Rm, RmI};
+use ia32::regs::Gpr;
+use ia32::{flags, Size};
+use ipf::inst::{CmpRel, Op};
+use ipf::regs::{Gr, Pr, R0};
+
+/// ALU ops whose 32-bit result depends only on the low 32 bits of the
+/// operands — the ops a chain may compose without intermediate
+/// truncation — and which have no carry input.
+pub(crate) fn chainable(op: AluOp) -> bool {
+    matches!(
+        op,
+        AluOp::Add | AluOp::Sub | AluOp::And | AluOp::Or | AluOp::Xor
+    )
+}
+
+/// Whether a fused compare+branch template exists for `cond` on a
+/// `cmp`-class flag setter (mirrors `int::try_fuse`).
+pub(crate) fn cmp_cond_fusable(cond: ia32::Cond) -> bool {
+    cond_to_rel(cond).is_some()
+}
+
+/// Whether `cond` is computable from the ALU *result* alone — the
+/// condition set `int::try_fuse` accepts for `sub`/`and`/`or`/`xor`/
+/// `inc`/`dec` fusions, and the set the `MovAluJcc` triple mirrors.
+pub(crate) fn result_cond_fusable(cond: ia32::Cond) -> bool {
+    use ia32::Cond as C;
+    matches!(cond, C::E | C::Ne | C::S | C::Ns)
+}
+
+/// Reads the ALU source operand of an absorbable pair/triple, with
+/// reads of the mov destination `rd` redirected to the mov source `rs`
+/// (the value `rd` would have held after the elided mov).
+fn read_subst(sink: &mut Sink, ctx: &mut EmitCtx<'_>, src: &RmI, rd: Gpr, rs: Gpr) -> Gr {
+    match src {
+        RmI::Reg(r) if r.num() == rd.num() => read_gpr(sink, rs, Size::D),
+        other => read_rmi(sink, ctx, other, Size::D),
+    }
+}
+
+/// `mov rd, rs ; op rd, src` → `rd = op(rs, src[rd→rs])`.
+///
+/// The mov's zero-extending writeback is elided entirely: the ALU
+/// reads `rs`'s canonical register directly and its own writeback
+/// produces the final `rd`. Saves one micro-op over the unfused pair.
+pub(crate) fn emit_mov_alu(
+    sink: &mut Sink,
+    ctx: &mut EmitCtx<'_>,
+    rd: Gpr,
+    rs: Gpr,
+    op: AluOp,
+    src: &RmI,
+    live: u32,
+) {
+    sink.set_ip(ctx.ip);
+    let a = read_gpr(sink, rs, Size::D);
+    // Immediate fast path: fold into the Itanium imm-form op (mirrors
+    // the unfused `Alu` template).
+    if live == 0 {
+        if let RmI::Imm(v) = src {
+            let imm = Size::D.trunc(*v as u32) as i64;
+            let d = sink.vg();
+            let fop = match op {
+                AluOp::Add => Op::AddImm { d, imm, a },
+                AluOp::Sub => Op::AddImm { d, imm: -imm, a },
+                AluOp::And => Op::AndImm { d, imm, a },
+                AluOp::Or => Op::OrImm { d, imm, a },
+                AluOp::Xor => Op::XorImm { d, imm, a },
+                _ => unreachable!("non-chainable op in mov+alu pair"),
+            };
+            sink.emit(fop);
+            write_gpr(sink, ctx, rd, Size::D, d);
+            return;
+        }
+    }
+    let b = read_subst(sink, ctx, src, rd, rs);
+    emit_alu(sink, ctx, op, Size::D, a, b, Some(&Rm::Reg(rd)), live);
+}
+
+/// `mov rd, rs ; alu rd[, src] ; jcc` → one fused unit, returning the
+/// taken-predicate like `int::try_fuse`. The mov is absorbed (reads of
+/// `rd` in the ALU become reads of `rs`), the ALU writeback lands in
+/// `rd`, and the condition is computed straight off the result —
+/// exactly the `try_fuse` arms with the left operand substituted.
+///
+/// `live` is the branch-surviving liveness already masked with the
+/// ALU's must-write set. Returns `None` when the form isn't fusable;
+/// the caller falls back to the unfused path.
+pub(crate) fn emit_mov_alu_jcc(
+    sink: &mut Sink,
+    ctx: &mut EmitCtx<'_>,
+    rd: Gpr,
+    rs: Gpr,
+    alu: &I32,
+    cond: ia32::Cond,
+    live: u32,
+) -> Option<Pr> {
+    use ia32::Cond as C;
+    if !result_cond_fusable(cond) || cond.flags_read() & flags::CF != 0 {
+        return None;
+    }
+    sink.set_ip(ctx.ip);
+    let res = match alu {
+        I32::IncDec {
+            inc,
+            size: Size::D,
+            dst: Rm::Reg(d),
+        } if d.num() == rd.num() => {
+            let a = read_gpr(sink, rs, Size::D);
+            let res64 = sink.vg();
+            sink.emit(Op::AddImm {
+                d: res64,
+                imm: if *inc { 1 } else { -1 },
+                a,
+            });
+            let res = trunc(sink, res64, Size::D);
+            write_rm(sink, ctx, &Rm::Reg(rd), Size::D, res);
+            if live != 0 {
+                arith_flags(
+                    sink,
+                    if *inc { ArithKind::Inc } else { ArithKind::Dec },
+                    a,
+                    state::GR_ONE,
+                    res64,
+                    res,
+                    Size::D,
+                    live,
+                    None,
+                );
+            }
+            res
+        }
+        I32::Alu {
+            op: op @ (AluOp::Sub | AluOp::And | AluOp::Or | AluOp::Xor),
+            size: Size::D,
+            dst: Rm::Reg(d),
+            src: src @ (RmI::Reg(_) | RmI::Imm(_)),
+        } if d.num() == rd.num() => {
+            // The write target `rd` never aliases the operands (`a` is
+            // `rs` ≠ `rd`; reads of `rd` in `src` are substituted), so
+            // no snapshots are needed even with live flags.
+            let a = read_gpr(sink, rs, Size::D);
+            let b = read_subst(sink, ctx, src, rd, rs);
+            let r = sink.vg();
+            match op {
+                AluOp::Sub => sink.emit(Op::Sub { d: r, a, b }),
+                AluOp::And => sink.emit(Op::And { d: r, a, b }),
+                AluOp::Or => sink.emit(Op::Or { d: r, a, b }),
+                AluOp::Xor => sink.emit(Op::Xor { d: r, a, b }),
+                _ => unreachable!(),
+            }
+            if *op == AluOp::Sub {
+                let rt = trunc(sink, r, Size::D);
+                write_rm(sink, ctx, &Rm::Reg(rd), Size::D, rt);
+                if live != 0 {
+                    arith_flags(sink, ArithKind::Sub, a, b, r, rt, Size::D, live, None);
+                }
+                rt
+            } else {
+                write_rm(sink, ctx, &Rm::Reg(rd), Size::D, r);
+                if live != 0 {
+                    super::flags_emit::logic_flags(sink, r, Size::D, live);
+                }
+                r
+            }
+        }
+        _ => return None,
+    };
+    let (pt, pf) = (sink.vp(), sink.vp());
+    match cond {
+        C::E | C::Ne => sink.emit(Op::Cmp {
+            rel: CmpRel::Eq,
+            pt,
+            pf,
+            a: res,
+            b: R0,
+        }),
+        _ => sink.emit(Op::Tbit {
+            pt,
+            pf,
+            r: res,
+            pos: 31,
+        }),
+    }
+    Some(match cond {
+        C::E | C::S => pt,
+        _ => pf,
+    })
+}
+
+/// `op₁ rd, s₁ ; op₂ rd, s₂ ; …` (same 32-bit register destination) →
+/// one chain with a single zero-extending writeback at the end.
+///
+/// Sound without intermediate truncation because the low 32 result
+/// bits of add/sub/and/or/xor are independent of the operands' high
+/// bits; reads of `rd` by later members see the running (possibly
+/// dirty-high) value, which is equally truncation-independent. The
+/// matcher guarantees every non-final member's flags are dead; the
+/// final member's live flags are computed from freshly truncated
+/// operands.
+pub(crate) fn emit_alu_chain(
+    sink: &mut Sink,
+    ctx: &mut EmitCtx<'_>,
+    rd: Gpr,
+    members: &[(AluOp, RmI)],
+    live_last: u32,
+) {
+    sink.set_ip(ctx.ip);
+    let mut cur = read_gpr(sink, rd, Size::D);
+    for (k, (op, src)) in members.iter().enumerate() {
+        let last = k + 1 == members.len();
+        if last && live_last != 0 {
+            // Flags need clean 32-bit operands: truncate the running
+            // value and delegate to the standard ALU template (which
+            // also performs the writeback).
+            let a = trunc(sink, cur, Size::D);
+            let b = match src {
+                RmI::Reg(r) if r.num() == rd.num() => a,
+                other => read_rmi(sink, ctx, other, Size::D),
+            };
+            emit_alu(sink, ctx, *op, Size::D, a, b, Some(&Rm::Reg(rd)), live_last);
+            return;
+        }
+        match src {
+            RmI::Imm(v) => {
+                let imm = Size::D.trunc(*v as u32) as i64;
+                let d = sink.vg();
+                let fop = match op {
+                    AluOp::Add => Op::AddImm { d, imm, a: cur },
+                    AluOp::Sub => Op::AddImm {
+                        d,
+                        imm: -imm,
+                        a: cur,
+                    },
+                    AluOp::And => Op::AndImm { d, imm, a: cur },
+                    AluOp::Or => Op::OrImm { d, imm, a: cur },
+                    AluOp::Xor => Op::XorImm { d, imm, a: cur },
+                    _ => unreachable!("non-chainable op in chain"),
+                };
+                sink.emit(fop);
+                cur = d;
+            }
+            RmI::Reg(r) => {
+                let b = if r.num() == rd.num() {
+                    cur
+                } else {
+                    read_gpr(sink, *r, Size::D)
+                };
+                let d = sink.vg();
+                match op {
+                    AluOp::Add => sink.emit(Op::Add { d, a: cur, b }),
+                    AluOp::Sub => sink.emit(Op::Sub { d, a: cur, b }),
+                    AluOp::And => sink.emit(Op::And { d, a: cur, b }),
+                    AluOp::Or => sink.emit(Op::Or { d, a: cur, b }),
+                    AluOp::Xor => sink.emit(Op::Xor { d, a: cur, b }),
+                    _ => unreachable!("non-chainable op in chain"),
+                }
+                cur = d;
+            }
+            RmI::Mem(_) => unreachable!("memory source in chain"),
+        }
+    }
+    write_gpr(sink, ctx, rd, Size::D, cur);
+}
+
+/// `push a ; push b` → both stores computed off the entry ESP, one ESP
+/// writeback. Both stores precede the ESP update (paper Table 1), so a
+/// fault in the second store replays the idiom idempotently.
+pub(crate) fn emit_push_push(sink: &mut Sink, ctx: &mut EmitCtx<'_>, s1: &RmI, s2: &RmI) {
+    sink.set_ip(ctx.ip);
+    let esp = state::guest_gpr(4);
+    // Operand reads first: `push esp` pushes the pre-push value, which
+    // is exactly what the canonical register still holds (the matcher
+    // excludes ESP as the *second* push's source, where the unfused
+    // sequence would push the decremented value).
+    let v1 = read_rmi(sink, ctx, s1, Size::D);
+    let v2 = read_rmi(sink, ctx, s2, Size::D);
+    let n1 = sink.vg();
+    sink.emit(Op::AddImm {
+        d: n1,
+        imm: -4,
+        a: esp,
+    });
+    let t1 = trunc(sink, n1, Size::D);
+    guest_store(sink, ctx, t1, None, 4, v1);
+    let n2 = sink.vg();
+    sink.emit(Op::AddImm {
+        d: n2,
+        imm: -8,
+        a: esp,
+    });
+    let t2 = trunc(sink, n2, Size::D);
+    guest_store(sink, ctx, t2, None, 4, v2);
+    sink.mov(esp, t2);
+    ctx.align.invalidate_gpr(4);
+}
+
+/// `push v ; pop rd` → store-forward: the stored value goes straight
+/// into `rd` and ESP is never touched (push's decrement and pop's
+/// increment cancel). The store itself still happens — the bytes below
+/// ESP are architecturally visible. Saves the load, both ESP updates
+/// and the intermediate truncations: five micro-ops.
+pub(crate) fn emit_push_pop(sink: &mut Sink, ctx: &mut EmitCtx<'_>, src: &RmI, rd: Gpr) {
+    sink.set_ip(ctx.ip);
+    let esp = state::guest_gpr(4);
+    let v = read_rmi(sink, ctx, src, Size::D);
+    let n = sink.vg();
+    sink.emit(Op::AddImm {
+        d: n,
+        imm: -4,
+        a: esp,
+    });
+    let t = trunc(sink, n, Size::D);
+    guest_store(sink, ctx, t, None, 4, v);
+    write_gpr(sink, ctx, rd, Size::D, v);
+}

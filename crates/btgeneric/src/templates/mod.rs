@@ -19,6 +19,7 @@
 
 mod flags_emit;
 mod fp;
+pub(crate) mod fused;
 mod int;
 mod mem;
 
